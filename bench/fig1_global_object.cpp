@@ -1,0 +1,138 @@
+// FIG1: the shared global object of the paper's Figure 1.
+//
+// Measures guarded-method call cost in both service modes:
+//   * untimed (functional): zero simulated time, wall-clock throughput
+//   * clocked (synchronous): one grant per rising edge; simulated-time
+//     cost is exactly one cycle per call when uncontended
+// and demonstrates the Figure 1 semantics at scale (N connected modules
+// sharing one state space, all policies).
+#include <benchmark/benchmark.h>
+
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+using osss::PolicyKind;
+
+/// Untimed global object: raw guarded-call throughput (wall clock).
+void BM_UntimedCalls(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kCallsPerClient = 2000;
+  std::uint64_t grants = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    osss::SharedObject<std::uint64_t> obj(
+        k, "obj", std::make_unique<osss::FifoArbitration>(), 0);
+    for (int c = 0; c < clients; ++c) {
+      auto client = obj.make_client("c" + std::to_string(c));
+      k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {
+        for (int i = 0; i < kCallsPerClient; ++i) {
+          co_await client.call([](std::uint64_t& v) { ++v; });
+        }
+      });
+    }
+    k.run();
+    grants += obj.stats().grants;
+  }
+  state.counters["calls/s"] = benchmark::Counter(
+      static_cast<double>(grants), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UntimedCalls)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+/// Clocked global object: grants are pinned to clock edges; report both
+/// wall throughput and the simulated cost (cycles per call).
+void BM_ClockedCalls(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  std::uint64_t grants = 0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 10_ns);
+    osss::SharedObject<std::uint64_t> obj(
+        k, "obj", clk, std::make_unique<osss::FifoArbitration>(), 0);
+    for (int c = 0; c < clients; ++c) {
+      auto client = obj.make_client("c" + std::to_string(c));
+      k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {
+        for (;;) {
+          co_await client.call([](std::uint64_t& v) { ++v; });
+        }
+      });
+    }
+    k.run_for(20_us);  // 2000 cycles
+    grants += obj.stats().grants;
+    cycles += clk.cycles();
+  }
+  state.counters["grants/s"] = benchmark::Counter(
+      static_cast<double>(grants), benchmark::Counter::kIsRate);
+  state.counters["cycles_per_grant"] =
+      grants ? static_cast<double>(cycles) / static_cast<double>(grants) : 0;
+}
+BENCHMARK(BM_ClockedCalls)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+/// Figure 1 exactly: one module sets, N-1 modules guarded-wait on the
+/// state; measure the delta cost of the broadcast wake-up.
+void BM_BistableBroadcast(benchmark::State& state) {
+  const int watchers = static_cast<int>(state.range(0));
+  std::uint64_t woken_total = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    osss::SharedObject<osss::Bistable> obj(
+        k, "bistable", std::make_unique<osss::FifoArbitration>());
+    int woken = 0;
+    for (int w = 0; w < watchers; ++w) {
+      auto c = obj.make_client("watch" + std::to_string(w));
+      k.spawn("w" + std::to_string(w), [&woken, c]() -> sim::Task {
+        co_await c.call([](const osss::Bistable& b) { return b.get_state(); },
+                        [](osss::Bistable&) {});
+        ++woken;
+      });
+    }
+    auto setter = obj.make_client("setter");
+    k.spawn("setter", [&k, setter]() -> sim::Task {
+      co_await k.wait(10_ns);
+      co_await setter.call([](osss::Bistable& b) { b.set(); });
+    });
+    k.run();
+    woken_total += static_cast<std::uint64_t>(woken);
+  }
+  state.counters["wakeups/s"] = benchmark::Counter(
+      static_cast<double>(woken_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BistableBroadcast)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// All policies at fixed contention: wall cost of the scheduling
+/// algorithm itself.
+void BM_PolicyOverhead(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  constexpr int kClients = 8;
+  std::uint64_t grants = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 10_ns);
+    osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                          osss::make_policy(policy), 0);
+    for (int c = 0; c < kClients; ++c) {
+      auto client = obj.make_client("c" + std::to_string(c));
+      k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {
+        for (;;) co_await client.call([](std::uint64_t& v) { ++v; });
+      });
+    }
+    k.run_for(10_us);
+    grants += obj.stats().grants;
+  }
+  state.SetLabel(osss::policy_name(policy));
+  state.counters["grants/s"] = benchmark::Counter(
+      static_cast<double>(grants), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PolicyOverhead)
+    ->Arg(static_cast<int>(PolicyKind::Fifo))
+    ->Arg(static_cast<int>(PolicyKind::RoundRobin))
+    ->Arg(static_cast<int>(PolicyKind::StaticPriority))
+    ->Arg(static_cast<int>(PolicyKind::Random));
+
+}  // namespace
+
+BENCHMARK_MAIN();

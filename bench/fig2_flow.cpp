@@ -1,0 +1,137 @@
+// FIG2: the design-flow motivation -- "the high simulation speeds
+// achievable with such descriptions".
+//
+// The same 200-transaction workload is simulated at every abstraction
+// level of the flow of Figure 2:
+//   L1 functional, untimed          (executable system model)
+//   L2 functional, loosely timed    (budgeted per-word latency)
+//   L3 pin-accurate PCI             (implementation model)
+//   L4 synthesised RTL channel      (post-synthesis netlist simulation)
+// The expected SHAPE: wall-clock throughput drops by orders of magnitude
+// from L1 to L3/L4, which is precisely why the paper models and
+// validates at the high level and synthesises the communication
+// afterwards.
+#include <benchmark/benchmark.h>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/synth/synth.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+
+std::vector<pattern::CommandType> workload() {
+  return tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x800, .seed = 77}, 200);
+}
+
+void BM_L1_FunctionalUntimed(benchmark::State& state) {
+  const auto cmds = workload();
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    tlm::TlmMemory mem(0x1000, 0x1000);
+    pattern::FunctionalBusInterface iface(k, "iface", mem);
+    pattern::Application app(k, "app", iface, cmds);
+    k.run();
+    if (!app.done()) state.SkipWithError("app did not finish");
+    txns += app.transcript().size();
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_L1_FunctionalUntimed);
+
+void BM_L2_FunctionalTimed(benchmark::State& state) {
+  const auto cmds = workload();
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    tlm::TlmMemory mem(0x1000, 0x1000);
+    pattern::FunctionalBusInterface iface(
+        k, "iface", mem,
+        pattern::FunctionalTiming{.per_command = 90_ns, .per_word = 30_ns});
+    pattern::Application app(k, "app", iface, cmds);
+    k.run();
+    if (!app.done()) state.SkipWithError("app did not finish");
+    txns += app.transcript().size();
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_L2_FunctionalTimed);
+
+void BM_L3_PinAccuratePci(benchmark::State& state) {
+  const auto cmds = workload();
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 30_ns);
+    pci::PciBus bus(k, "pci", clk);
+    pci::PciArbiter arb(k, "arb", bus);
+    pci::PciTarget target(k, "t0", bus,
+                          pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+    pattern::PciBusInterface iface(k, "iface", bus, arb);
+    pattern::Application app(k, "app", iface, cmds);
+    for (int slice = 0; slice < 1000 && !app.done(); ++slice) {
+      k.run_for(10_us);
+    }
+    if (!app.done()) state.SkipWithError("app did not finish");
+    txns += app.transcript().size();
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_L3_PinAccuratePci);
+
+/// Post-synthesis model of the communication channel: commands pushed
+/// through the synthesised RTL mailbox, one netlist clock per cycle.
+void BM_L4_SynthesisedRtlChannel(benchmark::State& state) {
+  const auto cmds = workload();
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::Netlist nl =
+      synth::synthesize(ch.desc, synth::SynthOptions{.clients = 2});
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    synth::NetlistSim rtl(nl);
+    // Client 0 = app, client 1 = interface; emulate the service loop at
+    // cycle accuracy: put command, fetch command, put response, get it.
+    for (const auto& cmd : cmds) {
+      const std::uint64_t args =
+          static_cast<std::uint64_t>(pattern::to_pci_command(cmd.op)) |
+          (static_cast<std::uint64_t>(cmd.words() & 0xFF) << 4) |
+          (static_cast<std::uint64_t>(cmd.addr) << 12);
+      auto drive = [&](std::size_t client, std::size_t sel,
+                       std::uint64_t a) {
+        rtl.set_input("rst", 0);
+        rtl.set_input(synth::req_port(client), 1);
+        rtl.set_input(synth::sel_port(client), sel);
+        rtl.set_input(synth::args_port(client), a);
+        // Wait (bounded) for the grant, then clock through it.
+        for (int guard_cycles = 0; guard_cycles < 8; ++guard_cycles) {
+          rtl.settle();
+          const bool granted = rtl.get(synth::grant_port(client)) != 0;
+          rtl.clock_edge();
+          if (granted) break;
+        }
+        rtl.set_input(synth::req_port(client), 0);
+      };
+      drive(0, ch.methods.put_command, args);
+      drive(1, ch.methods.get_command, 0);
+      drive(1, ch.methods.put_response, 0x0ull | (0xABCDull << 2));
+      drive(0, ch.methods.app_data_get, 0);
+      ++txns;
+    }
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_L4_SynthesisedRtlChannel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// FIG3: communication refinement.  The same application runs over the
+// functional and the pin-accurate library element; every iteration also
+// CHECKS transcript equivalence (a refinement that changed behaviour
+// would abort the bench).  Reported counters give the cost of the
+// refined model relative to the abstract one, per workload shape.
+#include <benchmark/benchmark.h>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sbus/simple_bus.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+#include "hlcs/verify/compare.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+
+enum Shape { kSequential = 0, kRandom = 1, kDma = 2 };
+
+std::vector<pattern::CommandType> make_workload(Shape shape) {
+  tlm::WorkloadConfig cfg{.base = 0x1000, .span = 0x800, .seed = 4242};
+  switch (shape) {
+    case kSequential: return tlm::sequential_workload(cfg, 100);
+    case kRandom: return tlm::random_workload(cfg, 100);
+    case kDma: return tlm::dma_workload(cfg, 6, 16);
+  }
+  return {};
+}
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case kSequential: return "sequential";
+    case kRandom: return "random";
+    case kDma: return "dma";
+  }
+  return "?";
+}
+
+verify::Transcript run_functional(const std::vector<pattern::CommandType>& w) {
+  sim::Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  pattern::FunctionalBusInterface iface(k, "iface", mem);
+  pattern::Application app(k, "app", iface, w);
+  k.run();
+  return app.transcript();
+}
+
+verify::Transcript run_pin(const std::vector<pattern::CommandType>& w) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 30_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+  pattern::PciBusInterface iface(k, "iface", bus, arb);
+  pattern::Application app(k, "app", iface, w);
+  for (int slice = 0; slice < 2000 && !app.done(); ++slice) k.run_for(10_us);
+  return app.transcript();
+}
+
+void BM_RefinementFunctional(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const auto w = make_workload(shape);
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    verify::Transcript t = run_functional(w);
+    txns += t.size();
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RefinementFunctional)->Arg(kSequential)->Arg(kRandom)->Arg(kDma);
+
+void BM_RefinementPinAccurate(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const auto w = make_workload(shape);
+  // Equivalence reference computed once.
+  const verify::Transcript golden = run_functional(w);
+  std::uint64_t txns = 0;
+  sim::Time sim_span;
+  std::uint64_t mean_latency_ps = 0;
+  for (auto _ : state) {
+    verify::Transcript t = run_pin(w);
+    auto cmp = verify::compare_functional(golden, t);
+    if (!cmp) {
+      state.SkipWithError(("refinement broke behaviour: " +
+                           cmp.first_difference).c_str());
+      return;
+    }
+    txns += t.size();
+    sim_span = t.span();
+    mean_latency_ps = verify::compare_timing(golden, t).mean_latency_ps_b;
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+  state.counters["sim_span_ns"] = static_cast<double>(sim_span.picos()) / 1e3;
+  state.counters["mean_txn_latency_ns"] =
+      static_cast<double>(mean_latency_ps) / 1e3;
+}
+BENCHMARK(BM_RefinementPinAccurate)->Arg(kSequential)->Arg(kRandom)->Arg(kDma);
+
+/// The refined model with a clocked command channel (guarded methods
+/// consume cycles too, the closest software model to the synthesised
+/// implementation).
+void BM_RefinementClockedChannel(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const auto w = make_workload(shape);
+  const verify::Transcript golden = run_functional(w);
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 30_ns);
+    pci::PciBus bus(k, "pci", clk);
+    pci::PciArbiter arb(k, "arb", bus);
+    pci::PciTarget target(k, "t0", bus,
+                          pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+    pattern::PciBusInterface iface(k, "iface", bus, arb, clk);
+    pattern::Application app(k, "app", iface, w);
+    for (int slice = 0; slice < 2000 && !app.done(); ++slice) {
+      k.run_for(10_us);
+    }
+    auto cmp = verify::compare_functional(golden, app.transcript());
+    if (!cmp) {
+      state.SkipWithError(("refinement broke behaviour: " +
+                           cmp.first_difference).c_str());
+      return;
+    }
+    txns += app.transcript().size();
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RefinementClockedChannel)
+    ->Arg(kSequential)
+    ->Arg(kRandom)
+    ->Arg(kDma);
+
+/// The second pin-level library element (SimpleBus, word protocol):
+/// demonstrates that the library offers multiple refinement targets and
+/// measures the cost of a burst-less protocol.
+void BM_RefinementSimpleBus(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const auto w = make_workload(shape);
+  const verify::Transcript golden = run_functional(w);
+  std::uint64_t txns = 0;
+  sim::Time sim_span;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 30_ns);
+    sbus::SimpleBus bus(k, "sbus", clk);
+    sbus::SimpleBusTarget target(k, "t0", bus,
+                                 {.base = 0x1000, .size = 0x1000});
+    pattern::SimpleBusInterface iface(k, "iface", bus);
+    pattern::Application app(k, "app", iface, w);
+    for (int slice = 0; slice < 4000 && !app.done(); ++slice) {
+      k.run_for(10_us);
+    }
+    auto cmp = verify::compare_functional(golden, app.transcript());
+    if (!cmp) {
+      state.SkipWithError(("refinement broke behaviour: " +
+                           cmp.first_difference).c_str());
+      return;
+    }
+    txns += app.transcript().size();
+    sim_span = app.transcript().span();
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(txns), benchmark::Counter::kIsRate);
+  state.counters["sim_span_ns"] = static_cast<double>(sim_span.picos()) / 1e3;
+}
+BENCHMARK(BM_RefinementSimpleBus)->Arg(kSequential)->Arg(kRandom)->Arg(kDma);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// FIG4: regenerates the paper's simulation waveforms (a VCD of the
+// synthesised PCI handler serving application transactions) and prints
+// the per-transaction pin-level timing table the waveforms show.
+//
+// Also runs the ABL2 ablation: transaction cycle cost as a function of
+// target wait states, DEVSEL decode speed, and disconnect behaviour --
+// the design-space of the library element's environment.
+//
+// Unlike the other benches this is a report generator (deterministic
+// simulated-time results), so it is a plain executable, not a
+// google-benchmark binary.
+#include <cstdio>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sim/sim.hpp"
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t cycles_single_read = 0;
+  std::uint64_t cycles_single_write = 0;
+  std::uint64_t cycles_burst8_read = 0;
+  std::uint64_t cycles_burst8_write = 0;
+  std::size_t violations = 0;
+};
+
+RunResult run_system(const pci::TargetConfig& tcfg, sim::Trace* trace) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 30_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciMonitor mon(k, "mon", bus);
+  pci::PciTarget target(k, "t0", bus, tcfg);
+  pattern::PciBusInterface iface(k, "iface", bus, arb);
+  if (trace) {
+    bus.trace_all(*trace);
+    k.attach_trace(*trace);
+  }
+  std::vector<pattern::CommandType> workload = {
+      {.op = pattern::BusOp::Write, .addr = tcfg.base, .data = {0xCAFED00D}},
+      {.op = pattern::BusOp::Read, .addr = tcfg.base, .count = 1},
+      {.op = pattern::BusOp::WriteBurst,
+       .addr = tcfg.base + 0x40,
+       .data = {1, 2, 3, 4, 5, 6, 7, 8}},
+      {.op = pattern::BusOp::ReadBurst, .addr = tcfg.base + 0x40, .count = 8},
+  };
+  pattern::Application app(k, "app", iface, workload);
+  for (int slice = 0; slice < 1000 && !app.done(); ++slice) k.run_for(10_us);
+  RunResult r;
+  if (!app.done() || mon.records().size() < 4) {
+    std::fprintf(stderr, "run did not complete cleanly!\n");
+    return r;
+  }
+  // Monitor records are in bus order == workload order (auto-retry may
+  // split one command over several tenures; sum per command by matching
+  // completion counts).
+  const auto& es = app.transcript().entries();
+  r.cycles_single_write = (es[0].completed - es[0].issued).picos() / 30000;
+  r.cycles_single_read = (es[1].completed - es[1].issued).picos() / 30000;
+  r.cycles_burst8_write = (es[2].completed - es[2].issued).picos() / 30000;
+  r.cycles_burst8_read = (es[3].completed - es[3].issued).picos() / 30000;
+  r.violations = mon.violations().size();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG4 -- waveform regeneration and pin-level transaction "
+              "timing\n");
+  std::printf("=============================================================="
+              "==\n\n");
+
+  // The headline run (matches the paper's test system: one application,
+  // the PCI library element, one target) with the VCD dump.
+  {
+    sim::Trace trace("fig4_waveforms.vcd");
+    RunResult r = run_system(
+        pci::TargetConfig{.base = 0x40000000,
+                          .size = 0x1000,
+                          .devsel = pci::DevselSpeed::Medium,
+                          .initial_wait = 1,
+                          .per_word_wait = 0},
+        &trace);
+    std::printf("VCD written to fig4_waveforms.vcd (open in GTKWave)\n\n");
+    std::printf("transaction timings at 33 MHz (medium DEVSEL, 1 initial "
+                "wait):\n");
+    std::printf("  single write : %3llu cycles end-to-end\n",
+                static_cast<unsigned long long>(r.cycles_single_write));
+    std::printf("  single read  : %3llu cycles\n",
+                static_cast<unsigned long long>(r.cycles_single_read));
+    std::printf("  8-word write : %3llu cycles\n",
+                static_cast<unsigned long long>(r.cycles_burst8_write));
+    std::printf("  8-word read  : %3llu cycles\n",
+                static_cast<unsigned long long>(r.cycles_burst8_read));
+    std::printf("  protocol violations: %zu\n\n", r.violations);
+  }
+
+  // ABL2: wait states x DEVSEL speed sweep.
+  std::printf("ABL2 -- transaction cycles vs target timing "
+              "(rd1/wr1/rd8/wr8):\n");
+  std::printf("%-8s %-6s | %6s %6s %6s %6s | %s\n", "devsel", "waits", "wr1",
+              "rd1", "wr8", "rd8", "violations");
+  std::printf("--------------------------------------------------------\n");
+  for (auto speed : {pci::DevselSpeed::Fast, pci::DevselSpeed::Medium,
+                     pci::DevselSpeed::Slow}) {
+    for (unsigned waits : {0u, 1u, 2u, 4u, 7u}) {
+      RunResult r = run_system(
+          pci::TargetConfig{.base = 0x1000,
+                            .size = 0x1000,
+                            .devsel = speed,
+                            .initial_wait = waits,
+                            .per_word_wait = waits},
+          nullptr);
+      const char* sname = speed == pci::DevselSpeed::Fast ? "fast"
+                          : speed == pci::DevselSpeed::Medium ? "medium"
+                                                              : "slow";
+      std::printf("%-8s %-6u | %6llu %6llu %6llu %6llu | %zu\n", sname, waits,
+                  static_cast<unsigned long long>(r.cycles_single_write),
+                  static_cast<unsigned long long>(r.cycles_single_read),
+                  static_cast<unsigned long long>(r.cycles_burst8_write),
+                  static_cast<unsigned long long>(r.cycles_burst8_read),
+                  r.violations);
+    }
+  }
+
+  // Disconnect / retry ablation.
+  std::printf("\nABL2b -- burst-8 cycles vs disconnect/retry behaviour:\n");
+  std::printf("%-24s | %6s %6s\n", "target behaviour", "wr8", "rd8");
+  std::printf("----------------------------------------\n");
+  struct Case {
+    const char* name;
+    pci::TargetConfig cfg;
+  } cases[] = {
+      {"clean", {.base = 0x1000, .size = 0x1000}},
+      {"disconnect every 4", {.base = 0x1000, .size = 0x1000,
+                              .disconnect_after = 4}},
+      {"disconnect every 2", {.base = 0x1000, .size = 0x1000,
+                              .disconnect_after = 2}},
+      {"retry first 2 tenures", {.base = 0x1000, .size = 0x1000,
+                                 .retry_first = 2}},
+  };
+  for (const Case& c : cases) {
+    RunResult r = run_system(c.cfg, nullptr);
+    std::printf("%-24s | %6llu %6llu\n", c.name,
+                static_cast<unsigned long long>(r.cycles_burst8_write),
+                static_cast<unsigned long long>(r.cycles_burst8_read));
+  }
+  std::printf("\nShape check: every wait state adds ~1 cycle per affected "
+              "phase;\nbursts amortise the address phase; disconnects "
+              "re-arbitrate per fragment.\n");
+  return 0;
+}

@@ -1,0 +1,231 @@
+// FW1: the paper's stated future work, executed --
+//
+//   "An interesting future work will be the evaluation of the temporal
+//    cost of the method calls: these are implemented with synchronous
+//    logic, and the completion of a transaction require an amount of
+//    time that depends on different factors (among which the number of
+//    concurrent processes accessing the same resource)."
+//
+// A clocked global object is saturated by 1..32 concurrent processes
+// under every arbitration policy.  Reported (deterministic, simulated
+// cycles): mean and max grant latency per call, throughput per cycle.
+// Expected SHAPE: with one grant per cycle, mean latency grows linearly
+// with the number of contending processes (~N-1 cycles under fairness),
+// max latency depends on the policy's tail behaviour.
+//
+// ABL1 (fairness ablation): asymmetric priorities under static-priority
+// arbitration starve low-priority clients; FIFO and round-robin bound
+// the spread.
+#include <benchmark/benchmark.h>
+
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+using osss::PolicyKind;
+
+struct LatencyResult {
+  double mean_wait = 0;
+  double max_wait = 0;
+  double grants_per_cycle = 0;
+  double spread = 0;  ///< max/min per-client mean wait (fairness)
+};
+
+LatencyResult measure(PolicyKind policy, int clients, bool asymmetric,
+                      std::uint64_t cycles) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                        osss::make_policy(policy), 0);
+  for (int c = 0; c < clients; ++c) {
+    // Asymmetric: client index is its priority (matters only for the
+    // static-priority policy).
+    auto client = obj.make_client("c" + std::to_string(c),
+                                  asymmetric ? c : 0);
+    k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {
+      for (;;) co_await client.call([](std::uint64_t& v) { ++v; });
+    });
+  }
+  k.run_for(sim::Time::ns(cycles * 10));
+  LatencyResult r;
+  const auto& st = obj.stats();
+  std::uint64_t waited = 0, granted = 0, max_wait = 0;
+  double min_client_mean = 1e18, max_client_mean = 0;
+  for (const auto& cs : st.clients) {
+    waited += cs.wait_total;
+    granted += cs.granted;
+    max_wait = std::max(max_wait, cs.wait_max);
+    if (cs.granted > 0) {
+      const double mean = static_cast<double>(cs.wait_total) /
+                          static_cast<double>(cs.granted);
+      min_client_mean = std::min(min_client_mean, mean);
+      max_client_mean = std::max(max_client_mean, mean);
+    } else {
+      max_client_mean = 1e18;  // starved
+    }
+  }
+  if (granted > 0) {
+    r.mean_wait = static_cast<double>(waited) / static_cast<double>(granted);
+  }
+  r.max_wait = static_cast<double>(max_wait);
+  r.grants_per_cycle =
+      static_cast<double>(st.grants) / static_cast<double>(cycles);
+  r.spread = min_client_mean > 0 && max_client_mean < 1e17
+                 ? max_client_mean / min_client_mean
+                 : 1e9;
+  return r;
+}
+
+/// The headline FW1 sweep: contention x policy.
+void BM_MethodCallLatency(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  LatencyResult r;
+  for (auto _ : state) {
+    r = measure(policy, clients, /*asymmetric=*/false, /*cycles=*/2000);
+  }
+  state.SetLabel(osss::policy_name(policy));
+  state.counters["mean_wait_cycles"] = r.mean_wait;
+  state.counters["max_wait_cycles"] = r.max_wait;
+  state.counters["grants_per_cycle"] = r.grants_per_cycle;
+}
+BENCHMARK(BM_MethodCallLatency)
+    ->ArgsProduct({{static_cast<int>(PolicyKind::Fifo),
+                    static_cast<int>(PolicyKind::RoundRobin),
+                    static_cast<int>(PolicyKind::StaticPriority),
+                    static_cast<int>(PolicyKind::Random)},
+                   {1, 2, 4, 8, 16, 32}});
+
+/// ABL1: fairness under asymmetric priorities -- the per-client latency
+/// spread (max mean / min mean).  Expected: huge for static priority
+/// (starvation), ~1 for FIFO and round-robin.
+void BM_FairnessSpread(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  constexpr int kClients = 8;
+  LatencyResult r;
+  for (auto _ : state) {
+    r = measure(policy, kClients, /*asymmetric=*/true, /*cycles=*/2000);
+  }
+  state.SetLabel(osss::policy_name(policy));
+  state.counters["latency_spread"] = r.spread;
+  state.counters["grants_per_cycle"] = r.grants_per_cycle;
+}
+BENCHMARK(BM_FairnessSpread)
+    ->Arg(static_cast<int>(PolicyKind::Fifo))
+    ->Arg(static_cast<int>(PolicyKind::RoundRobin))
+    ->Arg(static_cast<int>(PolicyKind::StaticPriority))
+    ->Arg(static_cast<int>(PolicyKind::Random));
+
+/// Temporal cost seen END TO END by the application of the paper's test
+/// system: several applications contending on one PCI bus interface.
+void BM_EndToEndContention(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  double mean_latency_ns = 0;
+  std::uint64_t txns_total = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 30_ns);
+    pci::PciBus bus(k, "pci", clk);
+    pci::PciArbiter arb(k, "arb", bus);
+    pci::PciTarget target(k, "t0", bus,
+                          pci::TargetConfig{.base = 0, .size = 0x10000});
+    pattern::PciBusInterface iface(k, "iface", bus, arb);
+    struct AppState {
+      std::uint64_t txns = 0;
+      std::uint64_t latency_ps = 0;
+    };
+    std::vector<AppState> results(static_cast<std::size_t>(apps));
+    for (int a = 0; a < apps; ++a) {
+      auto port = iface.app_port("app" + std::to_string(a));
+      k.spawn("app" + std::to_string(a),
+              [&k, port, a, &results]() -> sim::Task {
+                auto& mine = results[static_cast<std::size_t>(a)];
+                for (std::uint32_t i = 0;; ++i) {
+                  pattern::CommandType cmd;
+                  cmd.op = pattern::BusOp::Write;
+                  cmd.addr = static_cast<std::uint32_t>(a) * 0x1000 +
+                             (i % 256) * 4;
+                  cmd.data = {i};
+                  const sim::Time t0 = k.now();
+                  co_await port.putCommand(cmd);
+                  co_await port.appDataGet();
+                  mine.txns++;
+                  mine.latency_ps += (k.now() - t0).picos();
+                }
+              });
+    }
+    k.run_for(300_us);
+    std::uint64_t txns = 0, lat = 0;
+    for (const auto& r : results) {
+      txns += r.txns;
+      lat += r.latency_ps;
+    }
+    txns_total += txns;
+    mean_latency_ns = txns ? static_cast<double>(lat) /
+                                 static_cast<double>(txns) / 1e3
+                           : 0;
+  }
+  state.counters["txns"] = static_cast<double>(txns_total);
+  state.counters["mean_txn_latency_ns"] = mean_latency_ns;
+}
+BENCHMARK(BM_EndToEndContention)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// ABL3: the PCI latency timer -- worst-case latency a single-word
+/// competitor sees while another master streams 64-word bursts, as a
+/// function of the timer setting (0 = unlimited tenure).
+void BM_LatencyTimerAblation(benchmark::State& state) {
+  const unsigned timer = static_cast<unsigned>(state.range(0));
+  double worst_cycles = 0, mean_cycles = 0;
+  std::uint64_t preemptions = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", 10_ns);
+    pci::PciBus bus(k, "pci", clk);
+    pci::PciArbiter arb(k, "arb", bus);
+    pci::PciTarget target(k, "t0", bus,
+                          pci::TargetConfig{.base = 0, .size = 0x10000});
+    auto p0 = arb.add_master("burster");
+    pci::PciMaster burster(k, "burster", bus, *p0.req, *p0.gnt,
+                           pci::MasterConfig{.latency_timer = timer});
+    auto p1 = arb.add_master("pinger");
+    pci::PciMaster pinger(k, "pinger", bus, *p1.req, *p1.gnt);
+    k.spawn("burst", [&]() -> sim::Task {
+      for (std::uint32_t i = 0;; ++i) {
+        pci::PciTransaction t{.cmd = pci::PciCommand::MemWrite,
+                              .addr = 0x1000};
+        for (int w = 0; w < 64; ++w) t.data.push_back(i + static_cast<std::uint32_t>(w));
+        co_await burster.execute(t);
+      }
+    });
+    std::uint64_t worst = 0, sum = 0, count = 0;
+    k.spawn("ping", [&]() -> sim::Task {
+      co_await k.wait(100_ns);
+      for (int i = 0; i < 20; ++i) {
+        pci::PciTransaction t{.cmd = pci::PciCommand::MemWrite,
+                              .addr = 0x8000,
+                              .data = {static_cast<std::uint32_t>(i)}};
+        co_await pinger.execute(t);
+        worst = std::max(worst, t.cycles());
+        sum += t.cycles();
+        ++count;
+      }
+      k.stop();
+    });
+    k.run_for(5000_us);
+    worst_cycles = static_cast<double>(worst);
+    mean_cycles = count ? static_cast<double>(sum) / static_cast<double>(count) : 0;
+    preemptions = burster.stats().preemptions;
+  }
+  state.counters["worst_ping_cycles"] = worst_cycles;
+  state.counters["mean_ping_cycles"] = mean_cycles;
+  state.counters["preemptions"] = static_cast<double>(preemptions);
+}
+BENCHMARK(BM_LatencyTimerAblation)->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

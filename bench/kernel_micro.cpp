@@ -1,0 +1,138 @@
+// KERN: substrate microbenchmarks -- raw cost of the simulation kernel
+// primitives that every experiment above sits on (honesty check: the
+// abstraction-level comparisons in fig2_flow are only meaningful if the
+// kernel itself is not the bottleneck at the functional level).
+#include <benchmark/benchmark.h>
+
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs::sim;
+using namespace hlcs::sim::literals;
+
+/// Timed-event scheduling throughput: one process sleeping repeatedly.
+void BM_TimedWait(benchmark::State& state) {
+  const int waits_per_run = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Kernel k;
+    k.spawn("sleeper", [&]() -> Task {
+      for (int i = 0; i < waits_per_run; ++i) co_await k.wait(1_ns);
+    });
+    k.run();
+    total += k.stats().timed_actions;
+  }
+  state.counters["waits/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimedWait)->Arg(1000)->Arg(10000);
+
+/// Event notify/wake round trip between two processes.
+void BM_EventPingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Kernel k;
+    Event ping(k, "ping"), pong(k, "pong");
+    int completed = 0;
+    // The waiter spawns first so the opening notify is not lost.
+    k.spawn("b", [&]() -> Task {
+      for (int i = 0; i < rounds; ++i) {
+        co_await ping;
+        pong.notify();
+      }
+    });
+    k.spawn("a", [&]() -> Task {
+      for (int i = 0; i < rounds; ++i) {
+        ping.notify();
+        co_await pong;
+        ++completed;
+      }
+    });
+    k.run();
+    if (completed != rounds) state.SkipWithError("ping-pong stalled");
+    total += static_cast<std::uint64_t>(rounds) * 2;
+  }
+  state.counters["wakeups/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventPingPong)->Arg(1000)->Arg(10000);
+
+/// Signal write -> update -> changed-event delivery.
+void BM_SignalPropagation(benchmark::State& state) {
+  const int writes = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Kernel k;
+    Signal<int> s(k, "s", 0);
+    int seen = 0;
+    MethodProcess& m = k.method("obs", [&] { ++seen; }, false);
+    s.changed().add_static(m);
+    k.spawn("w", [&]() -> Task {
+      for (int i = 1; i <= writes; ++i) {
+        s.write(i);
+        co_await k.wait_delta();
+      }
+    });
+    k.run();
+    total += static_cast<std::uint64_t>(seen);
+  }
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SignalPropagation)->Arg(1000)->Arg(10000);
+
+/// Resolved-wire update with several drivers.
+void BM_WireResolution(benchmark::State& state) {
+  const int drivers = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Kernel k;
+    WireVec w(k, "ad", 32);
+    std::vector<WireVec::Driver> ds;
+    for (int i = 0; i < drivers; ++i) ds.push_back(w.make_driver());
+    k.spawn("drv", [&]() -> Task {
+      for (int i = 0; i < 2000; ++i) {
+        auto& d = ds[static_cast<std::size_t>(i % drivers)];
+        d.write_uint(static_cast<std::uint64_t>(i));
+        co_await k.wait_delta();
+        d.release();
+        co_await k.wait_delta();
+      }
+    });
+    k.run();
+    total += 2000;
+  }
+  state.counters["writes/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WireResolution)->Arg(1)->Arg(4)->Arg(16);
+
+/// Clock-edge fan-out to many waiting processes.
+void BM_ClockFanout(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Kernel k;
+    Clock clk(k, "clk", 10_ns);
+    std::uint64_t wakes = 0;
+    for (int p = 0; p < procs; ++p) {
+      k.spawn("p" + std::to_string(p), [&]() -> Task {
+        for (;;) {
+          co_await clk.posedge();
+          ++wakes;
+        }
+      });
+    }
+    k.run_for(1000_ns);  // 100 edges
+    total += wakes;
+  }
+  state.counters["wakes/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClockFanout)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// SEC3: the viability experiment of the paper's Section 3, as a
+// benchmark: synthesis of the bus-access channel for every policy and
+// client count, then lock-step re-simulation of the RT model against the
+// original (interpreted) model.  Counters report mismatches (must be 0),
+// synthesis resources, and the relative simulation cost of the RT model.
+#include <benchmark/benchmark.h>
+
+#include "hlcs/pattern/synthesisable_channel.hpp"
+#include "hlcs/sim/random.hpp"
+#include "hlcs/synth/synth.hpp"
+
+namespace {
+
+using namespace hlcs;
+using osss::PolicyKind;
+
+void BM_Synthesis(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  const auto clients = static_cast<std::size_t>(state.range(1));
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::SynthOptions opt{.clients = clients, .policy = policy};
+  synth::ResourceReport rep;
+  for (auto _ : state) {
+    synth::Netlist nl = synth::synthesize(ch.desc, opt);
+    rep = synth::report(nl);
+    benchmark::DoNotOptimize(nl);
+  }
+  state.SetLabel(osss::policy_name(policy));
+  state.counters["flip_flops"] = static_cast<double>(rep.flip_flops);
+  state.counters["gates"] = static_cast<double>(rep.gate_estimate);
+  state.counters["depth"] = static_cast<double>(rep.logic_depth);
+}
+BENCHMARK(BM_Synthesis)
+    ->ArgsProduct({{static_cast<int>(PolicyKind::Fifo),
+                    static_cast<int>(PolicyKind::RoundRobin),
+                    static_cast<int>(PolicyKind::StaticPriority),
+                    static_cast<int>(PolicyKind::Random)},
+                   {1, 2, 4, 8, 16}});
+
+/// Lock-step pre/post-synthesis consistency over random stimulus.
+void BM_ConsistencyLockStep(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  const auto clients = static_cast<std::size_t>(state.range(1));
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::SynthOptions opt{.clients = clients, .policy = policy};
+  synth::Netlist nl = synth::synthesize(ch.desc, opt);
+  std::uint64_t cycles_total = 0, grants = 0, mismatches = 0;
+  for (auto _ : state) {
+    synth::NetlistSim rtl(nl);
+    synth::GoldenCycleModel golden(ch.desc, opt);
+    sim::Xorshift rng(0x5EC3);
+    std::vector<synth::GoldenCycleModel::ClientIn> in(clients);
+    std::vector<unsigned> blocked(clients, 0);
+    constexpr int kCycles = 1000;
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (!in[c].req && rng.chance(1, 2)) {
+          in[c].req = true;
+          in[c].sel = rng.below(ch.desc.methods().size());
+          in[c].args = rng.next();
+          blocked[c] = 0;
+        } else if (in[c].req && ++blocked[c] > 4) {
+          in[c].sel = rng.below(ch.desc.methods().size());
+          blocked[c] = 0;
+        }
+        rtl.set_input(synth::req_port(c), in[c].req);
+        rtl.set_input(synth::sel_port(c), in[c].sel);
+        rtl.set_input(synth::args_port(c), in[c].args);
+      }
+      rtl.set_input("rst", 0);
+      rtl.settle();
+      std::optional<std::size_t> rtl_grant;
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (rtl.get(synth::grant_port(c)) != 0) rtl_grant = c;
+      }
+      auto g = golden.step(in);
+      if (rtl_grant != g.granted) ++mismatches;
+      rtl.clock_edge();
+      for (std::size_t v = 0; v < ch.desc.vars().size(); ++v) {
+        if (rtl.get(synth::var_port(ch.desc, v)) != golden.var(v)) {
+          ++mismatches;
+        }
+      }
+      if (g.granted) {
+        ++grants;
+        in[*g.granted].req = false;
+        blocked[*g.granted] = 0;
+      }
+    }
+    cycles_total += kCycles;
+  }
+  if (mismatches != 0) state.SkipWithError("pre/post-synthesis mismatch!");
+  state.SetLabel(osss::policy_name(policy));
+  state.counters["rtl_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles_total), benchmark::Counter::kIsRate);
+  state.counters["grants"] = static_cast<double>(grants);
+  state.counters["mismatches"] = static_cast<double>(mismatches);
+}
+BENCHMARK(BM_ConsistencyLockStep)
+    ->ArgsProduct({{static_cast<int>(PolicyKind::Fifo),
+                    static_cast<int>(PolicyKind::RoundRobin),
+                    static_cast<int>(PolicyKind::StaticPriority),
+                    static_cast<int>(PolicyKind::Random)},
+                   {2, 4, 8}});
+
+/// Raw simulation speed of the two models, separately -- quantifies the
+/// cost of simulating at RT level vs interpreting the specification
+/// (the flow's reason to validate at high level first).
+/// The optimisation pass: cost of running it and the gate-count win.
+void BM_OptimizePass(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::Netlist nl =
+      synth::synthesize(ch.desc, synth::SynthOptions{.clients = clients});
+  synth::OptimizeStats ost;
+  std::size_t gates_before = synth::report(nl).gate_estimate;
+  std::size_t gates_after = 0;
+  for (auto _ : state) {
+    synth::Netlist optd = synth::optimize(nl, &ost);
+    gates_after = synth::report(optd).gate_estimate;
+    benchmark::DoNotOptimize(optd);
+  }
+  state.counters["gates_before"] = static_cast<double>(gates_before);
+  state.counters["gates_after"] = static_cast<double>(gates_after);
+  state.counters["rewrites"] = static_cast<double>(ost.folds);
+}
+BENCHMARK(BM_OptimizePass)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SpecInterpreterSpeed(benchmark::State& state) {
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::ObjectInterp interp(ch.desc);
+  std::uint64_t calls = 0;
+  sim::Xorshift rng(9);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      // Alternate put/get so guards stay satisfiable.
+      interp.invoke(ch.methods.put_command,
+                    {rng.below(16), rng.below(256), rng.next() & 0xFFFFFFFF});
+      interp.invoke(ch.methods.get_command);
+      calls += 2;
+    }
+  }
+  state.counters["methods/s"] = benchmark::Counter(
+      static_cast<double>(calls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpecInterpreterSpeed);
+
+void BM_RtlNetlistSpeed(benchmark::State& state) {
+  pattern::SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  synth::Netlist nl =
+      synth::synthesize(ch.desc, synth::SynthOptions{.clients = 2});
+  synth::NetlistSim rtl(nl);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      rtl.set_input("c0_req", i & 1);
+      rtl.clock_edge();
+      ++cycles;
+    }
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RtlNetlistSpeed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// SystemC+ hardware polymorphism end to end: three "address generator"
+// implementation classes behind one interface, late-bound by a type tag,
+// flattened into the synthesisable subset, synthesised to RTL, checked
+// for pre/post-synthesis equivalence, and emitted as Verilog plus a
+// self-checking testbench.
+//
+// The scenario is the bus world's classic use of polymorphism: a DMA
+// engine whose address sequence strategy (linear / wrapping / strided)
+// is selected at runtime, with one synthesised datapath.
+//
+// Build & run:  ./examples/polymorphism
+//   (writes addr_gen_poly.v and addr_gen_poly_tb.v)
+#include <cstdio>
+#include <fstream>
+
+#include "hlcs/synth/synth.hpp"
+
+using namespace hlcs;
+using namespace hlcs::synth;
+
+namespace {
+
+// Interface: start(base), next() -> addr[16].
+ObjectDesc linear_gen() {
+  ObjectDesc d("linear");
+  auto addr = d.add_var("addr", 16, 0);
+  auto& A = d.arena();
+  d.add_method("start").arg("base", 16).assign(addr, d.a(0, 16));
+  d.add_method("next")
+      .assign(addr, A.bin(ExprOp::Add, d.v(addr), d.lit(4, 16)))
+      .returns(d.v(addr), 16);
+  return d;
+}
+
+ObjectDesc wrapping_gen() {
+  ObjectDesc d("wrap32");
+  auto addr = d.add_var("addr", 16, 0);
+  auto base = d.add_var("base", 16, 0);
+  auto& A = d.arena();
+  d.add_method("start")
+      .arg("base", 16)
+      .assign(addr, d.a(0, 16))
+      .assign(base, d.a(0, 16));
+  // Wrap inside a 32-byte window: classic cache-line wrap burst.
+  ExprId inc = A.bin(ExprOp::Add, d.v(addr), d.lit(4, 16));
+  ExprId off = A.bin(ExprOp::And, inc, d.lit(0x1F, 16));
+  ExprId hi = A.bin(ExprOp::And, d.v(base), A.un(ExprOp::Not, d.lit(0x1F, 16)));
+  d.add_method("next")
+      .assign(addr, A.bin(ExprOp::Or, hi, off))
+      .returns(d.v(addr), 16);
+  return d;
+}
+
+ObjectDesc strided_gen() {
+  ObjectDesc d("strided");
+  auto addr = d.add_var("addr", 16, 0);
+  auto& A = d.arena();
+  d.add_method("start").arg("base", 16).assign(addr, d.a(0, 16));
+  d.add_method("next")
+      .assign(addr, A.bin(ExprOp::Add, d.v(addr), d.lit(64, 16)))
+      .returns(d.v(addr), 16);
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  ObjectDesc lin = linear_gen();
+  ObjectDesc wrap = wrapping_gen();
+  ObjectDesc stride = strided_gen();
+  PolymorphicLayout lay;
+  ObjectDesc poly =
+      make_polymorphic("addr_gen_poly", {&lin, &wrap, &stride}, 0, &lay);
+
+  std::printf("polymorphic object '%s': %zu impls behind one interface\n",
+              poly.name().c_str(), lay.var_base.size());
+  for (const auto& m : poly.methods()) {
+    std::printf("  method %-10s (%zu args, ret %ub)\n", m.name.c_str(),
+                m.args.size(), m.ret_width);
+  }
+
+  // Demonstrate late binding in the interpreter.
+  ObjectInterp it(poly);
+  const auto start = poly.method_index("start");
+  const auto next = poly.method_index("next");
+  const auto set_type = poly.method_index("set_type");
+  std::printf("\nlate-binding demo (start at 0x100, nine next() calls):\n");
+  const char* names[] = {"linear", "wrap32", "strided"};
+  for (std::uint64_t tag = 0; tag < 3; ++tag) {
+    it.invoke(set_type, {tag});
+    it.invoke(start, {0x100});
+    std::printf("  %-8s:", names[tag]);
+    for (int i = 0; i < 9; ++i) {
+      std::printf(" 0x%03llx",
+                  static_cast<unsigned long long>(it.invoke(next)));
+    }
+    std::printf("\n");
+  }
+
+  // Synthesis + resource cost of the dispatch.
+  SynthOptions opt{.clients = 2};
+  Netlist nl = synthesize(poly, opt);
+  ResourceReport mono = report(synthesize(lin, opt));
+  ResourceReport rp = report(nl);
+  std::printf("\nsynthesis: monomorphic %zu FFs / ~%zu gates  vs  "
+              "polymorphic %zu FFs / ~%zu gates\n",
+              mono.flip_flops, mono.gate_estimate, rp.flip_flops,
+              rp.gate_estimate);
+
+  // Pre/post-synthesis consistency + downstream artefacts.
+  EquivResult r = check_equivalence(poly, opt,
+                                    EquivOptions{.cycles = 1000, .seed = 42});
+  std::printf("equivalence vs the specification: %s (%zu cycles, %zu "
+              "grants)\n",
+              r ? "PASS" : "FAIL", r.cycles, r.grants);
+  if (!r) std::printf("  %s\n", r.first_mismatch.c_str());
+
+  std::ofstream("addr_gen_poly.v") << emit_verilog(nl);
+  std::ofstream("addr_gen_poly_tb.v")
+      << emit_verilog_testbench(nl, r.vectors);
+  std::printf("wrote addr_gen_poly.v and addr_gen_poly_tb.v (self-checking "
+              "bench, %zu vectors)\n",
+              r.vectors.size());
+  return r ? 0 : 1;
+}

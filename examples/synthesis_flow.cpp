@@ -1,0 +1,114 @@
+// The paper's Figure 2 / Sec. 3 flow, end to end:
+//   1. compile & simulate the executable specification (the interpreted
+//      bus-access channel -- the pre-synthesis model);
+//   2. run the synthesiser to get an RT-level description of the
+//      communication (netlist + structural Verilog);
+//   3. re-simulate the RT model and check behaviour consistency with the
+//      original model.
+//
+// Build & run:  ./examples/synthesis_flow   (writes bus_access_channel.v)
+#include <cstdio>
+#include <fstream>
+
+#include "hlcs/pattern/synthesisable_channel.hpp"
+#include "hlcs/sim/random.hpp"
+#include "hlcs/synth/synth.hpp"
+
+using namespace hlcs;
+using pattern::SynthesisableChannel;
+
+int main() {
+  // ---- step 0: the specification ---------------------------------------
+  SynthesisableChannel ch = pattern::make_synthesisable_channel();
+  std::printf("specification: object '%s', %zu state vars, %zu guarded "
+              "methods\n",
+              ch.desc.name().c_str(), ch.desc.vars().size(),
+              ch.desc.methods().size());
+  for (const auto& m : ch.desc.methods()) {
+    std::printf("  %-12s args=%zu ret=%ub guard=%s\n", m.name.c_str(),
+                m.args.size(), m.ret_width,
+                m.guard == synth::kNoExpr
+                    ? "true"
+                    : synth::to_string(ch.desc.arena(), m.guard).c_str());
+  }
+
+  // ---- step 1: simulate the executable specification -------------------
+  // (application + interface sides exercising the interpreted object)
+  synth::ObjectInterp interp(ch.desc);
+  interp.invoke(ch.methods.put_command, {0x6, 1, 0x1000});
+  std::uint64_t cmd = interp.invoke(ch.methods.get_command);
+  std::printf("\nstep 1: spec simulation -- putCommand/getCommand round "
+              "trip: op=%u len=%u addr=0x%x\n",
+              pattern::unpack_cmd_op(cmd), pattern::unpack_cmd_len(cmd),
+              pattern::unpack_cmd_addr(cmd));
+
+  // ---- step 2: synthesis to RT level ------------------------------------
+  synth::SynthOptions opt{.clients = 2,
+                          .policy = osss::PolicyKind::StaticPriority};
+  synth::Netlist raw = synth::synthesize(ch.desc, opt);
+  std::printf("\nstep 2: synthesis -- %s\n",
+              synth::report(raw).to_string().c_str());
+  synth::OptimizeStats ost;
+  synth::Netlist nl = synth::optimize(raw, &ost);
+  std::printf("        optimised -- %s (%zu rewrites, %zu -> %zu nodes)\n",
+              synth::report(nl).to_string().c_str(), ost.folds,
+              ost.nodes_before, ost.nodes_after);
+
+  const std::string verilog = synth::emit_verilog(nl);
+  std::ofstream("bus_access_channel.v") << verilog;
+  std::printf("        structural Verilog written to bus_access_channel.v "
+              "(%zu bytes)\n",
+              verilog.size());
+
+  // ---- step 3: re-simulate the RT model, check consistency --------------
+  synth::NetlistSim rtl(nl);
+  synth::GoldenCycleModel golden(ch.desc, opt);
+  sim::Xorshift rng(42);
+  std::vector<synth::GoldenCycleModel::ClientIn> in(2);
+  std::vector<unsigned> blocked_for(2, 0);
+  std::size_t cycles = 2000, grants = 0, mismatches = 0;
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (!in[c].req && rng.chance(1, 2)) {
+        in[c].req = true;
+        in[c].sel = rng.below(ch.desc.methods().size());
+        in[c].args = rng.next();
+        blocked_for[c] = 0;
+      } else if (in[c].req && ++blocked_for[c] > 5) {
+        // A real client would block forever on a guarded call; the
+        // stimulus re-rolls so both models keep exercising new paths.
+        in[c].sel = rng.below(ch.desc.methods().size());
+        in[c].args = rng.next();
+        blocked_for[c] = 0;
+      }
+      rtl.set_input(synth::req_port(c), in[c].req);
+      rtl.set_input(synth::sel_port(c), in[c].sel);
+      rtl.set_input(synth::args_port(c), in[c].args);
+    }
+    rtl.set_input("rst", 0);
+    rtl.settle();
+    std::optional<std::size_t> rtl_grant;
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (rtl.get(synth::grant_port(c)) != 0) rtl_grant = c;
+    }
+    auto g = golden.step(in);
+    if (rtl_grant != g.granted) ++mismatches;
+    rtl.clock_edge();
+    for (std::size_t v = 0; v < ch.desc.vars().size(); ++v) {
+      if (rtl.get(synth::var_port(ch.desc, v)) != golden.var(v)) ++mismatches;
+    }
+    if (g.granted) {
+      ++grants;
+      in[*g.granted].req = false;
+      blocked_for[*g.granted] = 0;
+    }
+  }
+  std::printf("\nstep 3: post-synthesis simulation -- %zu cycles, %zu "
+              "method grants, %zu mismatches vs the original model\n",
+              cycles, grants, mismatches);
+  std::printf("\nconsistency: %s\n",
+              mismatches == 0 ? "PASS -- the synthesised communication "
+                                "behaves exactly like the specification"
+                              : "FAIL");
+  return mismatches == 0 ? 0 : 1;
+}

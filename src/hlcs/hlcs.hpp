@@ -1,0 +1,15 @@
+// Umbrella header for the whole library.
+#pragma once
+
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sbus/simple_bus.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/synth/synth.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+#include "hlcs/verify/compare.hpp"
+#include "hlcs/verify/coverage.hpp"
+#include "hlcs/verify/transcript.hpp"
+#include "hlcs/verify/vcd_reader.hpp"

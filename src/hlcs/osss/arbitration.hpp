@@ -1,0 +1,151 @@
+// Arbitration policies for concurrent guarded-method calls.
+//
+// The paper (Sec. 2): "if different modules invoke at the same time the
+// execution of a guarded method of a shared global object, the calls are
+// queued and scheduled according to a user defined algorithm."  This file
+// provides the standard algorithms plus a hook for fully user-defined
+// ones; the synthesiser accepts the same policy kinds (hlcs/synth).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/assert.hpp"
+#include "hlcs/sim/random.hpp"
+
+namespace hlcs::osss {
+
+/// What a policy sees about each queued call that is currently eligible
+/// (its guard evaluates true).
+struct RequestInfo {
+  std::size_t client;      ///< stable client id (connection order)
+  std::uint64_t seq;       ///< global arrival sequence number
+  int priority;            ///< client priority (higher wins for priority policy)
+  std::uint64_t waited;    ///< cycles (clocked) or grants (untimed) spent waiting
+};
+
+class ArbitrationPolicy {
+public:
+  virtual ~ArbitrationPolicy() = default;
+  /// Pick one of the eligible requests; returns an index into `eligible`.
+  /// `eligible` is never empty.
+  virtual std::size_t pick(const std::vector<RequestInfo>& eligible) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Oldest call first (arrival order).
+class FifoArbitration final : public ArbitrationPolicy {
+public:
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+      if (eligible[i].seq < eligible[best].seq) best = i;
+    }
+    return best;
+  }
+  std::string name() const override { return "fifo"; }
+};
+
+/// Rotating fairness over client ids: after granting client c, the next
+/// grant prefers the smallest client id greater than c (cyclically).
+class RoundRobinArbitration final : public ArbitrationPolicy {
+public:
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    std::size_t best = 0;
+    auto rank = [this](std::size_t client) {
+      // Distance from last_ + 1, cyclically; smaller rank preferred.
+      return client > last_ ? client - last_ - 1
+                            : client + (kWrap - last_) - 1;
+    };
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+      if (rank(eligible[i].client) < rank(eligible[best].client)) best = i;
+    }
+    last_ = eligible[best].client;
+    return best;
+  }
+  std::string name() const override { return "round_robin"; }
+
+private:
+  static constexpr std::size_t kWrap = 1ull << 32;
+  std::size_t last_ = kWrap - 1;  // so client 0 is preferred initially
+};
+
+/// Highest client priority wins; FIFO among equals.
+class StaticPriorityArbitration final : public ArbitrationPolicy {
+public:
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+      const auto& a = eligible[i];
+      const auto& b = eligible[best];
+      if (a.priority > b.priority ||
+          (a.priority == b.priority && a.seq < b.seq)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::string name() const override { return "static_priority"; }
+};
+
+/// Uniformly random among eligible (deterministic seed).
+class RandomArbitration final : public ArbitrationPolicy {
+public:
+  explicit RandomArbitration(std::uint64_t seed = 0xC0FFEE)
+      : rng_(seed) {}
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    return static_cast<std::size_t>(rng_.below(eligible.size()));
+  }
+  std::string name() const override { return "random"; }
+
+private:
+  sim::Xorshift rng_;
+};
+
+/// Fully user-defined algorithm, as the paper allows.
+class UserArbitration final : public ArbitrationPolicy {
+public:
+  using PickFn = std::function<std::size_t(const std::vector<RequestInfo>&)>;
+  UserArbitration(std::string name, PickFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {
+    HLCS_ASSERT(fn_ != nullptr, "UserArbitration requires a pick function");
+  }
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    std::size_t i = fn_(eligible);
+    HLCS_ASSERT(i < eligible.size(), "user arbitration picked out of range");
+    return i;
+  }
+  std::string name() const override { return name_; }
+
+private:
+  std::string name_;
+  PickFn fn_;
+};
+
+enum class PolicyKind { Fifo, RoundRobin, StaticPriority, Random };
+
+inline std::unique_ptr<ArbitrationPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Fifo: return std::make_unique<FifoArbitration>();
+    case PolicyKind::RoundRobin: return std::make_unique<RoundRobinArbitration>();
+    case PolicyKind::StaticPriority:
+      return std::make_unique<StaticPriorityArbitration>();
+    case PolicyKind::Random: return std::make_unique<RandomArbitration>();
+  }
+  fail("unknown policy kind");
+}
+
+inline std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Fifo: return "fifo";
+    case PolicyKind::RoundRobin: return "round_robin";
+    case PolicyKind::StaticPriority: return "static_priority";
+    case PolicyKind::Random: return "random";
+  }
+  return "?";
+}
+
+}  // namespace hlcs::osss

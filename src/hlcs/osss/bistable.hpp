@@ -1,0 +1,19 @@
+// The shared bistable of the paper's Figure 1: the canonical global
+// object.  Modules that connect to the same SharedObject<Bistable> share
+// its state space -- a set() in one module is observed by get_state() in
+// another.
+#pragma once
+
+namespace hlcs::osss {
+
+class Bistable {
+public:
+  void set() { state_ = true; }
+  void reset() { state_ = false; }
+  bool get_state() const { return state_; }
+
+private:
+  bool state_ = false;
+};
+
+}  // namespace hlcs::osss

@@ -1,0 +1,50 @@
+// A bounded FIFO intended as the state of a SharedObject: producers call
+// push() guarded on !full(), consumers call pop() guarded on !empty().
+// This is the prototypical guarded-method communication structure and is
+// reused by the bus-interface pattern's command path.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::osss {
+
+template <class V>
+class GuardedFifo {
+public:
+  explicit GuardedFifo(std::size_t capacity = 1) : capacity_(capacity) {
+    HLCS_ASSERT(capacity >= 1, "GuardedFifo capacity must be >= 1");
+  }
+
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void push(V v) {
+    HLCS_ASSERT(!full(), "push on full GuardedFifo (guard violated)");
+    items_.push_back(std::move(v));
+  }
+
+  V pop() {
+    HLCS_ASSERT(!empty(), "pop on empty GuardedFifo (guard violated)");
+    V v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  const V& front() const {
+    HLCS_ASSERT(!empty(), "front on empty GuardedFifo");
+    return items_.front();
+  }
+
+  void clear() { items_.clear(); }
+
+private:
+  std::size_t capacity_;
+  std::deque<V> items_;
+};
+
+}  // namespace hlcs::osss

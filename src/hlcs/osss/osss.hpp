@@ -1,0 +1,7 @@
+// Umbrella header for the OSSS / SystemC+ global-object layer.
+#pragma once
+
+#include "hlcs/osss/arbitration.hpp"
+#include "hlcs/osss/bistable.hpp"
+#include "hlcs/osss/guarded_fifo.hpp"
+#include "hlcs/osss/shared_object.hpp"

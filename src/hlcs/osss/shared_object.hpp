@@ -1,0 +1,269 @@
+// SharedObject<T> -- the SystemC+ / OSSS "global object".
+//
+// Semantics, from the paper (Sec. 2):
+//   * All connected instances share one common state space.  Here the
+//     shared state is the single T owned by the SharedObject; each module
+//     connects by creating a Client, which is its in-module access point.
+//   * Guarded methods: a call carries a Boolean guard over the object
+//     state.  "If the condition is evaluated true at the time of the
+//     method invocation then the call is processed; otherwise, the caller
+//     is suspended until the condition becomes true."
+//   * Concurrent calls are queued and scheduled by a user-defined
+//     algorithm (see hlcs/osss/arbitration.hpp).
+//
+// Two service modes:
+//   * Untimed: grants happen in delta cycles at the current simulated
+//     time -- the high-level functional model ("function call" view).
+//   * Clocked: bound to a Clock; at most ONE eligible call is granted per
+//     rising edge -- matching the paper's observation that the methods
+//     are "implemented with synchronous logic" and that completion time
+//     depends on the number of concurrent processes (the future-work
+//     experiment FW1 measures exactly this).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hlcs/osss/arbitration.hpp"
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/module.hpp"
+
+namespace hlcs::osss {
+
+struct ClientStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t wait_total = 0;  ///< cycles (clocked) / deltas-grants (untimed)
+  std::uint64_t wait_max = 0;
+};
+
+struct SharedObjectStats {
+  std::uint64_t grants = 0;
+  std::uint64_t try_call_hits = 0;
+  std::uint64_t try_call_misses = 0;
+  std::vector<ClientStats> clients;
+};
+
+template <class T>
+class SharedObject : public sim::Module {
+  struct PendingBase {
+    std::size_t client = 0;
+    std::uint64_t seq = 0;
+    int priority = 0;
+    std::uint64_t enq_tick = 0;
+    std::coroutine_handle<> waiter;
+    virtual bool guard_ok(const T&) const = 0;
+    virtual void execute(T&) = 0;
+    virtual ~PendingBase() = default;
+  };
+
+public:
+  /// Untimed (functional) global object.
+  SharedObject(sim::Kernel& k, std::string name,
+               std::unique_ptr<ArbitrationPolicy> policy, T initial = T{})
+      : Module(k, std::move(name)),
+        state_(std::move(initial)),
+        policy_(std::move(policy)),
+        service_ev_(k, sub("service")) {
+    HLCS_ASSERT(policy_ != nullptr, "SharedObject requires a policy");
+    sim::MethodProcess& m =
+        method("serve", [this] { serve_one(); }, /*initial_trigger=*/false);
+    service_ev_.add_static(m);
+  }
+
+  /// Clocked (synchronous) global object: one grant per rising edge.
+  SharedObject(sim::Kernel& k, std::string name, sim::Clock& clk,
+               std::unique_ptr<ArbitrationPolicy> policy, T initial = T{})
+      : Module(k, std::move(name)),
+        state_(std::move(initial)),
+        policy_(std::move(policy)),
+        clock_(&clk),
+        service_ev_(k, sub("service")) {
+    HLCS_ASSERT(policy_ != nullptr, "SharedObject requires a policy");
+    sim::MethodProcess& m =
+        method("serve", [this] { serve_one(); }, /*initial_trigger=*/false);
+    clk.posedge().add_static(m);
+  }
+
+  /// A module-side connection to the shared state space.  Creating a
+  /// Client corresponds to instantiating the global object in a module
+  /// and connecting it (paper Fig. 1).
+  class Client {
+  public:
+    Client() = default;
+
+    /// Guarded method call, blocking (awaitable).  `guard` is evaluated
+    /// over the object state; `fn` executes atomically in the grant
+    /// moment and its result is returned to the caller.
+    template <class Guard, class Fn>
+    auto call(Guard guard, Fn fn) const {
+      using R = std::invoke_result_t<Fn, T&>;
+      HLCS_ASSERT(obj_ != nullptr, "call through unconnected Client");
+      return CallAwaiter<Guard, Fn, R>{*obj_, id_, priority_, std::move(guard),
+                                       std::move(fn)};
+    }
+
+    /// Unguarded convenience: guard is always true (e.g. reset()).
+    template <class Fn>
+    auto call(Fn fn) const {
+      return call([](const T&) { return true; }, std::move(fn));
+    }
+
+    /// Non-blocking probe: executes immediately iff the guard holds *and*
+    /// no queued call is waiting (so it cannot starve blocked callers).
+    /// Returns nullopt otherwise.
+    template <class Guard, class Fn>
+    auto try_call(Guard guard, Fn fn) const
+        -> std::optional<std::invoke_result_t<Fn, T&>> {
+      HLCS_ASSERT(obj_ != nullptr, "try_call through unconnected Client");
+      return obj_->try_call_impl(id_, std::move(guard), std::move(fn));
+    }
+
+    std::size_t id() const { return id_; }
+    bool connected() const { return obj_ != nullptr; }
+
+  private:
+    friend class SharedObject;
+    Client(SharedObject* o, std::size_t id, int priority)
+        : obj_(o), id_(id), priority_(priority) {}
+    SharedObject* obj_ = nullptr;
+    std::size_t id_ = 0;
+    int priority_ = 0;
+  };
+
+  Client make_client(std::string client_name, int priority = 0) {
+    stats_.clients.push_back(ClientStats{std::move(client_name), 0, 0, 0, 0});
+    return Client(this, stats_.clients.size() - 1, priority);
+  }
+
+  /// Read-only inspection of the shared state, outside arbitration.
+  /// For monitors and tests; models a combinational observation port.
+  const T& peek() const { return state_; }
+
+  bool clocked() const { return clock_ != nullptr; }
+  std::size_t pending() const { return queue_.size(); }
+  const SharedObjectStats& stats() const { return stats_; }
+
+private:
+  template <class Guard, class Fn, class R>
+  struct CallAwaiter final : PendingBase {
+    SharedObject& obj;
+    Guard guard;
+    Fn fn;
+    // Result storage lives in the caller's coroutine frame.
+    std::conditional_t<std::is_void_v<R>, char, std::optional<R>> result{};
+
+    CallAwaiter(SharedObject& o, std::size_t client_id, int prio, Guard g,
+                Fn f)
+        : obj(o), guard(std::move(g)), fn(std::move(f)) {
+      this->client = client_id;
+      this->priority = prio;
+    }
+
+    bool guard_ok(const T& s) const override { return guard(s); }
+    void execute(T& s) override {
+      if constexpr (std::is_void_v<R>) {
+        fn(s);
+      } else {
+        result = fn(s);
+      }
+    }
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->waiter = h;
+      obj.enqueue(*this);
+    }
+    R await_resume() {
+      if constexpr (!std::is_void_v<R>) {
+        return std::move(*result);
+      }
+    }
+  };
+
+  void enqueue(PendingBase& p) {
+    p.seq = next_seq_++;
+    p.enq_tick = tick();
+    stats_.clients[p.client].calls++;
+    queue_.push_back(&p);
+    if (!clocked()) service_ev_.notify_delta();
+  }
+
+  std::uint64_t tick() const {
+    return clocked() ? clock_->cycles() : kernel().stats().deltas;
+  }
+
+  /// One service step: grant at most one eligible queued call.
+  void serve_one() {
+    if (queue_.empty()) return;
+    // Collect eligible requests.
+    std::vector<RequestInfo> eligible;
+    std::vector<std::size_t> eligible_pos;
+    const std::uint64_t now_tick = tick();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      PendingBase* p = queue_[i];
+      if (p->guard_ok(state_)) {
+        eligible.push_back(RequestInfo{p->client, p->seq, p->priority,
+                                       now_tick - p->enq_tick});
+        eligible_pos.push_back(i);
+      }
+    }
+    if (eligible.empty()) return;
+    const std::size_t chosen = policy_->pick(eligible);
+    const std::size_t qi = eligible_pos[chosen];
+    PendingBase* p = queue_[qi];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+
+    p->execute(state_);
+    stats_.grants++;
+    ClientStats& cs = stats_.clients[p->client];
+    cs.granted++;
+    const std::uint64_t waited = now_tick - p->enq_tick;
+    cs.wait_total += waited;
+    if (waited > cs.wait_max) cs.wait_max = waited;
+
+    kernel().make_runnable(p->waiter);
+    // Untimed mode: further grants happen in subsequent deltas so every
+    // grant is an atomic step; the state change may also have unblocked
+    // guards.  Clocked mode re-evaluates on the next edge anyway.
+    if (!clocked() && !queue_.empty()) service_ev_.notify_delta();
+  }
+
+  template <class Guard, class Fn>
+  auto try_call_impl(std::size_t client_id, Guard guard, Fn fn)
+      -> std::optional<std::invoke_result_t<Fn, T&>> {
+    using R = std::invoke_result_t<Fn, T&>;
+    static_assert(!std::is_void_v<R>,
+                  "try_call requires a non-void result; return a status");
+    if (!queue_.empty() || !guard(static_cast<const T&>(state_))) {
+      stats_.try_call_misses++;
+      return std::nullopt;
+    }
+    stats_.try_call_hits++;
+    stats_.grants++;
+    if (client_id < stats_.clients.size()) {
+      stats_.clients[client_id].calls++;
+      stats_.clients[client_id].granted++;
+    }
+    return fn(state_);
+  }
+
+  T state_;
+  std::unique_ptr<ArbitrationPolicy> policy_;
+  sim::Clock* clock_ = nullptr;
+  sim::Event service_ev_;
+  std::deque<PendingBase*> queue_;
+  std::uint64_t next_seq_ = 0;
+  SharedObjectStats stats_;
+};
+
+}  // namespace hlcs::osss

@@ -1,0 +1,185 @@
+// The global object at the heart of the bus-interface pattern.
+//
+// The paper defines the application/interface contract as four guarded
+// methods on a shared global object:
+//
+//   GUARDED_METHOD(void, putCommand(CommandType&), !isPendingCommand)
+//   GUARDED_METHOD(CommandType, getCommand(), isPendingCommand)
+//   GUARDED_METHOD(DataType, appDataGet(), isApplicationReadData)
+//   GUARDED_METHOD(void, reset(), true)
+//
+// BusAccessChannel reproduces exactly that: it owns a
+// SharedObject<BusAccessState> and exposes a typed application port and a
+// typed interface port whose operations are guarded-method calls with the
+// guards above.  Both blocking and non-blocking (try_*) variants are
+// provided, as the paper mentions a blocking "version" of the interface.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "hlcs/osss/shared_object.hpp"
+#include "hlcs/pattern/command.hpp"
+
+namespace hlcs::pattern {
+
+/// Shared state: one command slot (ping-pong with the interface) plus a
+/// response queue toward the application.
+class BusAccessState {
+public:
+  bool isPendingCommand() const { return pending_.has_value(); }
+  bool isApplicationReadData() const { return !responses_.empty(); }
+
+  void putCommand(CommandType c) {
+    HLCS_ASSERT(!pending_, "putCommand guard violated");
+    pending_ = std::move(c);
+  }
+
+  CommandType getCommand() {
+    HLCS_ASSERT(pending_, "getCommand guard violated");
+    CommandType c = std::move(*pending_);
+    pending_.reset();
+    return c;
+  }
+
+  void putResponse(ResponseType r) { responses_.push_back(std::move(r)); }
+
+  ResponseType appDataGet() {
+    HLCS_ASSERT(!responses_.empty(), "appDataGet guard violated");
+    ResponseType r = std::move(responses_.front());
+    responses_.pop_front();
+    return r;
+  }
+
+  /// "It cancels all the pending commands and perform other initialising
+  /// operations."
+  void reset() {
+    pending_.reset();
+    responses_.clear();
+    next_id_ = 0;
+  }
+
+  std::uint64_t take_id() { return next_id_++; }
+  std::size_t responses_queued() const { return responses_.size(); }
+
+private:
+  std::optional<CommandType> pending_;
+  std::deque<ResponseType> responses_;
+  std::uint64_t next_id_ = 0;
+};
+
+class BusAccessChannel : public sim::Module {
+public:
+  using Shared = osss::SharedObject<BusAccessState>;
+
+  /// Untimed channel (functional model).
+  BusAccessChannel(sim::Kernel& k, std::string name,
+                   std::unique_ptr<osss::ArbitrationPolicy> policy =
+                       std::make_unique<osss::FifoArbitration>())
+      : Module(k, std::move(name)),
+        obj_(k, sub("object"), std::move(policy)) {}
+
+  /// Clocked channel: guarded-method grants consume clock cycles, as the
+  /// synthesised implementation does.
+  BusAccessChannel(sim::Kernel& k, std::string name, sim::Clock& clk,
+                   std::unique_ptr<osss::ArbitrationPolicy> policy =
+                       std::make_unique<osss::FifoArbitration>())
+      : Module(k, std::move(name)),
+        obj_(k, sub("object"), clk, std::move(policy)) {}
+
+  /// Application-side instance of the global object.
+  class AppPort {
+  public:
+    AppPort() = default;
+
+    /// Blocking: suspends while another command is pending.  Returns the
+    /// command id used to match the response.
+    auto putCommand(CommandType c) const {
+      return client_.call(
+          [](const BusAccessState& s) { return !s.isPendingCommand(); },
+          [c = std::move(c)](BusAccessState& s) mutable {
+            c.id = s.take_id();
+            const std::uint64_t id = c.id;
+            s.putCommand(std::move(c));
+            return id;
+          });
+    }
+
+    /// Blocking: suspends until a response is available.
+    auto appDataGet() const {
+      return client_.call(
+          [](const BusAccessState& s) { return s.isApplicationReadData(); },
+          [](BusAccessState& s) { return s.appDataGet(); });
+    }
+
+    /// Always eligible.
+    auto reset() const {
+      return client_.call([](BusAccessState& s) { s.reset(); });
+    }
+
+    /// Non-blocking probe variants.
+    std::optional<std::uint64_t> try_putCommand(CommandType c) const {
+      return client_.try_call(
+          [](const BusAccessState& s) { return !s.isPendingCommand(); },
+          [c = std::move(c)](BusAccessState& s) mutable {
+            c.id = s.take_id();
+            const std::uint64_t id = c.id;
+            s.putCommand(std::move(c));
+            return id;
+          });
+    }
+    std::optional<ResponseType> try_appDataGet() const {
+      return client_.try_call(
+          [](const BusAccessState& s) { return s.isApplicationReadData(); },
+          [](BusAccessState& s) { return s.appDataGet(); });
+    }
+
+  private:
+    friend class BusAccessChannel;
+    explicit AppPort(Shared::Client c) : client_(c) {}
+    Shared::Client client_;
+  };
+
+  /// Interface-side instance of the global object ("invoked by the
+  /// processes that implement the bus protocol handling").
+  class IfPort {
+  public:
+    IfPort() = default;
+
+    /// Blocking: suspends until the application posts a command.
+    auto getCommand() const {
+      return client_.call(
+          [](const BusAccessState& s) { return s.isPendingCommand(); },
+          [](BusAccessState& s) { return s.getCommand(); });
+    }
+
+    auto putResponse(ResponseType r) const {
+      return client_.call([r = std::move(r)](BusAccessState& s) mutable {
+        s.putResponse(std::move(r));
+      });
+    }
+
+  private:
+    friend class BusAccessChannel;
+    explicit IfPort(Shared::Client c) : client_(c) {}
+    Shared::Client client_;
+  };
+
+  /// Connect an application module to the shared state space.
+  AppPort app_port(const std::string& who, int priority = 0) {
+    return AppPort(obj_.make_client(who, priority));
+  }
+  /// Connect the protocol-handling side.
+  IfPort if_port(const std::string& who, int priority = 0) {
+    return IfPort(obj_.make_client(who, priority));
+  }
+
+  const Shared& object() const { return obj_; }
+  Shared& object() { return obj_; }
+
+private:
+  Shared obj_;
+};
+
+}  // namespace hlcs::pattern

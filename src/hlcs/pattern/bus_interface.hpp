@@ -1,0 +1,64 @@
+// The abstract bus interface of the pattern (paper Sec. 3): an element
+// that (1) offers the application the guarded-method command/response
+// contract through a global object, and (2) implements the service
+// toward the IP models at SOME abstraction level.  Concrete elements --
+// FunctionalBusInterface (transaction level) and PciBusInterface
+// (pin-accurate) -- are interchangeable behind this class, which is
+// exactly the communication refinement of Figure 3: replace the library
+// element, leave the application untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/pattern/bus_access_object.hpp"
+
+namespace hlcs::pattern {
+
+struct InterfaceStats {
+  std::uint64_t commands_served = 0;
+  std::uint64_t words_transferred = 0;
+  std::uint64_t failures = 0;  ///< responses with status != Ok
+};
+
+class BusInterface : public sim::Module {
+public:
+  BusInterface(sim::Kernel& k, std::string name)
+      : Module(k, std::move(name)), chan_(k, sub("chan")) {}
+  BusInterface(sim::Kernel& k, std::string name, sim::Clock& clk)
+      : Module(k, std::move(name)), chan_(k, sub("chan"), clk) {}
+
+  /// The application connects here; this is the only coupling point, so
+  /// swapping interface implementations never touches application code.
+  BusAccessChannel::AppPort app_port(const std::string& who,
+                                     int priority = 0) {
+    return chan_.app_port(who, priority);
+  }
+
+  BusAccessChannel& channel() { return chan_; }
+  const InterfaceStats& stats() const { return stats_; }
+
+protected:
+  /// Service loop skeleton shared by implementations.
+  sim::Task serve_forever(BusAccessChannel::IfPort port) {
+    for (;;) {
+      CommandType cmd = co_await port.getCommand();
+      ResponseType resp;
+      resp.id = cmd.id;
+      co_await execute(cmd, resp);
+      stats_.commands_served++;
+      stats_.words_transferred += resp.data.size() +
+          (op_is_read(cmd.op) ? 0 : cmd.data.size());
+      if (resp.status != pci::PciResult::Ok) stats_.failures++;
+      co_await port.putResponse(std::move(resp));
+    }
+  }
+
+  /// Implementation-specific service: fill `resp` for `cmd`.
+  virtual sim::Task execute(const CommandType& cmd, ResponseType& resp) = 0;
+
+  BusAccessChannel chan_;
+  InterfaceStats stats_;
+};
+
+}  // namespace hlcs::pattern

@@ -1,0 +1,79 @@
+// CommandType / ResponseType -- the transaction-level vocabulary the
+// application uses to talk to a bus interface through the global object
+// (paper Sec. 3: "This method is invoked by the application (the module
+// that uses the bus) in order to perform a bus operation").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlcs/pci/pci_types.hpp"
+
+namespace hlcs::pattern {
+
+enum class BusOp : std::uint8_t {
+  Read,
+  Write,
+  ReadBurst,
+  WriteBurst,
+  IoRead,
+  IoWrite,
+  ConfigRead,
+  ConfigWrite,
+};
+
+inline bool op_is_read(BusOp op) {
+  return op == BusOp::Read || op == BusOp::ReadBurst || op == BusOp::IoRead ||
+         op == BusOp::ConfigRead;
+}
+
+inline const char* to_string(BusOp op) {
+  switch (op) {
+    case BusOp::Read: return "read";
+    case BusOp::Write: return "write";
+    case BusOp::ReadBurst: return "read_burst";
+    case BusOp::WriteBurst: return "write_burst";
+    case BusOp::IoRead: return "io_read";
+    case BusOp::IoWrite: return "io_write";
+    case BusOp::ConfigRead: return "cfg_read";
+    case BusOp::ConfigWrite: return "cfg_write";
+  }
+  return "?";
+}
+
+/// Map a transaction-level operation onto the PCI command encoding the
+/// pin-accurate interface drives during the address phase.
+inline pci::PciCommand to_pci_command(BusOp op) {
+  switch (op) {
+    case BusOp::Read: return pci::PciCommand::MemRead;
+    case BusOp::ReadBurst: return pci::PciCommand::MemReadMultiple;
+    case BusOp::Write: return pci::PciCommand::MemWrite;
+    case BusOp::WriteBurst: return pci::PciCommand::MemWrite;
+    case BusOp::IoRead: return pci::PciCommand::IoRead;
+    case BusOp::IoWrite: return pci::PciCommand::IoWrite;
+    case BusOp::ConfigRead: return pci::PciCommand::ConfigRead;
+    case BusOp::ConfigWrite: return pci::PciCommand::ConfigWrite;
+  }
+  return pci::PciCommand::MemRead;
+}
+
+struct CommandType {
+  BusOp op = BusOp::Read;
+  std::uint32_t addr = 0;
+  std::vector<std::uint32_t> data;  ///< payload for writes
+  std::size_t count = 1;            ///< words to fetch for reads
+  std::uint64_t id = 0;             ///< filled by the channel (sequence no.)
+
+  std::size_t words() const { return op_is_read(op) ? count : data.size(); }
+};
+
+struct ResponseType {
+  std::uint64_t id = 0;
+  pci::PciResult status = pci::PciResult::Ok;
+  std::vector<std::uint32_t> data;  ///< read results
+  std::uint64_t issue_cycle = 0;    ///< bus cycle when service began
+  std::uint64_t complete_cycle = 0;
+};
+
+}  // namespace hlcs::pattern

@@ -1,0 +1,50 @@
+// Transaction-level library element: serves application commands by
+// calling the TLM IP models directly.  Optionally consumes simulated
+// time per word (a loosely-timed model); by default it is untimed, which
+// is the "high simulation speeds achievable with such descriptions" the
+// paper exploits during functional modelling.
+#pragma once
+
+#include <string>
+
+#include "hlcs/pattern/bus_interface.hpp"
+#include "hlcs/tlm/tlm.hpp"
+
+namespace hlcs::pattern {
+
+struct FunctionalTiming {
+  sim::Time per_command = sim::Time::zero();
+  sim::Time per_word = sim::Time::zero();
+};
+
+class FunctionalBusInterface final : public BusInterface {
+public:
+  FunctionalBusInterface(sim::Kernel& k, std::string name,
+                         tlm::TlmTarget& target, FunctionalTiming timing = {})
+      : BusInterface(k, std::move(name)), target_(target), timing_(timing) {
+    spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+  }
+
+protected:
+  sim::Task execute(const CommandType& cmd, ResponseType& resp) override {
+    if (!timing_.per_command.is_zero()) {
+      co_await kernel().wait(timing_.per_command);
+    }
+    if (!timing_.per_word.is_zero()) {
+      co_await kernel().wait(timing_.per_word * cmd.words());
+    }
+    if (op_is_read(cmd.op)) {
+      resp.status = target_.read(cmd.addr, resp.data, cmd.count);
+      // Match the pin-level elements: a failed read delivers no data.
+      if (resp.status != pci::PciResult::Ok) resp.data.clear();
+    } else {
+      resp.status = target_.write(cmd.addr, cmd.data);
+    }
+  }
+
+private:
+  tlm::TlmTarget& target_;
+  FunctionalTiming timing_;
+};
+
+}  // namespace hlcs::pattern

@@ -1,0 +1,14 @@
+// Umbrella header for the bus-interface design pattern (the paper's
+// primary contribution).
+#pragma once
+
+#include "hlcs/pattern/application.hpp"
+#include "hlcs/pattern/bus_access_object.hpp"
+#include "hlcs/pattern/bus_interface.hpp"
+#include "hlcs/pattern/command.hpp"
+#include "hlcs/pattern/functional_bus_interface.hpp"
+#include "hlcs/pattern/pci_bus_interface.hpp"
+#include "hlcs/pattern/rtl_channel.hpp"
+#include "hlcs/pattern/simple_bus_interface.hpp"
+#include "hlcs/pattern/rtl_pci_system.hpp"
+#include "hlcs/pattern/synthesisable_channel.hpp"

@@ -1,0 +1,72 @@
+// The pin-accurate PCI library element -- the representative interface
+// the paper implements: "an handler of a simplified version of the PCI
+// bus ... receives requests by an application in the form of function
+// and procedure invocation and translates them into pin-level PCI
+// operation requests".
+//
+// Structure (paper Sec. 1): "The interface module consists of one of
+// such global objects, needed to communicate with the application, and
+// of several processes that implement the pin-level PCI protocol."
+// Here: the inherited BusAccessChannel is the global object; the service
+// coroutine plus the PciMaster engine are the protocol processes.
+#pragma once
+
+#include <string>
+
+#include "hlcs/pattern/bus_interface.hpp"
+#include "hlcs/pci/pci.hpp"
+
+namespace hlcs::pattern {
+
+class PciBusInterface final : public BusInterface {
+public:
+  /// Untimed command channel: only the bus itself is cycle-accurate.
+  PciBusInterface(sim::Kernel& k, std::string name, pci::PciBus& bus,
+                  pci::PciArbiter& arbiter, pci::MasterConfig mcfg = {})
+      : BusInterface(k, std::move(name)),
+        bus_(bus),
+        port_(arbiter.add_master(this->name())),
+        master_(k, sub("master"), bus, *port_.req, *port_.gnt, mcfg) {
+    spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+  }
+
+  /// Clocked command channel: the guarded methods themselves consume
+  /// clock cycles, as they do in the synthesised implementation.
+  PciBusInterface(sim::Kernel& k, std::string name, pci::PciBus& bus,
+                  pci::PciArbiter& arbiter, sim::Clock& channel_clk,
+                  pci::MasterConfig mcfg = {})
+      : BusInterface(k, std::move(name), channel_clk),
+        bus_(bus),
+        port_(arbiter.add_master(this->name())),
+        master_(k, sub("master"), bus, *port_.req, *port_.gnt, mcfg) {
+    spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+  }
+
+  const pci::MasterStats& master_stats() const { return master_.stats(); }
+
+protected:
+  sim::Task execute(const CommandType& cmd, ResponseType& resp) override {
+    pci::PciTransaction t;
+    t.cmd = to_pci_command(cmd.op);
+    t.addr = cmd.addr;
+    if (op_is_read(cmd.op)) {
+      t.count = cmd.count;
+    } else {
+      t.data = cmd.data;
+    }
+    resp.issue_cycle = bus_.cycle();
+    co_await master_.execute(t);
+    resp.complete_cycle = bus_.cycle();
+    resp.status = t.result;
+    if (op_is_read(cmd.op) && resp.status == pci::PciResult::Ok) {
+      resp.data = std::move(t.data);
+    }
+  }
+
+private:
+  pci::PciBus& bus_;
+  pci::PciArbiter::Port port_;
+  pci::PciMaster master_;
+};
+
+}  // namespace hlcs::pattern

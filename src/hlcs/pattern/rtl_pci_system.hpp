@@ -1,0 +1,123 @@
+// The complete post-synthesis system model: the application talks to the
+// SYNTHESISED bus-access channel (RtlChannel, netlist co-simulation);
+// a service process fetches commands from the RTL object and drives the
+// pin-level PCI master; responses stream back through the RTL object one
+// word per grant.  This is the right-hand box of the paper's Figure 2 --
+// everything between application logic and bus pins is the synthesis
+// result, simulated cycle-accurately inside the behavioural testbench.
+//
+// Word-level protocol over the synthesised channel (single-slot regs):
+//   write of N words : putCommand, then N x putWData, then 1 response
+//   read of N words  : putCommand, then N responses (status in each)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hlcs/pattern/command.hpp"
+#include "hlcs/pattern/rtl_channel.hpp"
+#include "hlcs/pattern/synthesisable_channel.hpp"
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/verify/transcript.hpp"
+
+namespace hlcs::pattern {
+
+class RtlPciSystem : public sim::Module {
+public:
+  RtlPciSystem(sim::Kernel& k, std::string name, pci::PciBus& bus,
+               pci::PciArbiter& arbiter)
+      : Module(k, std::move(name)),
+        channel_desc_(make_synthesisable_channel()),
+        netlist_(synth::synthesize(
+            channel_desc_.desc,
+            synth::SynthOptions{.clients = 2,
+                                .policy = osss::PolicyKind::Fifo})),
+        rtl_(k, sub("rtl_channel"), netlist_, bus.clk),
+        app_port_(rtl_.make_port()),
+        if_port_(rtl_.make_port()),
+        port_(arbiter.add_master(this->name())),
+        master_(k, sub("master"), bus, *port_.req, *port_.gnt) {
+    spawn("serve", [this]() { return serve(); });
+  }
+
+  /// Application entry point: one command end-to-end through the
+  /// synthesised channel and the pin-level bus.
+  sim::Task execute(const CommandType& cmd, ResponseType& resp) {
+    const std::uint64_t args =
+        static_cast<std::uint64_t>(to_pci_command(cmd.op)) |
+        (static_cast<std::uint64_t>(cmd.words() & 0xFF) << 4) |
+        (static_cast<std::uint64_t>(cmd.addr) << 12);
+    co_await app_port_.call(channel_desc_.methods.put_command, args);
+    if (!op_is_read(cmd.op)) {
+      for (std::uint32_t w : cmd.data) {
+        co_await app_port_.call(channel_desc_.methods.put_wdata, w);
+      }
+    }
+    const std::size_t responses = op_is_read(cmd.op) ? cmd.count : 1;
+    resp.data.clear();
+    resp.status = pci::PciResult::Ok;
+    for (std::size_t i = 0; i < responses; ++i) {
+      std::uint64_t packed =
+          co_await app_port_.call(channel_desc_.methods.app_data_get);
+      const auto st =
+          static_cast<pci::PciResult>(unpack_resp_status(packed));
+      if (st != pci::PciResult::Ok) resp.status = st;
+      if (op_is_read(cmd.op)) resp.data.push_back(unpack_resp_data(packed));
+    }
+    // Match the other library elements: failed reads deliver no data.
+    if (resp.status != pci::PciResult::Ok) resp.data.clear();
+  }
+
+  RtlChannel& rtl_channel() { return rtl_; }
+  const pci::MasterStats& master_stats() const { return master_.stats(); }
+
+private:
+  /// The protocol-handler process on the far side of the RTL object.
+  sim::Task serve() {
+    for (;;) {
+      const std::uint64_t packed =
+          co_await if_port_.call(channel_desc_.methods.get_command);
+      const auto op = static_cast<pci::PciCommand>(unpack_cmd_op(packed));
+      const std::size_t len = unpack_cmd_len(packed);
+      const std::uint32_t addr = unpack_cmd_addr(packed);
+
+      pci::PciTransaction t;
+      t.cmd = op;
+      t.addr = addr;
+      if (pci::is_write(op)) {
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::uint64_t w =
+              co_await if_port_.call(channel_desc_.methods.get_wdata);
+          t.data.push_back(static_cast<std::uint32_t>(w));
+        }
+      } else {
+        t.count = len;
+      }
+      co_await master_.execute(t);
+
+      const auto status = static_cast<std::uint64_t>(t.result) & 0x3;
+      if (pci::is_write(op)) {
+        const std::uint64_t packed_resp = status | (0ull << 2);
+        co_await if_port_.call(channel_desc_.methods.put_response,
+                               packed_resp);
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::uint64_t word = i < t.data.size() ? t.data[i] : 0;
+          const std::uint64_t packed_resp = status | (word << 2);
+          co_await if_port_.call(channel_desc_.methods.put_response,
+                                 packed_resp);
+        }
+      }
+    }
+  }
+
+  SynthesisableChannel channel_desc_;
+  synth::Netlist netlist_;
+  RtlChannel rtl_;
+  RtlChannel::Port app_port_;
+  RtlChannel::Port if_port_;
+  pci::PciArbiter::Port port_;
+  pci::PciMaster master_;
+};
+
+}  // namespace hlcs::pattern

@@ -1,0 +1,64 @@
+// The SimpleBus library element: same guarded-method contract toward the
+// application, ready/valid handshake toward the IPs.  Together with
+// FunctionalBusInterface and PciBusInterface this is the "library of
+// such interfaces" the methodology calls for -- refinement is picking
+// one of the three.
+#pragma once
+
+#include <string>
+
+#include "hlcs/pattern/bus_interface.hpp"
+#include "hlcs/sbus/simple_bus.hpp"
+
+namespace hlcs::pattern {
+
+class SimpleBusInterface final : public BusInterface {
+public:
+  SimpleBusInterface(sim::Kernel& k, std::string name, sbus::SimpleBus& bus,
+                     sbus::SimpleMasterConfig mcfg = {})
+      : BusInterface(k, std::move(name)),
+        master_(k, sub("master"), bus, mcfg) {
+    spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+  }
+
+  const sbus::SimpleMasterStats& master_stats() const {
+    return master_.stats();
+  }
+
+protected:
+  sim::Task execute(const CommandType& cmd, ResponseType& resp) override {
+    // SimpleBus is a word protocol: bursts become word sequences.
+    resp.status = pci::PciResult::Ok;
+    if (op_is_read(cmd.op)) {
+      for (std::size_t i = 0; i < cmd.count; ++i) {
+        std::uint32_t word = 0;
+        bool ok = false;
+        co_await master_.transfer(
+            false, cmd.addr + static_cast<std::uint32_t>(i) * 4, &word, &ok);
+        if (!ok) {
+          resp.status = pci::PciResult::MasterAbort;
+          // Mirror the functional model: a failed read returns no data.
+          resp.data.clear();
+          co_return;
+        }
+        resp.data.push_back(word);
+      }
+    } else {
+      for (std::size_t i = 0; i < cmd.data.size(); ++i) {
+        std::uint32_t word = cmd.data[i];
+        bool ok = false;
+        co_await master_.transfer(
+            true, cmd.addr + static_cast<std::uint32_t>(i) * 4, &word, &ok);
+        if (!ok) {
+          resp.status = pci::PciResult::MasterAbort;
+          co_return;
+        }
+      }
+    }
+  }
+
+private:
+  sbus::SimpleBusMaster master_;
+};
+
+}  // namespace hlcs::pattern

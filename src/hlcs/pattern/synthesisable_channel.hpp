@@ -1,0 +1,164 @@
+// The bus-access global object, expressed in the synthesisable subset.
+//
+// This is the artefact that makes the paper's flow close end-to-end: the
+// same command/response contract the application uses at system level
+// (putCommand / getCommand / appDataGet / putResponse / reset, each with
+// its guard) written as an ObjectDesc, so hlcs::synth can compile it to
+// RTL, emit Verilog, and the pre/post-synthesis models can be checked
+// for consistency.
+//
+// Packing (all little-endian bit packing, LSB first):
+//   putCommand(op[4], len[8], addr[32])          guard: !cmd_valid
+//   getCommand() -> {addr[32], len[8], op[4]}    guard: cmd_valid
+//   putResponse(status[2], data[32])             guard: !resp_valid
+//   appDataGet() -> {data[32], status[2]}        guard: resp_valid
+//   putWData(data[32])                           guard: !wdata_valid
+//   getWData() -> data[32]                       guard: wdata_valid
+//   reset()                                      guard: true
+//
+// putWData/getWData form the application -> interface write-data path
+// (one word per grant), so burst payloads stream through the synthesised
+// object exactly as read results stream back through putResponse.
+#pragma once
+
+#include <cstdint>
+
+#include "hlcs/synth/object_desc.hpp"
+
+namespace hlcs::pattern {
+
+struct ChannelMethodIds {
+  std::size_t put_command;
+  std::size_t get_command;
+  std::size_t put_response;
+  std::size_t app_data_get;
+  std::size_t put_wdata;
+  std::size_t get_wdata;
+  std::size_t reset;
+};
+
+struct ChannelVarIds {
+  std::uint32_t cmd_valid;
+  std::uint32_t cmd_op;
+  std::uint32_t cmd_len;
+  std::uint32_t cmd_addr;
+  std::uint32_t resp_valid;
+  std::uint32_t resp_status;
+  std::uint32_t resp_data;
+  std::uint32_t wdata_valid;
+  std::uint32_t wdata;
+};
+
+struct SynthesisableChannel {
+  synth::ObjectDesc desc;
+  ChannelVarIds vars;
+  ChannelMethodIds methods;
+};
+
+inline SynthesisableChannel make_synthesisable_channel() {
+  synth::ObjectDesc d("bus_access_channel");
+  auto& A = d.arena();
+
+  ChannelVarIds v{};
+  v.cmd_valid = d.add_var("cmd_valid", 1, 0);
+  v.cmd_op = d.add_var("cmd_op", 4, 0);
+  v.cmd_len = d.add_var("cmd_len", 8, 0);
+  v.cmd_addr = d.add_var("cmd_addr", 32, 0);
+  v.resp_valid = d.add_var("resp_valid", 1, 0);
+  v.resp_status = d.add_var("resp_status", 2, 0);
+  v.resp_data = d.add_var("resp_data", 32, 0);
+  v.wdata_valid = d.add_var("wdata_valid", 1, 0);
+  v.wdata = d.add_var("wdata", 32, 0);
+
+  ChannelMethodIds m{};
+
+  {
+    auto b = d.add_method("putCommand");
+    b.arg("op", 4).arg("len", 8).arg("addr", 32);
+    b.guard(A.un(synth::ExprOp::Not, d.v(v.cmd_valid)));
+    b.assign(v.cmd_valid, d.lit(1, 1));
+    b.assign(v.cmd_op, d.a(0, 4));
+    b.assign(v.cmd_len, d.a(1, 8));
+    b.assign(v.cmd_addr, d.a(2, 32));
+    m.put_command = b.index();
+  }
+  {
+    auto b = d.add_method("getCommand");
+    b.guard(d.v(v.cmd_valid));
+    b.assign(v.cmd_valid, d.lit(0, 1));
+    // {op, len, addr}: addr in bits [31:0], len in [39:32], op in [43:40].
+    synth::ExprId packed = A.bin(
+        synth::ExprOp::Concat, d.v(v.cmd_op),
+        A.bin(synth::ExprOp::Concat, d.v(v.cmd_len), d.v(v.cmd_addr)));
+    b.returns(packed, 44);
+    m.get_command = b.index();
+  }
+  {
+    auto b = d.add_method("putResponse");
+    b.arg("status", 2).arg("data", 32);
+    b.guard(A.un(synth::ExprOp::Not, d.v(v.resp_valid)));
+    b.assign(v.resp_valid, d.lit(1, 1));
+    b.assign(v.resp_status, d.a(0, 2));
+    b.assign(v.resp_data, d.a(1, 32));
+    m.put_response = b.index();
+  }
+  {
+    auto b = d.add_method("appDataGet");
+    b.guard(d.v(v.resp_valid));
+    b.assign(v.resp_valid, d.lit(0, 1));
+    // {status, data}: data in bits [31:0], status in [33:32].
+    synth::ExprId packed =
+        A.bin(synth::ExprOp::Concat, d.v(v.resp_status), d.v(v.resp_data));
+    b.returns(packed, 34);
+    m.app_data_get = b.index();
+  }
+  {
+    auto b = d.add_method("putWData");
+    b.arg("data", 32);
+    b.guard(A.un(synth::ExprOp::Not, d.v(v.wdata_valid)));
+    b.assign(v.wdata_valid, d.lit(1, 1));
+    b.assign(v.wdata, d.a(0, 32));
+    m.put_wdata = b.index();
+  }
+  {
+    auto b = d.add_method("getWData");
+    b.guard(d.v(v.wdata_valid));
+    b.assign(v.wdata_valid, d.lit(0, 1));
+    b.returns(d.v(v.wdata), 32);
+    m.get_wdata = b.index();
+  }
+  {
+    auto b = d.add_method("reset");
+    b.assign(v.cmd_valid, d.lit(0, 1));
+    b.assign(v.resp_valid, d.lit(0, 1));
+    b.assign(v.cmd_op, d.lit(0, 4));
+    b.assign(v.cmd_len, d.lit(0, 8));
+    b.assign(v.cmd_addr, d.lit(0, 32));
+    b.assign(v.resp_status, d.lit(0, 2));
+    b.assign(v.resp_data, d.lit(0, 32));
+    b.assign(v.wdata_valid, d.lit(0, 1));
+    b.assign(v.wdata, d.lit(0, 32));
+    m.reset = b.index();
+  }
+
+  return SynthesisableChannel{std::move(d), v, m};
+}
+
+// --- packed-field helpers for getCommand / appDataGet return values ----
+inline std::uint32_t unpack_cmd_addr(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & 0xFFFFFFFFull);
+}
+inline std::uint8_t unpack_cmd_len(std::uint64_t packed) {
+  return static_cast<std::uint8_t>((packed >> 32) & 0xFF);
+}
+inline std::uint8_t unpack_cmd_op(std::uint64_t packed) {
+  return static_cast<std::uint8_t>((packed >> 40) & 0xF);
+}
+inline std::uint32_t unpack_resp_data(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & 0xFFFFFFFFull);
+}
+inline std::uint8_t unpack_resp_status(std::uint64_t packed) {
+  return static_cast<std::uint8_t>((packed >> 32) & 0x3);
+}
+
+}  // namespace hlcs::pattern

@@ -1,0 +1,10 @@
+// Umbrella header for the pin-level PCI substrate.
+#pragma once
+
+#include "hlcs/pci/pci_arbiter.hpp"
+#include "hlcs/pci/pci_bus.hpp"
+#include "hlcs/pci/pci_master.hpp"
+#include "hlcs/pci/pci_memory.hpp"
+#include "hlcs/pci/pci_monitor.hpp"
+#include "hlcs/pci/pci_target.hpp"
+#include "hlcs/pci/pci_types.hpp"

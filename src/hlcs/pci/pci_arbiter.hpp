@@ -1,0 +1,107 @@
+// Central PCI arbiter: REQ#/GNT# per master, hidden (overlapped)
+// arbitration with rotating priority and bus parking on the last owner.
+// REQ/GNT are modelled as point-to-point Signal<bool> pairs (true =
+// asserted), as they are not shared wires on a real PCI bus either.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hlcs/pci/pci_bus.hpp"
+#include "hlcs/sim/signal.hpp"
+
+namespace hlcs::pci {
+
+class PciArbiter : public sim::Module {
+public:
+  PciArbiter(sim::Kernel& k, std::string name, PciBus& bus)
+      : Module(k, std::move(name)), bus_(bus) {
+    sim::MethodProcess& m =
+        method("arbitrate", [this] { on_edge(); }, /*initial_trigger=*/false);
+    bus.clk.posedge().add_static(m);
+  }
+
+  struct Port {
+    sim::Signal<bool>* req;
+    sim::Signal<bool>* gnt;
+  };
+
+  /// Register a master; returns its REQ/GNT signal pair.  The master
+  /// writes req, the arbiter writes gnt.
+  Port add_master(const std::string& master_name) {
+    auto req = std::make_unique<sim::Signal<bool>>(
+        kernel(), sub(master_name + ".req"), false);
+    auto gnt = std::make_unique<sim::Signal<bool>>(
+        kernel(), sub(master_name + ".gnt"), false);
+    Port p{req.get(), gnt.get()};
+    reqs_.push_back(std::move(req));
+    gnts_.push_back(std::move(gnt));
+    return p;
+  }
+
+  std::size_t masters() const { return reqs_.size(); }
+  std::uint64_t regrants() const { return regrants_; }
+
+private:
+  void on_edge() {
+    if (reqs_.empty()) return;
+    const std::size_t n = reqs_.size();
+    // Hidden rotating arbitration with tenure tracking:
+    //  * no competition       -> the owner keeps its grant (bus parking,
+    //                            back-to-back tenures);
+    //  * competition, busy    -> the owner's GNT# is pulled, which arms
+    //                            its latency timer mid-burst; the tenure
+    //                            still completes its final data phase;
+    //  * competition, idle    -> a freshly granted owner gets a short
+    //                            grace window to start (GNT# visibility
+    //                            lags one edge), then ownership rotates
+    //                            to the next requester.
+    bool any_other = false;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (reqs_[(owner_ + i) % n]->read()) {
+        any_other = true;
+        break;
+      }
+    }
+    if (!bus_.idle()) {
+      owner_used_bus_ = true;
+      gnts_[owner_]->write(!any_other);
+      return;
+    }
+    if (!any_other) {
+      gnts_[owner_]->write(true);  // keep / park
+      return;
+    }
+    if (!owner_used_bus_ && reqs_[owner_]->read() && idle_grant_age_ < 2) {
+      // Fresh grantee: give it a chance to observe GNT# together with
+      // the idle bus before rotating on.
+      gnts_[owner_]->write(true);
+      ++idle_grant_age_;
+      return;
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::size_t cand = (owner_ + i) % n;
+      if (reqs_[cand]->read()) {
+        gnts_[owner_]->write(false);
+        owner_ = cand;
+        gnts_[owner_]->write(true);
+        owner_used_bus_ = false;
+        idle_grant_age_ = 0;
+        ++regrants_;
+        return;
+      }
+    }
+  }
+
+  PciBus& bus_;
+  std::vector<std::unique_ptr<sim::Signal<bool>>> reqs_;
+  std::vector<std::unique_ptr<sim::Signal<bool>>> gnts_;
+  std::size_t owner_ = 0;
+  bool owner_used_bus_ = true;  // forces an initial rotation under contention
+  unsigned idle_grant_age_ = 0;
+  std::uint64_t regrants_ = 0;
+};
+
+}  // namespace hlcs::pci

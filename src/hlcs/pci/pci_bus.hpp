@@ -1,0 +1,93 @@
+// The shared PCI signal bundle.  Control signals are sustained-tri-state
+// wires (an agent drives them low, drives them high for one cycle to
+// hand back, then releases to Z); AD/CBE/PAR are plain tri-state.
+// Undriven (Z) control signals read as deasserted, which models the
+// bus pull-ups.
+//
+// Timing convention used by every agent in this library:
+//   * all wires are sampled at the rising clock edge;
+//   * an agent reacting to edge E writes its outputs immediately after
+//     E, so they are visible to everyone at edge E+1.
+#pragma once
+
+#include <string>
+
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/module.hpp"
+#include "hlcs/sim/trace.hpp"
+#include "hlcs/sim/wire.hpp"
+
+namespace hlcs::pci {
+
+/// Helper: active-low sustained-tri-state sampling -- only a driven low
+/// level counts as asserted (Z = pulled up = deasserted).
+inline bool asserted(const sim::Wire& w) { return w.read() == sim::Logic::L0; }
+
+class PciBus : public sim::Module {
+public:
+  PciBus(sim::Kernel& k, std::string name, sim::Clock& clock)
+      : Module(k, std::move(name)),
+        clk(clock),
+        frame_n(k, sub("FRAME_n")),
+        irdy_n(k, sub("IRDY_n")),
+        trdy_n(k, sub("TRDY_n")),
+        devsel_n(k, sub("DEVSEL_n")),
+        stop_n(k, sub("STOP_n")),
+        par(k, sub("PAR")),
+        ad(k, sub("AD"), 32),
+        cbe(k, sub("CBE_n"), 4) {}
+
+  sim::Clock& clk;
+  sim::Wire frame_n;
+  sim::Wire irdy_n;
+  sim::Wire trdy_n;
+  sim::Wire devsel_n;
+  sim::Wire stop_n;
+  sim::Wire par;
+  sim::WireVec ad;
+  sim::WireVec cbe;
+
+  /// Bus idle: no transaction in progress.
+  bool idle() const { return !asserted(frame_n) && !asserted(irdy_n); }
+
+  std::uint64_t cycle() const { return clk.cycles(); }
+
+  /// Register every bus wire (and the clock) with a VCD trace -- this is
+  /// how the paper's Figure 4 waveforms are regenerated.
+  void trace_all(sim::Trace& t) {
+    t.add(clk.signal());
+    t.add(frame_n);
+    t.add(irdy_n);
+    t.add(trdy_n);
+    t.add(devsel_n);
+    t.add(stop_n);
+    t.add(ad);
+    t.add(cbe);
+    t.add(par);
+  }
+};
+
+/// Per-agent drivers for the shared wires.  Construction order defines
+/// no priority; all conflicts resolve through the wire resolution rules.
+struct PciAgentDrivers {
+  explicit PciAgentDrivers(PciBus& bus)
+      : frame_n(bus.frame_n.make_driver()),
+        irdy_n(bus.irdy_n.make_driver()),
+        trdy_n(bus.trdy_n.make_driver()),
+        devsel_n(bus.devsel_n.make_driver()),
+        stop_n(bus.stop_n.make_driver()),
+        par(bus.par.make_driver()),
+        ad(bus.ad.make_driver()),
+        cbe(bus.cbe.make_driver()) {}
+
+  sim::Wire::Driver frame_n;
+  sim::Wire::Driver irdy_n;
+  sim::Wire::Driver trdy_n;
+  sim::Wire::Driver devsel_n;
+  sim::Wire::Driver stop_n;
+  sim::Wire::Driver par;
+  sim::WireVec::Driver ad;
+  sim::WireVec::Driver cbe;
+};
+
+}  // namespace hlcs::pci

@@ -1,0 +1,235 @@
+#include "hlcs/pci/pci_master.hpp"
+
+namespace hlcs::pci {
+
+using sim::Logic;
+using sim::Task;
+
+Task PciMaster::execute(PciTransaction& t) {
+  const bool rd = is_read(t.cmd);
+  HLCS_ASSERT(rd || is_write(t.cmd), "transaction must be a read or write");
+  if (rd) {
+    t.data.clear();
+    HLCS_ASSERT(t.count >= 1, "read transaction needs count >= 1");
+  } else {
+    HLCS_ASSERT(!t.data.empty(), "write transaction needs payload");
+  }
+  t.words_done = 0;
+  t.retries = 0;
+  t.start_cycle = bus_.cycle();
+
+  const std::size_t total = rd ? t.count : t.data.size();
+  for (;;) {
+    PciResult r = PciResult::Ok;
+    co_await attempt(t, r);
+    if (r == PciResult::Ok && t.words_done == total) {
+      t.result = PciResult::Ok;
+      break;
+    }
+    if (r == PciResult::MasterAbort) {
+      t.result = PciResult::MasterAbort;
+      stats_.master_aborts++;
+      break;
+    }
+    if (r == PciResult::Retry) {
+      stats_.retries++;
+      t.retries++;
+      if (!cfg_.auto_retry || t.retries > cfg_.max_retries) {
+        t.result = PciResult::Retry;
+        break;
+      }
+      continue;
+    }
+    // Disconnect with work remaining: continue at the next address.
+    stats_.disconnects++;
+    if (!cfg_.auto_retry) {
+      t.result = PciResult::Disconnect;
+      break;
+    }
+  }
+  req_.write(false);
+  t.end_cycle = bus_.cycle();
+  stats_.transactions++;
+  stats_.words += t.words_done;
+}
+
+Task PciMaster::attempt(PciTransaction& t, PciResult& out) {
+  const bool rd = is_read(t.cmd);
+  const std::size_t total = rd ? t.count : t.data.size();
+  const std::uint32_t addr = t.addr + static_cast<std::uint32_t>(t.words_done) * 4;
+
+  // ---- arbitration ----------------------------------------------------
+  req_.write(true);
+  for (;;) {
+    co_await bus_.clk.posedge();
+    if (gnt_.read() && bus_.idle()) break;
+    stats_.arbitration_wait_cycles++;
+  }
+
+  // ---- address phase ---------------------------------------------------
+  // Drive after the grant edge; visible to targets at the next edge.
+  drv_.frame_n.write(Logic::L0);
+  drv_.ad.write_uint(addr);
+  drv_.cbe.write_uint(static_cast<std::uint64_t>(t.cmd));
+  co_await bus_.clk.posedge();  // the address phase edge
+
+  // Address-phase parity, valid one cycle later.
+  drv_.par.write(even_parity(addr, static_cast<std::uint8_t>(t.cmd))
+                     ? Logic::L1
+                     : Logic::L0);
+
+  // ---- first data phase setup -------------------------------------------
+  std::size_t remaining = total - t.words_done;
+  bool wrote_ad_last_cycle = false;
+  std::uint32_t last_ad = 0;
+  std::uint8_t last_cbe = 0;
+  if (rd) {
+    drv_.ad.release();          // read turnaround
+    drv_.cbe.write_uint(0x0);   // all byte lanes enabled (active low)
+  } else {
+    last_ad = t.data[t.words_done];
+    last_cbe = 0x0;
+    drv_.ad.write_uint(last_ad);
+    drv_.cbe.write_uint(last_cbe);
+    wrote_ad_last_cycle = true;
+  }
+  drv_.irdy_n.write(Logic::L0);
+  if (remaining == 1) drv_.frame_n.write(Logic::L1);
+
+  // ---- data phases -------------------------------------------------------
+  bool devsel_seen = false;
+  unsigned devsel_wait = 0;
+  bool transferred_this_tenure = false;
+  bool par_pending = false;  // we drove PAR last cycle and must manage it
+  unsigned tenure_cycles = 0;
+  bool preempted = false;
+  out = PciResult::Ok;
+
+  for (;;) {
+    co_await bus_.clk.posedge();
+    ++tenure_cycles;
+
+    // Latency timer: with GNT# removed and the timer expired, signal the
+    // last data phase (FRAME# high) so the burst ends at the next
+    // transfer and the bus re-arbitrates.
+    if (!preempted && cfg_.latency_timer > 0 && remaining > 1 &&
+        !gnt_.read() && tenure_cycles > cfg_.latency_timer) {
+      drv_.frame_n.write(Logic::L1);
+      preempted = true;
+      stats_.preemptions++;
+    }
+
+    // Write-data parity: PAR covers the AD/CBE we drove in the cycle
+    // that just ended.
+    if (wrote_ad_last_cycle) {
+      drv_.par.write(even_parity(last_ad, last_cbe) ? Logic::L1 : Logic::L0);
+      par_pending = true;
+      wrote_ad_last_cycle = false;
+    } else if (par_pending) {
+      drv_.par.release();
+      par_pending = false;
+    }
+
+    if (!devsel_seen) {
+      if (asserted(bus_.devsel_n)) {
+        devsel_seen = true;
+      } else if (++devsel_wait > cfg_.devsel_timeout) {
+        // Master abort: nobody claimed the address.  FRAME# deasserts
+        // first (IRDY# still asserted, per protocol), IRDY# one cycle
+        // later.
+        if (remaining > 1) {
+          drv_.frame_n.write(Logic::L1);
+          co_await bus_.clk.posedge();
+        }
+        drv_.irdy_n.write(Logic::L1);
+        drv_.ad.release();
+        drv_.cbe.release();
+        out = PciResult::MasterAbort;
+        co_await release_all();
+        co_return;
+      }
+    }
+
+    const bool trdy = asserted(bus_.trdy_n);
+    const bool stop = asserted(bus_.stop_n);
+
+    if (trdy) {
+      // Data transfer on this edge.
+      if (rd) {
+        t.data.push_back(static_cast<std::uint32_t>(bus_.ad.read().to_uint()));
+      }
+      t.words_done++;
+      remaining--;
+      transferred_this_tenure = true;
+      if (remaining == 0) {
+        drv_.irdy_n.write(Logic::L1);
+        drv_.ad.release();
+        drv_.cbe.release();
+        out = PciResult::Ok;
+        co_await release_all();
+        co_return;
+      }
+      if (preempted && remaining > 0 && !asserted(bus_.frame_n)) {
+        // Latency-timer preemption: the FRAME# deassertion is visible on
+        // the bus, so the transfer that just completed was the tenure's
+        // last data phase; continue later as a disconnect.
+        drv_.irdy_n.write(Logic::L1);
+        drv_.ad.release();
+        drv_.cbe.release();
+        out = PciResult::Disconnect;
+        co_await release_all();
+        co_return;
+      }
+      if (stop) {
+        // Disconnect with data: stop after this word, resume later.
+        // FRAME# deasserts first with IRDY# held (the target has already
+        // deasserted TRDY#, so no extra transfer happens), then IRDY#.
+        drv_.frame_n.write(Logic::L1);
+        co_await bus_.clk.posedge();
+        drv_.irdy_n.write(Logic::L1);
+        drv_.ad.release();
+        drv_.cbe.release();
+        out = PciResult::Disconnect;
+        co_await release_all();
+        co_return;
+      }
+      // Set up the next data phase.
+      if (!rd) {
+        last_ad = t.data[t.words_done];
+        last_cbe = 0x0;
+        drv_.ad.write_uint(last_ad);
+        wrote_ad_last_cycle = true;
+      }
+      if (remaining == 1) drv_.frame_n.write(Logic::L1);
+    } else if (devsel_seen && stop) {
+      // Retry (or disconnect without data): target refuses this phase.
+      // FRAME# deasserts first with IRDY# held, then IRDY# releases.
+      if (remaining > 1) {
+        drv_.frame_n.write(Logic::L1);
+        co_await bus_.clk.posedge();
+      }
+      drv_.irdy_n.write(Logic::L1);
+      drv_.ad.release();
+      drv_.cbe.release();
+      out = transferred_this_tenure ? PciResult::Disconnect : PciResult::Retry;
+      co_await release_all();
+      co_return;
+    } else if (devsel_seen) {
+      stats_.data_wait_cycles++;
+    }
+  }
+}
+
+Task PciMaster::release_all() {
+  // The deasserting (high) levels written by the caller stay driven for
+  // this cycle -- the sustained-tri-state hand-back -- then everything
+  // floats.
+  co_await bus_.clk.posedge();
+  drv_.frame_n.release();
+  drv_.irdy_n.release();
+  drv_.ad.release();
+  drv_.cbe.release();
+  drv_.par.release();
+}
+
+}  // namespace hlcs::pci

@@ -1,0 +1,87 @@
+// Pin-level PCI bus master.
+//
+// PciMaster owns one set of bus drivers and a REQ/GNT pair.  It exposes a
+// single coroutine entry point, execute(), which performs a complete
+// logical transaction at pin level: arbitration, address phase,
+// read-turnaround, data phases with wait states, and termination
+// handling (retry, disconnect, master abort).  Retries and disconnect
+// continuations are re-issued automatically (configurable).
+//
+// The bus-interface pattern (hlcs/pattern) instantiates this engine as
+// the "processes that implement the pin-level PCI protocol" of the
+// paper's interface element.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/pci/pci_bus.hpp"
+#include "hlcs/pci/pci_types.hpp"
+#include "hlcs/sim/signal.hpp"
+
+namespace hlcs::pci {
+
+struct MasterConfig {
+  /// Edges to wait for DEVSEL# after the address phase before declaring
+  /// master abort (PCI allows subtractive decode at 4).
+  unsigned devsel_timeout = 5;
+  /// Re-issue transactions terminated with Retry up to this many times.
+  unsigned max_retries = 1000;
+  /// When false, execute() returns Retry/Disconnect to the caller
+  /// instead of re-issuing.
+  bool auto_retry = true;
+  /// PCI latency timer: once a tenure has lasted this many cycles AND
+  /// GNT# has been taken away, the master terminates its burst after the
+  /// next transfer and re-arbitrates (0 = unlimited tenure).
+  unsigned latency_timer = 0;
+};
+
+struct MasterStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t words = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t master_aborts = 0;
+  std::uint64_t preemptions = 0;  ///< bursts split by the latency timer
+  std::uint64_t arbitration_wait_cycles = 0;
+  std::uint64_t data_wait_cycles = 0;  ///< IRDY# asserted, TRDY# not
+};
+
+class PciMaster : public sim::Module {
+public:
+  PciMaster(sim::Kernel& k, std::string name, PciBus& bus,
+            sim::Signal<bool>& req, sim::Signal<bool>& gnt,
+            MasterConfig cfg = {})
+      : Module(k, std::move(name)),
+        bus_(bus),
+        drv_(bus),
+        req_(req),
+        gnt_(gnt),
+        cfg_(cfg) {}
+
+  /// Run one logical transaction to completion (awaitable).  On return,
+  /// `t.result`, `t.words_done`, `t.data` (reads), timing fields and
+  /// retry counts are filled in.
+  sim::Task execute(PciTransaction& t);
+
+  const MasterStats& stats() const { return stats_; }
+  PciBus& bus() { return bus_; }
+
+private:
+  /// One bus tenure starting at word `t.words_done`; returns the tenure
+  /// outcome and updates `t` in place.
+  sim::Task attempt(PciTransaction& t, PciResult& out);
+
+  /// Drive the hand-back cycle and release every sustained-tri-state
+  /// wire (the one-cycle high drive is pending from the caller).
+  sim::Task release_all();
+
+  PciBus& bus_;
+  PciAgentDrivers drv_;
+  sim::Signal<bool>& req_;
+  sim::Signal<bool>& gnt_;
+  MasterConfig cfg_;
+  MasterStats stats_;
+};
+
+}  // namespace hlcs::pci

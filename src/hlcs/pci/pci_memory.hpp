@@ -1,0 +1,58 @@
+// Word-addressed backing store for PCI targets.  Sparse, so a target can
+// decode a large BAR without allocating it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::pci {
+
+class PciMemory {
+public:
+  /// `size_bytes` is the decoded window; accesses outside it throw.
+  explicit PciMemory(std::uint32_t size_bytes) : size_(size_bytes) {
+    HLCS_ASSERT(size_bytes % 4 == 0, "PciMemory size must be word aligned");
+    HLCS_ASSERT(size_bytes > 0, "PciMemory size must be positive");
+  }
+
+  std::uint32_t size() const { return size_; }
+
+  std::uint32_t read_word(std::uint32_t offset) const {
+    check(offset);
+    auto it = words_.find(offset / 4);
+    return it == words_.end() ? 0 : it->second;
+  }
+
+  void write_word(std::uint32_t offset, std::uint32_t value,
+                  std::uint8_t byte_enables_n = 0x0) {
+    check(offset);
+    if (byte_enables_n == 0x0) {
+      words_[offset / 4] = value;
+      return;
+    }
+    // C/BE# is active low: a 0 bit enables the byte lane.
+    std::uint32_t cur = read_word(offset);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((byte_enables_n >> lane & 1) == 0) {
+        const std::uint32_t mask = 0xFFu << (lane * 8);
+        cur = (cur & ~mask) | (value & mask);
+      }
+    }
+    words_[offset / 4] = cur;
+  }
+
+  std::size_t words_touched() const { return words_.size(); }
+
+private:
+  void check(std::uint32_t offset) const {
+    HLCS_ASSERT(offset % 4 == 0, "unaligned PCI word access");
+    HLCS_ASSERT(offset < size_, "PCI memory access out of decoded range");
+  }
+
+  std::uint32_t size_;
+  std::unordered_map<std::uint32_t, std::uint32_t> words_;
+};
+
+}  // namespace hlcs::pci

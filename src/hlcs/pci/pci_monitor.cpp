@@ -1,0 +1,92 @@
+#include "hlcs/pci/pci_monitor.hpp"
+
+namespace hlcs::pci {
+
+using sim::Logic;
+
+void PciMonitor::on_edge() {
+  const bool frame = asserted(bus_.frame_n);
+  const bool irdy = asserted(bus_.irdy_n);
+  const bool trdy = asserted(bus_.trdy_n);
+  const bool devsel = asserted(bus_.devsel_n);
+  const bool stop = asserted(bus_.stop_n);
+  const sim::LogicVec ad = bus_.ad.read();
+  const sim::LogicVec cbe = bus_.cbe.read();
+  const Logic par = bus_.par.read();
+
+  const bool active = frame || irdy;
+  if (active) {
+    ++busy_cycles_;
+  } else {
+    ++idle_cycles_;
+  }
+
+  // M5: parity covers the previous cycle's AD/CBE whenever PAR is driven.
+  if (is_01(par) && ad_prev_.width() == 32 && ad_prev_.is_fully_defined() &&
+      cbe_prev_.is_fully_defined()) {
+    ++parity_checks_;
+    const bool expect =
+        even_parity(static_cast<std::uint32_t>(ad_prev_.to_uint()),
+                    static_cast<std::uint8_t>(cbe_prev_.to_uint()));
+    if (expect != (par == Logic::L1)) {
+      violation("M5 parity error: PAR does not cover previous AD/CBE");
+    }
+  }
+
+  // M1: driver conflicts show up as X.
+  if (active && (ad.has_x() || cbe.has_x())) {
+    violation("M1 AD/CBE driver conflict (X) during transaction");
+  }
+  // M2 / M6: target responses require DEVSEL#.
+  if (trdy && !devsel) violation("M2 TRDY# asserted without DEVSEL#");
+  if (stop && !devsel) violation("M6 STOP# asserted without DEVSEL#");
+
+  // M3: FRAME# deassertion legality (high after low requires IRDY#).
+  if (frame_prev_ && !frame && !irdy) {
+    violation("M3 FRAME# deasserted while IRDY# deasserted");
+  }
+
+  // Address phase: FRAME# falls.
+  if (frame && !frame_prev_ && !in_transaction_) {
+    in_transaction_ = true;
+    open_record_ = true;
+    current_ = BusRecord{};
+    current_.start_cycle = bus_.cycle();
+    if (!ad.is_fully_defined() || !cbe.is_fully_defined()) {
+      violation("M4 address phase with undriven/conflicting AD or C/BE#");
+      current_.addr = static_cast<std::uint32_t>(ad.to_uint_lenient());
+      current_.cmd =
+          static_cast<PciCommand>(cbe.to_uint_lenient() & 0xF);
+    } else {
+      current_.addr = static_cast<std::uint32_t>(ad.to_uint());
+      current_.cmd = static_cast<PciCommand>(cbe.to_uint() & 0xF);
+    }
+  } else if (in_transaction_) {
+    if (devsel) current_.devsel_seen = true;
+    if (stop) current_.stop_seen = true;
+    if (irdy && trdy) {
+      // Data transfer this edge.
+      ++transfers_;
+      current_.words.push_back(
+          ad.is_fully_defined()
+              ? static_cast<std::uint32_t>(ad.to_uint())
+              : static_cast<std::uint32_t>(ad.to_uint_lenient()));
+      if (ad.has_x()) violation("M1 data transfer with X on AD");
+    } else if (irdy || trdy) {
+      current_.wait_cycles++;
+    }
+    // Tenure ends when the bus returns to idle.
+    if (!frame && !irdy) {
+      in_transaction_ = false;
+      current_.end_cycle = bus_.cycle();
+      records_.push_back(current_);
+      open_record_ = false;
+    }
+  }
+
+  frame_prev_ = frame;
+  ad_prev_ = ad;
+  cbe_prev_ = cbe;
+}
+
+}  // namespace hlcs::pci

@@ -1,0 +1,103 @@
+// Passive PCI protocol monitor: samples the bus on every rising edge,
+// checks protocol invariants, and records every transaction it observes.
+// Violations are collected (and optionally thrown), so tests can assert
+// both "this traffic is legal" and "this corruption is detected".
+//
+// Checked rules:
+//   M1  AD/CBE must never resolve to X while a transaction is active
+//       (driver conflict).
+//   M2  TRDY# asserted requires DEVSEL# asserted.
+//   M3  FRAME# may deassert only while IRDY# is asserted.
+//   M4  The address phase must carry a fully driven AD and C/BE#.
+//   M5  PAR must equal even parity of the previous cycle's AD/CBE
+//       whenever PAR is actively driven and AD was fully driven.
+//   M6  STOP# asserted requires DEVSEL# asserted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlcs/pci/pci_bus.hpp"
+#include "hlcs/pci/pci_types.hpp"
+
+namespace hlcs::pci {
+
+/// One observed bus transaction (a tenure: address phase to idle).
+struct BusRecord {
+  PciCommand cmd = PciCommand::MemRead;
+  std::uint32_t addr = 0;
+  std::vector<std::uint32_t> words;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t wait_cycles = 0;  ///< cycles in-tenure without a transfer
+  bool devsel_seen = false;
+  bool stop_seen = false;
+
+  PciResult result() const {
+    if (!devsel_seen) return PciResult::MasterAbort;
+    if (stop_seen && words.empty()) return PciResult::Retry;
+    if (stop_seen) return PciResult::Disconnect;
+    return PciResult::Ok;
+  }
+};
+
+struct MonitorConfig {
+  bool throw_on_violation = false;
+};
+
+class PciMonitor : public sim::Module {
+public:
+  PciMonitor(sim::Kernel& k, std::string name, PciBus& bus,
+             MonitorConfig cfg = {})
+      : Module(k, std::move(name)), bus_(bus), cfg_(cfg) {
+    sim::MethodProcess& m =
+        method("sample", [this] { on_edge(); }, /*initial_trigger=*/false);
+    bus.clk.posedge().add_static(m);
+  }
+
+  const std::vector<BusRecord>& records() const { return records_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  std::uint64_t idle_cycles() const { return idle_cycles_; }
+  std::uint64_t parity_checks() const { return parity_checks_; }
+
+  void clear() {
+    records_.clear();
+    violations_.clear();
+    transfers_ = 0;
+    busy_cycles_ = 0;
+    idle_cycles_ = 0;
+  }
+
+private:
+  void violation(const std::string& what) {
+    violations_.push_back("cycle " + std::to_string(bus_.cycle()) + ": " +
+                          what);
+    if (cfg_.throw_on_violation) {
+      throw ProtocolError(name() + ": " + violations_.back());
+    }
+  }
+
+  void on_edge();
+
+  PciBus& bus_;
+  MonitorConfig cfg_;
+  std::vector<BusRecord> records_;
+  std::vector<std::string> violations_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t idle_cycles_ = 0;
+  std::uint64_t parity_checks_ = 0;
+
+  // sampling state
+  bool in_transaction_ = false;
+  bool frame_prev_ = false;
+  bool open_record_ = false;
+  BusRecord current_;
+  sim::LogicVec ad_prev_;
+  sim::LogicVec cbe_prev_;
+};
+
+}  // namespace hlcs::pci

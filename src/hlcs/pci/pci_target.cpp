@@ -1,0 +1,184 @@
+#include "hlcs/pci/pci_target.hpp"
+
+namespace hlcs::pci {
+
+using sim::Logic;
+using sim::Task;
+
+// Tenure helpers end by writing the deasserting (high) levels and setting
+// release_pending_; run() releases the drivers one edge later.  This
+// keeps the sustained-tri-state hand-back cycle on the waveform without
+// ever blocking the FSM, so an immediately following address phase is
+// never missed (a master may restart one idle cycle after a retry).
+
+Task PciTarget::run() {
+  for (;;) {
+    co_await bus_.clk.posedge();
+    if (release_pending_) {
+      drv_.trdy_n.release();
+      drv_.devsel_n.release();
+      drv_.stop_n.release();
+      drv_.ad.release();
+      drv_.par.release();
+      release_pending_ = false;
+    }
+    const bool frame_now = asserted(bus_.frame_n);
+    const bool address_phase = frame_now && !frame_prev_;
+    frame_prev_ = frame_now;
+    if (!address_phase) continue;
+
+    // Latch address and command from the bus.
+    if (!bus_.ad.read().is_fully_defined()) continue;  // corrupt: ignore
+    const auto addr = static_cast<std::uint32_t>(bus_.ad.read().to_uint());
+    const auto cmd =
+        static_cast<PciCommand>(bus_.cbe.read().to_uint_lenient() & 0xF);
+    const Space sp = decode(cmd, addr);
+    if (sp == Space::None) {
+      // Not ours; stay quiet (the master aborts, or another target
+      // claims).  Wait out the foreign tenure before re-arming the
+      // FRAME# edge detector, so burst data is never mistaken for a new
+      // address phase.
+      while (!bus_.idle()) co_await bus_.clk.posedge();
+      frame_prev_ = false;
+      continue;
+    }
+
+    stats_.tenures++;
+    if (stats_.tenures <= cfg_.retry_first) {
+      stats_.retries_issued++;
+      co_await refuse_with_retry();
+    } else {
+      co_await serve_tenure(sp, cmd, addr);
+    }
+    frame_prev_ = false;
+  }
+}
+
+Task PciTarget::refuse_with_retry() {
+  // Decode latency, then DEVSEL# + STOP# with TRDY# high: target retry.
+  for (unsigned i = 1; i < static_cast<unsigned>(cfg_.devsel); ++i) {
+    co_await bus_.clk.posedge();
+  }
+  drv_.devsel_n.write(Logic::L0);
+  drv_.stop_n.write(Logic::L0);
+  drv_.trdy_n.write(Logic::L1);
+  // Hold until the master backs off (bus idle).
+  for (;;) {
+    co_await bus_.clk.posedge();
+    if (bus_.idle()) break;
+  }
+  end_tenure();
+}
+
+Task PciTarget::serve_tenure(Space sp, PciCommand cmd, std::uint32_t addr) {
+  const bool rd = is_read(cmd);
+  // Decode latency before claiming with DEVSEL#.
+  for (unsigned i = 1; i < static_cast<unsigned>(cfg_.devsel); ++i) {
+    co_await bus_.clk.posedge();
+  }
+  drv_.devsel_n.write(Logic::L0);
+  drv_.trdy_n.write(Logic::L1);
+
+  unsigned wait = cfg_.initial_wait;
+  unsigned words_this_tenure = 0;
+  bool trdy_driven_low = false;
+  bool drove_ad = false;
+  std::uint32_t driven_ad = 0;
+
+  for (;;) {
+    // A burst that runs past the decoded window terminates with a
+    // disconnect (STOP# without TRDY#) instead of serving foreign
+    // addresses.
+    if (sp != Space::Config &&
+        !(addr >= cfg_.base && addr < cfg_.base + cfg_.size)) {
+      drv_.trdy_n.write(Logic::L1);
+      drv_.stop_n.write(Logic::L0);
+      if (rd) drv_.ad.release();
+      while (!bus_.idle()) co_await bus_.clk.posedge();
+      stats_.disconnects_issued++;
+      end_tenure();
+      co_return;
+    }
+    // Insert wait states, then present data / readiness.
+    while (wait > 0) {
+      stats_.wait_states_inserted++;
+      co_await bus_.clk.posedge();
+      if (bus_.idle()) {  // master aborted mid-wait
+        end_tenure();
+        co_return;
+      }
+      --wait;
+    }
+    if (rd) {
+      driven_ad = load(sp, addr);
+      drv_.ad.write_uint(driven_ad);
+      drove_ad = true;
+    }
+    const bool disconnect_now =
+        cfg_.disconnect_after > 0 &&
+        words_this_tenure + 1 >= cfg_.disconnect_after;
+    drv_.trdy_n.write(Logic::L0);
+    if (disconnect_now) drv_.stop_n.write(Logic::L0);
+    trdy_driven_low = true;
+
+    // Wait for the transfer edge (IRDY# asserted together with our TRDY#).
+    for (;;) {
+      co_await bus_.clk.posedge();
+      // Parity for read data we drove in the cycle that just ended.
+      if (rd && drove_ad) {
+        drv_.par.write(even_parity(driven_ad, 0x0) ? Logic::L1 : Logic::L0);
+      }
+      if (asserted(bus_.irdy_n) && trdy_driven_low) break;
+      if (bus_.idle()) {  // master went away
+        end_tenure();
+        co_return;
+      }
+    }
+
+    // Transfer happened on this edge.
+    const bool last_phase = !asserted(bus_.frame_n);
+    if (!rd) {
+      const sim::LogicVec v = bus_.ad.read();
+      if (v.is_fully_defined()) {
+        store(sp, addr, static_cast<std::uint32_t>(v.to_uint()),
+              static_cast<std::uint8_t>(bus_.cbe.read().to_uint_lenient()));
+      }
+      stats_.words_written++;
+    } else {
+      stats_.words_read++;
+    }
+    words_this_tenure++;
+    addr += 4;
+
+    const bool disconnected = cfg_.disconnect_after > 0 &&
+                              words_this_tenure >= cfg_.disconnect_after;
+    if (last_phase || disconnected) {
+      if (disconnected) stats_.disconnects_issued++;
+      if (rd) drv_.ad.release();
+      drv_.trdy_n.write(Logic::L1);
+      drv_.devsel_n.write(Logic::L1);
+      drv_.stop_n.write(Logic::L1);
+      // If the master is still mid-burst after a disconnect, wait for it
+      // to back off before handing the wires back.
+      while (!bus_.idle()) co_await bus_.clk.posedge();
+      end_tenure();
+      co_return;
+    }
+
+    // More data phases follow.
+    drv_.trdy_n.write(Logic::L1);
+    trdy_driven_low = false;
+    if (rd) drv_.ad.release();
+    wait = cfg_.per_word_wait;
+  }
+}
+
+void PciTarget::end_tenure() {
+  drv_.trdy_n.write(Logic::L1);
+  drv_.devsel_n.write(Logic::L1);
+  drv_.stop_n.write(Logic::L1);
+  drv_.ad.release();
+  release_pending_ = true;
+}
+
+}  // namespace hlcs::pci

@@ -1,0 +1,128 @@
+// Pin-level PCI target device: address decode (memory window, optional
+// I/O window, configuration space by device number), DEVSEL# decode
+// speed, programmable initial and per-word wait states, target retry and
+// disconnect generation.  Backed by a PciMemory store.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "hlcs/pci/pci_bus.hpp"
+#include "hlcs/pci/pci_memory.hpp"
+#include "hlcs/pci/pci_types.hpp"
+
+namespace hlcs::pci {
+
+struct TargetConfig {
+  std::uint32_t base = 0;          ///< memory window base (word aligned)
+  std::uint32_t size = 0x1000;     ///< memory window size in bytes
+  DevselSpeed devsel = DevselSpeed::Fast;
+  unsigned initial_wait = 0;       ///< wait states before the first TRDY#
+  unsigned per_word_wait = 0;      ///< wait states between burst words
+  unsigned disconnect_after = 0;   ///< >0: disconnect after N words/tenure
+  unsigned retry_first = 0;        ///< respond Retry to the first N tenures
+  bool claim_io = false;           ///< also claim I/O commands in-window
+  std::uint8_t device_number = 0;  ///< config-space decode (AD[15:11])
+  std::uint16_t vendor_id = 0x1A2B;
+  std::uint16_t device_id = 0x3C4D;
+};
+
+struct TargetStats {
+  std::uint64_t tenures = 0;
+  std::uint64_t words_read = 0;
+  std::uint64_t words_written = 0;
+  std::uint64_t retries_issued = 0;
+  std::uint64_t disconnects_issued = 0;
+  std::uint64_t wait_states_inserted = 0;
+};
+
+class PciTarget : public sim::Module {
+public:
+  PciTarget(sim::Kernel& k, std::string name, PciBus& bus, TargetConfig cfg)
+      : Module(k, std::move(name)),
+        bus_(bus),
+        drv_(bus),
+        cfg_(cfg),
+        mem_(cfg.size) {
+    HLCS_ASSERT(cfg.base % 4 == 0, "target base must be word aligned");
+    config_space_.fill(0);
+    config_space_[0] = (static_cast<std::uint32_t>(cfg.device_id) << 16) |
+                       cfg.vendor_id;
+    config_space_[1] = 0x02000000;  // status/command placeholder
+    config_space_[4] = cfg.base;    // BAR0
+    spawn("fsm", [this]() { return run(); });
+  }
+
+  PciMemory& memory() { return mem_; }
+  const PciMemory& memory() const { return mem_; }
+  const TargetStats& stats() const { return stats_; }
+  const TargetConfig& config() const { return cfg_; }
+
+  std::uint32_t config_word(std::size_t index) const {
+    return config_space_.at(index);
+  }
+
+private:
+  enum class Space { None, Memory, Io, Config };
+
+  Space decode(PciCommand cmd, std::uint32_t addr) const {
+    switch (cmd) {
+      case PciCommand::MemRead:
+      case PciCommand::MemWrite:
+      case PciCommand::MemReadMultiple:
+      case PciCommand::MemReadLine:
+      case PciCommand::MemWriteInvalidate:
+        return (addr >= cfg_.base && addr < cfg_.base + cfg_.size)
+                   ? Space::Memory
+                   : Space::None;
+      case PciCommand::IoRead:
+      case PciCommand::IoWrite:
+        return (cfg_.claim_io && addr >= cfg_.base &&
+                addr < cfg_.base + cfg_.size)
+                   ? Space::Io
+                   : Space::None;
+      case PciCommand::ConfigRead:
+      case PciCommand::ConfigWrite:
+        return (((addr >> 11) & 0x1F) == cfg_.device_number) ? Space::Config
+                                                             : Space::None;
+      default:
+        return Space::None;
+    }
+  }
+
+  std::uint32_t load(Space sp, std::uint32_t addr) const {
+    if (sp == Space::Config) {
+      return config_space_[(addr >> 2) & 0xF];
+    }
+    return mem_.read_word(addr - cfg_.base);
+  }
+
+  void store(Space sp, std::uint32_t addr, std::uint32_t value,
+             std::uint8_t be_n) {
+    if (sp == Space::Config) {
+      // Only BAR0 (dword 4) is writable in this simplified device.
+      if (((addr >> 2) & 0xF) == 4) config_space_[4] = value;
+      return;
+    }
+    mem_.write_word(addr - cfg_.base, value, be_n);
+  }
+
+  sim::Task run();
+  sim::Task serve_tenure(Space sp, PciCommand cmd, std::uint32_t addr);
+  sim::Task refuse_with_retry();
+  /// Write deasserting levels and schedule the tri-state release for the
+  /// next edge (non-blocking, so run() never misses an address phase).
+  void end_tenure();
+
+  PciBus& bus_;
+  PciAgentDrivers drv_;
+  TargetConfig cfg_;
+  PciMemory mem_;
+  std::array<std::uint32_t, 16> config_space_{};
+  TargetStats stats_;
+  bool frame_prev_ = false;
+  bool release_pending_ = false;
+};
+
+}  // namespace hlcs::pci

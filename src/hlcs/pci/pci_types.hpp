@@ -1,0 +1,132 @@
+// Simplified PCI protocol types.  The paper implements "an handler of a
+// simplified version of the PCI bus"; this substrate models the same
+// simplification honestly at pin level:
+//   * 32-bit multiplexed AD, 4-bit C/BE#, even parity PAR
+//   * FRAME#, IRDY#, TRDY#, DEVSEL#, STOP# control (active low,
+//     sustained tri-state), REQ#/GNT# central arbitration
+//   * single and burst (linearly incrementing) memory transactions,
+//     I/O and configuration accesses
+//   * target wait states, DEVSEL decode speeds, retry and disconnect,
+//     master abort on decode timeout
+// Not modelled: 64-bit extension, dual address cycles, cache support
+// (SBO#/SDONE), interrupt pins, and error signalling beyond parity
+// checking (PERR#/SERR# are monitor-internal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlcs::pci {
+
+/// PCI bus command encodings (driven on C/BE# during the address phase).
+enum class PciCommand : std::uint8_t {
+  InterruptAck = 0x0,
+  Special = 0x1,
+  IoRead = 0x2,
+  IoWrite = 0x3,
+  MemRead = 0x6,
+  MemWrite = 0x7,
+  ConfigRead = 0xA,
+  ConfigWrite = 0xB,
+  MemReadMultiple = 0xC,
+  MemReadLine = 0xE,
+  MemWriteInvalidate = 0xF,
+};
+
+inline bool is_read(PciCommand c) {
+  switch (c) {
+    case PciCommand::IoRead:
+    case PciCommand::MemRead:
+    case PciCommand::ConfigRead:
+    case PciCommand::MemReadMultiple:
+    case PciCommand::MemReadLine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool is_write(PciCommand c) {
+  switch (c) {
+    case PciCommand::IoWrite:
+    case PciCommand::MemWrite:
+    case PciCommand::ConfigWrite:
+    case PciCommand::MemWriteInvalidate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline const char* to_string(PciCommand c) {
+  switch (c) {
+    case PciCommand::InterruptAck: return "int_ack";
+    case PciCommand::Special: return "special";
+    case PciCommand::IoRead: return "io_read";
+    case PciCommand::IoWrite: return "io_write";
+    case PciCommand::MemRead: return "mem_read";
+    case PciCommand::MemWrite: return "mem_write";
+    case PciCommand::ConfigRead: return "cfg_read";
+    case PciCommand::ConfigWrite: return "cfg_write";
+    case PciCommand::MemReadMultiple: return "mem_read_mult";
+    case PciCommand::MemReadLine: return "mem_read_line";
+    case PciCommand::MemWriteInvalidate: return "mem_write_inv";
+  }
+  return "?";
+}
+
+/// DEVSEL# decode speed: edges between address phase and DEVSEL#.
+enum class DevselSpeed : std::uint8_t { Fast = 1, Medium = 2, Slow = 3 };
+
+/// Outcome of one master transaction attempt.
+enum class PciResult : std::uint8_t {
+  Ok,
+  Retry,        ///< target retry: no data transferred, try again
+  Disconnect,   ///< target disconnect: partial data, continue at new addr
+  MasterAbort,  ///< no DEVSEL# -- nobody claimed the address
+};
+
+inline const char* to_string(PciResult r) {
+  switch (r) {
+    case PciResult::Ok: return "ok";
+    case PciResult::Retry: return "retry";
+    case PciResult::Disconnect: return "disconnect";
+    case PciResult::MasterAbort: return "master_abort";
+  }
+  return "?";
+}
+
+/// A master-level transaction request (one or more data phases).
+struct PciTransaction {
+  PciCommand cmd = PciCommand::MemRead;
+  std::uint32_t addr = 0;
+  /// Write payload (is_write) or read destination (is_read); for reads,
+  /// `count` words are fetched into `data`.
+  std::vector<std::uint32_t> data;
+  std::size_t count = 1;  ///< number of data phases for reads
+
+  // --- filled in by the master -----------------------------------------
+  PciResult result = PciResult::Ok;
+  std::size_t words_done = 0;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::size_t retries = 0;
+
+  /// Total bus clock cycles the transaction occupied (including retries).
+  std::uint64_t cycles() const { return end_cycle - start_cycle; }
+};
+
+/// Even parity over 32 AD bits and 4 C/BE# bits.
+inline bool even_parity(std::uint32_t ad, std::uint8_t cbe) {
+  std::uint64_t x = (static_cast<std::uint64_t>(cbe & 0xF) << 32) | ad;
+  x ^= x >> 32;
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return (x & 1) != 0;
+}
+
+}  // namespace hlcs::pci

@@ -1,0 +1,174 @@
+// SimpleBus: a second pin-level bus substrate (a minimal synchronous
+// ready/valid handshake bus, in the spirit of AHB-Lite without bursts).
+//
+// The paper's methodology promises a LIBRARY of interface elements: "for
+// each communication abstraction level, an interface could be provided
+// in order to connect the units under design to the IPs models dealt
+// with".  SimpleBus exists to make that concrete -- the same application
+// and the same guarded-method contract refine onto a completely
+// different protocol by swapping one library element
+// (hlcs::pattern::SimpleBusInterface vs PciBusInterface).
+//
+// Protocol (all signals sampled at the rising edge):
+//   master drives:  valid, write, addr[32], wdata[32]
+//   targets drive (resolved wires, driven only when selected):
+//                   ready, err, rdata[32]
+//   A transfer completes at the edge where valid && (ready || err).
+//   A target that decodes the address answers after its configured
+//   latency; if nobody answers within the master's timeout the master
+//   reports a decode error (the PCI master-abort analogue).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/pci/pci_memory.hpp"
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/module.hpp"
+#include "hlcs/sim/signal.hpp"
+#include "hlcs/sim/wire.hpp"
+
+namespace hlcs::sbus {
+
+class SimpleBus : public sim::Module {
+public:
+  SimpleBus(sim::Kernel& k, std::string name, sim::Clock& clock)
+      : Module(k, std::move(name)),
+        clk(clock),
+        valid(k, sub("valid"), false),
+        write(k, sub("write"), false),
+        addr(k, sub("addr"), 0),
+        wdata(k, sub("wdata"), 0),
+        ready(k, sub("ready")),
+        err(k, sub("err")),
+        rdata(k, sub("rdata"), 32) {}
+
+  sim::Clock& clk;
+  // Master-driven.
+  sim::Signal<bool> valid;
+  sim::Signal<bool> write;
+  sim::Signal<std::uint32_t> addr;
+  sim::Signal<std::uint32_t> wdata;
+  // Target-driven (resolved; Z when no target selected).
+  sim::Wire ready;
+  sim::Wire err;
+  sim::WireVec rdata;
+
+  std::uint64_t cycle() const { return clk.cycles(); }
+};
+
+struct SimpleTargetConfig {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0x1000;
+  unsigned latency = 0;  ///< cycles between seeing valid and ready
+};
+
+/// Memory-backed target.
+class SimpleBusTarget : public sim::Module {
+public:
+  SimpleBusTarget(sim::Kernel& k, std::string name, SimpleBus& bus,
+                  SimpleTargetConfig cfg)
+      : Module(k, std::move(name)),
+        bus_(bus),
+        cfg_(cfg),
+        mem_(cfg.size),
+        ready_(bus.ready.make_driver()),
+        err_(bus.err.make_driver()),
+        rdata_(bus.rdata.make_driver()) {
+    spawn("fsm", [this]() { return run(); });
+  }
+
+  pci::PciMemory& memory() { return mem_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+private:
+  bool decodes(std::uint32_t a) const {
+    return a >= cfg_.base && a < cfg_.base + cfg_.size;
+  }
+
+  sim::Task run() {
+    for (;;) {
+      co_await bus_.clk.posedge();
+      if (!bus_.valid.read() || !decodes(bus_.addr.read())) continue;
+      // Selected: wait the configured latency, then answer.
+      for (unsigned i = 0; i < cfg_.latency; ++i) {
+        co_await bus_.clk.posedge();
+        if (!bus_.valid.read()) break;  // master gave up
+      }
+      if (!bus_.valid.read()) continue;
+      const std::uint32_t a = bus_.addr.read() - cfg_.base;
+      if (bus_.write.read()) {
+        mem_.write_word(a & ~3u, bus_.wdata.read());
+      } else {
+        rdata_.write_uint(mem_.read_word(a & ~3u));
+      }
+      ready_.write(sim::Logic::L1);
+      ++accesses_;
+      // Hold until the master samples the completion edge.
+      co_await bus_.clk.posedge();
+      ready_.release();
+      rdata_.release();
+    }
+  }
+
+  SimpleBus& bus_;
+  SimpleTargetConfig cfg_;
+  pci::PciMemory mem_;
+  sim::Wire::Driver ready_;
+  sim::Wire::Driver err_;
+  sim::WireVec::Driver rdata_;
+  std::uint64_t accesses_ = 0;
+};
+
+struct SimpleMasterConfig {
+  unsigned timeout = 16;  ///< cycles to wait for ready before giving up
+};
+
+struct SimpleMasterStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t wait_cycles = 0;
+  std::uint64_t decode_errors = 0;
+};
+
+class SimpleBusMaster : public sim::Module {
+public:
+  SimpleBusMaster(sim::Kernel& k, std::string name, SimpleBus& bus,
+                  SimpleMasterConfig cfg = {})
+      : Module(k, std::move(name)), bus_(bus), cfg_(cfg) {}
+
+  /// One word transfer; returns true on success (for reads, *data is the
+  /// result), false on decode error / timeout.
+  sim::Task transfer(bool is_write, std::uint32_t address,
+                     std::uint32_t* data, bool* ok) {
+    bus_.addr.write(address);
+    bus_.write.write(is_write);
+    if (is_write) bus_.wdata.write(*data);
+    bus_.valid.write(true);
+    *ok = false;
+    for (unsigned waited = 0; waited <= cfg_.timeout; ++waited) {
+      co_await bus_.clk.posedge();
+      if (bus_.ready.read() == sim::Logic::L1) {
+        if (!is_write) {
+          *data = static_cast<std::uint32_t>(bus_.rdata.read().to_uint());
+        }
+        *ok = true;
+        stats_.transfers++;
+        break;
+      }
+      if (bus_.err.read() == sim::Logic::L1) break;
+      stats_.wait_cycles++;
+    }
+    if (!*ok) stats_.decode_errors++;
+    bus_.valid.write(false);
+    co_return;
+  }
+
+  const SimpleMasterStats& stats() const { return stats_; }
+
+private:
+  SimpleBus& bus_;
+  SimpleMasterConfig cfg_;
+  SimpleMasterStats stats_;
+};
+
+}  // namespace hlcs::sbus

@@ -1,0 +1,45 @@
+// Error handling primitives shared by the whole library.
+//
+// Two categories of failure are distinguished:
+//  * hlcs::Error          -- a user-visible error (bad configuration, protocol
+//                            violation surfaced to the caller); thrown.
+//  * HLCS_ASSERT          -- an internal invariant; violations also throw so
+//                            that tests can observe them deterministically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hlcs {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a model violates a bus-protocol rule (detected by monitors).
+class ProtocolError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Thrown when a description handed to the synthesiser is outside the
+/// synthesisable subset.
+class SynthesisError : public Error {
+public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace hlcs
+
+#define HLCS_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::hlcs::Error(std::string("assertion failed: ") + (msg) +       \
+                          " [" #cond "] at " __FILE__ ":" +                 \
+                          std::to_string(__LINE__));                        \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,65 @@
+// Clock generator.  Produces a bool signal plus dedicated posedge /
+// negedge events (notified in the same delta as the corresponding signal
+// change becomes visible, so a process woken by posedge() reads the
+// signal high).
+//
+// Note: a Clock toggles forever; drive simulations with run_for() /
+// run_until(), not the unbounded run().
+#pragma once
+
+#include <string>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/module.hpp"
+#include "hlcs/sim/signal.hpp"
+
+namespace hlcs::sim {
+
+class Clock final : public Module {
+public:
+  Clock(Kernel& k, std::string name, Time period)
+      : Module(k, std::move(name)),
+        period_(period),
+        half_(Time::ps(period.picos() / 2)),
+        sig_(k, sub("clk"), false),
+        posedge_(k, sub("posedge")),
+        negedge_(k, sub("negedge")) {
+    HLCS_ASSERT(period.picos() >= 2, "clock period too small");
+    spawn("gen", [this]() { return generate(); });
+  }
+
+  Signal<bool>& signal() { return sig_; }
+  const Signal<bool>& signal() const { return sig_; }
+  bool high() const { return sig_.read(); }
+  Time period() const { return period_; }
+
+  /// Awaitable events; the clock signal already shows the new level when
+  /// a waiter resumes.
+  Event& posedge() { return posedge_; }
+  Event& negedge() { return negedge_; }
+
+  /// Rising edges generated so far (cycle counter).
+  std::uint64_t cycles() const { return cycles_; }
+
+private:
+  Task generate() {
+    for (;;) {
+      co_await kernel().wait(half_);
+      sig_.write(true);
+      ++cycles_;
+      posedge_.notify_delta();
+      co_await kernel().wait(period_ - half_);
+      sig_.write(false);
+      negedge_.notify_delta();
+    }
+  }
+
+  Time period_;
+  Time half_;
+  Signal<bool> sig_;
+  Event posedge_;
+  Event negedge_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace hlcs::sim

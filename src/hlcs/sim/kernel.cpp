@@ -1,0 +1,111 @@
+#include "hlcs/sim/kernel.hpp"
+
+#include <utility>
+
+#include "hlcs/sim/trace.hpp"
+
+namespace hlcs::sim {
+
+Kernel::~Kernel() = default;
+
+void Event::trigger() {
+  kernel_.stats_.events_triggered++;
+  if (!waiters_.empty()) {
+    for (auto h : waiters_) kernel_.make_runnable(h);
+    waiters_.clear();
+  }
+  for (MethodProcess* m : statics_) kernel_.queue_method(*m);
+}
+
+void Kernel::run_evaluation_phase() {
+  // Processes made runnable while the phase runs execute in the same
+  // phase, so keep draining until both queues are empty.
+  while (!runnable_.empty() || !method_queue_.empty()) {
+    std::vector<std::coroutine_handle<>> ready;
+    ready.swap(runnable_);
+    for (auto h : ready) {
+      stats_.resumes++;
+      h.resume();
+      check_error();
+    }
+    std::vector<MethodProcess*> methods;
+    methods.swap(method_queue_);
+    for (MethodProcess* m : methods) {
+      m->queued_ = false;
+      stats_.method_runs++;
+      (*m)();
+      check_error();
+    }
+  }
+}
+
+void Kernel::run_update_phase() {
+  std::vector<Channel*> updates;
+  updates.swap(update_queue_);
+  for (Channel* c : updates) {
+    c->update_pending_ = false;
+    stats_.updates++;
+    c->update();
+  }
+}
+
+void Kernel::run_delta_notifications() {
+  std::vector<Event*> events;
+  events.swap(delta_events_);
+  for (Event* e : events) e->trigger();
+  if (!delta_waiters_.empty()) {
+    for (auto h : delta_waiters_) make_runnable(h);
+    delta_waiters_.clear();
+  }
+}
+
+bool Kernel::advance_time(Time limit) {
+  if (timed_.empty()) return false;
+  const std::uint64_t t = timed_.top().at_ps;
+  if (t > limit.picos()) {
+    // Do not consume entries beyond the horizon; a later run() call can
+    // still reach them.
+    now_ = limit;
+    return false;
+  }
+  now_ = Time::ps(t);
+  while (!timed_.empty() && timed_.top().at_ps == t) {
+    TimedEntry e = timed_.top();
+    timed_.pop();
+    stats_.timed_actions++;
+    switch (e.kind) {
+      case TimedKind::Resume: make_runnable(e.handle); break;
+      case TimedKind::EventTrigger: e.event->trigger(); break;
+      case TimedKind::Method: queue_method(*e.m); break;
+    }
+  }
+  return true;
+}
+
+void Kernel::check_error() {
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Kernel::run_until(Time limit) {
+  stop_requested_ = false;
+  for (;;) {
+    // Delta loop at the current simulated time.
+    while (!runnable_.empty() || !method_queue_.empty() ||
+           !update_queue_.empty() || !delta_events_.empty() ||
+           !delta_waiters_.empty()) {
+      run_evaluation_phase();
+      run_update_phase();
+      run_delta_notifications();
+      stats_.deltas++;
+      if (trace_) trace_->sample(now_);
+      if (stop_requested_) return;
+    }
+    if (stop_requested_) return;
+    if (!advance_time(limit)) return;
+  }
+}
+
+}  // namespace hlcs::sim

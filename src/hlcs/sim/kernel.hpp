@@ -1,0 +1,328 @@
+// The discrete-event simulation kernel.
+//
+// Scheduling model (mirrors IEEE 1666 SystemC):
+//   1. Evaluation phase: run every runnable process (coroutine resumption
+//      or triggered method) until none remain.  Processes made runnable
+//      during the phase run in the same phase.
+//   2. Update phase: every signal/wire with a pending write commits its
+//      new value; commits that change a value schedule delta
+//      notifications on the value-changed events.
+//   3. Delta notification: triggered events wake their waiters; if any
+//      process became runnable, loop back to 1 (same simulated time, next
+//      delta cycle).
+//   4. Time advance: pop the earliest timed actions and continue.
+//
+// The kernel is strictly single-threaded and deterministic: within a
+// phase, processes run in the order they became runnable.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/assert.hpp"
+#include "hlcs/sim/task.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+
+class Kernel;
+class Event;
+class Trace;
+
+/// Base for updatable channels (signals, wires).  A channel requests an
+/// update during the evaluation phase; the kernel commits it in the
+/// update phase.
+class Channel {
+public:
+  explicit Channel(Kernel& k, std::string name);
+  virtual ~Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return kernel_; }
+
+protected:
+  friend class Kernel;
+  /// Commit the pending write.  Called exactly once per update phase in
+  /// which the channel requested an update.
+  virtual void update() = 0;
+  void request_update();
+
+private:
+  Kernel& kernel_;
+  std::string name_;
+  bool update_pending_ = false;
+};
+
+/// A process triggered by events through static sensitivity; runs a plain
+/// function to completion each trigger (like SC_METHOD).
+class MethodProcess {
+public:
+  MethodProcess(Kernel& k, std::string name, std::function<void()> fn)
+      : kernel_(k), name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const { return name_; }
+  void operator()() { fn_(); }
+
+private:
+  friend class Kernel;
+  friend class Event;
+  Kernel& kernel_;
+  std::string name_;
+  std::function<void()> fn_;
+  bool queued_ = false;
+};
+
+/// A notification primitive.  Processes wait on events dynamically
+/// (`co_await ev`); method processes are attached statically.
+class Event {
+public:
+  explicit Event(Kernel& k, std::string name = {});
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Immediate notification: waiters become runnable in the current
+  /// evaluation phase.
+  void notify();
+  /// Delta notification: waiters become runnable in the next delta cycle.
+  void notify_delta();
+  /// Timed notification: waiters present at T(now+t) wake then.
+  void notify(Time t);
+
+  /// Attach a method process permanently (static sensitivity).
+  void add_static(MethodProcess& m) { statics_.push_back(&m); }
+
+  /// Dynamic one-shot wait registration (used by the awaiter).
+  void add_waiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { ev.add_waiter(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{*this}; }
+
+private:
+  friend class Kernel;
+  /// Wake all current waiters and queue all static methods.
+  void trigger();
+
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<MethodProcess*> statics_;
+};
+
+/// Aggregate statistics, reported by benches and used in tests.
+struct KernelStats {
+  std::uint64_t deltas = 0;
+  std::uint64_t resumes = 0;          // coroutine resumptions
+  std::uint64_t method_runs = 0;      // method process executions
+  std::uint64_t updates = 0;          // channel update commits
+  std::uint64_t timed_actions = 0;    // timed-queue pops
+  std::uint64_t events_triggered = 0;
+};
+
+class Kernel {
+public:
+  Kernel() = default;
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ----- process management ------------------------------------------
+  /// Spawn a root thread process.  `f` is any callable returning Task;
+  /// it is stored inside the kernel so lambda captures stay alive for
+  /// the life of the coroutine.
+  template <class F>
+  void spawn(std::string name, F&& f) {
+    auto holder = std::make_unique<ThreadHolder>();
+    holder->name = std::move(name);
+    holder->factory = std::function<Task()>(std::forward<F>(f));
+    holder->task = holder->factory();
+    HLCS_ASSERT(holder->task.valid(), "spawn: callable returned empty Task");
+    holder->task.handle().promise().root_kernel = this;
+    make_runnable(holder->task.handle());
+    threads_.push_back(std::move(holder));
+  }
+
+  /// Create a method process.  Attach it to events for static
+  /// sensitivity; optionally trigger it once at start.
+  MethodProcess& method(std::string name, std::function<void()> fn,
+                        bool initial_trigger = true) {
+    methods_.push_back(
+        std::make_unique<MethodProcess>(*this, std::move(name), std::move(fn)));
+    MethodProcess& m = *methods_.back();
+    if (initial_trigger) queue_method(m);
+    return m;
+  }
+
+  // ----- scheduling primitives ----------------------------------------
+  void make_runnable(std::coroutine_handle<> h) { runnable_.push_back(h); }
+  void queue_method(MethodProcess& m) {
+    if (!m.queued_) {
+      m.queued_ = true;
+      method_queue_.push_back(&m);
+    }
+  }
+  void request_update(Channel& c) { update_queue_.push_back(&c); }
+  void notify_delta_event(Event& e) { delta_events_.push_back(&e); }
+  void schedule_resume(Time abs, std::coroutine_handle<> h) {
+    timed_.push({abs.picos(), next_seq_++, TimedKind::Resume, h, nullptr, nullptr});
+  }
+  void schedule_event(Time abs, Event& e) {
+    timed_.push({abs.picos(), next_seq_++, TimedKind::EventTrigger, nullptr, &e, nullptr});
+  }
+  void schedule_method(Time abs, MethodProcess& m) {
+    timed_.push({abs.picos(), next_seq_++, TimedKind::Method, nullptr, nullptr, &m});
+  }
+
+  // ----- run control ---------------------------------------------------
+  /// Run until no activity remains or `stop()` is called.
+  void run() { run_until(Time::max()); }
+  /// Run for `t` more simulated time.
+  void run_for(Time t) { run_until(now_ + t); }
+  /// Run until simulated time reaches `limit` (events at `limit` are
+  /// still executed).
+  void run_until(Time limit);
+  void stop() { stop_requested_ = true; }
+
+  Time now() const { return now_; }
+  const KernelStats& stats() const { return stats_; }
+
+  /// Awaitable: suspend the calling process for `t` simulated time.
+  struct TimeAwaiter {
+    Kernel& k;
+    Time t;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      k.schedule_resume(k.now() + t, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  TimeAwaiter wait(Time t) { return TimeAwaiter{*this, t}; }
+
+  /// Awaitable: suspend for one delta cycle.
+  struct DeltaAwaiter {
+    Kernel& k;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  DeltaAwaiter wait_delta() { return DeltaAwaiter{*this}; }
+
+  // ----- error reporting ------------------------------------------------
+  void set_process_error(std::exception_ptr e) {
+    if (!error_) error_ = e;
+  }
+
+  // ----- tracing ---------------------------------------------------------
+  void attach_trace(Trace& t) { trace_ = &t; }
+
+private:
+  friend class Event;
+  friend class Channel;
+
+  struct ThreadHolder {
+    std::string name;
+    std::function<Task()> factory;
+    Task task;
+  };
+
+  enum class TimedKind { Resume, EventTrigger, Method };
+  struct TimedEntry {
+    std::uint64_t at_ps;
+    std::uint64_t seq;
+    TimedKind kind;
+    std::coroutine_handle<> handle;
+    Event* event;
+    MethodProcess* m;
+    // Min-heap ordering: earliest time first, FIFO within a time.
+    friend bool operator>(const TimedEntry& a, const TimedEntry& b) {
+      if (a.at_ps != b.at_ps) return a.at_ps > b.at_ps;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_evaluation_phase();
+  void run_update_phase();
+  void run_delta_notifications();
+  /// Pops all timed entries at the earliest timestamp; returns false if
+  /// the queue is empty or past the limit.
+  bool advance_time(Time limit);
+  void check_error();
+
+  Time now_ = Time::zero();
+  bool stop_requested_ = false;
+  std::exception_ptr error_;
+
+  std::vector<std::coroutine_handle<>> runnable_;
+  std::vector<MethodProcess*> method_queue_;
+  std::vector<Channel*> update_queue_;
+  std::vector<Event*> delta_events_;
+  // Delta-wait processes resume via a dedicated event.
+  std::vector<std::coroutine_handle<>> delta_waiters_;
+
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<std::unique_ptr<ThreadHolder>> threads_;
+  std::vector<std::unique_ptr<MethodProcess>> methods_;
+
+  KernelStats stats_;
+  Trace* trace_ = nullptr;
+};
+
+inline Channel::Channel(Kernel& k, std::string name)
+    : kernel_(k), name_(std::move(name)) {}
+
+inline void Channel::request_update() {
+  if (!update_pending_) {
+    update_pending_ = true;
+    kernel_.request_update(*this);
+  }
+}
+
+inline Event::Event(Kernel& k, std::string name)
+    : kernel_(k), name_(std::move(name)) {}
+
+inline void Event::notify() { trigger(); }
+
+inline void Event::notify_delta() { kernel_.notify_delta_event(*this); }
+
+inline void Event::notify(Time t) {
+  kernel_.schedule_event(kernel_.now() + t, *this);
+}
+
+inline void Kernel::DeltaAwaiter::await_suspend(std::coroutine_handle<> h) {
+  k.delta_waiters_.push_back(h);
+}
+
+// Root-process exception hand-off: when a root coroutine finishes with a
+// stored exception and nobody awaits it, report it to the kernel.
+inline std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  promise_type& p = h.promise();
+  if (p.continuation) return p.continuation;
+  if (p.exception && p.root_kernel) p.root_kernel->set_process_error(p.exception);
+  return std::noop_coroutine();
+}
+
+/// Convenience coroutine: wait on `ev` until `pred()` holds.
+template <class Pred>
+Task await_condition(Event& ev, Pred pred) {
+  while (!pred()) co_await ev;
+}
+
+}  // namespace hlcs::sim

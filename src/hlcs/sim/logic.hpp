@@ -1,0 +1,167 @@
+// Four-valued logic: 0, 1, Z (high impedance), X (unknown / conflict).
+//
+// The PCI substrate needs honest tri-state modelling: AD/CBE and the
+// sustained-tri-state control signals (FRAME#, IRDY#, TRDY#, DEVSEL#,
+// STOP#) are shared wires driven by whichever agent owns them, released
+// to Z otherwise.  Driving conflicts resolve to X so the protocol monitor
+// can detect real errors instead of silently picking a winner.
+//
+// LogicVec packs up to 64 bits as three bitmasks (value / Z / X), so
+// resolution and comparison are word-parallel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::sim {
+
+enum class Logic : std::uint8_t { L0 = 0, L1 = 1, Z = 2, X = 3 };
+
+constexpr Logic logic_from_bool(bool b) { return b ? Logic::L1 : Logic::L0; }
+
+constexpr bool is_01(Logic l) { return l == Logic::L0 || l == Logic::L1; }
+
+/// True iff the value is a driven logic one (Z and X are not).
+constexpr bool is_one(Logic l) { return l == Logic::L1; }
+constexpr bool is_zero(Logic l) { return l == Logic::L0; }
+
+/// Wired resolution: Z yields to anything; equal drivers agree; 0/1
+/// conflict or any X produces X.
+constexpr Logic resolve(Logic a, Logic b) {
+  if (a == Logic::Z) return b;
+  if (b == Logic::Z) return a;
+  if (a == b) return a;
+  return Logic::X;
+}
+
+constexpr char to_char(Logic l) {
+  switch (l) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::Z: return 'z';
+    default: return 'x';
+  }
+}
+
+constexpr Logic logic_not(Logic l) {
+  if (l == Logic::L0) return Logic::L1;
+  if (l == Logic::L1) return Logic::L0;
+  return Logic::X;
+}
+
+/// A fixed-width (1..64 bit) vector of 4-valued logic.
+class LogicVec {
+public:
+  /// Default: zero-width (an "unbound" placeholder).
+  constexpr LogicVec() = default;
+
+  /// All bits X -- the state of an undriven, untouched net at power-up.
+  constexpr explicit LogicVec(unsigned width)
+      : width_(width), val_(0), z_(0), x_(mask(width)) {
+    check_width(width);
+  }
+
+  static constexpr LogicVec of(std::uint64_t value, unsigned width) {
+    check_width(width);
+    LogicVec v;
+    v.width_ = width;
+    v.val_ = value & mask(width);
+    v.z_ = 0;
+    v.x_ = 0;
+    return v;
+  }
+
+  static constexpr LogicVec all_z(unsigned width) {
+    check_width(width);
+    LogicVec v;
+    v.width_ = width;
+    v.z_ = mask(width);
+    return v;
+  }
+
+  static constexpr LogicVec all_x(unsigned width) { return LogicVec(width); }
+
+  constexpr unsigned width() const { return width_; }
+
+  constexpr Logic bit(unsigned i) const {
+    HLCS_ASSERT(i < width_, "LogicVec::bit index out of range");
+    if (x_ >> i & 1) return Logic::X;
+    if (z_ >> i & 1) return Logic::Z;
+    return (val_ >> i & 1) ? Logic::L1 : Logic::L0;
+  }
+
+  constexpr void set_bit(unsigned i, Logic l) {
+    HLCS_ASSERT(i < width_, "LogicVec::set_bit index out of range");
+    const std::uint64_t b = 1ull << i;
+    val_ &= ~b;
+    z_ &= ~b;
+    x_ &= ~b;
+    switch (l) {
+      case Logic::L1: val_ |= b; break;
+      case Logic::Z: z_ |= b; break;
+      case Logic::X: x_ |= b; break;
+      case Logic::L0: break;
+    }
+  }
+
+  /// True iff every bit is 0 or 1.
+  constexpr bool is_fully_defined() const { return (z_ | x_) == 0; }
+
+  constexpr bool has_x() const { return x_ != 0; }
+  constexpr bool is_all_z() const { return z_ == mask(width_) && x_ == 0; }
+
+  /// Numeric value; requires a fully defined vector.
+  constexpr std::uint64_t to_uint() const {
+    HLCS_ASSERT(is_fully_defined(), "to_uint on vector with Z/X bits");
+    return val_;
+  }
+
+  /// Numeric value treating Z/X bits as zero (for lenient observers).
+  constexpr std::uint64_t to_uint_lenient() const { return val_ & ~(z_ | x_); }
+
+  /// Per-bit wired resolution of two drivers of equal width.
+  constexpr LogicVec resolved_with(const LogicVec& o) const {
+    HLCS_ASSERT(width_ == o.width_, "resolving vectors of different widths");
+    LogicVec r;
+    r.width_ = width_;
+    // A bit of the result is X if either side is X, or both sides drive
+    // (non-Z) and disagree.
+    const std::uint64_t both_driven = ~z_ & ~o.z_ & ~x_ & ~o.x_;
+    const std::uint64_t disagree = (val_ ^ o.val_) & both_driven;
+    r.x_ = (x_ | o.x_ | disagree) & mask(width_);
+    // Z only where both sides are Z.
+    r.z_ = z_ & o.z_ & ~r.x_;
+    // Value comes from whichever side drives.
+    r.val_ = ((val_ & ~z_) | (o.val_ & ~o.z_)) & ~r.z_ & ~r.x_;
+    return r;
+  }
+
+  friend constexpr bool operator==(const LogicVec& a, const LogicVec& b) {
+    return a.width_ == b.width_ && a.val_ == b.val_ && a.z_ == b.z_ &&
+           a.x_ == b.x_;
+  }
+
+  std::string to_string() const {
+    std::string s;
+    s.reserve(width_);
+    for (unsigned i = width_; i-- > 0;) s.push_back(to_char(bit(i)));
+    return s;
+  }
+
+private:
+  static constexpr std::uint64_t mask(unsigned w) {
+    return w >= 64 ? ~0ull : (1ull << w) - 1;
+  }
+  static constexpr void check_width(unsigned w) {
+    HLCS_ASSERT(w >= 1 && w <= 64, "LogicVec width must be in [1,64]");
+  }
+
+  unsigned width_ = 0;
+  std::uint64_t val_ = 0;
+  std::uint64_t z_ = 0;
+  std::uint64_t x_ = 0;
+};
+
+}  // namespace hlcs::sim

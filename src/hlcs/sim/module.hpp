@@ -1,0 +1,43 @@
+// A Module is the structural unit of a model: it owns channels and
+// processes and provides hierarchical naming.  Mirrors sc_module in
+// spirit, without macro ceremony.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "hlcs/sim/kernel.hpp"
+
+namespace hlcs::sim {
+
+class Module {
+public:
+  Module(Kernel& k, std::string name) : kernel_(k), name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  Kernel& kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+
+  /// Hierarchical name for a child object.
+  std::string sub(const std::string& leaf) const { return name_ + "." + leaf; }
+
+protected:
+  /// Spawn a thread process named under this module.
+  template <class F>
+  void spawn(const std::string& leaf, F&& f) {
+    kernel_.spawn(sub(leaf), std::forward<F>(f));
+  }
+
+  MethodProcess& method(const std::string& leaf, std::function<void()> fn,
+                        bool initial_trigger = true) {
+    return kernel_.method(sub(leaf), std::move(fn), initial_trigger);
+  }
+
+private:
+  Kernel& kernel_;
+  std::string name_;
+};
+
+}  // namespace hlcs::sim

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random source for workloads and randomized
+// arbitration.  xorshift64* -- fast, seedable, identical across
+// platforms, so every experiment in this repository is reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::sim {
+
+class Xorshift {
+public:
+  explicit constexpr Xorshift(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 1) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    HLCS_ASSERT(bound > 0, "Xorshift::below(0)");
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    HLCS_ASSERT(lo <= hi, "Xorshift::range inverted bounds");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace hlcs::sim

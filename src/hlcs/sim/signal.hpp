@@ -1,0 +1,87 @@
+// Single-driver signals with SystemC evaluate/update semantics: a write
+// during the evaluation phase becomes visible to readers only from the
+// next delta cycle, which makes concurrent processes deterministic.
+#pragma once
+
+#include <concepts>
+#include <string>
+#include <type_traits>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/logic.hpp"
+#include "hlcs/sim/trace.hpp"
+
+namespace hlcs::sim {
+
+namespace detail {
+
+inline std::string trace_repr(bool v) { return v ? "1" : "0"; }
+inline std::string trace_repr(Logic v) { return std::string(1, to_char(v)); }
+inline std::string trace_repr(const LogicVec& v) { return v.to_string(); }
+template <std::integral T>
+  requires(!std::same_as<T, bool>)
+std::string trace_repr(T v) {
+  // Binary, MSB first, natural width of the type.
+  std::string s;
+  for (int i = static_cast<int>(sizeof(T) * 8) - 1; i >= 0; --i) {
+    s.push_back(((static_cast<std::uint64_t>(v) >> i) & 1) ? '1' : '0');
+  }
+  return s;
+}
+
+template <class T>
+constexpr unsigned trace_width_of() {
+  if constexpr (std::same_as<T, bool> || std::same_as<T, Logic>) {
+    return 1;
+  } else {
+    return sizeof(T) * 8;
+  }
+}
+
+}  // namespace detail
+
+template <class T>
+class Signal final : public Channel, public Traceable {
+public:
+  Signal(Kernel& k, std::string name, T init = T{})
+      : Channel(k, std::move(name)),
+        cur_(init),
+        next_(init),
+        changed_(k, this->name() + ".changed") {}
+
+  const T& read() const { return cur_; }
+
+  void write(const T& v) {
+    next_ = v;
+    request_update();
+  }
+
+  /// Notified (delta) whenever a committed write changes the value.
+  Event& changed() { return changed_; }
+
+  // Traceable
+  std::string trace_name() const override { return name(); }
+  unsigned trace_width() const override {
+    if constexpr (std::same_as<T, LogicVec>) {
+      return cur_.width();
+    } else {
+      return detail::trace_width_of<T>();
+    }
+  }
+  std::string trace_value() const override { return detail::trace_repr(cur_); }
+
+protected:
+  void update() override {
+    if (!(next_ == cur_)) {
+      cur_ = next_;
+      changed_.notify_delta();
+    }
+  }
+
+private:
+  T cur_;
+  T next_;
+  Event changed_;
+};
+
+}  // namespace hlcs::sim

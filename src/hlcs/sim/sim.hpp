@@ -1,0 +1,14 @@
+// Umbrella header for the simulation kernel.
+#pragma once
+
+#include "hlcs/sim/assert.hpp"
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/logic.hpp"
+#include "hlcs/sim/module.hpp"
+#include "hlcs/sim/random.hpp"
+#include "hlcs/sim/signal.hpp"
+#include "hlcs/sim/task.hpp"
+#include "hlcs/sim/time.hpp"
+#include "hlcs/sim/trace.hpp"
+#include "hlcs/sim/wire.hpp"

@@ -1,0 +1,85 @@
+// Simulation processes are C++20 coroutines returning sim::Task.
+//
+// A Task supports nesting: a process coroutine may `co_await` another
+// Task-returning coroutine; completion transfers control back to the
+// awaiting coroutine via symmetric transfer.  Exceptions propagate up the
+// await chain; an exception escaping a root process is recorded on the
+// Kernel and re-thrown from Kernel::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace hlcs::sim {
+
+class Kernel;
+
+class Task {
+public:
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    std::exception_ptr exception{};
+    Kernel* root_kernel = nullptr;  // set only on root process coroutines
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+  Handle handle() const noexcept { return h_; }
+
+  // Awaitable interface: `co_await child_task` starts the child and
+  // resumes the awaiter when the child completes.
+  bool await_ready() const noexcept { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;  // symmetric transfer into the child
+  }
+  void await_resume() {
+    if (h_ && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  Handle h_ = nullptr;
+};
+
+}  // namespace hlcs::sim

@@ -1,0 +1,57 @@
+// Simulated time. One tick = 1 picosecond, stored as an unsigned 64-bit
+// count, which covers ~213 days of simulated time -- far beyond any model
+// in this library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hlcs::sim {
+
+class Time {
+public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1000ull); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1000000ull); }
+  static constexpr Time ms(std::uint64_t v) { return Time(v * 1000000000ull); }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(~0ull); }
+
+  constexpr std::uint64_t picos() const { return ps_; }
+  constexpr double to_ns() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double to_us() const { return static_cast<double>(ps_) / 1e6; }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ps_ - b.ps_); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time(a.ps_ * k); }
+  friend constexpr Time operator*(std::uint64_t k, Time a) { return Time(a.ps_ * k); }
+  friend constexpr std::uint64_t operator/(Time a, Time b) { return a.ps_ / b.ps_; }
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  std::string to_string() const {
+    if (ps_ == 0) return "0s";
+    if (ps_ % 1000000ull == 0) return std::to_string(ps_ / 1000000ull) + "us";
+    if (ps_ % 1000ull == 0) return std::to_string(ps_ / 1000ull) + "ns";
+    return std::to_string(ps_) + "ps";
+  }
+
+private:
+  constexpr explicit Time(std::uint64_t v) : ps_(v) {}
+  std::uint64_t ps_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long v) { return Time::ps(v); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(v); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(v); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(v); }
+}  // namespace literals
+
+}  // namespace hlcs::sim

@@ -1,0 +1,125 @@
+#include "hlcs/sim/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::sim {
+
+Trace::Trace(std::string path) : path_(std::move(path)), out_(path_) {
+  if (!out_) fail("Trace: cannot open " + path_);
+}
+
+Trace::~Trace() = default;
+
+void Trace::add(const Traceable& t) {
+  HLCS_ASSERT(!header_written_, "Trace::add after tracing started");
+  items_.push_back(Item{&t, id_for(items_.size()), {}});
+}
+
+std::string Trace::id_for(std::size_t index) {
+  // VCD identifier codes: printable ASCII 33..126, base-94 little-endian.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void Trace::write_header() {
+  out_ << "$date\n  (hlcs simulation)\n$end\n";
+  out_ << "$version\n  hlcs VCD trace\n$end\n";
+  out_ << "$timescale 1ps $end\n";
+  // Hierarchical scopes from dotted names: "pci.AD" becomes scope "pci",
+  // leaf "AD".  Items are emitted grouped by scope path so viewers show
+  // the module tree.
+  struct Entry {
+    std::vector<std::string> scope;
+    std::string leaf;
+    const Item* item;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(items_.size());
+  for (const Item& item : items_) {
+    Entry e;
+    e.item = &item;
+    const std::string& full = item.t->trace_name();
+    std::size_t start = 0, dot;
+    while ((dot = full.find('.', start)) != std::string::npos) {
+      e.scope.push_back(full.substr(start, dot - start));
+      start = dot + 1;
+    }
+    e.leaf = full.substr(start);
+    entries.push_back(std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.scope < b.scope;
+                   });
+  std::vector<std::string> open;
+  auto sync_scope = [&](const std::vector<std::string>& want) {
+    std::size_t common = 0;
+    while (common < open.size() && common < want.size() &&
+           open[common] == want[common]) {
+      ++common;
+    }
+    while (open.size() > common) {
+      out_ << "$upscope $end\n";
+      open.pop_back();
+    }
+    for (std::size_t i = common; i < want.size(); ++i) {
+      out_ << "$scope module " << want[i] << " $end\n";
+      open.push_back(want[i]);
+    }
+  };
+  for (const Entry& e : entries) {
+    sync_scope(e.scope);
+    out_ << "$var wire " << e.item->t->trace_width() << " " << e.item->id
+         << " " << e.leaf << " $end\n";
+  }
+  sync_scope({});
+  out_ << "$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void Trace::emit(const Item& item, const std::string& value) {
+  if (item.t->trace_width() == 1) {
+    out_ << value << item.id << "\n";
+  } else {
+    out_ << "b" << value << " " << item.id << "\n";
+  }
+}
+
+void Trace::sample(Time now) {
+  if (!header_written_) {
+    write_header();
+    out_ << "$dumpvars\n";
+    for (Item& item : items_) {
+      item.last = item.t->trace_value();
+      emit(item, item.last);
+    }
+    out_ << "$end\n";
+    last_time_ps_ = now.picos();
+    time_marker_written_ = true;
+    return;
+  }
+  if (now.picos() != last_time_ps_) {
+    last_time_ps_ = now.picos();
+    time_marker_written_ = false;
+  }
+  for (Item& item : items_) {
+    std::string v = item.t->trace_value();
+    if (v != item.last) {
+      if (!time_marker_written_) {
+        out_ << "#" << last_time_ps_ << "\n";
+        time_marker_written_ = true;
+      }
+      emit(item, v);
+      item.last = std::move(v);
+    }
+  }
+}
+
+}  // namespace hlcs::sim

@@ -1,0 +1,60 @@
+// VCD waveform tracing.  Channels register as Traceable; the kernel calls
+// Trace::sample() at the end of every delta cycle and the trace records
+// value changes in standard VCD format (viewable in GTKWave), which is how
+// the paper's Figure 4 waveforms are regenerated.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+
+class Traceable {
+public:
+  virtual ~Traceable() = default;
+  virtual std::string trace_name() const = 0;
+  virtual unsigned trace_width() const = 0;
+  /// Current value, MSB-first, using VCD characters 0/1/x/z.
+  virtual std::string trace_value() const = 0;
+};
+
+class Trace {
+public:
+  /// Opens `path` for writing; the header is emitted on the first sample.
+  explicit Trace(std::string path);
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void add(const Traceable& t);
+
+  /// Record changes at simulated time `now`.  Idempotent per (time,
+  /// value) pair; called by the kernel after every delta cycle.
+  void sample(Time now);
+
+  const std::string& path() const { return path_; }
+
+private:
+  struct Item {
+    const Traceable* t;
+    std::string id;    // VCD identifier code
+    std::string last;  // last emitted value
+  };
+
+  void write_header();
+  static std::string id_for(std::size_t index);
+  void emit(const Item& item, const std::string& value);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<Item> items_;
+  bool header_written_ = false;
+  std::uint64_t last_time_ps_ = 0;
+  bool time_marker_written_ = false;
+};
+
+}  // namespace hlcs::sim

@@ -1,0 +1,146 @@
+// Multi-driver resolved wires carrying 4-valued logic.  Every agent that
+// drives a wire obtains a Driver slot; the committed value is the wired
+// resolution over all slots (undriven slots contribute Z).  Conflicting
+// drivers resolve to X, which the PCI protocol monitor flags.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/logic.hpp"
+#include "hlcs/sim/trace.hpp"
+
+namespace hlcs::sim {
+
+/// A resolved scalar wire.
+class Wire final : public Channel, public Traceable {
+public:
+  Wire(Kernel& k, std::string name)
+      : Channel(k, std::move(name)), changed_(k, this->name() + ".changed") {}
+
+  class Driver {
+  public:
+    Driver() = default;
+    void write(Logic v) {
+      HLCS_ASSERT(w_ != nullptr, "write through unbound Wire::Driver");
+      if (w_->slots_[slot_] != v) {
+        w_->slots_[slot_] = v;
+        w_->request_update();
+      }
+    }
+    void release() { write(Logic::Z); }
+    bool bound() const { return w_ != nullptr; }
+
+  private:
+    friend class Wire;
+    Driver(Wire* w, std::size_t s) : w_(w), slot_(s) {}
+    Wire* w_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  Driver make_driver() {
+    slots_.push_back(Logic::Z);
+    return Driver(this, slots_.size() - 1);
+  }
+
+  Logic read() const { return cur_; }
+  /// Driven low / driven high helpers for active-low protocol signals.
+  bool is_low() const { return cur_ == Logic::L0; }
+  bool is_high() const { return cur_ == Logic::L1; }
+
+  Event& changed() { return changed_; }
+
+  // Traceable
+  std::string trace_name() const override { return name(); }
+  unsigned trace_width() const override { return 1; }
+  std::string trace_value() const override {
+    return std::string(1, to_char(cur_));
+  }
+
+protected:
+  void update() override {
+    Logic r = Logic::Z;
+    for (Logic v : slots_) r = resolve(r, v);
+    if (r != cur_) {
+      cur_ = r;
+      changed_.notify_delta();
+    }
+  }
+
+private:
+  std::vector<Logic> slots_;
+  Logic cur_ = Logic::Z;
+  Event changed_;
+};
+
+/// A resolved vector wire (1..64 bits), e.g. the PCI AD bus.
+class WireVec final : public Channel, public Traceable {
+public:
+  WireVec(Kernel& k, std::string name, unsigned width)
+      : Channel(k, std::move(name)),
+        width_(width),
+        cur_(LogicVec::all_z(width)),
+        changed_(k, this->name() + ".changed") {}
+
+  class Driver {
+  public:
+    Driver() = default;
+    void write(const LogicVec& v) {
+      HLCS_ASSERT(w_ != nullptr, "write through unbound WireVec::Driver");
+      HLCS_ASSERT(v.width() == w_->width_, "WireVec driver width mismatch");
+      if (!(w_->slots_[slot_] == v)) {
+        w_->slots_[slot_] = v;
+        w_->request_update();
+      }
+    }
+    void write_uint(std::uint64_t value) {
+      HLCS_ASSERT(w_ != nullptr, "write through unbound WireVec::Driver");
+      write(LogicVec::of(value, w_->width_));
+    }
+    void release() {
+      HLCS_ASSERT(w_ != nullptr, "release of unbound WireVec::Driver");
+      write(LogicVec::all_z(w_->width_));
+    }
+    bool bound() const { return w_ != nullptr; }
+
+  private:
+    friend class WireVec;
+    Driver(WireVec* w, std::size_t s) : w_(w), slot_(s) {}
+    WireVec* w_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  Driver make_driver() {
+    slots_.push_back(LogicVec::all_z(width_));
+    return Driver(this, slots_.size() - 1);
+  }
+
+  unsigned width() const { return width_; }
+  const LogicVec& read() const { return cur_; }
+  Event& changed() { return changed_; }
+
+  // Traceable
+  std::string trace_name() const override { return name(); }
+  unsigned trace_width() const override { return width_; }
+  std::string trace_value() const override { return cur_.to_string(); }
+
+protected:
+  void update() override {
+    LogicVec r = LogicVec::all_z(width_);
+    for (const LogicVec& v : slots_) r = r.resolved_with(v);
+    if (!(r == cur_)) {
+      cur_ = r;
+      changed_.notify_delta();
+    }
+  }
+
+private:
+  unsigned width_;
+  std::vector<LogicVec> slots_;
+  LogicVec cur_;
+  Event changed_;
+};
+
+}  // namespace hlcs::sim

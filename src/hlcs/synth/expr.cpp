@@ -1,0 +1,207 @@
+#include "hlcs/synth/expr.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace hlcs::synth {
+
+bool is_unary(ExprOp op) {
+  switch (op) {
+    case ExprOp::Not: case ExprOp::Neg: case ExprOp::RedOr:
+    case ExprOp::RedAnd: case ExprOp::ZExt: case ExprOp::Slice:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_binary(ExprOp op) {
+  switch (op) {
+    case ExprOp::Add: case ExprOp::Sub: case ExprOp::Mul:
+    case ExprOp::And: case ExprOp::Or: case ExprOp::Xor:
+    case ExprOp::Eq: case ExprOp::Ne: case ExprOp::Lt: case ExprOp::Le:
+    case ExprOp::Gt: case ExprOp::Ge:
+    case ExprOp::Shl: case ExprOp::Shr: case ExprOp::Concat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::Const: return "const";
+    case ExprOp::Var: return "var";
+    case ExprOp::Arg: return "arg";
+    case ExprOp::Not: return "not";
+    case ExprOp::Neg: return "neg";
+    case ExprOp::RedOr: return "red_or";
+    case ExprOp::RedAnd: return "red_and";
+    case ExprOp::ZExt: return "zext";
+    case ExprOp::Slice: return "slice";
+    case ExprOp::Add: return "add";
+    case ExprOp::Sub: return "sub";
+    case ExprOp::Mul: return "mul";
+    case ExprOp::And: return "and";
+    case ExprOp::Or: return "or";
+    case ExprOp::Xor: return "xor";
+    case ExprOp::Eq: return "eq";
+    case ExprOp::Ne: return "ne";
+    case ExprOp::Lt: return "lt";
+    case ExprOp::Le: return "le";
+    case ExprOp::Gt: return "gt";
+    case ExprOp::Ge: return "ge";
+    case ExprOp::Shl: return "shl";
+    case ExprOp::Shr: return "shr";
+    case ExprOp::Concat: return "concat";
+    case ExprOp::Mux: return "mux";
+  }
+  return "?";
+}
+
+std::uint64_t eval(const ExprArena& arena, ExprId root,
+                   const std::vector<std::uint64_t>& vars,
+                   const std::vector<std::uint64_t>& args) {
+  std::function<std::uint64_t(ExprId)> go = [&](ExprId id) -> std::uint64_t {
+    const ExprNode& n = arena.at(id);
+    const std::uint64_t m = ExprArena::mask(n.width);
+    switch (n.op) {
+      case ExprOp::Const:
+        return n.imm & m;
+      case ExprOp::Var:
+        HLCS_ASSERT(n.imm < vars.size(), "eval: var index out of range");
+        return vars[n.imm] & m;
+      case ExprOp::Arg:
+        HLCS_ASSERT(n.imm < args.size(), "eval: arg index out of range");
+        return args[n.imm] & m;
+      case ExprOp::Not:
+        return ~go(n.a) & m;
+      case ExprOp::Neg:
+        return (~go(n.a) + 1) & m;
+      case ExprOp::RedOr:
+        return go(n.a) != 0;
+      case ExprOp::RedAnd:
+        return go(n.a) == ExprArena::mask(arena.at(n.a).width);
+      case ExprOp::ZExt:
+        return go(n.a) & m;
+      case ExprOp::Slice:
+        return (go(n.a) >> n.imm) & m;
+      case ExprOp::Add:
+        return (go(n.a) + go(n.b)) & m;
+      case ExprOp::Sub:
+        return (go(n.a) - go(n.b)) & m;
+      case ExprOp::Mul:
+        return (go(n.a) * go(n.b)) & m;
+      case ExprOp::And:
+        return go(n.a) & go(n.b);
+      case ExprOp::Or:
+        return go(n.a) | go(n.b);
+      case ExprOp::Xor:
+        return go(n.a) ^ go(n.b);
+      case ExprOp::Eq:
+        return go(n.a) == go(n.b);
+      case ExprOp::Ne:
+        return go(n.a) != go(n.b);
+      case ExprOp::Lt:
+        return go(n.a) < go(n.b);
+      case ExprOp::Le:
+        return go(n.a) <= go(n.b);
+      case ExprOp::Gt:
+        return go(n.a) > go(n.b);
+      case ExprOp::Ge:
+        return go(n.a) >= go(n.b);
+      case ExprOp::Shl: {
+        const std::uint64_t s = go(n.b);
+        return s >= 64 ? 0 : (go(n.a) << s) & m;
+      }
+      case ExprOp::Shr: {
+        const std::uint64_t s = go(n.b);
+        return s >= 64 ? 0 : (go(n.a) >> s) & m;
+      }
+      case ExprOp::Concat:
+        return ((go(n.a) << arena.at(n.b).width) | go(n.b)) & m;
+      case ExprOp::Mux:
+        return go(n.a) ? go(n.b) : go(n.c);
+    }
+    fail("eval: unknown op");
+  };
+  return go(root);
+}
+
+unsigned depth(const ExprArena& arena, ExprId root) {
+  std::function<unsigned(ExprId)> go = [&](ExprId id) -> unsigned {
+    const ExprNode& n = arena.at(id);
+    switch (n.op) {
+      case ExprOp::Const: case ExprOp::Var: case ExprOp::Arg:
+        return 0;
+      default: {
+        unsigned d = 0;
+        if (n.a != kNoExpr) d = std::max(d, go(n.a));
+        if (n.b != kNoExpr) d = std::max(d, go(n.b));
+        if (n.c != kNoExpr) d = std::max(d, go(n.c));
+        // Slicing and zero-extension are wiring, not logic.
+        const bool free_op = n.op == ExprOp::Slice || n.op == ExprOp::ZExt ||
+                             n.op == ExprOp::Concat;
+        return d + (free_op ? 0 : 1);
+      }
+    }
+  };
+  return go(root);
+}
+
+ExprId clone_expr(const ExprArena& src, ExprId id, ExprArena& dst,
+                  const std::function<ExprId(std::uint32_t, unsigned)>& map_var,
+                  const std::function<ExprId(std::uint32_t, unsigned)>& map_arg) {
+  const ExprNode& n = src.at(id);
+  switch (n.op) {
+    case ExprOp::Const:
+      return dst.cst(n.imm, n.width);
+    case ExprOp::Var:
+      return map_var(static_cast<std::uint32_t>(n.imm), n.width);
+    case ExprOp::Arg:
+      return map_arg(static_cast<std::uint32_t>(n.imm), n.width);
+    case ExprOp::ZExt:
+      return dst.zext(clone_expr(src, n.a, dst, map_var, map_arg), n.width);
+    case ExprOp::Slice:
+      return dst.slice(clone_expr(src, n.a, dst, map_var, map_arg),
+                       static_cast<unsigned>(n.imm), n.width);
+    case ExprOp::Mux:
+      return dst.mux(clone_expr(src, n.a, dst, map_var, map_arg),
+                     clone_expr(src, n.b, dst, map_var, map_arg),
+                     clone_expr(src, n.c, dst, map_var, map_arg));
+    default:
+      if (is_unary(n.op)) {
+        return dst.un(n.op, clone_expr(src, n.a, dst, map_var, map_arg));
+      }
+      return dst.bin(n.op, clone_expr(src, n.a, dst, map_var, map_arg),
+                     clone_expr(src, n.b, dst, map_var, map_arg));
+  }
+  fail("clone_expr: unknown op");
+}
+
+std::string to_string(const ExprArena& arena, ExprId root) {
+  std::function<std::string(ExprId)> go = [&](ExprId id) -> std::string {
+    const ExprNode& n = arena.at(id);
+    switch (n.op) {
+      case ExprOp::Const:
+        return std::to_string(n.imm) + "'" + std::to_string(n.width);
+      case ExprOp::Var:
+        return "v" + std::to_string(n.imm);
+      case ExprOp::Arg:
+        return "a" + std::to_string(n.imm);
+      case ExprOp::Slice:
+        return go(n.a) + "[" + std::to_string(n.imm + n.width - 1) + ":" +
+               std::to_string(n.imm) + "]";
+      case ExprOp::Mux:
+        return "(" + go(n.a) + " ? " + go(n.b) + " : " + go(n.c) + ")";
+      default:
+        if (is_unary(n.op)) {
+          return std::string(op_name(n.op)) + "(" + go(n.a) + ")";
+        }
+        return "(" + go(n.a) + " " + op_name(n.op) + " " + go(n.b) + ")";
+    }
+  };
+  return go(root);
+}
+
+}  // namespace hlcs::synth

@@ -1,0 +1,65 @@
+// Reference interpreter for ObjectDesc -- the pre-synthesis executable
+// semantics.  The synthesised netlist must agree with this interpreter
+// cycle for cycle (given the same arbitration); that agreement is the
+// paper's Sec. 3 consistency experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hlcs/synth/object_desc.hpp"
+
+namespace hlcs::synth {
+
+class ObjectInterp {
+public:
+  explicit ObjectInterp(const ObjectDesc& desc) : desc_(desc) {
+    desc_.validate();
+    reset();
+  }
+
+  /// Restore every variable to its declared initial value.
+  void reset() {
+    vars_.clear();
+    for (const VarDesc& v : desc_.vars()) vars_.push_back(v.init);
+  }
+
+  /// Evaluate a method's guard against the current state (and the call's
+  /// arguments, which guards may reference).
+  bool guard_ok(std::size_t method,
+                const std::vector<std::uint64_t>& args = {}) const {
+    const MethodDesc& m = desc_.methods().at(method);
+    if (m.guard == kNoExpr) return true;
+    return eval(desc_.arena(), m.guard, vars_, args) != 0;
+  }
+
+  /// Execute a method: parallel-assignment commit, return value computed
+  /// from the entry state.  The caller is responsible for checking the
+  /// guard first (as the arbiter does).
+  std::uint64_t invoke(std::size_t method,
+                       const std::vector<std::uint64_t>& args = {}) {
+    const MethodDesc& m = desc_.methods().at(method);
+    HLCS_ASSERT(args.size() == m.args.size(),
+                "invoke: argument count mismatch");
+    const std::uint64_t ret =
+        m.ret == kNoExpr ? 0 : eval(desc_.arena(), m.ret, vars_, args);
+    // Two-phase: evaluate every RHS against the entry state, then commit.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> next;
+    next.reserve(m.body.size());
+    for (const AssignDesc& as : m.body) {
+      next.emplace_back(as.var, eval(desc_.arena(), as.value, vars_, args));
+    }
+    for (auto [var, value] : next) vars_[var] = value;
+    return ret;
+  }
+
+  std::uint64_t var(std::size_t index) const { return vars_.at(index); }
+  const std::vector<std::uint64_t>& state() const { return vars_; }
+  const ObjectDesc& desc() const { return desc_; }
+
+private:
+  const ObjectDesc& desc_;
+  std::vector<std::uint64_t> vars_;
+};
+
+}  // namespace hlcs::synth

@@ -1,0 +1,70 @@
+#include "hlcs/synth/netlist.hpp"
+
+#include <functional>
+
+namespace hlcs::synth {
+
+std::vector<std::size_t> Netlist::validate_and_order() const {
+  enum class DriverKind { None, Input, Reg, Comb };
+  std::vector<DriverKind> driver(nets_.size(), DriverKind::None);
+  std::vector<std::size_t> comb_of(nets_.size(), ~std::size_t{0});
+
+  auto claim = [&](NetId n, DriverKind kind, const char* what) {
+    if (driver[n] != DriverKind::None) {
+      throw SynthesisError(name_ + ": net '" + nets_[n].name +
+                           "' has multiple drivers (" + what + ")");
+    }
+    driver[n] = kind;
+  };
+  for (NetId n : inputs_) claim(n, DriverKind::Input, "input");
+  for (const RegDesc& r : regs_) claim(r.q, DriverKind::Reg, "register");
+  for (std::size_t i = 0; i < combs_.size(); ++i) {
+    claim(combs_[i].target, DriverKind::Comb, "comb assign");
+    comb_of[combs_[i].target] = i;
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    if (driver[n] == DriverKind::None) {
+      throw SynthesisError(name_ + ": net '" + nets_[n].name +
+                           "' is undriven");
+    }
+  }
+
+  // Topological sort of comb assigns by depth-first search over the net
+  // dependency graph; a back edge is a combinational cycle.
+  std::vector<std::size_t> order;
+  order.reserve(combs_.size());
+  enum class Mark { White, Grey, Black };
+  std::vector<Mark> mark(combs_.size(), Mark::White);
+
+  std::function<void(ExprId, std::size_t)> visit_expr;
+  std::function<void(std::size_t)> visit_comb = [&](std::size_t ci) {
+    if (mark[ci] == Mark::Black) return;
+    if (mark[ci] == Mark::Grey) {
+      throw SynthesisError(name_ + ": combinational cycle through net '" +
+                           nets_[combs_[ci].target].name + "'");
+    }
+    mark[ci] = Mark::Grey;
+    visit_expr(combs_[ci].value, ci);
+    mark[ci] = Mark::Black;
+    order.push_back(ci);
+  };
+  visit_expr = [&](ExprId id, std::size_t ci) {
+    const ExprNode& n = arena_.at(id);
+    if (n.op == ExprOp::Var) {
+      const NetId dep = static_cast<NetId>(n.imm);
+      HLCS_ASSERT(dep < nets_.size(), "expression references unknown net");
+      HLCS_ASSERT(n.width == nets_[dep].width,
+                  "expression/net width mismatch on " + nets_[dep].name);
+      if (driver[dep] == DriverKind::Comb) visit_comb(comb_of[dep]);
+      return;
+    }
+    HLCS_ASSERT(n.op != ExprOp::Arg, "netlists must not contain Arg leaves");
+    if (n.a != kNoExpr) visit_expr(n.a, ci);
+    if (n.b != kNoExpr) visit_expr(n.b, ci);
+    if (n.c != kNoExpr) visit_expr(n.c, ci);
+  };
+  for (std::size_t i = 0; i < combs_.size(); ++i) visit_comb(i);
+  return order;
+}
+
+}  // namespace hlcs::synth

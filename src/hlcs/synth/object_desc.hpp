@@ -1,0 +1,222 @@
+// ObjectDesc -- a global object in the synthesisable subset.
+//
+// This is what the ODETTE tool's input language becomes in this library:
+// state variables, plus guarded methods whose guards and bodies are
+// expression trees.  Method semantics match hardware registers: all body
+// assignments evaluate against the entry state and commit simultaneously
+// (parallel assignment), and the return value is computed from the entry
+// state.  A method completes in a single grant (one clock cycle after
+// synthesis).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlcs/synth/expr.hpp"
+
+namespace hlcs::synth {
+
+struct VarDesc {
+  std::string name;
+  unsigned width;
+  std::uint64_t init;
+};
+
+struct ArgDesc {
+  std::string name;
+  unsigned width;
+};
+
+struct AssignDesc {
+  std::uint32_t var;  ///< index into ObjectDesc::vars()
+  ExprId value;
+};
+
+struct MethodDesc {
+  std::string name;
+  std::vector<ArgDesc> args;
+  unsigned ret_width = 0;      ///< 0 for void methods
+  ExprId guard = kNoExpr;      ///< kNoExpr means "always eligible"
+  std::vector<AssignDesc> body;
+  ExprId ret = kNoExpr;        ///< required iff ret_width > 0
+
+  unsigned args_total_width() const {
+    unsigned w = 0;
+    for (const ArgDesc& a : args) w += a.width;
+    return w;
+  }
+};
+
+class ObjectDesc {
+public:
+  explicit ObjectDesc(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  ExprArena& arena() { return arena_; }
+  const ExprArena& arena() const { return arena_; }
+
+  std::uint32_t add_var(std::string var_name, unsigned width,
+                        std::uint64_t init = 0) {
+    HLCS_ASSERT(width >= 1 && width <= 64, "variable width out of range");
+    vars_.push_back(VarDesc{std::move(var_name), width,
+                            init & ExprArena::mask(width)});
+    return static_cast<std::uint32_t>(vars_.size() - 1);
+  }
+
+  /// Fluent helper for building one method.
+  class MethodBuilder {
+  public:
+    MethodBuilder& arg(std::string arg_name, unsigned width) {
+      m_->args.push_back(ArgDesc{std::move(arg_name), width});
+      return *this;
+    }
+    MethodBuilder& guard(ExprId g) {
+      m_->guard = g;
+      return *this;
+    }
+    MethodBuilder& assign(std::uint32_t var, ExprId value) {
+      m_->body.push_back(AssignDesc{var, value});
+      return *this;
+    }
+    MethodBuilder& returns(ExprId value, unsigned width) {
+      m_->ret = value;
+      m_->ret_width = width;
+      return *this;
+    }
+    std::size_t index() const { return index_; }
+
+  private:
+    friend class ObjectDesc;
+    MethodBuilder(MethodDesc* m, std::size_t index) : m_(m), index_(index) {}
+    MethodDesc* m_;
+    std::size_t index_;
+  };
+
+  MethodBuilder add_method(std::string method_name) {
+    methods_.push_back(MethodDesc{});
+    methods_.back().name = std::move(method_name);
+    return MethodBuilder(&methods_.back(), methods_.size() - 1);
+  }
+
+  // --- expression shorthands bound to this object's arena --------------
+  ExprId lit(std::uint64_t v, unsigned w) { return arena_.cst(v, w); }
+  ExprId v(std::uint32_t var) {
+    HLCS_ASSERT(var < vars_.size(), "v(): bad variable index");
+    return arena_.var(var, vars_[var].width);
+  }
+  ExprId a(std::uint32_t arg_index, unsigned width) {
+    return arena_.arg(arg_index, width);
+  }
+
+  const std::vector<VarDesc>& vars() const { return vars_; }
+  const std::vector<MethodDesc>& methods() const { return methods_; }
+
+  std::size_t method_index(const std::string& method_name) const {
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+      if (methods_[i].name == method_name) return i;
+    }
+    fail("ObjectDesc: no method named " + method_name);
+  }
+
+  /// Width of the select port needed to address all methods.
+  unsigned sel_width() const {
+    unsigned n = static_cast<unsigned>(methods_.size());
+    unsigned w = 1;
+    while ((1u << w) < n) ++w;
+    return w;
+  }
+  /// Width of the packed argument port (max over methods; min 1).
+  unsigned args_width() const {
+    unsigned w = 1;
+    for (const MethodDesc& m : methods_) {
+      w = std::max(w, m.args_total_width());
+    }
+    return w;
+  }
+  /// Width of the return port (max over methods; min 1).
+  unsigned ret_width() const {
+    unsigned w = 1;
+    for (const MethodDesc& m : methods_) w = std::max(w, m.ret_width);
+    return w;
+  }
+
+  /// Structural validation; throws SynthesisError on any violation.
+  void validate() const {
+    if (methods_.empty()) {
+      throw SynthesisError(name_ + ": object has no methods");
+    }
+    if (vars_.empty()) {
+      throw SynthesisError(name_ + ": object has no state variables");
+    }
+    for (const MethodDesc& m : methods_) {
+      if (m.guard != kNoExpr && arena_.at(m.guard).width != 1) {
+        throw SynthesisError(name_ + "." + m.name + ": guard must be 1 bit");
+      }
+      if ((m.ret_width > 0) != (m.ret != kNoExpr)) {
+        throw SynthesisError(name_ + "." + m.name +
+                             ": return width and expression must both be set");
+      }
+      if (m.ret != kNoExpr && arena_.at(m.ret).width != m.ret_width) {
+        throw SynthesisError(name_ + "." + m.name + ": return width mismatch");
+      }
+      if (m.args_total_width() > 64) {
+        throw SynthesisError(name_ + "." + m.name +
+                             ": packed arguments exceed 64 bits");
+      }
+      std::vector<bool> assigned(vars_.size(), false);
+      for (const AssignDesc& as : m.body) {
+        if (as.var >= vars_.size()) {
+          throw SynthesisError(name_ + "." + m.name +
+                               ": assignment to unknown variable");
+        }
+        if (assigned[as.var]) {
+          throw SynthesisError(name_ + "." + m.name + ": variable '" +
+                               vars_[as.var].name + "' assigned twice");
+        }
+        assigned[as.var] = true;
+        if (arena_.at(as.value).width != vars_[as.var].width) {
+          throw SynthesisError(name_ + "." + m.name + ": width mismatch on '" +
+                               vars_[as.var].name + "'");
+        }
+      }
+      check_leaves(m);
+    }
+  }
+
+private:
+  /// Guards/bodies may reference vars and the method's own args; verify
+  /// leaf indices and widths line up with the declarations.
+  void check_leaves(const MethodDesc& m) const {
+    std::vector<ExprId> roots;
+    if (m.guard != kNoExpr) roots.push_back(m.guard);
+    if (m.ret != kNoExpr) roots.push_back(m.ret);
+    for (const AssignDesc& as : m.body) roots.push_back(as.value);
+    for (ExprId root : roots) {
+      check_leaves_rec(m, root);
+    }
+  }
+  void check_leaves_rec(const MethodDesc& m, ExprId id) const {
+    const ExprNode& n = arena_.at(id);
+    if (n.op == ExprOp::Var) {
+      if (n.imm >= vars_.size() || n.width != vars_[n.imm].width) {
+        throw SynthesisError(name_ + "." + m.name + ": bad Var leaf");
+      }
+    } else if (n.op == ExprOp::Arg) {
+      if (n.imm >= m.args.size() || n.width != m.args[n.imm].width) {
+        throw SynthesisError(name_ + "." + m.name + ": bad Arg leaf");
+      }
+    }
+    if (n.a != kNoExpr) check_leaves_rec(m, n.a);
+    if (n.b != kNoExpr) check_leaves_rec(m, n.b);
+    if (n.c != kNoExpr) check_leaves_rec(m, n.c);
+  }
+
+  std::string name_;
+  ExprArena arena_;
+  std::vector<VarDesc> vars_;
+  std::vector<MethodDesc> methods_;
+};
+
+}  // namespace hlcs::synth

@@ -1,0 +1,249 @@
+#include "hlcs/synth/optimize.hpp"
+
+#include <functional>
+#include <optional>
+
+namespace hlcs::synth {
+
+namespace {
+
+std::optional<std::uint64_t> const_of(const ExprArena& a, ExprId id) {
+  const ExprNode& n = a.at(id);
+  if (n.op == ExprOp::Const) return n.imm;
+  return std::nullopt;
+}
+
+/// Structural equality (trees are small after simplification; bounded by
+/// node count anyway).
+bool struct_eq(const ExprArena& a, ExprId x, ExprId y) {
+  if (x == y) return true;
+  const ExprNode& nx = a.at(x);
+  const ExprNode& ny = a.at(y);
+  if (nx.op != ny.op || nx.width != ny.width || nx.imm != ny.imm) {
+    return false;
+  }
+  if ((nx.a == kNoExpr) != (ny.a == kNoExpr)) return false;
+  if ((nx.b == kNoExpr) != (ny.b == kNoExpr)) return false;
+  if ((nx.c == kNoExpr) != (ny.c == kNoExpr)) return false;
+  if (nx.a != kNoExpr && !struct_eq(a, nx.a, ny.a)) return false;
+  if (nx.b != kNoExpr && !struct_eq(a, nx.b, ny.b)) return false;
+  if (nx.c != kNoExpr && !struct_eq(a, nx.c, ny.c)) return false;
+  return true;
+}
+
+std::size_t count_nodes(const ExprArena& a, ExprId id) {
+  const ExprNode& n = a.at(id);
+  std::size_t c = 1;
+  if (n.a != kNoExpr) c += count_nodes(a, n.a);
+  if (n.b != kNoExpr) c += count_nodes(a, n.b);
+  if (n.c != kNoExpr) c += count_nodes(a, n.c);
+  return c;
+}
+
+struct Simplifier {
+  const ExprArena& src;
+  ExprArena& dst;
+  std::size_t folds = 0;
+
+  ExprId cst(std::uint64_t v, unsigned w) { return dst.cst(v, w); }
+
+  ExprId run(ExprId id) {
+    const ExprNode& n = src.at(id);
+    switch (n.op) {
+      case ExprOp::Const:
+        return dst.cst(n.imm, n.width);
+      case ExprOp::Var:
+        return dst.var(static_cast<std::uint32_t>(n.imm), n.width);
+      case ExprOp::Arg:
+        return dst.arg(static_cast<std::uint32_t>(n.imm), n.width);
+      case ExprOp::Mux:
+        return mux(run(n.a), run(n.b), run(n.c));
+      case ExprOp::ZExt:
+        return zext(run(n.a), n.width);
+      case ExprOp::Slice:
+        return slice(run(n.a), static_cast<unsigned>(n.imm), n.width);
+      default:
+        if (is_unary(n.op)) return un(n.op, run(n.a));
+        return bin(n.op, run(n.a), run(n.b));
+    }
+  }
+
+  ExprId un(ExprOp op, ExprId a) {
+    const unsigned aw = dst.at(a).width;
+    if (auto ca = const_of(dst, a)) {
+      ++folds;
+      switch (op) {
+        case ExprOp::Not: return cst(~*ca, aw);
+        case ExprOp::Neg: return cst(~*ca + 1, aw);
+        case ExprOp::RedOr: return cst(*ca != 0, 1);
+        case ExprOp::RedAnd: return cst(*ca == ExprArena::mask(aw), 1);
+        default: break;
+      }
+      --folds;
+    }
+    // not(not(x)) = x
+    if (op == ExprOp::Not && dst.at(a).op == ExprOp::Not) {
+      ++folds;
+      return dst.at(a).a;
+    }
+    return dst.un(op, a);
+  }
+
+  ExprId zext(ExprId a, unsigned w) {
+    if (dst.at(a).width == w) {
+      ++folds;
+      return a;
+    }
+    if (auto ca = const_of(dst, a)) {
+      ++folds;
+      return cst(*ca, w);
+    }
+    return dst.zext(a, w);
+  }
+
+  ExprId slice(ExprId a, unsigned lsb, unsigned w) {
+    if (lsb == 0 && w == dst.at(a).width) {
+      ++folds;
+      return a;
+    }
+    if (auto ca = const_of(dst, a)) {
+      ++folds;
+      return cst(*ca >> lsb, w);
+    }
+    return dst.slice(a, lsb, w);
+  }
+
+  ExprId mux(ExprId s, ExprId t, ExprId f) {
+    if (auto cs = const_of(dst, s)) {
+      ++folds;
+      return *cs ? t : f;
+    }
+    if (struct_eq(dst, t, f)) {
+      ++folds;
+      return t;
+    }
+    return dst.mux(s, t, f);
+  }
+
+  ExprId bin(ExprOp op, ExprId a, ExprId b) {
+    const unsigned wa = dst.at(a).width;
+    auto ca = const_of(dst, a);
+    auto cb = const_of(dst, b);
+    if (ca && cb) {
+      ++folds;
+      return fold_bin(op, *ca, *cb, wa, dst.at(b).width);
+    }
+    const std::uint64_t ones = ExprArena::mask(wa);
+    // Identity / annihilator rewrites; try the constant on either side
+    // for the commutative cases.
+    auto with_const = [&](std::uint64_t c, ExprId other,
+                          bool const_is_rhs) -> std::optional<ExprId> {
+      switch (op) {
+        case ExprOp::And:
+          if (c == 0) return cst(0, wa);
+          if (c == ones) return other;
+          break;
+        case ExprOp::Or:
+          if (c == 0) return other;
+          if (c == ones) return cst(ones, wa);
+          break;
+        case ExprOp::Xor:
+          if (c == 0) return other;
+          break;
+        case ExprOp::Add:
+          if (c == 0) return other;
+          break;
+        case ExprOp::Sub:
+          if (c == 0 && const_is_rhs) return other;  // x - 0
+          break;
+        case ExprOp::Mul:
+          if (c == 0) return cst(0, wa);
+          if (c == 1) return other;
+          break;
+        case ExprOp::Shl:
+        case ExprOp::Shr:
+          if (c == 0 && const_is_rhs) return other;  // shift by 0
+          break;
+        default:
+          break;
+      }
+      return std::nullopt;
+    };
+    if (cb) {
+      if (auto r = with_const(*cb, a, /*const_is_rhs=*/true)) {
+        ++folds;
+        return *r;
+      }
+    }
+    if (ca && op != ExprOp::Sub && op != ExprOp::Shl && op != ExprOp::Shr) {
+      if (auto r = with_const(*ca, b, /*const_is_rhs=*/false)) {
+        ++folds;
+        return *r;
+      }
+    }
+    // x == x, x != x on structurally equal operands.
+    if ((op == ExprOp::Eq || op == ExprOp::Ne || op == ExprOp::Xor ||
+         op == ExprOp::Sub) &&
+        struct_eq(dst, a, b)) {
+      ++folds;
+      switch (op) {
+        case ExprOp::Eq: return cst(1, 1);
+        case ExprOp::Ne: return cst(0, 1);
+        default: return cst(0, wa);  // x^x, x-x
+      }
+    }
+    return dst.bin(op, a, b);
+  }
+
+  ExprId fold_bin(ExprOp op, std::uint64_t a, std::uint64_t b, unsigned wa,
+                  unsigned wb) {
+    const std::uint64_t m = ExprArena::mask(wa);
+    switch (op) {
+      case ExprOp::Add: return cst(a + b, wa);
+      case ExprOp::Sub: return cst(a - b, wa);
+      case ExprOp::Mul: return cst(a * b, wa);
+      case ExprOp::And: return cst(a & b, wa);
+      case ExprOp::Or: return cst(a | b, wa);
+      case ExprOp::Xor: return cst(a ^ b, wa);
+      case ExprOp::Eq: return cst(a == b, 1);
+      case ExprOp::Ne: return cst(a != b, 1);
+      case ExprOp::Lt: return cst(a < b, 1);
+      case ExprOp::Le: return cst(a <= b, 1);
+      case ExprOp::Gt: return cst(a > b, 1);
+      case ExprOp::Ge: return cst(a >= b, 1);
+      case ExprOp::Shl: return cst(b >= 64 ? 0 : (a << b) & m, wa);
+      case ExprOp::Shr: return cst(b >= 64 ? 0 : a >> b, wa);
+      case ExprOp::Concat: return cst((a << wb) | b, wa + wb);
+      default: fail("fold_bin: unexpected op");
+    }
+  }
+};
+
+}  // namespace
+
+Netlist optimize(const Netlist& nl, OptimizeStats* stats) {
+  Netlist out(nl.name());
+  for (const Net& n : nl.nets()) out.add_net(n.name, n.width);
+  for (NetId i : nl.inputs()) out.mark_input(i);
+  for (NetId o : nl.outputs()) out.mark_output(o);
+  for (const RegDesc& r : nl.regs()) out.add_reg(r.q, r.d, r.init);
+
+  OptimizeStats local;
+  Simplifier s{nl.arena(), out.arena(), 0};
+  for (const CombAssign& c : nl.combs()) {
+    local.nodes_before += count_nodes(nl.arena(), c.value);
+    ExprId v = s.run(c.value);
+    // Width must be preserved exactly (folds keep widths by
+    // construction, but be explicit about the invariant).
+    HLCS_ASSERT(out.arena().at(v).width == nl.arena().at(c.value).width,
+                "optimize changed the width of a comb expression");
+    out.add_comb(c.target, v);
+    local.nodes_after += count_nodes(out.arena(), v);
+  }
+  local.folds = s.folds;
+  out.validate_and_order();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace hlcs::synth

@@ -1,0 +1,63 @@
+// Textual front end for the synthesisable subset -- the "input language"
+// role the ODETTE compiler played for SystemC+.  A .obj description:
+//
+//   object mailbox {
+//     var full : 1 = 0;
+//     var data : 16 = 0;
+//     method put(d : 16) guard !full {
+//       full = 1;
+//       data = d;
+//     }
+//     method get guard full returns 16 {
+//       full = 0;
+//       return data;
+//     }
+//   }
+//
+// Grammar (informal):
+//   object    := 'object' IDENT '{' (var | method)* '}'
+//   var       := 'var' IDENT ':' WIDTH ('=' literal)? ';'
+//   method    := 'method' IDENT params? guard? ret? '{' stmt* '}'
+//   params    := '(' (IDENT ':' WIDTH) (',' IDENT ':' WIDTH)* ')'
+//   guard     := 'guard' expr
+//   ret       := 'returns' WIDTH
+//   stmt      := IDENT '=' expr ';'  |  'return' expr ';'
+//   expr      := ternary with C precedence over
+//                 || && | ^ & ==,!= <,<=,>,>= <<,>> +,- *  unary ! ~ -
+//                 and prefix reductions &e / |e via builtins
+//   primary   := literal | IDENT | '(' expr ')'
+//              | 'zext' '(' expr ',' WIDTH ')'
+//              | 'slice' '(' expr ',' LSB ',' WIDTH ')'
+//              | 'concat' '(' expr ',' expr ')'
+//              | 'redor' '(' expr ')' | 'redand' '(' expr ')'
+//   literal   := decimal | 0x-hex; width inferred from context, or
+//                annotated as WIDTH'dNNN / WIDTH'hNN.
+//
+// Width rules: variables and arguments carry declared widths; plain
+// literals adapt to the width demanded by their context (masked);
+// comparisons and logical operators produce 1-bit values; operands of
+// arithmetic/bitwise operators must agree (literals conform).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hlcs/synth/object_desc.hpp"
+
+namespace hlcs::synth {
+
+/// Thrown with a line/column-annotated message on any syntax, width or
+/// semantic error.
+class ParseError : public SynthesisError {
+public:
+  using SynthesisError::SynthesisError;
+};
+
+/// Parse one object description (trailing input is an error).
+ObjectDesc parse_object(const std::string& source);
+
+/// Parse a file containing one or more object descriptions (e.g. the
+/// implementations of a polymorphic interface).
+std::vector<ObjectDesc> parse_objects(const std::string& source);
+
+}  // namespace hlcs::synth

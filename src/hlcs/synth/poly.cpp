@@ -1,0 +1,139 @@
+#include "hlcs/synth/poly.hpp"
+
+#include <algorithm>
+
+namespace hlcs::synth {
+
+namespace {
+
+unsigned tag_width(std::size_t n_impls) {
+  unsigned w = 1;
+  while ((1ull << w) < n_impls) ++w;
+  return w;
+}
+
+}  // namespace
+
+void check_same_interface(const std::vector<const ObjectDesc*>& impls) {
+  if (impls.empty()) {
+    throw SynthesisError("polymorphic object needs at least one impl");
+  }
+  for (const ObjectDesc* d : impls) d->validate();
+  const ObjectDesc& ref = *impls[0];
+  for (std::size_t i = 1; i < impls.size(); ++i) {
+    const ObjectDesc& d = *impls[i];
+    if (d.methods().size() != ref.methods().size()) {
+      throw SynthesisError("impl '" + d.name() +
+                           "': method count differs from '" + ref.name() +
+                           "'");
+    }
+    for (std::size_t m = 0; m < ref.methods().size(); ++m) {
+      const MethodDesc& a = ref.methods()[m];
+      const MethodDesc& b = d.methods()[m];
+      if (a.name != b.name || a.ret_width != b.ret_width ||
+          a.args.size() != b.args.size()) {
+        throw SynthesisError("impl '" + d.name() + "': method '" + b.name +
+                             "' signature differs from interface");
+      }
+      for (std::size_t g = 0; g < a.args.size(); ++g) {
+        if (a.args[g].width != b.args[g].width) {
+          throw SynthesisError("impl '" + d.name() + "': method '" + b.name +
+                               "' argument widths differ");
+        }
+      }
+    }
+  }
+}
+
+ObjectDesc make_polymorphic(const std::string& name,
+                            const std::vector<const ObjectDesc*>& impls,
+                            std::uint64_t initial_type,
+                            PolymorphicLayout* layout) {
+  check_same_interface(impls);
+  if (initial_type >= impls.size()) {
+    throw SynthesisError("initial type tag out of range");
+  }
+
+  ObjectDesc out(name);
+  PolymorphicLayout lay;
+  const unsigned tw = tag_width(impls.size());
+  lay.type_var = out.add_var("__type", tw, initial_type);
+  for (const ObjectDesc* d : impls) {
+    lay.var_base.push_back(static_cast<std::uint32_t>(out.vars().size()));
+    for (const VarDesc& v : d->vars()) {
+      out.add_var(d->name() + "_" + v.name, v.width, v.init);
+    }
+  }
+
+  auto& A = out.arena();
+  auto import_from = [&](std::size_t impl, ExprId src) {
+    return clone_expr(
+        impls[impl]->arena(), src, A,
+        [&](std::uint32_t var, unsigned w) {
+          return A.var(lay.var_base[impl] + var, w);
+        },
+        [&](std::uint32_t arg, unsigned w) { return A.arg(arg, w); });
+  };
+  auto tag_is = [&](std::size_t impl) {
+    return A.bin(ExprOp::Eq, A.var(lay.type_var, tw), A.cst(impl, tw));
+  };
+
+  const ObjectDesc& ref = *impls[0];
+  for (std::size_t m = 0; m < ref.methods().size(); ++m) {
+    auto b = out.add_method(ref.methods()[m].name);
+    for (const ArgDesc& a : ref.methods()[m].args) b.arg(a.name, a.width);
+
+    // Guard: dispatch over the tag.  An always-true impl guard
+    // contributes a constant 1; an out-of-range tag yields 0.
+    bool all_unguarded = true;
+    for (const ObjectDesc* d : impls) {
+      if (d->methods()[m].guard != kNoExpr) all_unguarded = false;
+    }
+    if (!all_unguarded) {
+      ExprId g = A.cst(0, 1);
+      for (std::size_t i = impls.size(); i-- > 0;) {
+        const MethodDesc& md = impls[i]->methods()[m];
+        ExprId gi = md.guard == kNoExpr ? A.cst(1, 1)
+                                        : import_from(i, md.guard);
+        g = A.mux(tag_is(i), gi, g);
+      }
+      b.guard(g);
+    }
+
+    // Body: every implementation variable assigned by this method in its
+    // implementation gets next = tag==impl ? body_expr : hold.
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      const MethodDesc& md = impls[i]->methods()[m];
+      for (const AssignDesc& as : md.body) {
+        const std::uint32_t fv = lay.var_base[i] + as.var;
+        const unsigned w = out.vars()[fv].width;
+        ExprId value = import_from(i, as.value);
+        b.assign(fv, A.mux(tag_is(i), value, A.var(fv, w)));
+      }
+    }
+
+    // Return value: dispatch over the tag.
+    if (ref.methods()[m].ret_width > 0) {
+      const unsigned rw = ref.methods()[m].ret_width;
+      ExprId r = A.cst(0, rw);
+      for (std::size_t i = impls.size(); i-- > 0;) {
+        r = A.mux(tag_is(i), import_from(i, impls[i]->methods()[m].ret), r);
+      }
+      b.returns(r, rw);
+    }
+  }
+
+  // The late-binding control: re-assign the dynamic type.
+  {
+    auto b = out.add_method("set_type");
+    b.arg("tag", tw);
+    b.assign(lay.type_var, out.a(0, tw));
+    lay.set_type_method = b.index();
+  }
+
+  out.validate();
+  if (layout) *layout = lay;
+  return out;
+}
+
+}  // namespace hlcs::synth

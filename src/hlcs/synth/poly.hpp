@@ -1,0 +1,57 @@
+// Hardware polymorphism -- the second headline feature of SystemC+:
+// "an hardware oriented version of the object oriented polymorphism"
+// with "late-binding procedure invocation semantics".
+//
+// A polymorphic object is a set of implementation classes sharing one
+// interface (identical method names / argument widths / return widths);
+// which implementation executes is selected at RUNTIME by the object's
+// dynamic type.  The ODETTE tool compiled this into muxed dispatch over
+// a type tag; make_polymorphic() performs the same source-to-source
+// transform inside the synthesisable subset:
+//
+//   * one __type tag register (re-assignable through a generated
+//     set_type(tag) method -- the hardware analogue of assigning a new
+//     derived-class value to a polymorphic container);
+//   * every implementation's state variables instantiated side by side,
+//     prefixed with the implementation name;
+//   * each interface method's guard / body / return value becomes a mux
+//     over the tag of the implementations' expressions; variables not
+//     owned by the active implementation hold their value.
+//
+// The result is an ordinary ObjectDesc, so the interpreter, the
+// synthesiser, the golden model, and the Verilog emitter all work on
+// polymorphic objects with no special cases -- exactly the property that
+// made the ODETTE approach synthesisable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlcs/synth/object_desc.hpp"
+
+namespace hlcs::synth {
+
+struct PolymorphicLayout {
+  /// Index of the __type variable in the flattened object.
+  std::uint32_t type_var = 0;
+  /// flattened var index = var_base[impl] + original var index.
+  std::vector<std::uint32_t> var_base;
+  /// Method index of the generated set_type method.
+  std::size_t set_type_method = 0;
+};
+
+/// Verify all implementations expose the same interface; throws
+/// SynthesisError otherwise.
+void check_same_interface(const std::vector<const ObjectDesc*>& impls);
+
+/// Flatten implementations behind a late-binding dispatch.  The returned
+/// object has the shared interface methods (same indices as in every
+/// implementation) plus a final `set_type(tag)` method; `layout`
+/// describes where everything landed.
+ObjectDesc make_polymorphic(const std::string& name,
+                            const std::vector<const ObjectDesc*>& impls,
+                            std::uint64_t initial_type,
+                            PolymorphicLayout* layout = nullptr);
+
+}  // namespace hlcs::synth

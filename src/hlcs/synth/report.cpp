@@ -1,0 +1,81 @@
+#include "hlcs/synth/report.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace hlcs::synth {
+
+namespace {
+
+/// NAND2-equivalent cost of one expression node.
+std::size_t gate_cost(const ExprNode& n, const ExprArena& arena) {
+  const std::size_t w = n.width;
+  switch (n.op) {
+    case ExprOp::Const: case ExprOp::Var: case ExprOp::Arg:
+    case ExprOp::ZExt: case ExprOp::Slice: case ExprOp::Concat:
+      return 0;  // wiring
+    case ExprOp::Not:
+      return w;
+    case ExprOp::Neg:
+      return 4 * w;  // inverter + increment
+    case ExprOp::RedOr: case ExprOp::RedAnd:
+      return arena.at(n.a).width - 1;
+    case ExprOp::And: case ExprOp::Or:
+      return w;
+    case ExprOp::Xor:
+      return 3 * w;
+    case ExprOp::Add: case ExprOp::Sub:
+      return 5 * w;  // ripple full adders
+    case ExprOp::Mul:
+      return 6 * w * w;
+    case ExprOp::Eq: case ExprOp::Ne:
+      return 3 * arena.at(n.a).width;
+    case ExprOp::Lt: case ExprOp::Le: case ExprOp::Gt: case ExprOp::Ge:
+      return 5 * arena.at(n.a).width;
+    case ExprOp::Shl: case ExprOp::Shr:
+      return 3 * w * 6;  // barrel shifter stages (log2 64)
+    case ExprOp::Mux:
+      return 3 * w;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ResourceReport report(const Netlist& nl) {
+  ResourceReport r;
+  r.design = nl.name();
+  r.nets = nl.nets().size();
+  r.inputs = nl.inputs().size();
+  r.outputs = nl.outputs().size();
+  for (const RegDesc& reg : nl.regs()) {
+    r.flip_flops += nl.nets()[reg.q].width;
+  }
+
+  const ExprArena& arena = nl.arena();
+  std::function<void(ExprId)> count = [&](ExprId id) {
+    const ExprNode& n = arena.at(id);
+    r.comb_nodes++;
+    r.gate_estimate += gate_cost(n, arena);
+    if (n.a != kNoExpr && n.op != ExprOp::Var) count(n.a);
+    if (n.b != kNoExpr) count(n.b);
+    if (n.c != kNoExpr) count(n.c);
+  };
+  for (const CombAssign& c : nl.combs()) {
+    count(c.value);
+    unsigned d = depth(arena, c.value);
+    if (d > r.logic_depth) r.logic_depth = d;
+  }
+  return r;
+}
+
+std::string ResourceReport::to_string() const {
+  std::ostringstream os;
+  os << design << ": " << flip_flops << " FFs, ~" << gate_estimate
+     << " gates, depth " << logic_depth << ", " << nets << " nets ("
+     << inputs << " in / " << outputs << " out), " << comb_nodes
+     << " comb nodes";
+  return os.str();
+}
+
+}  // namespace hlcs::synth

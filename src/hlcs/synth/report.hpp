@@ -1,0 +1,29 @@
+// Synthesis resource report: flip-flop and estimated gate counts, logic
+// depth.  The gate model is deliberately simple (unit NAND2-equivalents
+// per operator bit) -- it supports relative comparisons across synthesis
+// options (the ablation benches), not absolute area claims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/synth/netlist.hpp"
+
+namespace hlcs::synth {
+
+struct ResourceReport {
+  std::string design;
+  std::size_t nets = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t flip_flops = 0;     ///< total register bits
+  std::size_t comb_nodes = 0;     ///< expression nodes in comb logic
+  std::size_t gate_estimate = 0;  ///< NAND2-equivalent estimate
+  unsigned logic_depth = 0;       ///< max levels of logic over all combs
+
+  std::string to_string() const;
+};
+
+ResourceReport report(const Netlist& nl);
+
+}  // namespace hlcs::synth

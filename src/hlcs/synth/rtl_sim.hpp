@@ -1,0 +1,137 @@
+// Cycle-accurate netlist simulator.
+//
+// NetlistSim is a standalone two-phase evaluator (settle combinational
+// logic in topological order, latch registers on clock_edge()) used by
+// the consistency experiments and tests.  RtlModule wraps a NetlistSim
+// into a kernel Module driven by a Clock with Signal<uint64_t> pins, so
+// synthesised blocks co-simulate with behavioural models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/module.hpp"
+#include "hlcs/sim/signal.hpp"
+#include "hlcs/synth/netlist.hpp"
+
+namespace hlcs::synth {
+
+class NetlistSim {
+public:
+  explicit NetlistSim(const Netlist& nl)
+      : nl_(nl), order_(nl.validate_and_order()), values_(nl.nets().size(), 0) {
+    reset_state();
+  }
+
+  /// Latch every register's initial value and settle.
+  void reset_state() {
+    for (const RegDesc& r : nl_.regs()) values_[r.q] = r.init;
+    settle();
+  }
+
+  void set_input(NetId n, std::uint64_t v) {
+    values_[n] = v & ExprArena::mask(nl_.nets()[n].width);
+  }
+  void set_input(const std::string& name, std::uint64_t v) {
+    set_input(nl_.find(name), v);
+  }
+
+  std::uint64_t get(NetId n) const { return values_.at(n); }
+  std::uint64_t get(const std::string& name) const {
+    return values_.at(nl_.find(name));
+  }
+
+  /// Propagate combinational logic (topological order -> one pass).
+  void settle() {
+    const auto& combs = nl_.combs();
+    for (std::size_t ci : order_) {
+      values_[combs[ci].target] = eval(nl_.arena(), combs[ci].value, values_, {});
+    }
+  }
+
+  /// One rising clock edge: settle, latch all registers simultaneously,
+  /// settle again so outputs reflect the new state.
+  void clock_edge() {
+    settle();
+    std::vector<std::uint64_t> next;
+    next.reserve(nl_.regs().size());
+    for (const RegDesc& r : nl_.regs()) next.push_back(values_[r.d]);
+    std::size_t i = 0;
+    for (const RegDesc& r : nl_.regs()) values_[r.q] = next[i++];
+    settle();
+  }
+
+  const Netlist& netlist() const { return nl_; }
+
+private:
+  const Netlist& nl_;
+  std::vector<std::size_t> order_;
+  std::vector<std::uint64_t> values_;
+};
+
+/// Kernel integration: the synthesised block as a clocked module.  Input
+/// nets are sampled from bound signals just before each rising edge
+/// (i.e. the values written during the previous cycle), and output nets
+/// are published to bound signals after the edge.
+class RtlModule : public sim::Module {
+public:
+  RtlModule(sim::Kernel& k, std::string name, const Netlist& nl,
+            sim::Clock& clk)
+      : Module(k, std::move(name)), sim_(nl) {
+    for (NetId n : nl.inputs()) {
+      in_.emplace(nl.nets()[n].name,
+                  Pin{n, std::make_unique<sim::Signal<std::uint64_t>>(
+                             k, sub(nl.nets()[n].name), 0)});
+    }
+    for (NetId n : nl.outputs()) {
+      out_.emplace(nl.nets()[n].name,
+                   Pin{n, std::make_unique<sim::Signal<std::uint64_t>>(
+                              k, sub(nl.nets()[n].name), 0)});
+    }
+    sim::MethodProcess& m =
+        method("edge", [this] { on_edge(); }, /*initial_trigger=*/false);
+    clk.posedge().add_static(m);
+    publish_outputs();
+  }
+
+  sim::Signal<std::uint64_t>& in(const std::string& pin_name) {
+    auto it = in_.find(pin_name);
+    HLCS_ASSERT(it != in_.end(), "RtlModule: no input pin " + pin_name);
+    return *it->second.sig;
+  }
+  sim::Signal<std::uint64_t>& out(const std::string& pin_name) {
+    auto it = out_.find(pin_name);
+    HLCS_ASSERT(it != out_.end(), "RtlModule: no output pin " + pin_name);
+    return *it->second.sig;
+  }
+
+  NetlistSim& netlist_sim() { return sim_; }
+  std::uint64_t edges() const { return edges_; }
+
+private:
+  struct Pin {
+    NetId net;
+    std::unique_ptr<sim::Signal<std::uint64_t>> sig;
+  };
+
+  void on_edge() {
+    for (auto& [pin_name, pin] : in_) sim_.set_input(pin.net, pin.sig->read());
+    sim_.clock_edge();
+    publish_outputs();
+    ++edges_;
+  }
+
+  void publish_outputs() {
+    for (auto& [pin_name, pin] : out_) pin.sig->write(sim_.get(pin.net));
+  }
+
+  NetlistSim sim_;
+  std::unordered_map<std::string, Pin> in_;
+  std::unordered_map<std::string, Pin> out_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace hlcs::synth

@@ -1,0 +1,108 @@
+// Stimuli generators: "a set of stimuli generators, that will simulate
+// the working conditions of the system in the model" (paper Sec. 3).
+// Each generator produces a deterministic, seeded stream of CommandType
+// values, so the same workload can be replayed against the functional
+// interface, the pin-accurate interface, and the synthesised model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hlcs/pattern/command.hpp"
+#include "hlcs/sim/random.hpp"
+
+namespace hlcs::tlm {
+
+struct WorkloadConfig {
+  std::uint32_t base = 0x1000;      ///< target window base
+  std::uint32_t span = 0x1000;      ///< addressable bytes
+  std::size_t max_burst = 8;
+  unsigned read_percent = 50;       ///< reads vs writes
+  unsigned burst_percent = 30;      ///< burst vs single
+  std::uint64_t seed = 0xBADC0DE;
+};
+
+/// Write-then-read sweep over the window: deterministic, verifiable
+/// (reads must return what was written).
+inline std::vector<pattern::CommandType> sequential_workload(
+    const WorkloadConfig& cfg, std::size_t transactions) {
+  std::vector<pattern::CommandType> cmds;
+  cmds.reserve(transactions);
+  const std::uint32_t words = cfg.span / 4;
+  for (std::size_t i = 0; i < transactions / 2; ++i) {
+    const std::uint32_t a =
+        cfg.base + (static_cast<std::uint32_t>(i) % words) * 4;
+    cmds.push_back(pattern::CommandType{
+        .op = pattern::BusOp::Write,
+        .addr = a,
+        .data = {0xC0DE0000u + static_cast<std::uint32_t>(i)}});
+  }
+  for (std::size_t i = 0; i < transactions - transactions / 2; ++i) {
+    const std::uint32_t a =
+        cfg.base + (static_cast<std::uint32_t>(i) % words) * 4;
+    cmds.push_back(pattern::CommandType{
+        .op = pattern::BusOp::Read, .addr = a, .count = 1});
+  }
+  return cmds;
+}
+
+/// Mixed random workload (single + burst, reads + writes), seeded.
+inline std::vector<pattern::CommandType> random_workload(
+    const WorkloadConfig& cfg, std::size_t transactions) {
+  sim::Xorshift rng(cfg.seed);
+  std::vector<pattern::CommandType> cmds;
+  cmds.reserve(transactions);
+  const std::uint32_t words = cfg.span / 4;
+  for (std::size_t i = 0; i < transactions; ++i) {
+    const bool burst = rng.chance(cfg.burst_percent, 100);
+    const std::size_t len =
+        burst ? 2 + rng.below(cfg.max_burst > 2 ? cfg.max_burst - 1 : 1) : 1;
+    // Keep the burst inside the window.
+    const std::uint32_t max_start = words > len
+                                        ? words - static_cast<std::uint32_t>(len)
+                                        : 0;
+    const std::uint32_t a =
+        cfg.base + static_cast<std::uint32_t>(rng.below(max_start + 1)) * 4;
+    if (rng.chance(cfg.read_percent, 100)) {
+      cmds.push_back(pattern::CommandType{
+          .op = len > 1 ? pattern::BusOp::ReadBurst : pattern::BusOp::Read,
+          .addr = a,
+          .count = len});
+    } else {
+      std::vector<std::uint32_t> payload;
+      for (std::size_t w = 0; w < len; ++w) {
+        payload.push_back(static_cast<std::uint32_t>(rng.next()));
+      }
+      cmds.push_back(pattern::CommandType{
+          .op = len > 1 ? pattern::BusOp::WriteBurst : pattern::BusOp::Write,
+          .addr = a,
+          .data = std::move(payload)});
+    }
+  }
+  return cmds;
+}
+
+/// DMA-like workload: long write bursts followed by long read-back
+/// bursts (the streaming pattern the paper's flow motivates).
+inline std::vector<pattern::CommandType> dma_workload(
+    const WorkloadConfig& cfg, std::size_t blocks, std::size_t block_words) {
+  std::vector<pattern::CommandType> cmds;
+  sim::Xorshift rng(cfg.seed);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint32_t a =
+        cfg.base +
+        static_cast<std::uint32_t>((b * block_words * 4) % cfg.span);
+    std::vector<std::uint32_t> payload;
+    for (std::size_t w = 0; w < block_words; ++w) {
+      payload.push_back(static_cast<std::uint32_t>(rng.next()));
+    }
+    cmds.push_back(pattern::CommandType{.op = pattern::BusOp::WriteBurst,
+                                        .addr = a,
+                                        .data = std::move(payload)});
+    cmds.push_back(pattern::CommandType{
+        .op = pattern::BusOp::ReadBurst, .addr = a, .count = block_words});
+  }
+  return cmds;
+}
+
+}  // namespace hlcs::tlm

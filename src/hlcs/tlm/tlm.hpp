@@ -1,0 +1,176 @@
+// Transaction-level IP models: the "memories, peripherals functional
+// models" of the paper's Figure 2.  A TlmTarget serves word transactions
+// through plain function calls; the functional bus interface routes
+// application commands to these models without any pin activity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hlcs/pci/pci_types.hpp"
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::tlm {
+
+/// Outcome reuses the PCI result vocabulary so transcripts are directly
+/// comparable across abstraction levels.
+using Status = pci::PciResult;
+
+class TlmTarget {
+public:
+  virtual ~TlmTarget() = default;
+
+  /// Decoded address window.
+  virtual std::uint32_t base() const = 0;
+  virtual std::uint32_t size() const = 0;
+
+  virtual Status read(std::uint32_t addr, std::vector<std::uint32_t>& out,
+                      std::size_t count) = 0;
+  virtual Status write(std::uint32_t addr,
+                       const std::vector<std::uint32_t>& data) = 0;
+
+  bool decodes(std::uint32_t addr) const {
+    return addr >= base() && addr < base() + size();
+  }
+};
+
+/// Flat functional memory.
+class TlmMemory final : public TlmTarget {
+public:
+  TlmMemory(std::uint32_t base, std::uint32_t size_bytes)
+      : base_(base), size_(size_bytes) {
+    HLCS_ASSERT(size_bytes % 4 == 0, "TlmMemory size must be word aligned");
+  }
+
+  std::uint32_t base() const override { return base_; }
+  std::uint32_t size() const override { return size_; }
+
+  Status read(std::uint32_t addr, std::vector<std::uint32_t>& out,
+              std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+      if (!decodes(a)) return Status::MasterAbort;
+      auto it = words_.find((a - base_) / 4);
+      out.push_back(it == words_.end() ? 0 : it->second);
+    }
+    return Status::Ok;
+  }
+
+  Status write(std::uint32_t addr,
+               const std::vector<std::uint32_t>& data) override {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+      if (!decodes(a)) return Status::MasterAbort;
+      words_[(a - base_) / 4] = data[i];
+    }
+    return Status::Ok;
+  }
+
+  std::uint32_t peek(std::uint32_t offset) const {
+    auto it = words_.find(offset / 4);
+    return it == words_.end() ? 0 : it->second;
+  }
+
+private:
+  std::uint32_t base_;
+  std::uint32_t size_;
+  std::unordered_map<std::uint32_t, std::uint32_t> words_;
+};
+
+/// A small register-file peripheral: CTRL / STATUS / DATA / SCRATCH
+/// registers with device-like behaviour (writing CTRL bit0 sets STATUS
+/// busy for a number of polls -- enough to exercise polling loops in the
+/// examples).  Word offsets: 0x0 CTRL, 0x4 STATUS, 0x8 DATA, 0xC SCRATCH.
+class RegisterPeripheral final : public TlmTarget {
+public:
+  RegisterPeripheral(std::uint32_t base, unsigned busy_polls = 3)
+      : base_(base), busy_polls_(busy_polls) {}
+
+  std::uint32_t base() const override { return base_; }
+  std::uint32_t size() const override { return 0x10; }
+
+  Status read(std::uint32_t addr, std::vector<std::uint32_t>& out,
+              std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+      if (!decodes(a)) return Status::MasterAbort;
+      switch (a - base_) {
+        case 0x0: out.push_back(ctrl_); break;
+        case 0x4:
+          if (busy_left_ > 0) {
+            --busy_left_;
+            out.push_back(0x1);  // busy
+          } else {
+            out.push_back(0x0);  // ready
+          }
+          break;
+        case 0x8: out.push_back(data_); break;
+        default: out.push_back(scratch_); break;
+      }
+    }
+    return Status::Ok;
+  }
+
+  Status write(std::uint32_t addr,
+               const std::vector<std::uint32_t>& data) override {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+      if (!decodes(a)) return Status::MasterAbort;
+      switch (a - base_) {
+        case 0x0:
+          ctrl_ = data[i];
+          if (ctrl_ & 1) {
+            busy_left_ = busy_polls_;
+            data_ = scratch_ ^ 0xFFFFFFFFu;  // the "operation": invert
+          }
+          break;
+        case 0x8: data_ = data[i]; break;
+        case 0xC: scratch_ = data[i]; break;
+        default: break;  // STATUS read-only
+      }
+    }
+    return Status::Ok;
+  }
+
+private:
+  std::uint32_t base_;
+  unsigned busy_polls_;
+  unsigned busy_left_ = 0;
+  std::uint32_t ctrl_ = 0;
+  std::uint32_t data_ = 0;
+  std::uint32_t scratch_ = 0;
+};
+
+/// Address router over several targets (first decode wins).
+class TlmRouter final : public TlmTarget {
+public:
+  void attach(TlmTarget& t) { targets_.push_back(&t); }
+
+  std::uint32_t base() const override { return 0; }
+  std::uint32_t size() const override { return 0xFFFFFFFF; }
+
+  Status read(std::uint32_t addr, std::vector<std::uint32_t>& out,
+              std::size_t count) override {
+    if (TlmTarget* t = route(addr)) return t->read(addr, out, count);
+    return Status::MasterAbort;
+  }
+  Status write(std::uint32_t addr,
+               const std::vector<std::uint32_t>& data) override {
+    if (TlmTarget* t = route(addr)) return t->write(addr, data);
+    return Status::MasterAbort;
+  }
+
+private:
+  TlmTarget* route(std::uint32_t addr) const {
+    for (TlmTarget* t : targets_) {
+      if (t->decodes(addr)) return t;
+    }
+    return nullptr;
+  }
+  std::vector<TlmTarget*> targets_;
+};
+
+}  // namespace hlcs::tlm

@@ -1,0 +1,101 @@
+// Transcript comparison: the mechanised form of the paper's step 3
+// ("the resulting model was again simulated to check behavior
+// consistency with the original model").  Functional equivalence ignores
+// timing; the timing report quantifies the cost delta between
+// abstraction levels.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "hlcs/verify/transcript.hpp"
+
+namespace hlcs::verify {
+
+struct CompareResult {
+  bool equal = true;
+  std::size_t compared = 0;
+  std::string first_difference;  ///< empty when equal
+
+  explicit operator bool() const { return equal; }
+};
+
+/// Functional equivalence: same operations, addresses, data and statuses
+/// in the same order; timing is ignored (abstraction levels differ).
+inline CompareResult compare_functional(const Transcript& a,
+                                        const Transcript& b) {
+  CompareResult r;
+  auto diff = [&](std::size_t i, const std::string& what) {
+    r.equal = false;
+    r.first_difference = "entry " + std::to_string(i) + ": " + what;
+  };
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const TranscriptEntry& ea = a.entries()[i];
+    const TranscriptEntry& eb = b.entries()[i];
+    if (ea.op != eb.op) {
+      diff(i, std::string("op ") + pattern::to_string(ea.op) + " vs " +
+                  pattern::to_string(eb.op));
+      return r;
+    }
+    if (ea.addr != eb.addr) {
+      diff(i, "addr mismatch");
+      return r;
+    }
+    if (ea.status != eb.status) {
+      diff(i, std::string("status ") + pci::to_string(ea.status) + " vs " +
+                  pci::to_string(eb.status));
+      return r;
+    }
+    if (ea.data != eb.data) {
+      diff(i, "data mismatch");
+      return r;
+    }
+    ++r.compared;
+  }
+  if (a.size() != b.size()) {
+    diff(n, "length " + std::to_string(a.size()) + " vs " +
+                std::to_string(b.size()));
+  }
+  return r;
+}
+
+struct TimingReport {
+  sim::Time span_a;
+  sim::Time span_b;
+  double slowdown_b_over_a = 0.0;
+  std::uint64_t mean_latency_ps_a = 0;
+  std::uint64_t mean_latency_ps_b = 0;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "span " << span_a.to_string() << " vs " << span_b.to_string()
+       << " (x" << slowdown_b_over_a << "), mean latency "
+       << mean_latency_ps_a << "ps vs " << mean_latency_ps_b << "ps";
+    return os.str();
+  }
+};
+
+inline TimingReport compare_timing(const Transcript& a, const Transcript& b) {
+  TimingReport t;
+  t.span_a = a.span();
+  t.span_b = b.span();
+  if (t.span_a.picos() > 0) {
+    t.slowdown_b_over_a = static_cast<double>(t.span_b.picos()) /
+                          static_cast<double>(t.span_a.picos());
+  }
+  auto mean_latency = [](const Transcript& tr) -> std::uint64_t {
+    if (tr.empty()) return 0;
+    std::uint64_t sum = 0;
+    for (const TranscriptEntry& e : tr.entries()) {
+      sum += (e.completed - e.issued).picos();
+    }
+    return sum / tr.size();
+  };
+  t.mean_latency_ps_a = mean_latency(a);
+  t.mean_latency_ps_b = mean_latency(b);
+  return t;
+}
+
+}  // namespace hlcs::verify

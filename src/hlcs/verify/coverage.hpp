@@ -1,0 +1,83 @@
+// Lightweight functional coverage over transcripts and bus records:
+// which operations, burst lengths, statuses and wait-state ranges the
+// test set actually exercised.  The paper validates "at least with
+// respect to the test set adopted" -- coverage makes that qualifier
+// measurable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "hlcs/pci/pci_monitor.hpp"
+#include "hlcs/verify/transcript.hpp"
+
+namespace hlcs::verify {
+
+class Coverage {
+public:
+  void observe(const Transcript& t) {
+    for (const TranscriptEntry& e : t.entries()) {
+      ops_[pattern::to_string(e.op)]++;
+      statuses_[pci::to_string(e.status)]++;
+      burst_bin(e.data.size());
+    }
+  }
+
+  void observe(const std::vector<pci::BusRecord>& records) {
+    for (const pci::BusRecord& r : records) {
+      pci_cmds_[pci::to_string(r.cmd)]++;
+      statuses_[pci::to_string(r.result())]++;
+      burst_bin(r.words.size());
+      wait_bin(r.wait_cycles);
+    }
+  }
+
+  std::size_t distinct_ops() const { return ops_.size(); }
+  std::size_t distinct_pci_cmds() const { return pci_cmds_.size(); }
+  std::size_t distinct_statuses() const { return statuses_.size(); }
+  std::size_t distinct_burst_bins() const { return bursts_.size(); }
+  std::uint64_t hits(const std::string& op) const {
+    auto it = ops_.find(op);
+    return it == ops_.end() ? 0 : it->second;
+  }
+
+  std::string report() const {
+    std::ostringstream os;
+    os << "ops:";
+    for (const auto& [k, v] : ops_) os << " " << k << "=" << v;
+    os << "\npci_cmds:";
+    for (const auto& [k, v] : pci_cmds_) os << " " << k << "=" << v;
+    os << "\nstatuses:";
+    for (const auto& [k, v] : statuses_) os << " " << k << "=" << v;
+    os << "\nburst_bins:";
+    for (const auto& [k, v] : bursts_) os << " " << k << "=" << v;
+    os << "\nwait_bins:";
+    for (const auto& [k, v] : waits_) os << " " << k << "=" << v;
+    return os.str();
+  }
+
+private:
+  void burst_bin(std::size_t words) {
+    if (words == 0) bursts_["0"]++;
+    else if (words == 1) bursts_["1"]++;
+    else if (words <= 4) bursts_["2-4"]++;
+    else if (words <= 16) bursts_["5-16"]++;
+    else bursts_["17+"]++;
+  }
+  void wait_bin(std::uint64_t waits) {
+    if (waits == 0) waits_["0"]++;
+    else if (waits <= 4) waits_["1-4"]++;
+    else if (waits <= 16) waits_["5-16"]++;
+    else waits_["17+"]++;
+  }
+
+  std::map<std::string, std::uint64_t> ops_;
+  std::map<std::string, std::uint64_t> pci_cmds_;
+  std::map<std::string, std::uint64_t> statuses_;
+  std::map<std::string, std::uint64_t> bursts_;
+  std::map<std::string, std::uint64_t> waits_;
+};
+
+}  // namespace hlcs::verify

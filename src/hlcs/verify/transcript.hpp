@@ -1,0 +1,73 @@
+// Application-level transcripts: the observable behaviour of an
+// application against a bus interface, recorded at the command/response
+// boundary.  Two models are behaviourally consistent (paper Sec. 3,
+// step 3) when their transcripts agree on everything except timing.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/pattern/command.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::verify {
+
+struct TranscriptEntry {
+  std::uint64_t id = 0;
+  pattern::BusOp op = pattern::BusOp::Read;
+  std::uint32_t addr = 0;
+  std::vector<std::uint32_t> data;  ///< written payload or read result
+  pci::PciResult status = pci::PciResult::Ok;
+  sim::Time issued;
+  sim::Time completed;
+};
+
+class Transcript {
+public:
+  void record(const pattern::CommandType& cmd,
+              const pattern::ResponseType& resp, sim::Time issued,
+              sim::Time completed) {
+    TranscriptEntry e;
+    e.id = resp.id;
+    e.op = cmd.op;
+    e.addr = cmd.addr;
+    e.data = pattern::op_is_read(cmd.op) ? resp.data : cmd.data;
+    e.status = resp.status;
+    e.issued = issued;
+    e.completed = completed;
+    entries_.push_back(std::move(e));
+  }
+
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Total simulated time from first issue to last completion.
+  sim::Time span() const {
+    if (entries_.empty()) return sim::Time::zero();
+    return entries_.back().completed - entries_.front().issued;
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    for (const TranscriptEntry& e : entries_) {
+      os << "#" << e.id << " " << pattern::to_string(e.op) << " @0x"
+         << std::hex << e.addr << std::dec << " [";
+      for (std::size_t i = 0; i < e.data.size(); ++i) {
+        if (i) os << ",";
+        os << std::hex << e.data[i] << std::dec;
+      }
+      os << "] " << pci::to_string(e.status) << " ("
+         << e.issued.to_string() << ".." << e.completed.to_string() << ")\n";
+    }
+    return os.str();
+  }
+
+private:
+  std::vector<TranscriptEntry> entries_;
+};
+
+}  // namespace hlcs::verify

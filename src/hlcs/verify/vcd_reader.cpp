@@ -1,0 +1,231 @@
+#include "hlcs/verify/vcd_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hlcs::verify {
+
+namespace {
+
+/// Split a VCD stream into whitespace-separated words.
+std::vector<std::string> words_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string w;
+  while (is >> w) out.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+VcdFile VcdFile::parse(const std::string& text) {
+  VcdFile f;
+  const std::vector<std::string> words = words_of(text);
+  std::size_t i = 0;
+  auto need = [&](const char* what) -> const std::string& {
+    if (i >= words.size()) fail(std::string("VCD: truncated ") + what);
+    return words[i];
+  };
+
+  std::map<std::string, VcdSignal*> by_id;
+  std::vector<std::string> scope_stack;
+
+  // --- header -------------------------------------------------------------
+  while (i < words.size()) {
+    const std::string& w = words[i];
+    if (w == "$enddefinitions") {
+      // consume through $end
+      while (i < words.size() && words[i] != "$end") ++i;
+      ++i;
+      break;
+    }
+    if (w == "$timescale") {
+      ++i;
+      std::string spec;
+      while (i < words.size() && words[i] != "$end") spec += words[i++];
+      ++i;
+      // Accept "1ps", "1ns", "10ps" etc.
+      std::size_t p = 0;
+      unsigned mul = 0;
+      while (p < spec.size() && std::isdigit(static_cast<unsigned char>(spec[p]))) {
+        mul = mul * 10 + static_cast<unsigned>(spec[p] - '0');
+        ++p;
+      }
+      const std::string unit = spec.substr(p);
+      unsigned unit_ps = 1;
+      if (unit == "ps") unit_ps = 1;
+      else if (unit == "ns") unit_ps = 1000;
+      else if (unit == "us") unit_ps = 1000000;
+      else fail("VCD: unsupported timescale unit " + unit);
+      f.timescale_ps_ = (mul ? mul : 1) * unit_ps;
+      continue;
+    }
+    if (w == "$scope") {
+      ++i;
+      ++i;  // scope kind (module)
+      scope_stack.push_back(need("scope name"));
+      ++i;
+      if (need("$end") != "$end") fail("VCD: malformed $scope");
+      ++i;
+      continue;
+    }
+    if (w == "$upscope") {
+      if (!scope_stack.empty()) scope_stack.pop_back();
+      i += 2;  // $upscope $end
+      continue;
+    }
+    if (w == "$var") {
+      ++i;
+      ++i;  // var type (wire/reg)
+      const unsigned width =
+          static_cast<unsigned>(std::stoul(need("var width")));
+      ++i;
+      const std::string id = need("var id");
+      ++i;
+      std::string name = need("var name");
+      ++i;
+      // Optional bit-range token like [7:0] before $end.
+      while (i < words.size() && words[i] != "$end") {
+        name += words[i];
+        ++i;
+      }
+      ++i;  // $end
+      // Qualify with the enclosing scope path so hierarchical traces
+      // round-trip ("pci" scope + "AD" leaf -> "pci.AD").
+      std::string full;
+      for (const std::string& sc : scope_stack) full += sc + ".";
+      full += name;
+      name = std::move(full);
+      VcdSignal sig;
+      sig.name = name;
+      sig.width = width;
+      auto [it, inserted] = f.by_name_.emplace(name, std::move(sig));
+      if (!inserted) fail("VCD: duplicate signal name " + name);
+      by_id[id] = &it->second;
+      continue;
+    }
+    if (w == "$date" || w == "$version" || w == "$comment") {
+      ++i;
+      while (i < words.size() && words[i] != "$end") ++i;
+      ++i;
+      continue;
+    }
+    fail("VCD: unexpected token in header: " + w);
+  }
+
+  // --- value changes --------------------------------------------------------
+  std::uint64_t now = 0;
+  bool in_dump_block = false;
+  while (i < words.size()) {
+    const std::string& w = words[i];
+    if (w.empty()) {
+      ++i;
+      continue;
+    }
+    if (w[0] == '#') {
+      now = std::stoull(w.substr(1)) * f.timescale_ps_;
+      f.end_time_ps_ = std::max(f.end_time_ps_, now);
+      ++i;
+      continue;
+    }
+    if (w == "$dumpvars" || w == "$dumpall" || w == "$dumpon" ||
+        w == "$dumpoff") {
+      in_dump_block = true;
+      ++i;
+      continue;
+    }
+    if (w == "$end") {
+      in_dump_block = false;
+      ++i;
+      continue;
+    }
+    (void)in_dump_block;
+    if (w[0] == 'b' || w[0] == 'B') {
+      const std::string value = w.substr(1);
+      ++i;
+      const std::string& id = need("vector id");
+      auto it = by_id.find(id);
+      if (it == by_id.end()) fail("VCD: change for unknown id " + id);
+      it->second->changes.push_back(VcdChange{now, value});
+      ++i;
+      continue;
+    }
+    // Scalar: value char + id glued together.
+    const char v = w[0];
+    if (v == '0' || v == '1' || v == 'x' || v == 'X' || v == 'z' ||
+        v == 'Z') {
+      const std::string id = w.substr(1);
+      auto it = by_id.find(id);
+      if (it == by_id.end()) fail("VCD: change for unknown id " + id);
+      it->second->changes.push_back(
+          VcdChange{now, std::string(1, static_cast<char>(std::tolower(v)))});
+      ++i;
+      continue;
+    }
+    fail("VCD: unexpected token in dump: " + w);
+  }
+  return f;
+}
+
+VcdFile VcdFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("VCD: cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+const VcdSignal& VcdFile::signal(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) fail("VCD: no signal named " + name);
+  return it->second;
+}
+
+bool VcdFile::has_signal(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::vector<std::string> VcdFile::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [n, s] : by_name_) names.push_back(n);
+  return names;
+}
+
+WaveCompareResult compare_waves(const VcdFile& a, const VcdFile& b,
+                                std::uint64_t sample_period_ps) {
+  WaveCompareResult r;
+  for (const std::string& name : a.signal_names()) {
+    if (!b.has_signal(name)) continue;
+    const VcdSignal& sa = a.signal(name);
+    const VcdSignal& sb = b.signal(name);
+    if (sa.width != sb.width) {
+      r.equal = false;
+      r.first_difference = name + ": width differs";
+      return r;
+    }
+    // Union of change times (filtered to the sampling grid if given).
+    std::vector<std::uint64_t> times;
+    for (const VcdChange& c : sa.changes) times.push_back(c.time_ps);
+    for (const VcdChange& c : sb.changes) times.push_back(c.time_ps);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    for (std::uint64_t t : times) {
+      if (sample_period_ps != 0 && t % sample_period_ps != 0) continue;
+      const std::string va = sa.value_at(t);
+      const std::string vb = sb.value_at(t);
+      if (va != vb) {
+        r.equal = false;
+        r.first_difference = name + " differs at " + std::to_string(t) +
+                             "ps: '" + va + "' vs '" + vb + "'";
+        return r;
+      }
+    }
+    ++r.signals_compared;
+  }
+  return r;
+}
+
+}  // namespace hlcs::verify

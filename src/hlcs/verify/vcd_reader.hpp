@@ -1,0 +1,80 @@
+// VCD reader and waveform comparison.
+//
+// The paper's step-3 validation was done by inspecting simulation
+// waveforms (Figure 4).  This reader parses the VCD files the library
+// writes (and any standard 4-state VCD), reconstructs per-signal value
+// timelines, and supports queries ("value of FRAME_n at 1250 ns") and
+// whole-waveform comparison -- so waveform-level consistency checking is
+// a test, not an eyeball.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::verify {
+
+struct VcdChange {
+  std::uint64_t time_ps;
+  std::string value;  ///< MSB-first, chars 0/1/x/z
+};
+
+struct VcdSignal {
+  std::string name;
+  unsigned width = 1;
+  std::vector<VcdChange> changes;  ///< sorted by time
+
+  /// Value at time t (last change at or before t); empty before the
+  /// first change.
+  std::string value_at(std::uint64_t t_ps) const {
+    std::string v;
+    for (const VcdChange& c : changes) {
+      if (c.time_ps > t_ps) break;
+      v = c.value;
+    }
+    return v;
+  }
+
+  std::size_t transitions() const {
+    return changes.empty() ? 0 : changes.size() - 1;
+  }
+};
+
+class VcdFile {
+public:
+  /// Parse from text; throws hlcs::Error on malformed input.
+  static VcdFile parse(const std::string& text);
+  /// Parse a file from disk.
+  static VcdFile load(const std::string& path);
+
+  const VcdSignal& signal(const std::string& name) const;
+  bool has_signal(const std::string& name) const;
+  std::vector<std::string> signal_names() const;
+  std::uint64_t end_time_ps() const { return end_time_ps_; }
+  unsigned timescale_ps() const { return timescale_ps_; }
+
+private:
+  std::map<std::string, VcdSignal> by_name_;  // keyed by signal name
+  std::uint64_t end_time_ps_ = 0;
+  unsigned timescale_ps_ = 1;
+};
+
+struct WaveCompareResult {
+  bool equal = true;
+  std::string first_difference;
+  std::size_t signals_compared = 0;
+
+  explicit operator bool() const { return equal; }
+};
+
+/// Compare two waveforms on the signals present in BOTH files, sampling
+/// at every change point of either.  `sample_period_ps` > 0 restricts
+/// comparison to multiples of that period (e.g. compare at clock edges
+/// only, ignoring sub-cycle glitches).
+WaveCompareResult compare_waves(const VcdFile& a, const VcdFile& b,
+                                std::uint64_t sample_period_ps = 0);
+
+}  // namespace hlcs::verify

@@ -1,0 +1,112 @@
+#include "hlcs/osss/arbitration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hlcs::osss {
+namespace {
+
+RequestInfo req(std::size_t client, std::uint64_t seq, int prio = 0,
+                std::uint64_t waited = 0) {
+  return RequestInfo{client, seq, prio, waited};
+}
+
+TEST(FifoArbitration, PicksOldest) {
+  FifoArbitration p;
+  std::vector<RequestInfo> e = {req(2, 30), req(0, 10), req(1, 20)};
+  EXPECT_EQ(p.pick(e), 1u);
+}
+
+TEST(FifoArbitration, SingleEligible) {
+  FifoArbitration p;
+  std::vector<RequestInfo> e = {req(5, 99)};
+  EXPECT_EQ(p.pick(e), 0u);
+}
+
+TEST(RoundRobinArbitration, RotatesThroughClients) {
+  RoundRobinArbitration p;
+  std::vector<RequestInfo> e = {req(0, 1), req(1, 2), req(2, 3)};
+  EXPECT_EQ(e[p.pick(e)].client, 0u);
+  EXPECT_EQ(e[p.pick(e)].client, 1u);
+  EXPECT_EQ(e[p.pick(e)].client, 2u);
+  EXPECT_EQ(e[p.pick(e)].client, 0u) << "wraps around";
+}
+
+TEST(RoundRobinArbitration, SkipsIneligibleClients) {
+  RoundRobinArbitration p;
+  std::vector<RequestInfo> all = {req(0, 1), req(1, 2), req(2, 3)};
+  EXPECT_EQ(all[p.pick(all)].client, 0u);
+  // Client 1 not eligible now: next grant should go to 2, not 1.
+  std::vector<RequestInfo> sub = {req(0, 4), req(2, 3)};
+  EXPECT_EQ(sub[p.pick(sub)].client, 2u);
+}
+
+TEST(StaticPriorityArbitration, HigherPriorityWins) {
+  StaticPriorityArbitration p;
+  std::vector<RequestInfo> e = {req(0, 1, 1), req(1, 2, 5), req(2, 3, 3)};
+  EXPECT_EQ(e[p.pick(e)].client, 1u);
+}
+
+TEST(StaticPriorityArbitration, FifoAmongEqualPriority) {
+  StaticPriorityArbitration p;
+  std::vector<RequestInfo> e = {req(0, 9, 2), req(1, 4, 2), req(2, 7, 2)};
+  EXPECT_EQ(e[p.pick(e)].client, 1u);
+}
+
+TEST(RandomArbitration, DeterministicForFixedSeed) {
+  RandomArbitration a(42), b(42);
+  std::vector<RequestInfo> e = {req(0, 1), req(1, 2), req(2, 3), req(3, 4)};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.pick(e), b.pick(e));
+}
+
+TEST(RandomArbitration, CoversAllChoicesEventually) {
+  RandomArbitration p(7);
+  std::vector<RequestInfo> e = {req(0, 1), req(1, 2), req(2, 3)};
+  std::map<std::size_t, int> hits;
+  for (int i = 0; i < 300; ++i) hits[p.pick(e)]++;
+  EXPECT_EQ(hits.size(), 3u);
+  for (auto& [idx, n] : hits) EXPECT_GT(n, 30) << "choice " << idx;
+}
+
+TEST(UserArbitration, DelegatesToFunction) {
+  // "Youngest first" -- a deliberately unusual user algorithm.
+  UserArbitration p("lifo", [](const std::vector<RequestInfo>& e) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < e.size(); ++i) {
+      if (e[i].seq > e[best].seq) best = i;
+    }
+    return best;
+  });
+  std::vector<RequestInfo> e = {req(0, 10), req(1, 30), req(2, 20)};
+  EXPECT_EQ(p.pick(e), 1u);
+  EXPECT_EQ(p.name(), "lifo");
+}
+
+TEST(UserArbitration, OutOfRangePickThrows) {
+  UserArbitration p("bad",
+                    [](const std::vector<RequestInfo>& e) { return e.size(); });
+  std::vector<RequestInfo> e = {req(0, 1)};
+  EXPECT_THROW(p.pick(e), hlcs::Error);
+}
+
+TEST(UserArbitration, NullFunctionThrows) {
+  EXPECT_THROW(UserArbitration("null", nullptr), hlcs::Error);
+}
+
+TEST(PolicyFactory, MakesAllKinds) {
+  EXPECT_EQ(make_policy(PolicyKind::Fifo)->name(), "fifo");
+  EXPECT_EQ(make_policy(PolicyKind::RoundRobin)->name(), "round_robin");
+  EXPECT_EQ(make_policy(PolicyKind::StaticPriority)->name(), "static_priority");
+  EXPECT_EQ(make_policy(PolicyKind::Random)->name(), "random");
+}
+
+TEST(PolicyFactory, NamesMatchHelper) {
+  for (PolicyKind kind : {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                          PolicyKind::StaticPriority, PolicyKind::Random}) {
+    EXPECT_EQ(make_policy(kind)->name(), policy_name(kind));
+  }
+}
+
+}  // namespace
+}  // namespace hlcs::osss

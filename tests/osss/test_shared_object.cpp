@@ -1,0 +1,345 @@
+#include "hlcs/osss/shared_object.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hlcs/osss/bistable.hpp"
+#include "hlcs/osss/guarded_fifo.hpp"
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/sim/kernel.hpp"
+
+namespace hlcs::osss {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Clock;
+using sim::Kernel;
+using sim::Task;
+
+// ---------------------------------------------------------------------
+// Figure 1 semantics: connected instances share one state space.
+// ---------------------------------------------------------------------
+
+TEST(SharedObjectUntimed, SharedStateSpaceAcrossModules) {
+  Kernel k;
+  SharedObject<Bistable> bistable(k, "bistable",
+                                  std::make_unique<FifoArbitration>());
+  auto module_a = bistable.make_client("module_a");
+  auto module_b = bistable.make_client("module_b");
+
+  bool observed = false;
+  k.spawn("a", [&]() -> Task {
+    co_await module_a.call([](Bistable& b) { b.set(); });
+  });
+  k.spawn("b", [&]() -> Task {
+    // Guarded on the state set by module a: suspends until it holds.
+    co_await module_b.call([](const Bistable& b) { return b.get_state(); },
+                           [&](Bistable&) {});
+    observed = true;
+  });
+  k.run();
+  EXPECT_TRUE(observed);
+  EXPECT_TRUE(bistable.peek().get_state());
+}
+
+TEST(SharedObjectUntimed, GuardSuspendsUntilTrue) {
+  Kernel k;
+  SharedObject<int> counter(k, "counter",
+                            std::make_unique<FifoArbitration>(), 0);
+  auto writer = counter.make_client("writer");
+  auto waiter = counter.make_client("waiter");
+
+  sim::Time woke = sim::Time::zero();
+  k.spawn("waiter", [&]() -> Task {
+    co_await waiter.call([](const int& v) { return v >= 3; }, [](int&) {});
+    woke = k.now();
+  });
+  k.spawn("writer", [&]() -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await k.wait(10_ns);
+      co_await writer.call([](int& v) { ++v; });
+    }
+  });
+  k.run();
+  EXPECT_EQ(woke, 30_ns) << "guard v>=3 becomes true at the third increment";
+}
+
+TEST(SharedObjectUntimed, CallReturnsValue) {
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 41);
+  auto c = obj.make_client("c");
+  int got = 0;
+  k.spawn("p", [&]() -> Task {
+    got = co_await c.call([](int& v) { return ++v; });
+  });
+  k.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SharedObjectUntimed, CallsAreAtomic) {
+  // Two processes each do read-modify-write 100 times; with atomic
+  // guarded calls no increment is lost.
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 0);
+  auto c1 = obj.make_client("c1");
+  auto c2 = obj.make_client("c2");
+  auto worker = [&k](SharedObject<int>::Client c) -> Task {
+    for (int i = 0; i < 100; ++i) {
+      co_await c.call([](int& v) {
+        int tmp = v;
+        v = tmp + 1;
+      });
+    }
+  };
+  k.spawn("w1", [&, c1]() -> Task { return worker(c1); });
+  k.spawn("w2", [&, c2]() -> Task { return worker(c2); });
+  k.run();
+  EXPECT_EQ(obj.peek(), 200);
+}
+
+TEST(SharedObjectUntimed, ProducerConsumerThroughGuardedFifo) {
+  Kernel k;
+  SharedObject<GuardedFifo<int>> fifo(k, "fifo",
+                                      std::make_unique<FifoArbitration>(),
+                                      GuardedFifo<int>(2));
+  auto prod = fifo.make_client("prod");
+  auto cons = fifo.make_client("cons");
+  std::vector<int> received;
+  constexpr int kItems = 50;
+  k.spawn("producer", [&]() -> Task {
+    for (int i = 0; i < kItems; ++i) {
+      co_await prod.call(
+          [](const GuardedFifo<int>& f) { return !f.full(); },
+          [i](GuardedFifo<int>& f) { f.push(i); });
+    }
+  });
+  k.spawn("consumer", [&]() -> Task {
+    for (int i = 0; i < kItems; ++i) {
+      int v = co_await cons.call(
+          [](const GuardedFifo<int>& f) { return !f.empty(); },
+          [](GuardedFifo<int>& f) { return f.pop(); });
+      received.push_back(v);
+    }
+  });
+  k.run();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(SharedObjectUntimed, UnguardedCallAlwaysEligible) {
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 7);
+  auto c = obj.make_client("c");
+  bool reset_done = false;
+  k.spawn("p", [&]() -> Task {
+    co_await c.call([&](int& v) {
+      v = 0;
+      reset_done = true;
+    });
+  });
+  k.run();
+  EXPECT_TRUE(reset_done);
+  EXPECT_EQ(obj.peek(), 0);
+}
+
+TEST(SharedObjectUntimed, TryCallHitAndMiss) {
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 1);
+  auto c = obj.make_client("c");
+  auto hit = c.try_call([](const int& v) { return v > 0; },
+                        [](int& v) { return v * 10; });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 10);
+  auto miss = c.try_call([](const int& v) { return v > 100; },
+                         [](int& v) { return v; });
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_EQ(obj.stats().try_call_hits, 1u);
+  EXPECT_EQ(obj.stats().try_call_misses, 1u);
+}
+
+TEST(SharedObjectUntimed, StatsCountCallsAndGrants) {
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 0);
+  auto c1 = obj.make_client("alpha");
+  auto c2 = obj.make_client("beta");
+  k.spawn("p1", [&]() -> Task {
+    for (int i = 0; i < 3; ++i) co_await c1.call([](int& v) { ++v; });
+  });
+  k.spawn("p2", [&]() -> Task {
+    for (int i = 0; i < 2; ++i) co_await c2.call([](int& v) { ++v; });
+  });
+  k.run();
+  const auto& st = obj.stats();
+  EXPECT_EQ(st.grants, 5u);
+  ASSERT_EQ(st.clients.size(), 2u);
+  EXPECT_EQ(st.clients[0].name, "alpha");
+  EXPECT_EQ(st.clients[0].calls, 3u);
+  EXPECT_EQ(st.clients[0].granted, 3u);
+  EXPECT_EQ(st.clients[1].calls, 2u);
+}
+
+TEST(SharedObjectUntimed, UnconnectedClientThrows) {
+  SharedObject<int>::Client c;
+  EXPECT_FALSE(c.connected());
+  EXPECT_THROW(c.call([](int&) {}), hlcs::Error);
+}
+
+TEST(SharedObjectUntimed, GrantsHappenAtSameSimTime) {
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 0);
+  auto c = obj.make_client("c");
+  sim::Time t_before, t_after;
+  k.spawn("p", [&]() -> Task {
+    t_before = k.now();
+    co_await c.call([](int& v) { ++v; });
+    t_after = k.now();
+  });
+  k.run();
+  EXPECT_EQ(t_before, t_after) << "untimed grants take zero simulated time";
+}
+
+// ---------------------------------------------------------------------
+// Clocked mode: one grant per rising edge ("synchronous logic").
+// ---------------------------------------------------------------------
+
+TEST(SharedObjectClocked, OneGrantPerCycle) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk, std::make_unique<FifoArbitration>(), 0);
+  constexpr int kClients = 4;
+  std::vector<sim::Time> done(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    auto c = obj.make_client("c" + std::to_string(i));
+    k.spawn("p" + std::to_string(i), [&, c, i]() -> Task {
+      co_await c.call([](int& v) { ++v; });
+      done[static_cast<std::size_t>(i)] = k.now();
+    });
+  }
+  k.run_for(1_us);
+  EXPECT_EQ(obj.peek(), kClients);
+  // FIFO policy: grants at consecutive rising edges 5, 15, 25, 35 ns.
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(done[static_cast<std::size_t>(i)].picos(),
+              5000u + 10000u * static_cast<std::uint64_t>(i))
+        << "client " << i;
+  }
+}
+
+TEST(SharedObjectClocked, WaitCyclesGrowWithContention) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk, std::make_unique<FifoArbitration>(), 0);
+  constexpr int kClients = 8;
+  for (int i = 0; i < kClients; ++i) {
+    auto c = obj.make_client("c" + std::to_string(i));
+    k.spawn("p" + std::to_string(i), [&, c]() -> Task {
+      co_await c.call([](int& v) { ++v; });
+    });
+  }
+  k.run_for(1_us);
+  const auto& st = obj.stats();
+  // The last-granted client waited ~kClients-1 more cycles than the first.
+  std::uint64_t max_wait = 0;
+  for (const auto& cs : st.clients) max_wait = std::max(max_wait, cs.wait_max);
+  EXPECT_GE(max_wait, static_cast<std::uint64_t>(kClients - 2));
+}
+
+TEST(SharedObjectClocked, GuardHoldsCallUntilStateChanges) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk, std::make_unique<FifoArbitration>(), 0);
+  auto setter = obj.make_client("setter");
+  auto guarded = obj.make_client("guarded");
+  sim::Time woke;
+  k.spawn("guarded", [&]() -> Task {
+    co_await guarded.call([](const int& v) { return v != 0; }, [](int&) {});
+    woke = k.now();
+  });
+  k.spawn("setter", [&]() -> Task {
+    co_await k.wait(100_ns);
+    co_await setter.call([](int& v) { v = 1; });
+  });
+  k.run_for(1_us);
+  // Setter enqueues after 100ns, granted at the next edge (105ns); the
+  // guarded call becomes eligible and is granted one cycle later (115ns).
+  EXPECT_EQ(woke.picos(), 115000u);
+}
+
+TEST(SharedObjectClocked, PriorityPolicyPrefersHighPriorityClient) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<std::vector<int>> obj(
+      k, "obj", clk, std::make_unique<StaticPriorityArbitration>());
+  auto low = obj.make_client("low", /*priority=*/1);
+  auto high = obj.make_client("high", /*priority=*/9);
+  // Both enqueue at time 0 (same delta); high priority must win the
+  // first edge even though low enqueued first.
+  k.spawn("low", [&]() -> Task {
+    co_await low.call([](std::vector<int>& v) { v.push_back(1); });
+  });
+  k.spawn("high", [&]() -> Task {
+    co_await high.call([](std::vector<int>& v) { v.push_back(9); });
+  });
+  k.run_for(100_ns);
+  ASSERT_EQ(obj.peek().size(), 2u);
+  EXPECT_EQ(obj.peek()[0], 9);
+  EXPECT_EQ(obj.peek()[1], 1);
+}
+
+TEST(SharedObjectClocked, RoundRobinSharesFairlyUnderSaturation) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk,
+                        std::make_unique<RoundRobinArbitration>(), 0);
+  constexpr int kClients = 3;
+  std::vector<int> grants(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    auto c = obj.make_client("c" + std::to_string(i));
+    k.spawn("p" + std::to_string(i), [&, c, i]() -> Task {
+      for (;;) {
+        co_await c.call([](int& v) { ++v; });
+        ++grants[static_cast<std::size_t>(i)];
+      }
+    });
+  }
+  k.run_for(3005_ns);  // ~300 cycles
+  const int total = grants[0] + grants[1] + grants[2];
+  EXPECT_GE(total, 290);
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_NEAR(grants[static_cast<std::size_t>(i)], total / kClients, 2)
+        << "client " << i;
+  }
+}
+
+TEST(SharedObjectClocked, ClockedFlagAndPending) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> clocked_obj(k, "a", clk,
+                                std::make_unique<FifoArbitration>(), 0);
+  SharedObject<int> untimed_obj(k, "b", std::make_unique<FifoArbitration>(),
+                                0);
+  EXPECT_TRUE(clocked_obj.clocked());
+  EXPECT_FALSE(untimed_obj.clocked());
+  EXPECT_EQ(clocked_obj.pending(), 0u);
+}
+
+TEST(SharedObjectClocked, BlockedGuardNeverGranted) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk, std::make_unique<FifoArbitration>(), 0);
+  auto c = obj.make_client("c");
+  bool resumed = false;
+  k.spawn("p", [&]() -> Task {
+    co_await c.call([](const int&) { return false; }, [](int&) {});
+    resumed = true;
+  });
+  k.run_for(500_ns);
+  EXPECT_FALSE(resumed);
+  EXPECT_EQ(obj.pending(), 1u);
+  EXPECT_EQ(obj.stats().grants, 0u);
+}
+
+}  // namespace
+}  // namespace hlcs::osss

@@ -1,0 +1,198 @@
+// Additional SharedObject behaviours: user-defined arbitration plugged
+// into a live object, non-blocking probes under load, reset patterns,
+// and pathological schedules.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::osss {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Clock;
+using sim::Kernel;
+using sim::Task;
+
+TEST(SharedObjectUser, UserDefinedAlgorithmDrivesGrantOrder) {
+  // "the calls are queued and scheduled according to a user defined
+  // algorithm" -- here: highest client id first (reverse priority).
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  auto policy = std::make_unique<UserArbitration>(
+      "reverse", [](const std::vector<RequestInfo>& e) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < e.size(); ++i) {
+          if (e[i].client > e[best].client) best = i;
+        }
+        return best;
+      });
+  SharedObject<std::vector<int>> obj(k, "obj", clk, std::move(policy));
+  for (int i = 0; i < 3; ++i) {
+    auto c = obj.make_client("c" + std::to_string(i));
+    k.spawn("p" + std::to_string(i), [&k, c, i]() -> Task {
+      co_await c.call([i](std::vector<int>& v) { v.push_back(i); });
+    });
+  }
+  k.run_for(100_ns);
+  ASSERT_EQ(obj.peek().size(), 3u);
+  EXPECT_EQ(obj.peek(), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(SharedObjectUser, TryCallRefusedWhileQueueNonEmpty) {
+  // try_call must not jump ahead of blocked callers.
+  Kernel k;
+  SharedObject<int> obj(k, "obj", std::make_unique<FifoArbitration>(), 0);
+  auto blocked = obj.make_client("blocked");
+  auto prober = obj.make_client("prober");
+  bool probe_refused = false;
+  k.spawn("blocked", [&]() -> Task {
+    co_await blocked.call([](const int& v) { return v > 100; }, [](int&) {});
+  });
+  k.spawn("prober", [&]() -> Task {
+    co_await k.wait(5_ns);  // let the blocked call enqueue
+    auto r = prober.try_call([](const int&) { return true; },
+                             [](int& v) { return ++v; });
+    probe_refused = !r.has_value();
+  });
+  k.run_for(100_ns);
+  EXPECT_TRUE(probe_refused);
+  EXPECT_EQ(obj.peek(), 0) << "probe must not have executed";
+}
+
+TEST(SharedObjectUser, ResetStyleUnguardedCallDrainsState) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<std::vector<int>> obj(k, "obj", clk,
+                                     std::make_unique<FifoArbitration>());
+  auto writer = obj.make_client("writer");
+  auto resetter = obj.make_client("resetter");
+  k.spawn("writer", [&]() -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await writer.call([i](std::vector<int>& v) { v.push_back(i); });
+    }
+  });
+  k.spawn("resetter", [&]() -> Task {
+    co_await k.wait(200_ns);
+    co_await resetter.call([](std::vector<int>& v) { v.clear(); });
+  });
+  k.run_for(1_us);
+  EXPECT_TRUE(obj.peek().empty());
+}
+
+TEST(SharedObjectUser, ManyClientsManyCallsClockedComplete) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                  std::make_unique<RoundRobinArbitration>(),
+                                  0);
+  constexpr int kClients = 16;
+  constexpr int kCalls = 10;
+  int finished = 0;
+  for (int i = 0; i < kClients; ++i) {
+    auto c = obj.make_client("c" + std::to_string(i));
+    k.spawn("p" + std::to_string(i), [&k, &finished, c]() -> Task {
+      for (int j = 0; j < kCalls; ++j) {
+        co_await c.call([](std::uint64_t& v) { ++v; });
+      }
+      ++finished;
+    });
+  }
+  k.run_for(10_us);  // 1000 cycles >> 160 calls
+  EXPECT_EQ(finished, kClients);
+  EXPECT_EQ(obj.peek(), static_cast<std::uint64_t>(kClients * kCalls));
+  EXPECT_EQ(obj.stats().grants,
+            static_cast<std::uint64_t>(kClients * kCalls));
+}
+
+TEST(SharedObjectUser, GuardsReferencingExternalStateAreReevaluated) {
+  // A guard may capture module state; it is re-evaluated on every
+  // service step, not just at call time.
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<int> obj(k, "obj", clk, std::make_unique<FifoArbitration>(),
+                        0);
+  auto c = obj.make_client("c");
+  bool gate = false;
+  sim::Time woke;
+  k.spawn("caller", [&]() -> Task {
+    co_await c.call([&gate](const int&) { return gate; }, [](int& v) { ++v; });
+    woke = k.now();
+  });
+  k.spawn("opener", [&]() -> Task {
+    co_await k.wait(300_ns);
+    gate = true;
+  });
+  k.run_for(2_us);
+  EXPECT_GE(woke.picos(), 300000u);
+  EXPECT_EQ(obj.peek(), 1);
+}
+
+TEST(SharedObjectUser, InterleavedProducersConsumersClocked) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  SharedObject<GuardedFifo<int>> fifo(
+      k, "fifo", clk, std::make_unique<FifoArbitration>(), GuardedFifo<int>(4));
+  std::vector<int> out;
+  constexpr int kItems = 30;
+  for (int p = 0; p < 2; ++p) {
+    auto c = fifo.make_client("prod" + std::to_string(p));
+    k.spawn("prod" + std::to_string(p), [&k, c, p]() -> Task {
+      for (int i = 0; i < kItems / 2; ++i) {
+        const int value = p * 1000 + i;
+        co_await c.call([](const GuardedFifo<int>& f) { return !f.full(); },
+                        [value](GuardedFifo<int>& f) { f.push(value); });
+      }
+    });
+  }
+  auto consumer = fifo.make_client("cons");
+  k.spawn("cons", [&]() -> Task {
+    for (int i = 0; i < kItems; ++i) {
+      int v = co_await consumer.call(
+          [](const GuardedFifo<int>& f) { return !f.empty(); },
+          [](GuardedFifo<int>& f) { return f.pop(); });
+      out.push_back(v);
+    }
+  });
+  k.run_for(10_us);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kItems));
+  // Per-producer order is preserved even though grants interleave.
+  int last0 = -1, last1 = -1;
+  for (int v : out) {
+    if (v < 1000) {
+      EXPECT_GT(v, last0);
+      last0 = v;
+    } else {
+      EXPECT_GT(v, last1);
+      last1 = v;
+    }
+  }
+}
+
+TEST(GuardedFifoUnit, CapacityAndOrdering) {
+  GuardedFifo<int> f(3);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.capacity(), 3u);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.front(), 1);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_THROW(f.pop(), hlcs::Error);
+  EXPECT_THROW(f.front(), hlcs::Error);
+  f.push(9);
+  f.push(9);
+  f.push(9);
+  EXPECT_THROW(f.push(9), hlcs::Error);
+  EXPECT_THROW(GuardedFifo<int>(0), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::osss

@@ -1,0 +1,206 @@
+// The guarded-method contract of the bus-access global object, exactly
+// as the paper specifies it (Sec. 3).
+#include <gtest/gtest.h>
+
+#include "hlcs/pattern/bus_access_object.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::pattern {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+TEST(BusAccessState, GuardPredicates) {
+  BusAccessState s;
+  EXPECT_FALSE(s.isPendingCommand());
+  EXPECT_FALSE(s.isApplicationReadData());
+  s.putCommand(CommandType{.op = BusOp::Read, .addr = 4});
+  EXPECT_TRUE(s.isPendingCommand());
+  CommandType c = s.getCommand();
+  EXPECT_EQ(c.addr, 4u);
+  EXPECT_FALSE(s.isPendingCommand());
+  s.putResponse(ResponseType{.id = 0});
+  EXPECT_TRUE(s.isApplicationReadData());
+  s.appDataGet();
+  EXPECT_FALSE(s.isApplicationReadData());
+}
+
+TEST(BusAccessState, GuardViolationsThrow) {
+  BusAccessState s;
+  EXPECT_THROW(s.getCommand(), hlcs::Error);
+  EXPECT_THROW(s.appDataGet(), hlcs::Error);
+  s.putCommand(CommandType{});
+  EXPECT_THROW(s.putCommand(CommandType{}), hlcs::Error);
+}
+
+TEST(BusAccessState, ResetCancelsPendingWork) {
+  BusAccessState s;
+  s.putCommand(CommandType{});
+  s.putResponse(ResponseType{});
+  s.reset();
+  EXPECT_FALSE(s.isPendingCommand());
+  EXPECT_FALSE(s.isApplicationReadData());
+  EXPECT_EQ(s.take_id(), 0u) << "ids restart after reset";
+}
+
+TEST(BusAccessState, IdsAreSequential) {
+  BusAccessState s;
+  EXPECT_EQ(s.take_id(), 0u);
+  EXPECT_EQ(s.take_id(), 1u);
+  EXPECT_EQ(s.take_id(), 2u);
+}
+
+TEST(BusAccessChannel, PutCommandBlocksUntilSlotFree) {
+  // "the method is guarded upon the condition that there is no other
+  // command pending for execution; otherwise, the caller module is
+  // suspended until its request can be handled."
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  auto ifc = chan.if_port("iface");
+  std::vector<int> order;
+  k.spawn("app", [&]() -> Task {
+    co_await app.putCommand(CommandType{.op = BusOp::Read, .addr = 0x10});
+    order.push_back(1);
+    // Second put must block until the interface fetches the first.
+    co_await app.putCommand(CommandType{.op = BusOp::Read, .addr = 0x20});
+    order.push_back(3);
+  });
+  k.spawn("iface", [&]() -> Task {
+    co_await k.wait(50_ns);
+    CommandType c = co_await ifc.getCommand();
+    EXPECT_EQ(c.addr, 0x10u);
+    order.push_back(2);
+    co_await k.wait(50_ns);
+    CommandType c2 = co_await ifc.getCommand();
+    EXPECT_EQ(c2.addr, 0x20u);
+    order.push_back(4);
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BusAccessChannel, GetCommandBlocksUntilCommandArrives) {
+  // "it returns the command being asked by the application, if there is
+  // one pending; otherwise the calling process is blocked."
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  auto ifc = chan.if_port("iface");
+  sim::Time got_at;
+  k.spawn("iface", [&]() -> Task {
+    co_await ifc.getCommand();
+    got_at = k.now();
+  });
+  k.spawn("app", [&]() -> Task {
+    co_await k.wait(77_ns);
+    co_await app.putCommand(CommandType{});
+  });
+  k.run();
+  EXPECT_EQ(got_at, 77_ns);
+}
+
+TEST(BusAccessChannel, AppDataGetBlocksUntilResponse) {
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  auto ifc = chan.if_port("iface");
+  sim::Time got_at;
+  std::uint32_t value = 0;
+  k.spawn("app", [&]() -> Task {
+    ResponseType r = co_await app.appDataGet();
+    got_at = k.now();
+    value = r.data.at(0);
+  });
+  k.spawn("iface", [&]() -> Task {
+    co_await k.wait(33_ns);
+    ResponseType r;
+    r.data = {0xFEED};
+    co_await ifc.putResponse(std::move(r));
+  });
+  k.run();
+  EXPECT_EQ(got_at, 33_ns);
+  EXPECT_EQ(value, 0xFEEDu);
+}
+
+TEST(BusAccessChannel, ResetUnblocksNothingButClearsState) {
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  k.spawn("app", [&]() -> Task {
+    co_await app.putCommand(CommandType{.addr = 1});
+    co_await app.reset();
+    EXPECT_FALSE(chan.object().peek().isPendingCommand());
+    // After reset the slot is free again.
+    co_await app.putCommand(CommandType{.addr = 2});
+  });
+  k.run();
+  EXPECT_TRUE(chan.object().peek().isPendingCommand());
+}
+
+TEST(BusAccessChannel, TryVariantsDoNotBlock) {
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  k.spawn("app", [&]() -> Task {
+    EXPECT_FALSE(app.try_appDataGet().has_value());
+    CommandType c1;
+    c1.addr = 1;
+    auto id1 = app.try_putCommand(c1);
+    EXPECT_TRUE(id1.has_value());
+    CommandType c2;
+    c2.addr = 2;
+    auto id2 = app.try_putCommand(c2);
+    EXPECT_FALSE(id2.has_value()) << "slot already occupied";
+    co_return;
+  });
+  k.run();
+}
+
+TEST(BusAccessChannel, CommandIdsMatchResponses) {
+  Kernel k;
+  BusAccessChannel chan(k, "chan");
+  auto app = chan.app_port("app");
+  auto ifc = chan.if_port("iface");
+  std::vector<std::uint64_t> issued_ids, response_ids;
+  k.spawn("app", [&]() -> Task {
+    for (int i = 0; i < 5; ++i) {
+      std::uint64_t id =
+          co_await app.putCommand(CommandType{.addr = 0x100u + static_cast<std::uint32_t>(i)});
+      issued_ids.push_back(id);
+      ResponseType r = co_await app.appDataGet();
+      response_ids.push_back(r.id);
+    }
+  });
+  k.spawn("iface", [&]() -> Task {
+    for (int i = 0; i < 5; ++i) {
+      CommandType c = co_await ifc.getCommand();
+      co_await ifc.putResponse(ResponseType{.id = c.id});
+    }
+  });
+  k.run();
+  EXPECT_EQ(issued_ids, response_ids);
+  EXPECT_EQ(issued_ids, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BusAccessChannel, ClockedChannelConsumesCycles) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  BusAccessChannel chan(k, "chan", clk);
+  auto app = chan.app_port("app");
+  auto ifc = chan.if_port("iface");
+  sim::Time t_done;
+  k.spawn("app", [&]() -> Task {
+    co_await app.putCommand(CommandType{});
+    t_done = k.now();
+  });
+  k.spawn("iface", [&]() -> Task { co_await ifc.getCommand(); });
+  k.run_for(1_us);
+  // First rising edge is at 5ns: the grant consumes a clock edge.
+  EXPECT_GE(t_done.picos(), 5000u);
+}
+
+}  // namespace
+}  // namespace hlcs::pattern

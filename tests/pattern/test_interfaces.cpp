@@ -1,0 +1,225 @@
+// The two library elements (functional and pin-accurate PCI) and the
+// Figure 3 refinement property: one application, interchangeable
+// interfaces, identical transcripts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+#include "hlcs/verify/compare.hpp"
+#include "hlcs/verify/coverage.hpp"
+
+namespace hlcs::pattern {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+TEST(FunctionalInterface, ServesReadsAndWrites) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  FunctionalBusInterface iface(k, "iface", mem);
+  Application app(k, "app", iface,
+                  {CommandType{.op = BusOp::Write, .addr = 0x1004,
+                               .data = {0xAB}},
+                   CommandType{.op = BusOp::Read, .addr = 0x1004, .count = 1}});
+  k.run();
+  ASSERT_TRUE(app.done());
+  ASSERT_EQ(app.transcript().size(), 2u);
+  EXPECT_EQ(app.transcript().entries()[1].data.at(0), 0xABu);
+  EXPECT_EQ(iface.stats().commands_served, 2u);
+  EXPECT_EQ(mem.peek(0x4), 0xABu);
+}
+
+TEST(FunctionalInterface, OutOfWindowReportsMasterAbort) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x100);
+  FunctionalBusInterface iface(k, "iface", mem);
+  Application app(k, "app", iface,
+                  {CommandType{.op = BusOp::Read, .addr = 0x9000, .count = 1}});
+  k.run();
+  ASSERT_TRUE(app.done());
+  EXPECT_EQ(app.transcript().entries()[0].status, pci::PciResult::MasterAbort);
+  EXPECT_EQ(iface.stats().failures, 1u);
+}
+
+TEST(FunctionalInterface, LooseTimingConsumesSimTime) {
+  Kernel k;
+  tlm::TlmMemory mem(0x0, 0x1000);
+  FunctionalBusInterface iface(
+      k, "iface", mem,
+      FunctionalTiming{.per_command = 100_ns, .per_word = 10_ns});
+  Application app(k, "app", iface,
+                  {CommandType{.op = BusOp::ReadBurst, .addr = 0, .count = 4}});
+  k.run();
+  ASSERT_TRUE(app.done());
+  EXPECT_GE(k.now(), 140_ns);
+}
+
+struct PciFixture {
+  Kernel k;
+  sim::Clock clk{k, "clk", 10_ns};
+  pci::PciBus bus{k, "pci", clk};
+  pci::PciArbiter arb{k, "arb", bus};
+  pci::PciMonitor mon{k, "mon", bus};
+  pci::PciTarget target;
+  PciBusInterface iface;
+
+  explicit PciFixture(pci::TargetConfig tcfg = {.base = 0x1000,
+                                                .size = 0x1000})
+      : target(k, "t0", bus, tcfg), iface(k, "iface", bus, arb) {}
+};
+
+TEST(PciInterface, ServesCommandsOverPinLevelBus) {
+  PciFixture f;
+  Application app(
+      f.k, "app", f.iface,
+      {CommandType{.op = BusOp::Write, .addr = 0x1010, .data = {0x1234}},
+       CommandType{.op = BusOp::Read, .addr = 0x1010, .count = 1},
+       CommandType{.op = BusOp::WriteBurst, .addr = 0x1020,
+                   .data = {1, 2, 3, 4}},
+       CommandType{.op = BusOp::ReadBurst, .addr = 0x1020, .count = 4}});
+  f.k.run_for(100_us);
+  ASSERT_TRUE(app.done());
+  const auto& es = app.transcript().entries();
+  ASSERT_EQ(es.size(), 4u);
+  EXPECT_EQ(es[1].data.at(0), 0x1234u);
+  EXPECT_EQ(es[3].data, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  for (const auto& e : es) EXPECT_EQ(e.status, pci::PciResult::Ok);
+  EXPECT_TRUE(f.mon.violations().empty()) << f.mon.violations().front();
+  EXPECT_EQ(f.mon.records().size(), 4u) << "four pin-level transactions";
+  EXPECT_GT(f.iface.master_stats().words, 0u);
+}
+
+TEST(PciInterface, RetriesAreTransparentToApplication) {
+  PciFixture f(pci::TargetConfig{.base = 0x1000, .size = 0x1000,
+                                 .retry_first = 2});
+  Application app(
+      f.k, "app", f.iface,
+      {CommandType{.op = BusOp::Write, .addr = 0x1000, .data = {0x42}}});
+  f.k.run_for(100_us);
+  ASSERT_TRUE(app.done());
+  EXPECT_EQ(app.transcript().entries()[0].status, pci::PciResult::Ok);
+  EXPECT_GE(f.iface.master_stats().retries, 2u);
+  EXPECT_TRUE(f.mon.violations().empty()) << f.mon.violations().front();
+}
+
+// ----------------------------------------------------------------------
+// Figure 3: communication refinement.  The same application workload runs
+// against the functional interface and against the pin-accurate PCI
+// interface; transcripts must be functionally identical.
+// ----------------------------------------------------------------------
+
+verify::Transcript run_functional(const std::vector<CommandType>& workload) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  FunctionalBusInterface iface(k, "iface", mem);
+  Application app(k, "app", iface, workload);
+  k.run();
+  EXPECT_TRUE(app.done());
+  return app.transcript();
+}
+
+verify::Transcript run_pci(const std::vector<CommandType>& workload,
+                           pci::TargetConfig tcfg = {.base = 0x1000,
+                                                     .size = 0x1000}) {
+  PciFixture f(tcfg);
+  Application app(f.k, "app", f.iface, workload);
+  f.k.run_for(10000_us);
+  EXPECT_TRUE(app.done());
+  EXPECT_TRUE(f.mon.violations().empty());
+  return app.transcript();
+}
+
+TEST(Refinement, SequentialWorkloadTranscriptsMatch) {
+  auto workload = tlm::sequential_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x200}, 60);
+  verify::Transcript func = run_functional(workload);
+  verify::Transcript pin = run_pci(workload);
+  auto cmp = verify::compare_functional(func, pin);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+  EXPECT_EQ(cmp.compared, 60u);
+}
+
+TEST(Refinement, RandomWorkloadTranscriptsMatch) {
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 99}, 80);
+  verify::Transcript func = run_functional(workload);
+  verify::Transcript pin = run_pci(workload);
+  auto cmp = verify::compare_functional(func, pin);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+}
+
+TEST(Refinement, MatchEvenWithSlowRetryingTarget) {
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x200, .seed = 7}, 40);
+  verify::Transcript func = run_functional(workload);
+  verify::Transcript pin = run_pci(
+      workload, pci::TargetConfig{.base = 0x1000,
+                                  .size = 0x1000,
+                                  .devsel = pci::DevselSpeed::Slow,
+                                  .initial_wait = 3,
+                                  .per_word_wait = 2,
+                                  .disconnect_after = 3,
+                                  .retry_first = 2});
+  auto cmp = verify::compare_functional(func, pin);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+}
+
+TEST(Refinement, PinLevelIsSlowerInSimulatedTime) {
+  auto workload = tlm::sequential_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x100}, 30);
+  verify::Transcript func = run_functional(workload);
+  verify::Transcript pin = run_pci(workload);
+  auto t = verify::compare_timing(func, pin);
+  EXPECT_EQ(t.span_a, sim::Time::zero()) << "functional model is untimed";
+  EXPECT_GT(t.span_b, 1_us) << "pin-level model consumes bus cycles";
+}
+
+TEST(Refinement, DmaWorkloadMatches) {
+  auto workload = tlm::dma_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x800, .seed = 3}, 4, 16);
+  verify::Transcript func = run_functional(workload);
+  verify::Transcript pin = run_pci(workload);
+  auto cmp = verify::compare_functional(func, pin);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+}
+
+TEST(Coverage, ObservesOpsAndStatuses) {
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 21}, 50);
+  verify::Transcript t = run_functional(workload);
+  verify::Coverage cov;
+  cov.observe(t);
+  EXPECT_GE(cov.distinct_ops(), 3u);
+  EXPECT_GE(cov.distinct_statuses(), 1u);
+  EXPECT_GT(cov.hits("write") + cov.hits("write_burst"), 0u);
+  EXPECT_NE(cov.report().find("ops:"), std::string::npos);
+}
+
+TEST(ClockedChannel, PciInterfaceWithClockedChannelStillCorrect) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciMonitor mon(k, "mon", bus);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+  PciBusInterface iface(k, "iface", bus, arb, clk);
+  auto workload = tlm::sequential_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x100}, 20);
+  Application app(k, "app", iface, workload);
+  k.run_for(10000_us);
+  ASSERT_TRUE(app.done());
+  verify::Transcript func = run_functional(workload);
+  auto cmp = verify::compare_functional(func, app.transcript());
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+}  // namespace
+}  // namespace hlcs::pattern

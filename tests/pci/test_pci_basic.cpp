@@ -1,0 +1,287 @@
+// Single-master PCI system tests: reads, writes, bursts, wait states,
+// decode speeds, config space, parity, and protocol cleanliness (the
+// monitor must see zero violations on all legal traffic).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::pci {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+struct Bench {
+  Kernel k;
+  sim::Clock clk{k, "clk", 10_ns};
+  PciBus bus{k, "pci", clk};
+  PciArbiter arb{k, "arb", bus};
+  PciMonitor mon{k, "mon", bus};
+  std::unique_ptr<PciMaster> master;
+  std::unique_ptr<PciTarget> target;
+
+  explicit Bench(TargetConfig tcfg = {.base = 0x1000, .size = 0x1000},
+                 MasterConfig mcfg = {}) {
+    auto port = arb.add_master("m0");
+    master = std::make_unique<PciMaster>(k, "m0", bus, *port.req, *port.gnt,
+                                         mcfg);
+    target = std::make_unique<PciTarget>(k, "t0", bus, tcfg);
+  }
+
+  /// Run one transaction to completion and return it.
+  PciTransaction run_txn(PciTransaction t, sim::Time limit = 100_us) {
+    bool done = false;
+    k.spawn("driver", [&]() -> Task {
+      co_await master->execute(t);
+      done = true;
+      k.stop();
+    });
+    k.run_for(limit);
+    EXPECT_TRUE(done) << "transaction did not complete";
+    return t;
+  }
+};
+
+TEST(PciBasic, SingleWordWriteThenReadBack) {
+  Bench b;
+  auto w = b.run_txn({.cmd = PciCommand::MemWrite,
+                      .addr = 0x1010,
+                      .data = {0xDEADBEEF}});
+  EXPECT_EQ(w.result, PciResult::Ok);
+  EXPECT_EQ(w.words_done, 1u);
+  EXPECT_EQ(b.target->memory().read_word(0x10), 0xDEADBEEFu);
+
+  auto r = b.run_txn({.cmd = PciCommand::MemRead, .addr = 0x1010, .count = 1});
+  EXPECT_EQ(r.result, PciResult::Ok);
+  ASSERT_EQ(r.data.size(), 1u);
+  EXPECT_EQ(r.data[0], 0xDEADBEEFu);
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+}
+
+TEST(PciBasic, ReadOfUnwrittenMemoryReturnsZero) {
+  Bench b;
+  auto r = b.run_txn({.cmd = PciCommand::MemRead, .addr = 0x1100, .count = 1});
+  EXPECT_EQ(r.result, PciResult::Ok);
+  ASSERT_EQ(r.data.size(), 1u);
+  EXPECT_EQ(r.data[0], 0u);
+}
+
+TEST(PciBasic, BurstWriteAndBurstRead) {
+  Bench b;
+  std::vector<std::uint32_t> payload = {0x11111111, 0x22222222, 0x33333333,
+                                        0x44444444};
+  auto w = b.run_txn(
+      {.cmd = PciCommand::MemWrite, .addr = 0x1000, .data = payload});
+  EXPECT_EQ(w.result, PciResult::Ok);
+  EXPECT_EQ(w.words_done, 4u);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(b.target->memory().read_word(static_cast<std::uint32_t>(4 * i)),
+              payload[i]);
+  }
+  auto r = b.run_txn(
+      {.cmd = PciCommand::MemRead, .addr = 0x1000, .count = 4});
+  EXPECT_EQ(r.result, PciResult::Ok);
+  EXPECT_EQ(r.data, payload);
+  EXPECT_TRUE(b.mon.violations().empty());
+}
+
+TEST(PciBasic, MasterAbortOnUnclaimedAddress) {
+  Bench b;
+  auto t = b.run_txn({.cmd = PciCommand::MemRead, .addr = 0x9999000, .count = 1});
+  EXPECT_EQ(t.result, PciResult::MasterAbort);
+  EXPECT_EQ(t.words_done, 0u);
+  EXPECT_TRUE(b.mon.violations().empty())
+      << "a master abort is legal traffic: " << b.mon.violations().front();
+  ASSERT_EQ(b.mon.records().size(), 1u);
+  EXPECT_EQ(b.mon.records()[0].result(), PciResult::MasterAbort);
+}
+
+TEST(PciBasic, TargetRetryIsRetriedAndSucceeds) {
+  Bench b(TargetConfig{.base = 0x1000, .size = 0x1000, .retry_first = 3});
+  auto t = b.run_txn({.cmd = PciCommand::MemWrite,
+                      .addr = 0x1004,
+                      .data = {0xAA55AA55}});
+  EXPECT_EQ(t.result, PciResult::Ok);
+  EXPECT_EQ(t.retries, 3u);
+  EXPECT_EQ(b.target->stats().retries_issued, 3u);
+  EXPECT_EQ(b.target->memory().read_word(0x4), 0xAA55AA55u);
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+}
+
+TEST(PciBasic, DisconnectSplitsBurst) {
+  Bench b(TargetConfig{.base = 0x1000, .size = 0x1000, .disconnect_after = 2});
+  std::vector<std::uint32_t> payload = {1, 2, 3, 4, 5};
+  auto t = b.run_txn(
+      {.cmd = PciCommand::MemWrite, .addr = 0x1000, .data = payload});
+  EXPECT_EQ(t.result, PciResult::Ok);
+  EXPECT_EQ(t.words_done, 5u);
+  EXPECT_GE(b.target->stats().disconnects_issued, 2u);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(b.target->memory().read_word(static_cast<std::uint32_t>(4 * i)),
+              payload[i]);
+  }
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+}
+
+TEST(PciBasic, ByteEnablesFromIoWrite) {
+  // The simplified master drives all byte lanes enabled; verify the
+  // memory-side byte-enable machinery directly.
+  PciMemory m(0x100);
+  m.write_word(0x10, 0xAABBCCDD);
+  m.write_word(0x10, 0x11223344, /*byte_enables_n=*/0xC);  // lanes 0,1 only
+  EXPECT_EQ(m.read_word(0x10), 0xAABB3344u);
+  m.write_word(0x10, 0x55667788, 0x3);  // lanes 2,3 only
+  EXPECT_EQ(m.read_word(0x10), 0x55663344u);
+}
+
+TEST(PciBasic, ConfigSpaceReadVendorDevice) {
+  Bench b(TargetConfig{.base = 0x1000,
+                       .size = 0x1000,
+                       .device_number = 3,
+                       .vendor_id = 0xBEEF,
+                       .device_id = 0xCAFE});
+  // Config address: device number in AD[15:11], register in AD[7:2].
+  const std::uint32_t cfg_addr = (3u << 11) | (0u << 2);
+  auto t = b.run_txn(
+      {.cmd = PciCommand::ConfigRead, .addr = cfg_addr, .count = 1});
+  EXPECT_EQ(t.result, PciResult::Ok);
+  ASSERT_EQ(t.data.size(), 1u);
+  EXPECT_EQ(t.data[0], 0xCAFEBEEFu);
+}
+
+TEST(PciBasic, ConfigReadWrongDeviceAborts) {
+  Bench b(TargetConfig{.base = 0x1000, .size = 0x1000, .device_number = 3});
+  const std::uint32_t cfg_addr = (7u << 11);
+  auto t = b.run_txn(
+      {.cmd = PciCommand::ConfigRead, .addr = cfg_addr, .count = 1});
+  EXPECT_EQ(t.result, PciResult::MasterAbort);
+}
+
+TEST(PciBasic, IoWindowClaimedOnlyWhenEnabled) {
+  Bench claims(TargetConfig{.base = 0x1000, .size = 0x1000, .claim_io = true});
+  auto ok = claims.run_txn(
+      {.cmd = PciCommand::IoWrite, .addr = 0x1020, .data = {0x77}});
+  EXPECT_EQ(ok.result, PciResult::Ok);
+  EXPECT_EQ(claims.target->memory().read_word(0x20), 0x77u);
+
+  Bench refuses(TargetConfig{.base = 0x1000, .size = 0x1000});
+  auto abort = refuses.run_txn(
+      {.cmd = PciCommand::IoWrite, .addr = 0x1020, .data = {0x77}});
+  EXPECT_EQ(abort.result, PciResult::MasterAbort);
+}
+
+TEST(PciBasic, MonitorRecordsTransactionShape) {
+  Bench b;
+  b.run_txn({.cmd = PciCommand::MemWrite, .addr = 0x1008, .data = {7, 8}});
+  ASSERT_EQ(b.mon.records().size(), 1u);
+  const BusRecord& r = b.mon.records()[0];
+  EXPECT_EQ(r.cmd, PciCommand::MemWrite);
+  EXPECT_EQ(r.addr, 0x1008u);
+  ASSERT_EQ(r.words.size(), 2u);
+  EXPECT_EQ(r.words[0], 7u);
+  EXPECT_EQ(r.words[1], 8u);
+  EXPECT_EQ(r.result(), PciResult::Ok);
+  EXPECT_GT(r.end_cycle, r.start_cycle);
+  EXPECT_EQ(b.mon.transfers(), 2u);
+}
+
+TEST(PciBasic, ParityIsCheckedOnTraffic) {
+  Bench b;
+  b.run_txn({.cmd = PciCommand::MemWrite, .addr = 0x1000, .data = {0x12345678}});
+  b.run_txn({.cmd = PciCommand::MemRead, .addr = 0x1000, .count = 1});
+  EXPECT_GT(b.mon.parity_checks(), 0u) << "PAR must actually be observed";
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+}
+
+TEST(PciBasic, EvenParityFunction) {
+  EXPECT_FALSE(even_parity(0x0, 0x0));
+  EXPECT_TRUE(even_parity(0x1, 0x0));
+  EXPECT_TRUE(even_parity(0x0, 0x8));
+  EXPECT_FALSE(even_parity(0x3, 0x0));
+  EXPECT_TRUE(even_parity(0x7, 0x0));
+  EXPECT_FALSE(even_parity(0xFFFFFFFF, 0xF));  // 36 ones -> even
+}
+
+TEST(PciBasic, BackToBackTransactions) {
+  Bench b;
+  bool done = false;
+  b.k.spawn("driver", [&]() -> Task {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      PciTransaction t{.cmd = PciCommand::MemWrite,
+                       .addr = 0x1000 + i * 4,
+                       .data = {i * 100}};
+      co_await b.master->execute(t);
+      EXPECT_EQ(t.result, PciResult::Ok);
+    }
+    done = true;
+    b.k.stop();
+  });
+  b.k.run_for(100_us);
+  ASSERT_TRUE(done);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.target->memory().read_word(i * 4), i * 100);
+  }
+  EXPECT_EQ(b.mon.records().size(), 10u);
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+}
+
+// Wait-state and DEVSEL-speed sweep: everything still correct and clean,
+// and timing grows as expected.
+class PciTiming : public ::testing::TestWithParam<
+                      std::tuple<DevselSpeed, unsigned, unsigned>> {};
+
+TEST_P(PciTiming, CorrectAndCleanAcrossTimings) {
+  auto [speed, initial_wait, per_word_wait] = GetParam();
+  Bench b(TargetConfig{.base = 0x1000,
+                       .size = 0x1000,
+                       .devsel = speed,
+                       .initial_wait = initial_wait,
+                       .per_word_wait = per_word_wait});
+  std::vector<std::uint32_t> payload = {0xA, 0xB, 0xC};
+  auto w = b.run_txn(
+      {.cmd = PciCommand::MemWrite, .addr = 0x1000, .data = payload});
+  EXPECT_EQ(w.result, PciResult::Ok);
+  auto r = b.run_txn({.cmd = PciCommand::MemRead, .addr = 0x1000, .count = 3});
+  EXPECT_EQ(r.result, PciResult::Ok);
+  EXPECT_EQ(r.data, payload);
+  EXPECT_TRUE(b.mon.violations().empty())
+      << b.mon.violations().front();
+  // Slower configurations must take more cycles.
+  const std::uint64_t min_cycles =
+      3 + static_cast<unsigned>(speed) + initial_wait + 2 * per_word_wait;
+  EXPECT_GE(w.cycles(), min_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PciTiming,
+    ::testing::Combine(::testing::Values(DevselSpeed::Fast,
+                                         DevselSpeed::Medium,
+                                         DevselSpeed::Slow),
+                       ::testing::Values(0u, 1u, 4u),
+                       ::testing::Values(0u, 2u)));
+
+TEST(PciBasic, WaitStatesIncreaseLatency) {
+  Bench fast(TargetConfig{.base = 0x1000, .size = 0x1000});
+  auto t_fast = fast.run_txn(
+      {.cmd = PciCommand::MemRead, .addr = 0x1000, .count = 4});
+  Bench slow(TargetConfig{.base = 0x1000,
+                          .size = 0x1000,
+                          .devsel = DevselSpeed::Slow,
+                          .initial_wait = 4,
+                          .per_word_wait = 3});
+  auto t_slow = slow.run_txn(
+      {.cmd = PciCommand::MemRead, .addr = 0x1000, .count = 4});
+  EXPECT_GT(t_slow.cycles(), t_fast.cycles() + 8);
+}
+
+}  // namespace
+}  // namespace hlcs::pci

@@ -1,0 +1,140 @@
+// The PCI latency timer: a master whose GNT# has been taken away must
+// terminate its burst after the timer expires, so long bursts cannot
+// starve other masters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::pci {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+struct TwoMasterBench {
+  Kernel k;
+  sim::Clock clk{k, "clk", 10_ns};
+  PciBus bus{k, "pci", clk};
+  PciArbiter arb{k, "arb", bus};
+  PciMonitor mon{k, "mon", bus};
+  PciTarget target{k, "t0", bus, TargetConfig{.base = 0, .size = 0x10000}};
+  std::unique_ptr<PciMaster> burster;
+  std::unique_ptr<PciMaster> pinger;
+
+  explicit TwoMasterBench(MasterConfig burst_cfg) {
+    auto p0 = arb.add_master("burster");
+    burster = std::make_unique<PciMaster>(k, "burster", bus, *p0.req,
+                                          *p0.gnt, burst_cfg);
+    auto p1 = arb.add_master("pinger");
+    pinger = std::make_unique<PciMaster>(k, "pinger", bus, *p1.req, *p1.gnt);
+  }
+};
+
+/// The pinger issues single-word writes; record the worst-case latency
+/// it experiences while the burster streams long bursts.
+std::uint64_t worst_ping_latency(TwoMasterBench& b, int pings) {
+  std::uint64_t worst = 0;
+  bool pings_done = false;
+  b.k.spawn("burst_drv", [&]() -> Task {
+    for (std::uint32_t i = 0;; ++i) {
+      PciTransaction t{.cmd = PciCommand::MemWrite, .addr = 0x1000};
+      for (int w = 0; w < 64; ++w) {
+        t.data.push_back(i * 100 + static_cast<std::uint32_t>(w));
+      }
+      co_await b.burster->execute(t);
+    }
+  });
+  b.k.spawn("ping_drv", [&, pings]() -> Task {
+    co_await b.k.wait(100_ns);  // let the burster own the bus first
+    for (int i = 0; i < pings; ++i) {
+      PciTransaction t{.cmd = PciCommand::MemWrite,
+                       .addr = 0x8000,
+                       .data = {static_cast<std::uint32_t>(i)}};
+      co_await b.pinger->execute(t);
+      worst = std::max(worst, t.cycles());
+    }
+    pings_done = true;
+  });
+  b.k.run_for(2000_us);
+  EXPECT_TRUE(pings_done) << "pinger starved";
+  return worst;
+}
+
+TEST(PciLatencyTimer, BoundsCompetitorLatency) {
+  TwoMasterBench unlimited(MasterConfig{});
+  const std::uint64_t worst_unlimited = worst_ping_latency(unlimited, 10);
+
+  TwoMasterBench limited(MasterConfig{.latency_timer = 8});
+  const std::uint64_t worst_limited = worst_ping_latency(limited, 10);
+
+  // A 64-word burst occupies ~70 cycles; with an 8-cycle latency timer
+  // the pinger gets the bus roughly an order of magnitude sooner.
+  EXPECT_GT(worst_unlimited, 60u);
+  EXPECT_LT(worst_limited, worst_unlimited / 2);
+  EXPECT_GT(limited.burster->stats().preemptions, 0u);
+  EXPECT_EQ(unlimited.burster->stats().preemptions, 0u);
+}
+
+TEST(PciLatencyTimer, PreemptedBurstsStillDeliverAllData) {
+  TwoMasterBench b(MasterConfig{.latency_timer = 6});
+  bool done = false;
+  std::vector<std::uint32_t> payload;
+  for (std::uint32_t w = 0; w < 48; ++w) payload.push_back(0xD000 + w);
+  b.k.spawn("burst_drv", [&]() -> Task {
+    PciTransaction t{.cmd = PciCommand::MemWrite,
+                     .addr = 0x2000,
+                     .data = payload};
+    co_await b.burster->execute(t);
+    EXPECT_EQ(t.result, PciResult::Ok);
+    EXPECT_EQ(t.words_done, payload.size());
+    done = true;
+  });
+  // Competing traffic forces GNT# away repeatedly.
+  b.k.spawn("ping_drv", [&]() -> Task {
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      PciTransaction t{.cmd = PciCommand::MemWrite,
+                       .addr = 0x9000 + i * 4,
+                       .data = {i}};
+      co_await b.pinger->execute(t);
+    }
+  });
+  b.k.run_for(2000_us);
+  ASSERT_TRUE(done);
+  for (std::uint32_t w = 0; w < 48; ++w) {
+    EXPECT_EQ(b.target.memory().read_word(0x2000 + w * 4), 0xD000 + w) << w;
+  }
+  EXPECT_TRUE(b.mon.violations().empty()) << b.mon.violations().front();
+  EXPECT_GT(b.burster->stats().preemptions, 0u);
+}
+
+TEST(PciLatencyTimer, NoPreemptionWithoutContention) {
+  // GNT# stays with the sole master (parking), so the timer never fires.
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  PciBus bus(k, "pci", clk);
+  PciArbiter arb(k, "arb", bus);
+  auto p = arb.add_master("m0");
+  PciMaster m(k, "m0", bus, *p.req, *p.gnt, MasterConfig{.latency_timer = 4});
+  PciTarget t0(k, "t0", bus, TargetConfig{.base = 0, .size = 0x1000});
+  bool done = false;
+  k.spawn("drv", [&]() -> Task {
+    PciTransaction t{.cmd = PciCommand::MemWrite, .addr = 0};
+    for (std::uint32_t w = 0; w < 32; ++w) t.data.push_back(w);
+    co_await m.execute(t);
+    EXPECT_EQ(t.result, PciResult::Ok);
+    done = true;
+    k.stop();
+  });
+  k.run_for(100_us);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(m.stats().preemptions, 0u);
+  EXPECT_EQ(m.stats().disconnects, 0u);
+}
+
+}  // namespace
+}  // namespace hlcs::pci

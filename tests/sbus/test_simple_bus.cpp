@@ -1,0 +1,217 @@
+// The SimpleBus substrate and its library element, including the
+// three-way refinement property: functional, PCI and SimpleBus elements
+// all produce the same application transcript.
+#include <gtest/gtest.h>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/pattern/simple_bus_interface.hpp"
+#include "hlcs/sbus/simple_bus.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+#include "hlcs/verify/compare.hpp"
+
+namespace hlcs::sbus {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+struct Bench {
+  Kernel k;
+  sim::Clock clk{k, "clk", 10_ns};
+  SimpleBus bus{k, "sbus", clk};
+  SimpleBusMaster master{k, "m0", bus};
+  SimpleBusTarget target;
+
+  explicit Bench(SimpleTargetConfig cfg = {.base = 0x1000, .size = 0x1000})
+      : target(k, "t0", bus, cfg) {}
+};
+
+TEST(SimpleBus, WriteThenReadBack) {
+  Bench b;
+  bool done = false;
+  b.k.spawn("drv", [&]() -> Task {
+    std::uint32_t w = 0xABCD1234;
+    bool ok = false;
+    co_await b.master.transfer(true, 0x1010, &w, &ok);
+    EXPECT_TRUE(ok);
+    std::uint32_t r = 0;
+    co_await b.master.transfer(false, 0x1010, &r, &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(r, 0xABCD1234u);
+    done = true;
+    b.k.stop();
+  });
+  b.k.run_for(10_us);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(b.target.memory().read_word(0x10), 0xABCD1234u);
+  EXPECT_EQ(b.master.stats().transfers, 2u);
+}
+
+TEST(SimpleBus, DecodeTimeoutReportsError) {
+  Bench b;
+  bool done = false;
+  b.k.spawn("drv", [&]() -> Task {
+    std::uint32_t r = 0;
+    bool ok = true;
+    co_await b.master.transfer(false, 0x9000, &r, &ok);
+    EXPECT_FALSE(ok);
+    done = true;
+    b.k.stop();
+  });
+  b.k.run_for(10_us);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(b.master.stats().decode_errors, 1u);
+}
+
+TEST(SimpleBus, LatencyAddsWaitCycles) {
+  Bench fast;
+  Bench slow(SimpleTargetConfig{.base = 0x1000, .size = 0x1000,
+                                .latency = 5});
+  auto run_one = [](Bench& b) {
+    std::uint64_t waits = 0;
+    b.k.spawn("drv", [&]() -> Task {
+      std::uint32_t w = 1;
+      bool ok = false;
+      co_await b.master.transfer(true, 0x1000, &w, &ok);
+      EXPECT_TRUE(ok);
+      b.k.stop();
+    });
+    b.k.run_for(10_us);
+    waits = b.master.stats().wait_cycles;
+    return waits;
+  };
+  const std::uint64_t fast_waits = run_one(fast);
+  const std::uint64_t slow_waits = run_one(slow);
+  EXPECT_GE(slow_waits, fast_waits + 5);
+}
+
+TEST(SimpleBus, TwoTargetsDecodeDisjointWindows) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  SimpleBus bus(k, "sbus", clk);
+  SimpleBusMaster m(k, "m0", bus);
+  SimpleBusTarget t0(k, "t0", bus, {.base = 0x1000, .size = 0x100});
+  SimpleBusTarget t1(k, "t1", bus, {.base = 0x2000, .size = 0x100,
+                                    .latency = 2});
+  bool done = false;
+  k.spawn("drv", [&]() -> Task {
+    std::uint32_t a = 11, b = 22;
+    bool ok = false;
+    co_await m.transfer(true, 0x1000, &a, &ok);
+    EXPECT_TRUE(ok);
+    co_await m.transfer(true, 0x2000, &b, &ok);
+    EXPECT_TRUE(ok);
+    done = true;
+    k.stop();
+  });
+  k.run_for(10_us);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(t0.memory().read_word(0), 11u);
+  EXPECT_EQ(t1.memory().read_word(0), 22u);
+  EXPECT_EQ(t0.accesses(), 1u);
+  EXPECT_EQ(t1.accesses(), 1u);
+}
+
+TEST(SimpleBus, BackToBackTransfers) {
+  Bench b;
+  bool done = false;
+  b.k.spawn("drv", [&]() -> Task {
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      std::uint32_t w = 0x5000 + i;
+      bool ok = false;
+      co_await b.master.transfer(true, 0x1000 + i * 4, &w, &ok);
+      EXPECT_TRUE(ok) << i;
+    }
+    done = true;
+    b.k.stop();
+  });
+  b.k.run_for(100_us);
+  ASSERT_TRUE(done);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(b.target.memory().read_word(i * 4), 0x5000 + i);
+  }
+}
+
+// --- the library element + three-way refinement -------------------------
+
+verify::Transcript run_simplebus(
+    const std::vector<pattern::CommandType>& workload) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  SimpleBus bus(k, "sbus", clk);
+  SimpleBusTarget target(k, "t0", bus, {.base = 0x1000, .size = 0x1000});
+  pattern::SimpleBusInterface iface(k, "iface", bus);
+  pattern::Application app(k, "app", iface, workload);
+  for (int slice = 0; slice < 5000 && !app.done(); ++slice) k.run_for(10_us);
+  EXPECT_TRUE(app.done()) << "SimpleBus run stalled";
+  return app.transcript();
+}
+
+verify::Transcript run_functional(
+    const std::vector<pattern::CommandType>& workload) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  pattern::FunctionalBusInterface iface(k, "iface", mem);
+  pattern::Application app(k, "app", iface, workload);
+  k.run();
+  return app.transcript();
+}
+
+verify::Transcript run_pci(const std::vector<pattern::CommandType>& workload) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciTarget target(k, "t0", bus, {.base = 0x1000, .size = 0x1000});
+  pattern::PciBusInterface iface(k, "iface", bus, arb);
+  pattern::Application app(k, "app", iface, workload);
+  for (int slice = 0; slice < 5000 && !app.done(); ++slice) k.run_for(10_us);
+  EXPECT_TRUE(app.done()) << "PCI run stalled";
+  return app.transcript();
+}
+
+TEST(SimpleBusInterface, ThreeWayRefinementEquivalence) {
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 909}, 60);
+  verify::Transcript functional = run_functional(workload);
+  verify::Transcript simple = run_simplebus(workload);
+  verify::Transcript pci_t = run_pci(workload);
+  auto c1 = verify::compare_functional(functional, simple);
+  EXPECT_TRUE(c1) << "functional vs SimpleBus: " << c1.first_difference;
+  auto c2 = verify::compare_functional(simple, pci_t);
+  EXPECT_TRUE(c2) << "SimpleBus vs PCI: " << c2.first_difference;
+}
+
+TEST(SimpleBusInterface, AbortsMatchFunctionalModel) {
+  // Out-of-window command: every library element must report the same
+  // failure the same way.
+  std::vector<pattern::CommandType> workload = {
+      {.op = pattern::BusOp::Write, .addr = 0x1000, .data = {1}},
+      {.op = pattern::BusOp::Read, .addr = 0x8000, .count = 2},
+      {.op = pattern::BusOp::Read, .addr = 0x1000, .count = 1},
+  };
+  verify::Transcript functional = run_functional(workload);
+  verify::Transcript simple = run_simplebus(workload);
+  EXPECT_EQ(functional.entries()[1].status, pci::PciResult::MasterAbort);
+  auto cmp = verify::compare_functional(functional, simple);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+}
+
+TEST(SimpleBusInterface, WordProtocolCostsPerWord) {
+  // SimpleBus has no bursts: an 8-word transfer costs ~8x a 1-word one.
+  std::vector<pattern::CommandType> one = {
+      {.op = pattern::BusOp::Read, .addr = 0x1000, .count = 1}};
+  std::vector<pattern::CommandType> eight = {
+      {.op = pattern::BusOp::ReadBurst, .addr = 0x1000, .count = 8}};
+  verify::Transcript t1 = run_simplebus(one);
+  verify::Transcript t8 = run_simplebus(eight);
+  const auto l1 = (t1.entries()[0].completed - t1.entries()[0].issued).picos();
+  const auto l8 = (t8.entries()[0].completed - t8.entries()[0].issued).picos();
+  EXPECT_GE(l8, l1 * 6) << "no burst amortisation on a word protocol";
+}
+
+}  // namespace
+}  // namespace hlcs::sbus

@@ -1,0 +1,406 @@
+#include "hlcs/sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(Kernel, StartsAtTimeZero) {
+  Kernel k;
+  EXPECT_EQ(k.now(), Time::zero());
+  k.run();  // nothing scheduled: returns immediately
+  EXPECT_EQ(k.now(), Time::zero());
+}
+
+TEST(Kernel, SpawnedProcessRunsAtTimeZero) {
+  Kernel k;
+  bool ran = false;
+  k.spawn("p", [&]() -> Task {
+    ran = true;
+    co_return;
+  });
+  k.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, WaitAdvancesTime) {
+  Kernel k;
+  std::vector<std::uint64_t> stamps;
+  k.spawn("p", [&]() -> Task {
+    stamps.push_back(k.now().picos());
+    co_await k.wait(10_ns);
+    stamps.push_back(k.now().picos());
+    co_await k.wait(5_ns);
+    stamps.push_back(k.now().picos());
+  });
+  k.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0u);
+  EXPECT_EQ(stamps[1], 10000u);
+  EXPECT_EQ(stamps[2], 15000u);
+  EXPECT_EQ(k.now(), 15_ns);
+}
+
+TEST(Kernel, TwoProcessesInterleaveDeterministically) {
+  Kernel k;
+  std::string log;
+  k.spawn("a", [&]() -> Task {
+    log += 'a';
+    co_await k.wait(2_ns);
+    log += 'A';
+  });
+  k.spawn("b", [&]() -> Task {
+    log += 'b';
+    co_await k.wait(1_ns);
+    log += 'B';
+  });
+  k.run();
+  EXPECT_EQ(log, "abBA");
+}
+
+TEST(Kernel, SameTimeWakeupsFifoOrder) {
+  Kernel k;
+  std::string log;
+  for (char c : {'1', '2', '3'}) {
+    k.spawn(std::string(1, c), [&log, &k, c]() -> Task {
+      co_await k.wait(5_ns);
+      log += c;
+    });
+  }
+  k.run();
+  EXPECT_EQ(log, "123");
+}
+
+TEST(Kernel, EventImmediateNotify) {
+  Kernel k;
+  Event ev(k, "ev");
+  std::string log;
+  k.spawn("waiter", [&]() -> Task {
+    co_await ev;
+    log += 'w';
+  });
+  k.spawn("notifier", [&]() -> Task {
+    log += 'n';
+    ev.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(log, "nw");
+  EXPECT_EQ(k.now(), Time::zero());
+}
+
+TEST(Kernel, EventTimedNotify) {
+  Kernel k;
+  Event ev(k, "ev");
+  Time woke = Time::zero();
+  k.spawn("waiter", [&]() -> Task {
+    co_await ev;
+    woke = k.now();
+  });
+  k.spawn("notifier", [&]() -> Task {
+    ev.notify(7_ns);
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(woke, 7_ns);
+}
+
+TEST(Kernel, EventDeltaNotifyStaysAtSameTime) {
+  Kernel k;
+  Event ev(k, "ev");
+  std::uint64_t deltas_at_wake = 0;
+  Time woke = 1_us;
+  k.spawn("waiter", [&]() -> Task {
+    co_await ev;
+    woke = k.now();
+    deltas_at_wake = k.stats().deltas;
+  });
+  k.spawn("notifier", [&]() -> Task {
+    ev.notify_delta();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(woke, Time::zero());
+  EXPECT_GE(deltas_at_wake, 1u);
+}
+
+TEST(Kernel, EventNotifyWithNoWaitersIsHarmless) {
+  Kernel k;
+  Event ev(k, "ev");
+  k.spawn("p", [&]() -> Task {
+    ev.notify();
+    ev.notify_delta();
+    ev.notify(1_ns);
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(k.now(), 1_ns);
+}
+
+TEST(Kernel, MultipleWaitersAllWake) {
+  Kernel k;
+  Event ev(k, "ev");
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    k.spawn("w" + std::to_string(i), [&]() -> Task {
+      co_await ev;
+      ++woke;
+    });
+  }
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Kernel, WaitersAreOneShot) {
+  Kernel k;
+  Event ev(k, "ev");
+  int wakes = 0;
+  k.spawn("w", [&]() -> Task {
+    co_await ev;
+    ++wakes;
+    // Does not wait again; a second notify must not wake it.
+  });
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Kernel, NestedTaskCompletesBeforeParentContinues) {
+  Kernel k;
+  std::string log;
+  auto child = [&]() -> Task {
+    log += 'c';
+    co_await k.wait(3_ns);
+    log += 'C';
+  };
+  k.spawn("parent", [&, child]() -> Task {
+    log += 'p';
+    co_await child();
+    log += 'P';
+  });
+  k.run();
+  EXPECT_EQ(log, "pcCP");
+  EXPECT_EQ(k.now(), 3_ns);
+}
+
+TEST(Kernel, DeeplyNestedTasks) {
+  Kernel k;
+  int depth_reached = 0;
+  std::function<Task(int)> rec = [&](int d) -> Task {
+    if (d == 0) {
+      depth_reached = 1;
+      co_return;
+    }
+    co_await k.wait(1_ps);
+    co_await rec(d - 1);
+  };
+  k.spawn("root", [&]() -> Task { co_await rec(50); });
+  k.run();
+  EXPECT_EQ(depth_reached, 1);
+  EXPECT_EQ(k.now(), 50_ps);
+}
+
+TEST(Kernel, ExceptionInRootProcessSurfacesFromRun) {
+  Kernel k;
+  k.spawn("bad", [&]() -> Task {
+    co_await k.wait(1_ns);
+    throw hlcs::Error("boom");
+  });
+  EXPECT_THROW(k.run(), hlcs::Error);
+}
+
+TEST(Kernel, ExceptionPropagatesThroughNestedTask) {
+  Kernel k;
+  bool caught = false;
+  auto child = [&]() -> Task {
+    co_await k.wait(1_ns);
+    throw hlcs::Error("inner");
+  };
+  k.spawn("parent", [&, child]() -> Task {
+    try {
+      co_await child();
+    } catch (const hlcs::Error&) {
+      caught = true;
+    }
+  });
+  k.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Kernel, RunForLimitsTime) {
+  Kernel k;
+  int ticks = 0;
+  k.spawn("ticker", [&]() -> Task {
+    for (;;) {
+      co_await k.wait(10_ns);
+      ++ticks;
+    }
+  });
+  k.run_for(35_ns);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(k.now(), 35_ns);
+  k.run_for(10_ns);  // continues: boundary event at 40ns fires
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(Kernel, RunUntilIncludesBoundary) {
+  Kernel k;
+  bool fired = false;
+  k.spawn("p", [&]() -> Task {
+    co_await k.wait(10_ns);
+    fired = true;
+  });
+  k.run_until(10_ns);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, StopHaltsRun) {
+  Kernel k;
+  int ticks = 0;
+  k.spawn("ticker", [&]() -> Task {
+    for (;;) {
+      co_await k.wait(1_ns);
+      if (++ticks == 5) k.stop();
+    }
+  });
+  k.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(k.now(), 5_ns);
+}
+
+TEST(Kernel, MethodProcessInitialTrigger) {
+  Kernel k;
+  int runs = 0;
+  k.method("m", [&] { ++runs; });
+  k.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Kernel, MethodProcessStaticSensitivity) {
+  Kernel k;
+  Event ev(k, "ev");
+  int runs = 0;
+  MethodProcess& m = k.method("m", [&] { ++runs; }, /*initial_trigger=*/false);
+  ev.add_static(m);
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(runs, 2) << "static sensitivity is persistent";
+}
+
+TEST(Kernel, MethodQueueDeduplicatesWithinPhase) {
+  Kernel k;
+  Event a(k, "a"), b(k, "b");
+  int runs = 0;
+  MethodProcess& m = k.method("m", [&] { ++runs; }, false);
+  a.add_static(m);
+  b.add_static(m);
+  k.spawn("n", [&]() -> Task {
+    a.notify();  // both notifications land in the same evaluation phase
+    b.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Kernel, AwaitConditionHelper) {
+  Kernel k;
+  Event ev(k, "ev");
+  int x = 0;
+  Time done = Time::zero();
+  k.spawn("waiter", [&]() -> Task {
+    co_await await_condition(ev, [&] { return x >= 3; });
+    done = k.now();
+  });
+  k.spawn("driver", [&]() -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await k.wait(1_ns);
+      ++x;
+      ev.notify();
+    }
+  });
+  k.run();
+  EXPECT_EQ(done, 3_ns);
+}
+
+TEST(Kernel, WaitDelta) {
+  Kernel k;
+  int phase = 0;
+  k.spawn("p", [&]() -> Task {
+    phase = 1;
+    co_await k.wait_delta();
+    phase = 2;
+    co_await k.wait_delta();
+    phase = 3;
+  });
+  k.run();
+  EXPECT_EQ(phase, 3);
+  EXPECT_EQ(k.now(), Time::zero());
+  EXPECT_GE(k.stats().deltas, 2u);
+}
+
+TEST(Kernel, StatsAccumulate) {
+  Kernel k;
+  k.spawn("p", [&]() -> Task {
+    for (int i = 0; i < 10; ++i) co_await k.wait(1_ns);
+  });
+  k.run();
+  EXPECT_GE(k.stats().resumes, 10u);
+  EXPECT_GE(k.stats().timed_actions, 10u);
+  EXPECT_GE(k.stats().deltas, 10u);
+}
+
+TEST(Kernel, ManyProcessesStress) {
+  Kernel k;
+  constexpr int kProcs = 200;
+  int finished = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    k.spawn("p" + std::to_string(i), [&k, &finished, i]() -> Task {
+      for (int j = 0; j < 20; ++j) co_await k.wait(Time::ps(1 + i % 7));
+      ++finished;
+    });
+  }
+  k.run();
+  EXPECT_EQ(finished, kProcs);
+}
+
+TEST(Kernel, SpawnDuringRun) {
+  Kernel k;
+  bool child_ran = false;
+  k.spawn("parent", [&]() -> Task {
+    co_await k.wait(1_ns);
+    k.spawn("child", [&]() -> Task {
+      child_ran = true;
+      co_return;
+    });
+  });
+  k.run();
+  EXPECT_TRUE(child_ran);
+}
+
+}  // namespace
+}  // namespace hlcs::sim

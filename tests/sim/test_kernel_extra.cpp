@@ -1,0 +1,246 @@
+// Additional kernel semantics: delta-cycle determinism details, timed
+// event interactions, tracing integration, and scheduling corner cases.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(KernelExtra, SignalUpdateHappensBetweenDeltas) {
+  // Two processes write and read the same signal in the same instant;
+  // both readers observe the pre-write value in delta 0 and the new
+  // value in delta 1, regardless of process order.
+  Kernel k;
+  Signal<int> s(k, "s", 1);
+  std::vector<int> observed;
+  k.spawn("writer", [&]() -> Task {
+    s.write(2);
+    co_return;
+  });
+  for (int i = 0; i < 2; ++i) {
+    k.spawn("reader" + std::to_string(i), [&]() -> Task {
+      observed.push_back(s.read());
+      co_await k.wait_delta();
+      observed.push_back(s.read());
+    });
+  }
+  k.run();
+  EXPECT_EQ(observed, (std::vector<int>{1, 1, 2, 2}));
+}
+
+TEST(KernelExtra, ImmediateNotifyWithinSameEvaluation) {
+  // An immediate notification wakes a waiter within the same evaluation
+  // phase -- before any signal updates commit.
+  Kernel k;
+  Event ev(k, "ev");
+  Signal<int> s(k, "s", 0);
+  int seen = -1;
+  k.spawn("waiter", [&]() -> Task {
+    co_await ev;
+    seen = s.read();
+  });
+  k.spawn("notifier", [&]() -> Task {
+    s.write(5);
+    ev.notify();  // waiter runs in this evaluation: sees the OLD value
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(KernelExtra, TimedNotificationsAccumulate) {
+  Kernel k;
+  Event ev(k, "ev");
+  std::vector<std::uint64_t> wakes;
+  k.spawn("waiter", [&]() -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await ev;
+      wakes.push_back(k.now().picos());
+    }
+  });
+  k.spawn("notifier", [&]() -> Task {
+    ev.notify(10_ns);
+    ev.notify(20_ns);
+    ev.notify(30_ns);
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(wakes, (std::vector<std::uint64_t>{10000, 20000, 30000}));
+}
+
+TEST(KernelExtra, EventWaitersFromDifferentTimesCoexist) {
+  Kernel k;
+  Event ev(k, "ev");
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), [&, i]() -> Task {
+      co_await k.wait(Time::ns(static_cast<std::uint64_t>(i)));
+      co_await ev;
+      ++woken;
+    });
+  }
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(10_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(KernelExtra, ZeroTimeWaitResumesAtSameTime) {
+  Kernel k;
+  Time before, after;
+  k.spawn("p", [&]() -> Task {
+    before = k.now();
+    co_await k.wait(Time::zero());
+    after = k.now();
+  });
+  k.run();
+  EXPECT_EQ(before, after);
+}
+
+TEST(KernelExtra, RunUntilZeroExecutesTimeZeroActivity) {
+  Kernel k;
+  bool ran = false;
+  k.spawn("p", [&]() -> Task {
+    ran = true;
+    co_return;
+  });
+  k.run_until(Time::zero());
+  EXPECT_TRUE(ran);
+}
+
+TEST(KernelExtra, StopInsideMethodProcess) {
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  int edges = 0;
+  MethodProcess& m = k.method("counter", [&] {
+    if (++edges == 3) k.stop();
+  }, false);
+  clk.posedge().add_static(m);
+  k.run();  // would run forever without the stop
+  EXPECT_EQ(edges, 3);
+}
+
+TEST(KernelExtra, ManyEventsManyWaitersDeterministicOrder) {
+  Kernel k;
+  std::string log;
+  std::vector<std::unique_ptr<Event>> evs;
+  for (int i = 0; i < 5; ++i) {
+    evs.push_back(std::make_unique<Event>(k, "e" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    k.spawn("w" + std::to_string(i), [&, i]() -> Task {
+      co_await *evs[static_cast<std::size_t>(i)];
+      log += static_cast<char>('a' + i);
+    });
+  }
+  k.spawn("n", [&]() -> Task {
+    // Notify in reverse order; wake order follows notify order.
+    for (int i = 4; i >= 0; --i) evs[static_cast<std::size_t>(i)]->notify();
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(log, "edcba");
+}
+
+TEST(KernelExtra, ExceptionInMethodProcessSurfaces) {
+  Kernel k;
+  k.method("bad", [] { throw hlcs::Error("method boom"); });
+  EXPECT_THROW(k.run(), hlcs::Error);
+}
+
+TEST(KernelExtra, KernelUsableAfterStop) {
+  Kernel k;
+  int phase = 0;
+  k.spawn("p", [&]() -> Task {
+    phase = 1;
+    k.stop();
+    co_await k.wait(5_ns);
+    phase = 2;
+  });
+  k.run();
+  EXPECT_EQ(phase, 1);
+  k.run();  // resumes where it left off
+  EXPECT_EQ(phase, 2);
+  EXPECT_EQ(k.now(), 5_ns);
+}
+
+TEST(KernelExtra, WaitersOnSignalEdgeSeeSettledValues) {
+  // Clocked producer/consumer through two signals: the consumer never
+  // observes a half-updated pair (delta-cycle atomicity).
+  Kernel k;
+  Clock clk(k, "clk", 10_ns);
+  Signal<int> a(k, "a", 0);
+  Signal<int> b(k, "b", 0);
+  bool consistent = true;
+  k.spawn("producer", [&]() -> Task {
+    for (int i = 1; i <= 50; ++i) {
+      co_await clk.posedge();
+      a.write(i);
+      b.write(-i);
+    }
+  });
+  k.spawn("consumer", [&]() -> Task {
+    for (;;) {
+      co_await clk.posedge();
+      if (a.read() != -b.read()) consistent = false;
+    }
+  });
+  k.run_for(1_us);
+  EXPECT_TRUE(consistent);
+}
+
+TEST(KernelExtra, TraceSamplesEveryDeltaButRecordsOnChange) {
+  const std::string path = ::testing::TempDir() + "hlcs_kernel_extra.vcd";
+  Kernel k;
+  {
+    Trace t(path);
+    Signal<bool> s(k, "sig", false);
+    t.add(s);
+    k.attach_trace(t);
+    k.spawn("p", [&]() -> Task {
+      for (int i = 0; i < 4; ++i) {
+        co_await k.wait(10_ns);
+        s.write(i % 2 == 0);
+      }
+    });
+    k.run();
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string vcd = ss.str();
+  // Changes at 10ns (0->1), 20ns (1->0), 30ns (0->1), 40ns (1->0).
+  EXPECT_NE(vcd.find("#10000"), std::string::npos);
+  EXPECT_NE(vcd.find("#40000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KernelExtra, StatsCountUpdatesAndEvents) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  k.spawn("p", [&]() -> Task {
+    for (int i = 1; i <= 10; ++i) {
+      s.write(i);
+      co_await k.wait(1_ns);
+    }
+  });
+  k.run();
+  EXPECT_GE(k.stats().updates, 10u);
+  EXPECT_GE(k.stats().events_triggered, 10u);
+}
+
+}  // namespace
+}  // namespace hlcs::sim

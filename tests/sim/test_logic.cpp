@@ -1,0 +1,204 @@
+#include "hlcs/sim/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace hlcs::sim {
+namespace {
+
+TEST(Logic, FromBool) {
+  EXPECT_EQ(logic_from_bool(true), Logic::L1);
+  EXPECT_EQ(logic_from_bool(false), Logic::L0);
+}
+
+TEST(Logic, Predicates) {
+  EXPECT_TRUE(is_01(Logic::L0));
+  EXPECT_TRUE(is_01(Logic::L1));
+  EXPECT_FALSE(is_01(Logic::Z));
+  EXPECT_FALSE(is_01(Logic::X));
+  EXPECT_TRUE(is_one(Logic::L1));
+  EXPECT_FALSE(is_one(Logic::Z));
+  EXPECT_TRUE(is_zero(Logic::L0));
+}
+
+TEST(Logic, Not) {
+  EXPECT_EQ(logic_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_not(Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+  EXPECT_EQ(logic_not(Logic::X), Logic::X);
+}
+
+// Full wired-resolution truth table.
+class LogicResolveTable
+    : public ::testing::TestWithParam<std::tuple<Logic, Logic, Logic>> {};
+
+TEST_P(LogicResolveTable, Resolve) {
+  auto [a, b, expected] = GetParam();
+  EXPECT_EQ(resolve(a, b), expected);
+  EXPECT_EQ(resolve(b, a), expected) << "resolution must be commutative";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, LogicResolveTable,
+    ::testing::Values(
+        std::make_tuple(Logic::L0, Logic::L0, Logic::L0),
+        std::make_tuple(Logic::L0, Logic::L1, Logic::X),
+        std::make_tuple(Logic::L0, Logic::Z, Logic::L0),
+        std::make_tuple(Logic::L0, Logic::X, Logic::X),
+        std::make_tuple(Logic::L1, Logic::L1, Logic::L1),
+        std::make_tuple(Logic::L1, Logic::Z, Logic::L1),
+        std::make_tuple(Logic::L1, Logic::X, Logic::X),
+        std::make_tuple(Logic::Z, Logic::Z, Logic::Z),
+        std::make_tuple(Logic::Z, Logic::X, Logic::X),
+        std::make_tuple(Logic::X, Logic::X, Logic::X)));
+
+TEST(LogicVec, DefaultIsZeroWidth) {
+  LogicVec v;
+  EXPECT_EQ(v.width(), 0u);
+}
+
+TEST(LogicVec, ConstructAllX) {
+  LogicVec v(8);
+  EXPECT_EQ(v.width(), 8u);
+  EXPECT_TRUE(v.has_x());
+  EXPECT_FALSE(v.is_fully_defined());
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(v.bit(i), Logic::X);
+}
+
+TEST(LogicVec, OfValue) {
+  LogicVec v = LogicVec::of(0xA5, 8);
+  EXPECT_TRUE(v.is_fully_defined());
+  EXPECT_EQ(v.to_uint(), 0xA5u);
+  EXPECT_EQ(v.bit(0), Logic::L1);
+  EXPECT_EQ(v.bit(1), Logic::L0);
+  EXPECT_EQ(v.bit(7), Logic::L1);
+}
+
+TEST(LogicVec, OfValueMasksHighBits) {
+  LogicVec v = LogicVec::of(0x1FF, 8);
+  EXPECT_EQ(v.to_uint(), 0xFFu);
+}
+
+TEST(LogicVec, Width64) {
+  LogicVec v = LogicVec::of(~0ull, 64);
+  EXPECT_EQ(v.to_uint(), ~0ull);
+  EXPECT_EQ(v.width(), 64u);
+}
+
+TEST(LogicVec, AllZ) {
+  LogicVec v = LogicVec::all_z(16);
+  EXPECT_TRUE(v.is_all_z());
+  EXPECT_FALSE(v.is_fully_defined());
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(v.bit(i), Logic::Z);
+}
+
+TEST(LogicVec, SetBit) {
+  LogicVec v = LogicVec::of(0, 4);
+  v.set_bit(2, Logic::L1);
+  EXPECT_EQ(v.to_uint(), 4u);
+  v.set_bit(2, Logic::Z);
+  EXPECT_FALSE(v.is_fully_defined());
+  EXPECT_EQ(v.bit(2), Logic::Z);
+  v.set_bit(2, Logic::X);
+  EXPECT_EQ(v.bit(2), Logic::X);
+  v.set_bit(2, Logic::L0);
+  EXPECT_EQ(v.to_uint(), 0u);
+}
+
+TEST(LogicVec, ResolveUndrivenYields) {
+  LogicVec z = LogicVec::all_z(8);
+  LogicVec d = LogicVec::of(0x3C, 8);
+  EXPECT_EQ(z.resolved_with(d), d);
+  EXPECT_EQ(d.resolved_with(z), d);
+}
+
+TEST(LogicVec, ResolveConflictIsX) {
+  LogicVec a = LogicVec::of(0x0F, 8);
+  LogicVec b = LogicVec::of(0xF0, 8);
+  LogicVec r = a.resolved_with(b);
+  EXPECT_TRUE(r.has_x());
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(r.bit(i), Logic::X);
+}
+
+TEST(LogicVec, ResolveAgreementKeepsValue) {
+  LogicVec a = LogicVec::of(0xAA, 8);
+  EXPECT_EQ(a.resolved_with(a).to_uint(), 0xAAu);
+}
+
+TEST(LogicVec, ResolvePartialDrive) {
+  // Driver A drives low nibble, driver B drives high nibble.
+  LogicVec a = LogicVec::all_z(8);
+  for (unsigned i = 0; i < 4; ++i)
+    a.set_bit(i, (0x5u >> i & 1) ? Logic::L1 : Logic::L0);
+  LogicVec b = LogicVec::all_z(8);
+  for (unsigned i = 4; i < 8; ++i)
+    b.set_bit(i, (0xA0u >> i & 1) ? Logic::L1 : Logic::L0);
+  LogicVec r = a.resolved_with(b);
+  EXPECT_TRUE(r.is_fully_defined());
+  EXPECT_EQ(r.to_uint(), 0xA5u);
+}
+
+TEST(LogicVec, ResolveXPropagates) {
+  LogicVec a = LogicVec::all_x(8);
+  LogicVec b = LogicVec::of(0x00, 8);
+  EXPECT_TRUE(a.resolved_with(b).has_x());
+}
+
+TEST(LogicVec, ToUintLenient) {
+  LogicVec v = LogicVec::of(0xFF, 8);
+  v.set_bit(7, Logic::Z);
+  v.set_bit(6, Logic::X);
+  EXPECT_EQ(v.to_uint_lenient(), 0x3Fu);
+}
+
+TEST(LogicVec, ToUintThrowsOnUndefined) {
+  LogicVec v = LogicVec::all_z(8);
+  EXPECT_THROW(v.to_uint(), hlcs::Error);
+}
+
+TEST(LogicVec, ToString) {
+  LogicVec v = LogicVec::of(0x5, 4);
+  EXPECT_EQ(v.to_string(), "0101");
+  v.set_bit(3, Logic::Z);
+  v.set_bit(2, Logic::X);
+  EXPECT_EQ(v.to_string(), "zx01");
+}
+
+TEST(LogicVec, BadWidthThrows) {
+  EXPECT_THROW(LogicVec::of(0, 0), hlcs::Error);
+  EXPECT_THROW(LogicVec::of(0, 65), hlcs::Error);
+  EXPECT_THROW(LogicVec(70), hlcs::Error);
+}
+
+TEST(LogicVec, ResolveWidthMismatchThrows) {
+  LogicVec a = LogicVec::of(0, 8);
+  LogicVec b = LogicVec::of(0, 16);
+  EXPECT_THROW(a.resolved_with(b), hlcs::Error);
+}
+
+// Property sweep: resolution against all-Z is identity, against itself is
+// idempotent, and is commutative, across widths and patterns.
+class LogicVecProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LogicVecProperty, ResolutionLaws) {
+  const unsigned width = GetParam();
+  std::uint64_t patterns[] = {0ull, 1ull, 0x5555555555555555ull,
+                              0xAAAAAAAAAAAAAAAAull, ~0ull};
+  for (std::uint64_t pa : patterns) {
+    LogicVec a = LogicVec::of(pa, width);
+    EXPECT_EQ(a.resolved_with(LogicVec::all_z(width)), a);
+    EXPECT_EQ(a.resolved_with(a), a);
+    for (std::uint64_t pb : patterns) {
+      LogicVec b = LogicVec::of(pb, width);
+      EXPECT_EQ(a.resolved_with(b), b.resolved_with(a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LogicVecProperty,
+                         ::testing::Values(1u, 4u, 8u, 32u, 63u, 64u));
+
+}  // namespace
+}  // namespace hlcs::sim

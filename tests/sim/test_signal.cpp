@@ -1,0 +1,160 @@
+#include "hlcs/sim/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(Signal, InitialValue) {
+  Kernel k;
+  Signal<int> s(k, "s", 42);
+  EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Signal, WriteVisibleNextDelta) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int seen_same_delta = -1;
+  int seen_next_delta = -1;
+  k.spawn("p", [&]() -> Task {
+    s.write(7);
+    seen_same_delta = s.read();  // evaluate phase: old value still visible
+    co_await k.wait_delta();
+    seen_next_delta = s.read();
+  });
+  k.run();
+  EXPECT_EQ(seen_same_delta, 0);
+  EXPECT_EQ(seen_next_delta, 7);
+}
+
+TEST(Signal, ChangedEventFiresOnChange) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int wakes = 0;
+  k.spawn("w", [&]() -> Task {
+    co_await s.changed();
+    ++wakes;
+    co_await s.changed();
+    ++wakes;
+  });
+  k.spawn("d", [&]() -> Task {
+    co_await k.wait(1_ns);
+    s.write(1);
+    co_await k.wait(1_ns);
+    s.write(2);
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Signal, NoChangeNoEvent) {
+  Kernel k;
+  Signal<int> s(k, "s", 5);
+  bool woke = false;
+  k.spawn("w", [&]() -> Task {
+    co_await s.changed();
+    woke = true;
+  });
+  k.spawn("d", [&]() -> Task {
+    co_await k.wait(1_ns);
+    s.write(5);  // same value: no event
+    co_return;
+  });
+  k.run();
+  EXPECT_FALSE(woke);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  k.spawn("p", [&]() -> Task {
+    s.write(1);
+    s.write(2);
+    s.write(3);
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(s.read(), 3);
+}
+
+TEST(Signal, TwoReadersSeeConsistentValue) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int r1 = -1, r2 = -1;
+  k.spawn("w", [&]() -> Task {
+    co_await k.wait(1_ns);
+    s.write(9);
+    co_return;
+  });
+  for (auto* out : {&r1, &r2}) {
+    k.spawn("r", [&, out]() -> Task {
+      co_await s.changed();
+      *out = s.read();
+    });
+  }
+  k.run();
+  EXPECT_EQ(r1, 9);
+  EXPECT_EQ(r2, 9);
+}
+
+TEST(Signal, BoolTraceRepr) {
+  Kernel k;
+  Signal<bool> s(k, "b", true);
+  EXPECT_EQ(s.trace_value(), "1");
+  EXPECT_EQ(s.trace_width(), 1u);
+  EXPECT_EQ(s.trace_name(), "b");
+}
+
+TEST(Signal, LogicTraceRepr) {
+  Kernel k;
+  Signal<Logic> s(k, "l", Logic::Z);
+  EXPECT_EQ(s.trace_value(), "z");
+  EXPECT_EQ(s.trace_width(), 1u);
+}
+
+TEST(Signal, LogicVecTraceRepr) {
+  Kernel k;
+  Signal<LogicVec> s(k, "v", LogicVec::of(0x5, 4));
+  EXPECT_EQ(s.trace_value(), "0101");
+  EXPECT_EQ(s.trace_width(), 4u);
+}
+
+TEST(Signal, IntTraceReprWidth) {
+  Kernel k;
+  Signal<std::uint8_t> s(k, "u", 0xA5);
+  EXPECT_EQ(s.trace_width(), 8u);
+  EXPECT_EQ(s.trace_value(), "10100101");
+}
+
+TEST(Signal, PingPongBetweenProcesses) {
+  Kernel k;
+  Signal<int> req(k, "req", 0);
+  Signal<int> ack(k, "ack", 0);
+  int rounds = 0;
+  k.spawn("client", [&]() -> Task {
+    for (int i = 1; i <= 5; ++i) {
+      req.write(i);
+      co_await await_condition(ack.changed(), [&] { return ack.read() == i; });
+      ++rounds;
+    }
+  });
+  k.spawn("server", [&]() -> Task {
+    for (;;) {
+      co_await req.changed();
+      ack.write(req.read());
+    }
+  });
+  k.run_for(1_us);
+  EXPECT_EQ(rounds, 5);
+}
+
+}  // namespace
+}  // namespace hlcs::sim

@@ -1,0 +1,58 @@
+#include "hlcs/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.picos(), 0u);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Time::ns(1).picos(), 1000u);
+  EXPECT_EQ(Time::us(1).picos(), 1000000u);
+  EXPECT_EQ(Time::ms(1).picos(), 1000000000u);
+  EXPECT_EQ((5_ns).picos(), 5000u);
+  EXPECT_EQ((7_ps).picos(), 7u);
+  EXPECT_EQ((2_us).picos(), 2000000u);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ((3_ns + 500_ps).picos(), 3500u);
+  EXPECT_EQ((3_ns - 500_ps).picos(), 2500u);
+  EXPECT_EQ((3_ns * 4).picos(), 12000u);
+  EXPECT_EQ(4 * (3_ns), 12_ns);
+  EXPECT_EQ((10_ns) / (2_ns), 5u);
+  Time t = 1_ns;
+  t += 1_ns;
+  EXPECT_EQ(t, 2_ns);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_LE(2_ns, 2_ns);
+  EXPECT_GT(1_us, 999_ns);
+  EXPECT_NE(1_ns, 1_ps);
+  EXPECT_EQ(1000_ps, 1_ns);
+  EXPECT_LT(Time::zero(), Time::max());
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(Time::zero().to_string(), "0s");
+  EXPECT_EQ((5_ns).to_string(), "5ns");
+  EXPECT_EQ((1500_ps).to_string(), "1500ps");
+  EXPECT_EQ((3_us).to_string(), "3us");
+}
+
+TEST(Time, FloatingConversions) {
+  EXPECT_DOUBLE_EQ((1500_ps).to_ns(), 1.5);
+  EXPECT_DOUBLE_EQ((2500000_ps).to_us(), 2.5);
+}
+
+}  // namespace
+}  // namespace hlcs::sim

@@ -1,0 +1,190 @@
+#include "hlcs/sim/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(Wire, UndrivenReadsZ) {
+  Kernel k;
+  Wire w(k, "w");
+  EXPECT_EQ(w.read(), Logic::Z);
+}
+
+TEST(Wire, SingleDriver) {
+  Kernel k;
+  Wire w(k, "w");
+  auto d = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    d.write(Logic::L0);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read(), Logic::L0);
+    d.write(Logic::L1);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read(), Logic::L1);
+    d.release();
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read(), Logic::Z);
+  });
+  k.run();
+}
+
+TEST(Wire, TwoDriversConflictResolvesToX) {
+  Kernel k;
+  Wire w(k, "w");
+  auto d1 = w.make_driver();
+  auto d2 = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    d1.write(Logic::L0);
+    d2.write(Logic::L1);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read(), Logic::X);
+    d2.release();
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read(), Logic::L0);
+  });
+  k.run();
+}
+
+TEST(Wire, ChangedEventOnResolutionChangeOnly) {
+  Kernel k;
+  Wire w(k, "w");
+  auto d1 = w.make_driver();
+  auto d2 = w.make_driver();
+  int wakes = 0;
+  MethodProcess& m = k.method("m", [&] { ++wakes; }, false);
+  w.changed().add_static(m);
+  k.spawn("p", [&]() -> Task {
+    d1.write(Logic::L1);  // Z -> 1 : change
+    co_await k.wait(1_ns);
+    d2.write(Logic::L1);  // still 1 : no change
+    co_await k.wait(1_ns);
+    d2.release();  // still 1 : no change
+    co_await k.wait(1_ns);
+    d1.release();  // 1 -> Z : change
+    co_return;
+  });
+  k.run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Wire, UnboundDriverThrows) {
+  Wire::Driver d;
+  EXPECT_FALSE(d.bound());
+  EXPECT_THROW(d.write(Logic::L0), hlcs::Error);
+}
+
+TEST(Wire, ActiveLowHelpers) {
+  Kernel k;
+  Wire w(k, "w");
+  auto d = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    d.write(Logic::L0);
+    co_await k.wait_delta();
+    EXPECT_TRUE(w.is_low());
+    EXPECT_FALSE(w.is_high());
+    d.write(Logic::L1);
+    co_await k.wait_delta();
+    EXPECT_TRUE(w.is_high());
+    d.release();
+    co_await k.wait_delta();
+    EXPECT_FALSE(w.is_low());
+    EXPECT_FALSE(w.is_high());
+  });
+  k.run();
+}
+
+TEST(WireVec, UndrivenReadsAllZ) {
+  Kernel k;
+  WireVec w(k, "w", 32);
+  EXPECT_TRUE(w.read().is_all_z());
+  EXPECT_EQ(w.width(), 32u);
+}
+
+TEST(WireVec, SingleDriverValue) {
+  Kernel k;
+  WireVec w(k, "ad", 32);
+  auto d = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    d.write_uint(0xDEADBEEF);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read().to_uint(), 0xDEADBEEFu);
+    d.release();
+    co_await k.wait_delta();
+    EXPECT_TRUE(w.read().is_all_z());
+  });
+  k.run();
+}
+
+TEST(WireVec, BusHandoverBetweenDrivers) {
+  Kernel k;
+  WireVec w(k, "ad", 16);
+  auto master = w.make_driver();
+  auto target = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    master.write_uint(0x1234);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read().to_uint(), 0x1234u);
+    master.release();  // turnaround: nobody drives
+    co_await k.wait_delta();
+    EXPECT_TRUE(w.read().is_all_z());
+    target.write_uint(0xABCD);
+    co_await k.wait_delta();
+    EXPECT_EQ(w.read().to_uint(), 0xABCDu);
+  });
+  k.run();
+}
+
+TEST(WireVec, ConflictProducesX) {
+  Kernel k;
+  WireVec w(k, "ad", 8);
+  auto d1 = w.make_driver();
+  auto d2 = w.make_driver();
+  k.spawn("p", [&]() -> Task {
+    d1.write_uint(0x0F);
+    d2.write_uint(0xF0);
+    co_await k.wait_delta();
+    EXPECT_TRUE(w.read().has_x());
+    co_return;
+  });
+  k.run();
+}
+
+TEST(WireVec, DriverWidthMismatchThrows) {
+  Kernel k;
+  WireVec w(k, "w", 8);
+  auto d = w.make_driver();
+  EXPECT_THROW(d.write(LogicVec::of(0, 16)), hlcs::Error);
+}
+
+TEST(WireVec, UnboundDriverThrows) {
+  WireVec::Driver d;
+  EXPECT_FALSE(d.bound());
+  EXPECT_THROW(d.write_uint(0), hlcs::Error);
+  EXPECT_THROW(d.release(), hlcs::Error);
+}
+
+TEST(WireVec, ManyDriversOnlyOneActive) {
+  Kernel k;
+  WireVec w(k, "ad", 32);
+  std::vector<WireVec::Driver> drivers;
+  for (int i = 0; i < 8; ++i) drivers.push_back(w.make_driver());
+  k.spawn("p", [&]() -> Task {
+    for (int i = 0; i < 8; ++i) {
+      drivers[i].write_uint(0x100u + i);
+      co_await k.wait_delta();
+      EXPECT_EQ(w.read().to_uint(), 0x100u + i);
+      drivers[i].release();
+      co_await k.wait_delta();
+    }
+  });
+  k.run();
+}
+
+}  // namespace
+}  // namespace hlcs::sim

@@ -1,0 +1,67 @@
+// Example synthesisable objects shared by the synth tests and benches.
+#pragma once
+
+#include "hlcs/synth/object_desc.hpp"
+
+namespace hlcs::synth::testobj {
+
+/// The paper's Fig. 1 bistable: set / reset / get_state, plus a guarded
+/// wait_high (eligible only when the state is 1).
+inline ObjectDesc bistable() {
+  ObjectDesc d("bistable");
+  auto state = d.add_var("state", 1, 0);
+  d.add_method("set").assign(state, d.lit(1, 1));
+  d.add_method("reset").assign(state, d.lit(0, 1));
+  d.add_method("get_state").returns(d.v(state), 1);
+  d.add_method("wait_high").guard(d.v(state)).returns(d.v(state), 1);
+  return d;
+}
+
+/// An 8-bit counter: inc, dec (guarded on count > 0), add(amount), read.
+inline ObjectDesc counter() {
+  ObjectDesc d("counter");
+  auto count = d.add_var("count", 8, 0);
+  auto& A = d.arena();
+  d.add_method("inc").assign(count,
+                             A.bin(ExprOp::Add, d.v(count), d.lit(1, 8)));
+  d.add_method("dec")
+      .guard(A.bin(ExprOp::Gt, d.v(count), d.lit(0, 8)))
+      .assign(count, A.bin(ExprOp::Sub, d.v(count), d.lit(1, 8)));
+  d.add_method("add").arg("amount", 8).assign(
+      count, A.bin(ExprOp::Add, d.v(count), d.a(0, 8)));
+  d.add_method("read").returns(d.v(count), 8);
+  return d;
+}
+
+/// A one-slot mailbox: put(d) guarded on !full, get guarded on full.
+/// This is the shape of the bus-interface command channel.
+inline ObjectDesc mailbox() {
+  ObjectDesc d("mailbox");
+  auto full = d.add_var("full", 1, 0);
+  auto data = d.add_var("data", 16, 0);
+  auto& A = d.arena();
+  d.add_method("put")
+      .arg("d", 16)
+      .guard(A.un(ExprOp::Not, d.v(full)))
+      .assign(full, d.lit(1, 1))
+      .assign(data, d.a(0, 16));
+  d.add_method("get")
+      .guard(d.v(full))
+      .assign(full, d.lit(0, 1))
+      .returns(d.v(data), 16);
+  d.add_method("peek_full").returns(d.v(full), 1);
+  return d;
+}
+
+/// Two variables swapped in one call -- exercises parallel assignment.
+inline ObjectDesc swapper() {
+  ObjectDesc d("swapper");
+  auto x = d.add_var("x", 8, 0xAB);
+  auto y = d.add_var("y", 8, 0xCD);
+  d.add_method("swap").assign(x, d.v(y)).assign(y, d.v(x));
+  d.add_method("read_x").returns(d.v(x), 8);
+  d.add_method("read_y").returns(d.v(y), 8);
+  return d;
+}
+
+}  // namespace hlcs::synth::testobj

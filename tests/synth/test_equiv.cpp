@@ -1,0 +1,117 @@
+// The equivalence-check service and Verilog testbench emission.
+#include <gtest/gtest.h>
+
+#include "hlcs/synth/equiv.hpp"
+#include "hlcs/synth/poly.hpp"
+#include "objects.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+TEST(Equivalence, AllTestObjectsPass) {
+  for (int which = 0; which < 4; ++which) {
+    ObjectDesc d = which == 0   ? testobj::bistable()
+                   : which == 1 ? testobj::counter()
+                   : which == 2 ? testobj::mailbox()
+                                : testobj::swapper();
+    EquivResult r = check_equivalence(
+        d, SynthOptions{.clients = 3},
+        EquivOptions{.cycles = 300, .seed = 0xAB + static_cast<std::uint64_t>(which)});
+    EXPECT_TRUE(r) << d.name() << ": " << r.first_mismatch;
+    EXPECT_EQ(r.cycles, 300u);
+    EXPECT_GT(r.grants, 50u) << d.name() << " made too little progress";
+    EXPECT_EQ(r.vectors.size(), 300u);
+  }
+}
+
+TEST(Equivalence, WithResetPulses) {
+  ObjectDesc d = testobj::counter();
+  EquivResult r = check_equivalence(
+      d, SynthOptions{.clients = 2},
+      EquivOptions{.cycles = 400, .seed = 9, .reset_percent = 5});
+  EXPECT_TRUE(r) << r.first_mismatch;
+  bool any_reset = false;
+  for (const auto& v : r.vectors) any_reset |= v.rst;
+  EXPECT_TRUE(any_reset) << "reset path was not exercised";
+}
+
+TEST(Equivalence, AllPoliciesAllClientCounts) {
+  ObjectDesc d = testobj::mailbox();
+  for (auto policy : {osss::PolicyKind::Fifo, osss::PolicyKind::RoundRobin,
+                      osss::PolicyKind::StaticPriority,
+                      osss::PolicyKind::Random}) {
+    for (std::size_t clients : {1u, 3u, 7u}) {
+      EquivResult r = check_equivalence(
+          d, SynthOptions{.clients = clients, .policy = policy},
+          EquivOptions{.cycles = 200});
+      EXPECT_TRUE(r) << osss::policy_name(policy) << "/" << clients << ": "
+                     << r.first_mismatch;
+    }
+  }
+}
+
+TEST(Equivalence, PolymorphicObjectPasses) {
+  ObjectDesc a("up");
+  {
+    auto c = a.add_var("count", 8, 0);
+    a.add_method("step").assign(c,
+                                a.arena().bin(ExprOp::Add, a.v(c), a.lit(1, 8)));
+    a.add_method("read").returns(a.v(c), 8);
+  }
+  ObjectDesc b("down");
+  {
+    auto c = b.add_var("count", 8, 50);
+    b.add_method("step").assign(c,
+                                b.arena().bin(ExprOp::Sub, b.v(c), b.lit(1, 8)));
+    b.add_method("read").returns(b.v(c), 8);
+  }
+  ObjectDesc poly = make_polymorphic("poly", {&a, &b}, 0);
+  EquivResult r = check_equivalence(poly, SynthOptions{.clients = 2},
+                                    EquivOptions{.cycles = 500, .seed = 3});
+  EXPECT_TRUE(r) << r.first_mismatch;
+}
+
+TEST(Equivalence, VectorsRecordGrantsAndState) {
+  ObjectDesc d = testobj::counter();
+  EquivResult r = check_equivalence(d, SynthOptions{.clients = 1},
+                                    EquivOptions{.cycles = 50, .seed = 1});
+  ASSERT_TRUE(r) << r.first_mismatch;
+  std::size_t grant_count = 0;
+  for (const auto& v : r.vectors) {
+    ASSERT_EQ(v.in.size(), 1u);
+    ASSERT_EQ(v.vars.size(), d.vars().size());
+    if (v.grant[0]) ++grant_count;
+  }
+  EXPECT_EQ(grant_count, r.grants);
+}
+
+TEST(VerilogTestbench, EmitsSelfCheckingBench) {
+  ObjectDesc d = testobj::mailbox();
+  SynthOptions opt{.clients = 2};
+  Netlist nl = synthesize(d, opt);
+  EquivResult r =
+      check_equivalence(d, opt, EquivOptions{.cycles = 20, .seed = 7});
+  ASSERT_TRUE(r);
+  std::string tb = emit_verilog_testbench(nl, r.vectors);
+  EXPECT_NE(tb.find("module mailbox_rtl_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("mailbox_rtl dut ("), std::string::npos);
+  EXPECT_NE(tb.find("always #5 clk = ~clk;"), std::string::npos);
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // One check line per client per vector.
+  std::size_t checks = 0, pos = 0;
+  while ((pos = tb.find("check(", pos)) != std::string::npos) {
+    ++checks;
+    pos += 6;
+  }
+  EXPECT_EQ(checks, 1u + 20u * 2u) << "task definition + per-vector checks";
+}
+
+TEST(VerilogTestbench, EmptyVectorsThrow) {
+  ObjectDesc d = testobj::counter();
+  Netlist nl = synthesize(d, SynthOptions{.clients = 1});
+  EXPECT_THROW(emit_verilog_testbench(nl, {}), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,179 @@
+#include "hlcs/synth/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlcs::synth {
+namespace {
+
+TEST(ExprArena, ConstMasksToWidth) {
+  ExprArena a;
+  ExprId c = a.cst(0x1FF, 8);
+  EXPECT_EQ(a.at(c).imm, 0xFFu);
+  EXPECT_EQ(a.at(c).width, 8u);
+  EXPECT_EQ(eval(a, c, {}, {}), 0xFFu);
+}
+
+TEST(ExprArena, VarAndArgEval) {
+  ExprArena a;
+  ExprId v = a.var(0, 8);
+  ExprId g = a.arg(1, 4);
+  EXPECT_EQ(eval(a, v, {0x42}, {}), 0x42u);
+  EXPECT_EQ(eval(a, g, {}, {0, 0x1F}), 0xFu) << "arg masked to width 4";
+}
+
+TEST(ExprArena, ArithmeticWrapsAtWidth) {
+  ExprArena a;
+  ExprId x = a.var(0, 8);
+  ExprId one = a.cst(1, 8);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Add, x, one), {0xFF}, {}), 0u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Sub, x, one), {0}, {}), 0xFFu);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Mul, x, a.cst(2, 8)), {0x80}, {}), 0u);
+}
+
+TEST(ExprArena, BitwiseOps) {
+  ExprArena a;
+  ExprId x = a.var(0, 8), y = a.var(1, 8);
+  std::vector<std::uint64_t> vars = {0xF0, 0x3C};
+  EXPECT_EQ(eval(a, a.bin(ExprOp::And, x, y), vars, {}), 0x30u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Or, x, y), vars, {}), 0xFCu);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Xor, x, y), vars, {}), 0xCCu);
+  EXPECT_EQ(eval(a, a.un(ExprOp::Not, x), vars, {}), 0x0Fu);
+  EXPECT_EQ(eval(a, a.un(ExprOp::Neg, x), vars, {}), 0x10u);
+}
+
+TEST(ExprArena, Comparisons) {
+  ExprArena a;
+  ExprId x = a.var(0, 8), y = a.var(1, 8);
+  std::vector<std::uint64_t> vars = {5, 9};
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Lt, x, y), vars, {}), 1u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Le, x, y), vars, {}), 1u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Gt, x, y), vars, {}), 0u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Ge, x, y), vars, {}), 0u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Eq, x, y), vars, {}), 0u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Ne, x, y), vars, {}), 1u);
+  EXPECT_EQ(a.at(a.bin(ExprOp::Lt, x, y)).width, 1u);
+}
+
+TEST(ExprArena, Reductions) {
+  ExprArena a;
+  ExprId x = a.var(0, 4);
+  EXPECT_EQ(eval(a, a.un(ExprOp::RedOr, x), {0}, {}), 0u);
+  EXPECT_EQ(eval(a, a.un(ExprOp::RedOr, x), {2}, {}), 1u);
+  EXPECT_EQ(eval(a, a.un(ExprOp::RedAnd, x), {0xF}, {}), 1u);
+  EXPECT_EQ(eval(a, a.un(ExprOp::RedAnd, x), {0x7}, {}), 0u);
+}
+
+TEST(ExprArena, Shifts) {
+  ExprArena a;
+  ExprId x = a.var(0, 8);
+  ExprId s = a.var(1, 8);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Shl, x, s), {0x01, 3}, {}), 0x08u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Shr, x, s), {0x80, 4}, {}), 0x08u);
+  EXPECT_EQ(eval(a, a.bin(ExprOp::Shl, x, s), {0x01, 200}, {}), 0u)
+      << "oversized shift yields zero";
+}
+
+TEST(ExprArena, SliceAndConcat) {
+  ExprArena a;
+  ExprId x = a.var(0, 16);
+  ExprId lo = a.slice(x, 0, 8);
+  ExprId hi = a.slice(x, 8, 8);
+  EXPECT_EQ(eval(a, lo, {0xABCD}, {}), 0xCDu);
+  EXPECT_EQ(eval(a, hi, {0xABCD}, {}), 0xABu);
+  ExprId back = a.bin(ExprOp::Concat, hi, lo);
+  EXPECT_EQ(a.at(back).width, 16u);
+  EXPECT_EQ(eval(a, back, {0xABCD}, {}), 0xABCDu);
+}
+
+TEST(ExprArena, ZExt) {
+  ExprArena a;
+  ExprId x = a.var(0, 4);
+  ExprId z = a.zext(x, 12);
+  EXPECT_EQ(a.at(z).width, 12u);
+  EXPECT_EQ(eval(a, z, {0xF}, {}), 0xFu);
+  EXPECT_THROW(a.zext(a.var(0, 8), 4), hlcs::Error) << "narrowing zext";
+}
+
+TEST(ExprArena, Mux) {
+  ExprArena a;
+  ExprId sel = a.var(0, 1);
+  ExprId t = a.cst(0xAA, 8), f = a.cst(0x55, 8);
+  ExprId m = a.mux(sel, t, f);
+  EXPECT_EQ(eval(a, m, {1}, {}), 0xAAu);
+  EXPECT_EQ(eval(a, m, {0}, {}), 0x55u);
+}
+
+TEST(ExprArena, MuxRequiresOneBitSelector) {
+  ExprArena a;
+  EXPECT_THROW(a.mux(a.var(0, 2), a.cst(0, 8), a.cst(1, 8)), hlcs::Error);
+}
+
+TEST(ExprArena, MuxBranchWidthsMustMatch) {
+  ExprArena a;
+  EXPECT_THROW(a.mux(a.var(0, 1), a.cst(0, 8), a.cst(1, 4)), hlcs::Error);
+}
+
+TEST(ExprArena, BinaryWidthMismatchThrows) {
+  ExprArena a;
+  EXPECT_THROW(a.bin(ExprOp::Add, a.cst(0, 8), a.cst(0, 4)), hlcs::Error);
+  EXPECT_THROW(a.bin(ExprOp::Eq, a.cst(0, 8), a.cst(0, 4)), hlcs::Error);
+}
+
+TEST(ExprArena, SliceOutOfRangeThrows) {
+  ExprArena a;
+  EXPECT_THROW(a.slice(a.var(0, 8), 4, 8), hlcs::Error);
+}
+
+TEST(ExprArena, ConcatOver64Throws) {
+  ExprArena a;
+  EXPECT_THROW(a.bin(ExprOp::Concat, a.var(0, 40), a.var(1, 40)), hlcs::Error);
+}
+
+TEST(ExprArena, Width64Arithmetic) {
+  ExprArena a;
+  ExprId x = a.var(0, 64);
+  ExprId r = a.bin(ExprOp::Add, x, a.cst(1, 64));
+  EXPECT_EQ(eval(a, r, {~0ull}, {}), 0u);
+}
+
+TEST(ExprDepth, LeavesAreZeroLogicFree) {
+  ExprArena a;
+  EXPECT_EQ(depth(a, a.cst(1, 8)), 0u);
+  EXPECT_EQ(depth(a, a.var(0, 8)), 0u);
+  // Slices and concat are wiring.
+  EXPECT_EQ(depth(a, a.slice(a.var(0, 8), 0, 4)), 0u);
+}
+
+TEST(ExprDepth, ChainsAccumulate) {
+  ExprArena a;
+  ExprId e = a.var(0, 8);
+  for (int i = 0; i < 5; ++i) e = a.bin(ExprOp::Add, e, a.cst(1, 8));
+  EXPECT_EQ(depth(a, e), 5u);
+}
+
+TEST(ExprToString, ReadableOutput) {
+  ExprArena a;
+  ExprId e = a.bin(ExprOp::Add, a.var(0, 8), a.cst(3, 8));
+  EXPECT_EQ(to_string(a, e), "(v0 add 3'8)");
+  ExprId m = a.mux(a.var(1, 1), a.cst(1, 4), a.cst(0, 4));
+  EXPECT_EQ(to_string(a, m), "(v1 ? 1'4 : 0'4)");
+  ExprId s = a.slice(a.var(2, 16), 4, 8);
+  EXPECT_EQ(to_string(a, s), "v2[11:4]");
+}
+
+TEST(ExprArena, BadIdThrows) {
+  ExprArena a;
+  EXPECT_THROW(a.at(0), hlcs::Error);
+  EXPECT_THROW(a.at(kNoExpr), hlcs::Error);
+}
+
+TEST(ExprEval, BadLeafIndexThrows) {
+  ExprArena a;
+  ExprId v = a.var(3, 8);
+  EXPECT_THROW(eval(a, v, {1, 2}, {}), hlcs::Error);
+  ExprId g = a.arg(2, 8);
+  EXPECT_THROW(eval(a, g, {}, {1}), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

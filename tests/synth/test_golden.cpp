@@ -1,0 +1,158 @@
+// GoldenCycleModel unit tests: the reference arbiter semantics that the
+// synthesised hardware is held to (tie-breaks, counters, LFSR, reset).
+#include <gtest/gtest.h>
+
+#include "hlcs/synth/golden.hpp"
+#include "objects.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+using ClientIn = GoldenCycleModel::ClientIn;
+
+std::vector<ClientIn> all_requesting(std::size_t n, std::uint64_t sel) {
+  std::vector<ClientIn> in(n);
+  for (auto& c : in) {
+    c.req = true;
+    c.sel = sel;
+  }
+  return in;
+}
+
+TEST(Golden, NoRequestsNoGrant) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 2});
+  auto r = g.step(std::vector<ClientIn>(2));
+  EXPECT_FALSE(r.granted.has_value());
+}
+
+TEST(Golden, InvalidSelectorNeverEligible) {
+  ObjectDesc d = testobj::counter();  // 4 methods
+  GoldenCycleModel g(d, SynthOptions{.clients = 1});
+  auto in = all_requesting(1, 7);  // out of range
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(g.step(in).granted.has_value());
+  }
+}
+
+TEST(Golden, StaticPriorityDefaultFavoursClientZero) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(
+      d, SynthOptions{.clients = 3,
+                      .policy = osss::PolicyKind::StaticPriority});
+  auto in = all_requesting(3, d.method_index("inc"));
+  EXPECT_EQ(g.step(in).granted, std::optional<std::size_t>(0));
+  EXPECT_EQ(g.step(in).granted, std::optional<std::size_t>(0))
+      << "client 0 keeps winning while it requests";
+}
+
+TEST(Golden, RoundRobinWrapsPastHighestIndex) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 3,
+                                     .policy = osss::PolicyKind::RoundRobin});
+  auto in = all_requesting(3, d.method_index("inc"));
+  EXPECT_EQ(*g.step(in).granted, 0u);
+  EXPECT_EQ(*g.step(in).granted, 1u);
+  EXPECT_EQ(*g.step(in).granted, 2u);
+  EXPECT_EQ(*g.step(in).granted, 0u) << "wrap";
+  // Drop client 1: rotation skips it.
+  in[1].req = false;
+  EXPECT_EQ(*g.step(in).granted, 2u);
+  EXPECT_EQ(*g.step(in).granted, 0u);
+}
+
+TEST(Golden, FifoPrefersLongestWaiter) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 2,
+                                     .policy = osss::PolicyKind::Fifo});
+  // Client 1 waits on a blocked method (dec with count 0) for 3 cycles.
+  std::vector<ClientIn> in(2);
+  in[1] = {true, d.method_index("dec"), 0};
+  for (int i = 0; i < 3; ++i) g.step(in);
+  // Client 0 arrives wanting inc; inc is eligible and granted (dec is
+  // not eligible yet).
+  in[0] = {true, d.method_index("inc"), 0};
+  EXPECT_EQ(*g.step(in).granted, 0u);
+  in[0].req = false;
+  // Now count>0: dec eligible, client 1 has aged -> granted.
+  EXPECT_EQ(*g.step(in).granted, 1u);
+}
+
+TEST(Golden, FifoAgeTieBreaksToLowerIndex) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 3,
+                                     .policy = osss::PolicyKind::Fifo});
+  auto in = all_requesting(3, d.method_index("inc"));
+  EXPECT_EQ(*g.step(in).granted, 0u) << "equal ages: lowest index";
+}
+
+TEST(Golden, RandomPolicyIsDeterministicPerSeed) {
+  ObjectDesc d = testobj::counter();
+  SynthOptions opt{.clients = 4, .policy = osss::PolicyKind::Random,
+                   .lfsr_seed = 0x1234};
+  GoldenCycleModel g1(d, opt), g2(d, opt);
+  auto in = all_requesting(4, d.method_index("inc"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g1.step(in).granted, g2.step(in).granted) << "cycle " << i;
+  }
+}
+
+TEST(Golden, RandomPolicyDiffersAcrossSeeds) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g1(
+      d, SynthOptions{.clients = 4, .policy = osss::PolicyKind::Random,
+                      .lfsr_seed = 0x1111});
+  GoldenCycleModel g2(
+      d, SynthOptions{.clients = 4, .policy = osss::PolicyKind::Random,
+                      .lfsr_seed = 0x2222});
+  auto in = all_requesting(4, d.method_index("inc"));
+  int diffs = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (g1.step(in).granted != g2.step(in).granted) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Golden, ReturnValueFromEntryState) {
+  ObjectDesc d = testobj::mailbox();
+  GoldenCycleModel g(d, SynthOptions{.clients = 1});
+  std::vector<ClientIn> in(1);
+  in[0] = {true, d.method_index("put"),
+           pack_args(d.methods()[d.method_index("put")], {0x7777})};
+  g.step(in);
+  in[0] = {true, d.method_index("get"), 0};
+  auto r = g.step(in);
+  ASSERT_TRUE(r.granted.has_value());
+  EXPECT_EQ(r.ret, 0x7777u);
+  EXPECT_EQ(g.var(0), 0u) << "full cleared after get";
+}
+
+TEST(Golden, ResetRestoresStateAndArbiter) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 2,
+                                     .policy = osss::PolicyKind::RoundRobin});
+  auto in = all_requesting(2, d.method_index("inc"));
+  g.step(in);
+  g.step(in);
+  EXPECT_EQ(g.var(0), 2u);
+  auto r = g.step(in, /*rst=*/true);
+  EXPECT_FALSE(r.granted.has_value()) << "no grant during reset";
+  EXPECT_EQ(g.var(0), 0u);
+  // Round-robin pointer reset: client 0 wins next.
+  EXPECT_EQ(*g.step(in).granted, 0u);
+}
+
+TEST(Golden, MismatchedClientCountThrows) {
+  ObjectDesc d = testobj::counter();
+  GoldenCycleModel g(d, SynthOptions{.clients = 2});
+  EXPECT_THROW(g.step(std::vector<ClientIn>(3)), hlcs::Error);
+}
+
+TEST(Golden, BadPrioritiesSizeThrows) {
+  ObjectDesc d = testobj::counter();
+  SynthOptions opt{.clients = 3, .priorities = {1, 2}};
+  EXPECT_THROW(GoldenCycleModel(d, opt), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "hlcs/sim/clock.hpp"
+#include "hlcs/synth/netlist.hpp"
+#include "hlcs/synth/rtl_sim.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+/// An 8-bit counter with enable: q <= rst ? 0 : (en ? q+1 : q).
+Netlist make_counter_netlist() {
+  Netlist nl("counter8");
+  NetId rst = nl.add_net("rst", 1);
+  NetId en = nl.add_net("en", 1);
+  NetId q = nl.add_net("q", 8);
+  NetId d = nl.add_net("d", 8);
+  nl.mark_input(rst);
+  nl.mark_input(en);
+  nl.mark_output(q);
+  nl.add_reg(q, d, 0);
+  auto& A = nl.arena();
+  ExprId inc = A.bin(ExprOp::Add, nl.net_ref(q), A.cst(1, 8));
+  ExprId held = A.mux(nl.net_ref(en), inc, nl.net_ref(q));
+  nl.add_comb(d, A.mux(nl.net_ref(rst), A.cst(0, 8), held));
+  return nl;
+}
+
+TEST(Netlist, ValidatesCleanDesign) {
+  Netlist nl = make_counter_netlist();
+  EXPECT_NO_THROW(nl.validate_and_order());
+}
+
+TEST(Netlist, DetectsUndrivenNet) {
+  Netlist nl("bad");
+  nl.add_net("floating", 4);
+  EXPECT_THROW(nl.validate_and_order(), SynthesisError);
+}
+
+TEST(Netlist, DetectsMultipleDrivers) {
+  Netlist nl("bad");
+  NetId a = nl.add_net("a", 1);
+  nl.mark_input(a);
+  nl.add_comb(a, nl.arena().cst(0, 1));
+  EXPECT_THROW(nl.validate_and_order(), SynthesisError);
+}
+
+TEST(Netlist, DetectsCombinationalCycle) {
+  Netlist nl("bad");
+  NetId a = nl.add_net("a", 1);
+  NetId b = nl.add_net("b", 1);
+  nl.add_comb(a, nl.arena().un(ExprOp::Not, nl.net_ref(b)));
+  nl.add_comb(b, nl.arena().un(ExprOp::Not, nl.net_ref(a)));
+  EXPECT_THROW(nl.validate_and_order(), SynthesisError);
+}
+
+TEST(Netlist, RegisterBreaksCycle) {
+  // a = ~q; q <= a  is fine: the register breaks the loop.
+  Netlist nl("toggler");
+  NetId a = nl.add_net("a", 1);
+  NetId q = nl.add_net("q", 1);
+  nl.mark_output(q);
+  nl.add_comb(a, nl.arena().un(ExprOp::Not, nl.net_ref(q)));
+  nl.add_reg(q, a, 0);
+  EXPECT_NO_THROW(nl.validate_and_order());
+  NetlistSim s(nl);
+  EXPECT_EQ(s.get(q), 0u);
+  s.clock_edge();
+  EXPECT_EQ(s.get(q), 1u);
+  s.clock_edge();
+  EXPECT_EQ(s.get(q), 0u);
+}
+
+TEST(Netlist, TopoOrderIsDependencyOrder) {
+  // c depends on b depends on a (added in reverse order).
+  Netlist nl("chain");
+  NetId in = nl.add_net("in", 4);
+  nl.mark_input(in);
+  NetId a = nl.add_net("a", 4);
+  NetId b = nl.add_net("b", 4);
+  NetId c = nl.add_net("c", 4);
+  nl.mark_output(c);
+  auto& A = nl.arena();
+  nl.add_comb(c, A.bin(ExprOp::Add, nl.net_ref(b), A.cst(1, 4)));  // idx 0
+  nl.add_comb(b, A.bin(ExprOp::Add, nl.net_ref(a), A.cst(1, 4)));  // idx 1
+  nl.add_comb(a, A.bin(ExprOp::Add, nl.net_ref(in), A.cst(1, 4))); // idx 2
+  auto order = nl.validate_and_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+  NetlistSim s(nl);
+  s.set_input("in", 5);
+  s.settle();
+  EXPECT_EQ(s.get("c"), 8u);
+}
+
+TEST(Netlist, FindByName) {
+  Netlist nl = make_counter_netlist();
+  EXPECT_EQ(nl.nets()[nl.find("q")].width, 8u);
+  EXPECT_THROW(nl.find("nonexistent"), hlcs::Error);
+}
+
+TEST(NetlistSim, CounterCountsWithEnable) {
+  Netlist nl = make_counter_netlist();
+  NetlistSim s(nl);
+  s.set_input("rst", 0);
+  s.set_input("en", 1);
+  for (int i = 0; i < 5; ++i) s.clock_edge();
+  EXPECT_EQ(s.get("q"), 5u);
+  s.set_input("en", 0);
+  for (int i = 0; i < 3; ++i) s.clock_edge();
+  EXPECT_EQ(s.get("q"), 5u) << "disabled counter holds";
+  s.set_input("rst", 1);
+  s.clock_edge();
+  EXPECT_EQ(s.get("q"), 0u);
+}
+
+TEST(NetlistSim, ResetStateRestoresInit) {
+  Netlist nl = make_counter_netlist();
+  NetlistSim s(nl);
+  s.set_input("rst", 0);
+  s.set_input("en", 1);
+  s.clock_edge();
+  s.clock_edge();
+  EXPECT_EQ(s.get("q"), 2u);
+  s.reset_state();
+  EXPECT_EQ(s.get("q"), 0u);
+}
+
+TEST(NetlistSim, InputsMaskedToWidth) {
+  Netlist nl = make_counter_netlist();
+  NetlistSim s(nl);
+  s.set_input("en", 0xFF);  // masked to 1 bit
+  s.set_input("rst", 0);
+  s.clock_edge();
+  EXPECT_EQ(s.get("q"), 1u);
+}
+
+TEST(NetlistSim, CounterWrapsAtWidth) {
+  Netlist nl = make_counter_netlist();
+  NetlistSim s(nl);
+  s.set_input("rst", 0);
+  s.set_input("en", 1);
+  for (int i = 0; i < 256; ++i) s.clock_edge();
+  EXPECT_EQ(s.get("q"), 0u);
+}
+
+TEST(RtlModule, CountsOnKernelClock) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  Netlist nl = make_counter_netlist();
+  RtlModule rtl(k, "dut", nl, clk);
+  rtl.in("rst").write(0);
+  rtl.in("en").write(1);
+  k.run_for(105_ns);  // edges at 5,15,...,95,105 -> 11 edges
+  EXPECT_EQ(rtl.edges(), 11u);
+  EXPECT_EQ(rtl.out("q").read(), 11u);
+}
+
+TEST(RtlModule, EnableControlsCounting) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  Netlist nl = make_counter_netlist();
+  RtlModule rtl(k, "dut", nl, clk);
+  rtl.in("rst").write(0);
+  rtl.in("en").write(1);
+  k.spawn("ctrl", [&]() -> sim::Task {
+    co_await k.wait(52_ns);  // after 5 edges
+    rtl.in("en").write(0);
+  });
+  k.run_for(200_ns);
+  // Enable change commits at 52ns; edge at 55ns samples en=0.
+  EXPECT_EQ(rtl.out("q").read(), 5u);
+}
+
+TEST(RtlModule, UnknownPinThrows) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  Netlist nl = make_counter_netlist();
+  RtlModule rtl(k, "dut", nl, clk);
+  EXPECT_THROW(rtl.in("bogus"), hlcs::Error);
+  EXPECT_THROW(rtl.out("bogus"), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "hlcs/synth/interp.hpp"
+#include "objects.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+TEST(ObjectDesc, BistableShape) {
+  ObjectDesc d = testobj::bistable();
+  EXPECT_EQ(d.name(), "bistable");
+  EXPECT_EQ(d.vars().size(), 1u);
+  EXPECT_EQ(d.methods().size(), 4u);
+  EXPECT_EQ(d.method_index("set"), 0u);
+  EXPECT_EQ(d.method_index("wait_high"), 3u);
+  EXPECT_THROW(d.method_index("nope"), hlcs::Error);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(ObjectDesc, PortWidths) {
+  ObjectDesc d = testobj::mailbox();
+  EXPECT_EQ(d.sel_width(), 2u);  // 3 methods
+  EXPECT_EQ(d.args_width(), 16u);
+  EXPECT_EQ(d.ret_width(), 16u);
+  ObjectDesc b = testobj::bistable();
+  EXPECT_EQ(b.sel_width(), 2u);  // 4 methods
+  EXPECT_EQ(b.args_width(), 1u);  // no args -> min width 1
+  EXPECT_EQ(b.ret_width(), 1u);
+}
+
+TEST(ObjectDescValidate, RejectsEmptyObject) {
+  ObjectDesc d("empty");
+  EXPECT_THROW(d.validate(), SynthesisError);
+  d.add_var("x", 1, 0);
+  EXPECT_THROW(d.validate(), SynthesisError) << "still no methods";
+}
+
+TEST(ObjectDescValidate, RejectsWideGuard) {
+  ObjectDesc d("bad");
+  auto x = d.add_var("x", 8, 0);
+  d.add_method("m").guard(d.v(x)).assign(x, d.lit(0, 8));
+  EXPECT_THROW(d.validate(), SynthesisError);
+}
+
+TEST(ObjectDescValidate, RejectsAssignWidthMismatch) {
+  ObjectDesc d("bad");
+  auto x = d.add_var("x", 8, 0);
+  d.add_method("m").assign(x, d.lit(0, 4));
+  EXPECT_THROW(d.validate(), SynthesisError);
+}
+
+TEST(ObjectDescValidate, RejectsDoubleAssign) {
+  ObjectDesc d("bad");
+  auto x = d.add_var("x", 8, 0);
+  d.add_method("m").assign(x, d.lit(1, 8)).assign(x, d.lit(2, 8));
+  EXPECT_THROW(d.validate(), SynthesisError);
+}
+
+TEST(ObjectDescValidate, RejectsRetWidthMismatch) {
+  ObjectDesc d("bad");
+  auto x = d.add_var("x", 8, 0);
+  d.add_method("m").returns(d.v(x), 4);
+  EXPECT_THROW(d.validate(), SynthesisError);
+}
+
+TEST(ObjectDescValidate, RejectsBadArgLeaf) {
+  ObjectDesc d("bad");
+  auto x = d.add_var("x", 8, 0);
+  // References arg 0 but declares no args.
+  d.add_method("m").assign(x, d.a(0, 8));
+  EXPECT_THROW(d.validate(), SynthesisError);
+}
+
+TEST(ObjectInterp, BistableSemantics) {
+  ObjectDesc d = testobj::bistable();
+  ObjectInterp it(d);
+  EXPECT_EQ(it.var(0), 0u);
+  EXPECT_FALSE(it.guard_ok(d.method_index("wait_high")));
+  it.invoke(d.method_index("set"));
+  EXPECT_EQ(it.var(0), 1u);
+  EXPECT_TRUE(it.guard_ok(d.method_index("wait_high")));
+  EXPECT_EQ(it.invoke(d.method_index("get_state")), 1u);
+  it.invoke(d.method_index("reset"));
+  EXPECT_EQ(it.invoke(d.method_index("get_state")), 0u);
+}
+
+TEST(ObjectInterp, CounterWithArgs) {
+  ObjectDesc d = testobj::counter();
+  ObjectInterp it(d);
+  const auto inc = d.method_index("inc");
+  const auto dec = d.method_index("dec");
+  const auto add = d.method_index("add");
+  const auto read = d.method_index("read");
+  it.invoke(inc);
+  it.invoke(inc);
+  EXPECT_EQ(it.invoke(read), 2u);
+  it.invoke(add, {10});
+  EXPECT_EQ(it.invoke(read), 12u);
+  EXPECT_TRUE(it.guard_ok(dec));
+  it.invoke(dec);
+  EXPECT_EQ(it.invoke(read), 11u);
+}
+
+TEST(ObjectInterp, GuardBlocksDecAtZero) {
+  ObjectDesc d = testobj::counter();
+  ObjectInterp it(d);
+  EXPECT_FALSE(it.guard_ok(d.method_index("dec")));
+  it.invoke(d.method_index("inc"));
+  EXPECT_TRUE(it.guard_ok(d.method_index("dec")));
+}
+
+TEST(ObjectInterp, CounterWrapsAt8Bits) {
+  ObjectDesc d = testobj::counter();
+  ObjectInterp it(d);
+  it.invoke(d.method_index("add"), {0xFF});
+  it.invoke(d.method_index("inc"));
+  EXPECT_EQ(it.invoke(d.method_index("read")), 0u);
+}
+
+TEST(ObjectInterp, MailboxPutGet) {
+  ObjectDesc d = testobj::mailbox();
+  ObjectInterp it(d);
+  const auto put = d.method_index("put");
+  const auto get = d.method_index("get");
+  EXPECT_TRUE(it.guard_ok(put));
+  EXPECT_FALSE(it.guard_ok(get));
+  it.invoke(put, {0xBEEF});
+  EXPECT_FALSE(it.guard_ok(put)) << "mailbox full";
+  EXPECT_TRUE(it.guard_ok(get));
+  EXPECT_EQ(it.invoke(get), 0xBEEFu);
+  EXPECT_TRUE(it.guard_ok(put));
+  EXPECT_FALSE(it.guard_ok(get));
+}
+
+TEST(ObjectInterp, ParallelAssignmentSwap) {
+  ObjectDesc d = testobj::swapper();
+  ObjectInterp it(d);
+  EXPECT_EQ(it.var(0), 0xABu);
+  EXPECT_EQ(it.var(1), 0xCDu);
+  it.invoke(d.method_index("swap"));
+  EXPECT_EQ(it.var(0), 0xCDu) << "x gets the OLD y";
+  EXPECT_EQ(it.var(1), 0xABu) << "y gets the OLD x";
+  it.invoke(d.method_index("swap"));
+  EXPECT_EQ(it.var(0), 0xABu);
+}
+
+TEST(ObjectInterp, ReturnUsesEntryState) {
+  // get() on the mailbox clears full but returns the data that was there.
+  ObjectDesc d = testobj::mailbox();
+  ObjectInterp it(d);
+  it.invoke(d.method_index("put"), {0x1234});
+  const std::uint64_t got = it.invoke(d.method_index("get"));
+  EXPECT_EQ(got, 0x1234u);
+  EXPECT_EQ(it.var(0), 0u) << "full cleared after the call";
+}
+
+TEST(ObjectInterp, ResetRestoresInitialValues) {
+  ObjectDesc d = testobj::swapper();
+  ObjectInterp it(d);
+  it.invoke(d.method_index("swap"));
+  it.reset();
+  EXPECT_EQ(it.var(0), 0xABu);
+  EXPECT_EQ(it.var(1), 0xCDu);
+}
+
+TEST(ObjectInterp, WrongArgCountThrows) {
+  ObjectDesc d = testobj::counter();
+  ObjectInterp it(d);
+  EXPECT_THROW(it.invoke(d.method_index("add"), {}), hlcs::Error);
+  EXPECT_THROW(it.invoke(d.method_index("inc"), {1}), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,200 @@
+// The netlist optimiser: specific rewrites, and the global guarantee --
+// optimisation never changes cycle-accurate behaviour.
+#include <gtest/gtest.h>
+
+#include "hlcs/sim/random.hpp"
+#include "hlcs/synth/comm_synth.hpp"
+#include "hlcs/synth/optimize.hpp"
+#include "hlcs/synth/report.hpp"
+#include "hlcs/synth/rtl_sim.hpp"
+#include "objects.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+/// Build a tiny netlist with one comb output `y` = f(inputs a, b).
+struct MiniNet {
+  Netlist nl{"mini"};
+  NetId a, b, y;
+  MiniNet(unsigned wa, unsigned wb, unsigned wy) {
+    a = nl.add_net("a", wa);
+    b = nl.add_net("b", wb);
+    y = nl.add_net("y", wy);
+    nl.mark_input(a);
+    nl.mark_input(b);
+    nl.mark_output(y);
+  }
+  void finish(ExprId e) { nl.add_comb(y, e); }
+};
+
+TEST(Optimize, FoldsConstantArithmetic) {
+  MiniNet m(8, 8, 8);
+  auto& A = m.nl.arena();
+  // y = (3 + 4) * 2  -> constant 14 (inputs unused but still ports).
+  ExprId e = A.bin(ExprOp::Mul, A.bin(ExprOp::Add, A.cst(3, 8), A.cst(4, 8)),
+                   A.cst(2, 8));
+  // Keep inputs referenced through a no-op so they are not dangling:
+  e = A.bin(ExprOp::Or, e, A.bin(ExprOp::And, m.nl.net_ref(m.a),
+                                 A.cst(0, 8)));
+  m.finish(e);
+  OptimizeStats st;
+  Netlist opt = optimize(m.nl, &st);
+  EXPECT_GT(st.folds, 0u);
+  EXPECT_LT(st.nodes_after, st.nodes_before);
+  const CombAssign& c = opt.combs()[0];
+  EXPECT_EQ(opt.arena().at(c.value).op, ExprOp::Const);
+  EXPECT_EQ(opt.arena().at(c.value).imm, 14u);
+}
+
+TEST(Optimize, IdentityLaws) {
+  struct Case {
+    ExprOp op;
+    std::uint64_t c;
+    bool const_rhs;
+  };
+  for (Case cs : {Case{ExprOp::And, 0xFF, true}, Case{ExprOp::Or, 0, true},
+                  Case{ExprOp::Xor, 0, true}, Case{ExprOp::Add, 0, true},
+                  Case{ExprOp::Sub, 0, true}, Case{ExprOp::Mul, 1, true},
+                  Case{ExprOp::And, 0xFF, false}}) {
+    MiniNet m(8, 8, 8);
+    auto& A = m.nl.arena();
+    ExprId x = m.nl.net_ref(m.a);
+    ExprId k = A.cst(cs.c, 8);
+    m.finish(cs.const_rhs ? A.bin(cs.op, x, k) : A.bin(cs.op, k, x));
+    Netlist opt = optimize(m.nl);
+    const ExprNode& n = opt.arena().at(opt.combs()[0].value);
+    EXPECT_EQ(n.op, ExprOp::Var) << op_name(cs.op);
+    EXPECT_EQ(n.imm, m.a) << op_name(cs.op);
+  }
+}
+
+TEST(Optimize, AnnihilatorLaws) {
+  MiniNet m(8, 8, 8);
+  auto& A = m.nl.arena();
+  m.finish(A.bin(ExprOp::And, m.nl.net_ref(m.a), A.cst(0, 8)));
+  Netlist opt = optimize(m.nl);
+  const ExprNode& n = opt.arena().at(opt.combs()[0].value);
+  EXPECT_EQ(n.op, ExprOp::Const);
+  EXPECT_EQ(n.imm, 0u);
+}
+
+TEST(Optimize, MuxSimplifications) {
+  {
+    MiniNet m(8, 8, 8);
+    auto& A = m.nl.arena();
+    m.finish(A.mux(A.cst(1, 1), m.nl.net_ref(m.a), m.nl.net_ref(m.b)));
+    Netlist opt = optimize(m.nl);
+    EXPECT_EQ(opt.arena().at(opt.combs()[0].value).imm, m.a);
+  }
+  {
+    MiniNet m(1, 8, 8);
+    auto& A = m.nl.arena();
+    // mux(sel, a-expr, a-expr): both branches structurally equal.
+    ExprId t = A.bin(ExprOp::Add, m.nl.net_ref(m.b), A.cst(1, 8));
+    ExprId f = A.bin(ExprOp::Add, m.nl.net_ref(m.b), A.cst(1, 8));
+    m.finish(A.mux(m.nl.net_ref(m.a), t, f));
+    Netlist opt = optimize(m.nl);
+    EXPECT_EQ(opt.arena().at(opt.combs()[0].value).op, ExprOp::Add);
+  }
+}
+
+TEST(Optimize, DoubleNegationAndSelfComparison) {
+  {
+    MiniNet m(8, 8, 8);
+    auto& A = m.nl.arena();
+    m.finish(A.un(ExprOp::Not, A.un(ExprOp::Not, m.nl.net_ref(m.a))));
+    Netlist opt = optimize(m.nl);
+    EXPECT_EQ(opt.arena().at(opt.combs()[0].value).op, ExprOp::Var);
+  }
+  {
+    MiniNet m(8, 8, 1);
+    auto& A = m.nl.arena();
+    m.finish(A.bin(ExprOp::Eq, m.nl.net_ref(m.a), m.nl.net_ref(m.a)));
+    Netlist opt = optimize(m.nl);
+    const ExprNode& n = opt.arena().at(opt.combs()[0].value);
+    EXPECT_EQ(n.op, ExprOp::Const);
+    EXPECT_EQ(n.imm, 1u);
+  }
+}
+
+TEST(Optimize, SliceAndZextFolds) {
+  MiniNet m(16, 8, 8);
+  auto& A = m.nl.arena();
+  // slice(zext(a16 -> 16), 0, 8) with zext being a no-op.
+  ExprId e = A.slice(A.zext(m.nl.net_ref(m.a), 16), 0, 8);
+  m.finish(e);
+  OptimizeStats st;
+  Netlist opt = optimize(m.nl, &st);
+  EXPECT_GT(st.folds, 0u);
+  EXPECT_EQ(opt.arena().at(opt.combs()[0].value).op, ExprOp::Slice);
+}
+
+/// The global guarantee: optimised synthesis output behaves identically
+/// under random stimulus for every test object and policy.
+class OptimizeEquiv
+    : public ::testing::TestWithParam<std::tuple<int, osss::PolicyKind>> {};
+
+TEST_P(OptimizeEquiv, LockStepOriginalVsOptimized) {
+  auto [which, policy] = GetParam();
+  ObjectDesc d = which == 0   ? testobj::bistable()
+                 : which == 1 ? testobj::counter()
+                 : which == 2 ? testobj::mailbox()
+                              : testobj::swapper();
+  SynthOptions opt{.clients = 3, .policy = policy};
+  Netlist orig = synthesize(d, opt);
+  OptimizeStats st;
+  Netlist optd = optimize(orig, &st);
+  EXPECT_GT(st.folds, 0u) << "synthesised logic should have foldable slack";
+  EXPECT_LE(st.nodes_after, st.nodes_before);
+
+  NetlistSim s1(orig);
+  NetlistSim s2(optd);
+  sim::Xorshift rng(0x0B7 + static_cast<std::uint64_t>(which));
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      const std::uint64_t req = rng.chance(1, 2);
+      const std::uint64_t sel = rng.below(d.methods().size() + 1);
+      const std::uint64_t args = rng.next();
+      for (NetlistSim* s : {&s1, &s2}) {
+        s->set_input(req_port(c), req);
+        s->set_input(sel_port(c), sel);
+        s->set_input(args_port(c), args);
+        s->set_input("rst", cycle % 97 == 0);
+      }
+    }
+    s1.settle();
+    s2.settle();
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      ASSERT_EQ(s1.get(grant_port(c)), s2.get(grant_port(c)))
+          << "cycle " << cycle;
+      ASSERT_EQ(s1.get(ret_port(c)), s2.get(ret_port(c))) << "cycle " << cycle;
+    }
+    s1.clock_edge();
+    s2.clock_edge();
+    for (std::size_t v = 0; v < d.vars().size(); ++v) {
+      ASSERT_EQ(s1.get(var_port(d, v)), s2.get(var_port(d, v)))
+          << "cycle " << cycle;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ObjectsAndPolicies, OptimizeEquiv,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(osss::PolicyKind::Fifo,
+                                         osss::PolicyKind::RoundRobin,
+                                         osss::PolicyKind::StaticPriority,
+                                         osss::PolicyKind::Random)));
+
+TEST(Optimize, ReducesGateEstimateOnRealDesign) {
+  ObjectDesc d = testobj::mailbox();
+  Netlist orig = synthesize(d, SynthOptions{.clients = 4});
+  Netlist optd = optimize(orig);
+  ResourceReport before = report(orig);
+  ResourceReport after = report(optd);
+  EXPECT_LT(after.gate_estimate, before.gate_estimate);
+  EXPECT_EQ(after.flip_flops, before.flip_flops) << "registers untouched";
+}
+
+}  // namespace
+}  // namespace hlcs::synth

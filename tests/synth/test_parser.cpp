@@ -1,0 +1,409 @@
+// The textual front end: the .obj description language.
+#include <gtest/gtest.h>
+
+#include "hlcs/synth/equiv.hpp"
+#include "hlcs/synth/interp.hpp"
+#include "hlcs/synth/parser.hpp"
+#include "hlcs/synth/poly.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+TEST(Parser, MinimalObject) {
+  ObjectDesc d = parse_object(R"(
+    object toggle {
+      var state : 1 = 0;
+      method flip { state = !state; }
+      method read returns 1 { return state; }
+    }
+  )");
+  EXPECT_EQ(d.name(), "toggle");
+  EXPECT_EQ(d.vars().size(), 1u);
+  EXPECT_EQ(d.methods().size(), 2u);
+  ObjectInterp it(d);
+  it.invoke(0);
+  EXPECT_EQ(it.invoke(1), 1u);
+  it.invoke(0);
+  EXPECT_EQ(it.invoke(1), 0u);
+}
+
+TEST(Parser, MailboxMatchesHandBuilt) {
+  ObjectDesc d = parse_object(R"(
+    // A one-slot mailbox, as in the bus-interface pattern.
+    object mailbox {
+      var full : 1 = 0;
+      var data : 16 = 0;
+      method put(d : 16) guard !full {
+        full = 1;
+        data = d;
+      }
+      method get guard full returns 16 {
+        full = 0;
+        return data;
+      }
+    }
+  )");
+  ObjectInterp it(d);
+  EXPECT_TRUE(it.guard_ok(0, {0x1234}));
+  EXPECT_FALSE(it.guard_ok(1));
+  it.invoke(0, {0x1234});
+  EXPECT_FALSE(it.guard_ok(0, {0}));
+  EXPECT_EQ(it.invoke(1), 0x1234u);
+}
+
+TEST(Parser, ArithmeticAndComparisons) {
+  ObjectDesc d = parse_object(R"(
+    object alu {
+      var acc : 8 = 10;
+      method addc(k : 8) { acc = acc + k * 2; }
+      method clamp { acc = acc > 100 ? 100 : acc; }
+      method is_zero returns 1 { return acc == 0; }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0, {5});
+  EXPECT_EQ(it.var(0), 20u);
+  it.invoke(0, {60});
+  EXPECT_EQ(it.var(0), 140u & 0xFF);
+  it.invoke(1);
+  EXPECT_EQ(it.var(0), 100u);
+  EXPECT_EQ(it.invoke(2), 0u);
+}
+
+TEST(Parser, HexAndSizedLiterals) {
+  ObjectDesc d = parse_object(R"(
+    object lits {
+      var x : 16 = 0;
+      method a { x = 0xAB; }
+      method b { x = 16'hFFFF; }
+      method c { x = 16'd1234; }
+      method e { x = 16'b1010; }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0);
+  EXPECT_EQ(it.var(0), 0xABu);
+  it.invoke(1);
+  EXPECT_EQ(it.var(0), 0xFFFFu);
+  it.invoke(2);
+  EXPECT_EQ(it.var(0), 1234u);
+  it.invoke(3);
+  EXPECT_EQ(it.var(0), 0b1010u);
+}
+
+TEST(Parser, BuiltinsAndShifts) {
+  ObjectDesc d = parse_object(R"(
+    object builtins {
+      var w : 16 = 0;
+      var n : 4 = 0;
+      method pack(hi : 8, lo : 8) { w = concat(hi, lo); }
+      method hi_nibble { n = slice(w, 12, 4); }
+      method widen(k : 4) { w = zext(k, 16) << 4; }
+      method any returns 1 { return redor(w); }
+      method all_set returns 1 { return redand(n); }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0, {0xAB, 0xCD});
+  EXPECT_EQ(it.var(0), 0xABCDu);
+  it.invoke(1);
+  EXPECT_EQ(it.var(1), 0xAu);
+  it.invoke(2, {0x7});
+  EXPECT_EQ(it.var(0), 0x70u);
+  EXPECT_EQ(it.invoke(3), 1u);
+  EXPECT_EQ(it.invoke(4), 0u);
+}
+
+TEST(Parser, LogicalOperatorsOnWideValues) {
+  ObjectDesc d = parse_object(R"(
+    object logic {
+      var a : 8 = 0;
+      var b : 8 = 0;
+      method set(x : 8, y : 8) { a = x; b = y; }
+      method both returns 1 { return a && b; }
+      method either returns 1 { return a || b; }
+      method nota returns 1 { return !a; }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0, {5, 0});
+  EXPECT_EQ(it.invoke(1), 0u);
+  EXPECT_EQ(it.invoke(2), 1u);
+  EXPECT_EQ(it.invoke(3), 0u);
+  it.invoke(0, {0, 0});
+  EXPECT_EQ(it.invoke(3), 1u);
+}
+
+TEST(Parser, GuardOverWideVariableUsesReduction) {
+  ObjectDesc d = parse_object(R"(
+    object g {
+      var pending : 8 = 0;
+      method post(m : 8) { pending = pending | m; }
+      method take guard pending { pending = 0; }
+    }
+  )");
+  ObjectInterp it(d);
+  EXPECT_FALSE(it.guard_ok(1));
+  it.invoke(0, {0x10});
+  EXPECT_TRUE(it.guard_ok(1));
+}
+
+TEST(Parser, ParsedObjectSurvivesFullSynthesisFlow) {
+  ObjectDesc d = parse_object(R"(
+    object channel {
+      var cmd_valid : 1 = 0;
+      var cmd : 36 = 0;
+      method putCommand(op : 4, addr : 32) guard !cmd_valid {
+        cmd_valid = 1;
+        cmd = concat(op, addr);
+      }
+      method getCommand guard cmd_valid returns 36 {
+        cmd_valid = 0;
+        return cmd;
+      }
+      method reset {
+        cmd_valid = 0;
+        cmd = 36'd0;
+      }
+    }
+  )");
+  EquivResult r = check_equivalence(d, SynthOptions{.clients = 2},
+                                    EquivOptions{.cycles = 400, .seed = 5});
+  EXPECT_TRUE(r) << r.first_mismatch;
+  EXPECT_GT(r.grants, 50u);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  ObjectDesc d = parse_object(
+      "object c { /* block\ncomment */ var x : 1 = 1; // line\n"
+      "method m { x = 0; } }");
+  EXPECT_EQ(d.vars()[0].init, 1u);
+}
+
+// --- error diagnostics ---------------------------------------------------
+
+TEST(ParserErrors, UnknownIdentifier) {
+  try {
+    parse_object("object o { var x : 8 = 0; method m { x = y + 1; } }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown identifier 'y'"),
+              std::string::npos);
+  }
+}
+
+TEST(ParserErrors, WidthMismatchNeedsExplicitConversion) {
+  EXPECT_THROW(parse_object(R"(
+    object o {
+      var a : 8 = 0;
+      var b : 16 = 0;
+      method m { b = a + 1; }
+    }
+  )"),
+               ParseError);
+}
+
+TEST(ParserErrors, ReturnWithoutReturns) {
+  EXPECT_THROW(
+      parse_object("object o { var x : 1 = 0; method m { return x; } }"),
+      ParseError);
+}
+
+TEST(ParserErrors, ReturnsWithoutReturn) {
+  EXPECT_THROW(
+      parse_object("object o { var x:1=0; method m returns 1 { x = 1; } }"),
+      ParseError);
+}
+
+TEST(ParserErrors, DuplicateVariable) {
+  EXPECT_THROW(
+      parse_object("object o { var x : 1 = 0; var x : 2 = 0; "
+                   "method m { x = 1; } }"),
+      ParseError);
+}
+
+TEST(ParserErrors, BadWidth) {
+  EXPECT_THROW(parse_object("object o { var x : 65 = 0; method m {x=1;} }"),
+               ParseError);
+  EXPECT_THROW(parse_object("object o { var x : 0 = 0; method m {x=1;} }"),
+               ParseError);
+}
+
+TEST(ParserErrors, UninferableLiteralWidth) {
+  // A comparison of two bare literals has no width anchor.
+  EXPECT_THROW(parse_object(R"(
+    object o {
+      var x : 1 = 0;
+      method m { x = 1 == 2; }
+    }
+  )"),
+               ParseError);
+}
+
+TEST(ParserErrors, TrailingGarbage) {
+  EXPECT_THROW(
+      parse_object("object o { var x:1=0; method m {x=1;} } extra"),
+      ParseError);
+}
+
+TEST(ParserErrors, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_object("object o {\n  var x : 8 = 0;\n  method m { x = @; }\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParserErrors, AssignmentToUnknownVariable) {
+  EXPECT_THROW(
+      parse_object("object o { var x:1=0; method m { q = 1; } }"),
+      ParseError);
+}
+
+TEST(ParserIf, IfLowersToConditionalAssignment) {
+  ObjectDesc d = parse_object(R"(
+    object cnt {
+      var count : 8 = 0;
+      var max_seen : 8 = 0;
+      method step(k : 8) {
+        count = count + k;
+        if (count + k > max_seen) {
+          max_seen = count + k;
+        }
+      }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0, {5});
+  EXPECT_EQ(it.var(0), 5u);
+  EXPECT_EQ(it.var(1), 5u);
+  it.invoke(0, {1});
+  EXPECT_EQ(it.var(0), 6u);
+  EXPECT_EQ(it.var(1), 6u);
+  it.invoke(0, {0});
+  EXPECT_EQ(it.var(1), 6u) << "max_seen holds when condition is false";
+}
+
+TEST(ParserIf, IfElseBothBranches) {
+  ObjectDesc d = parse_object(R"(
+    object updown {
+      var v : 8 = 100;
+      method step(up : 1) {
+        if (up) { v = v + 1; } else { v = v - 1; }
+      }
+    }
+  )");
+  ObjectInterp it(d);
+  it.invoke(0, {1});
+  EXPECT_EQ(it.var(0), 101u);
+  it.invoke(0, {0});
+  it.invoke(0, {0});
+  EXPECT_EQ(it.var(0), 99u);
+}
+
+TEST(ParserIf, NestedIf) {
+  ObjectDesc d = parse_object(R"(
+    object clampstep {
+      var v : 8 = 0;
+      method step(en : 1) {
+        if (en) {
+          if (v < 10) { v = v + 1; }
+        }
+      }
+    }
+  )");
+  ObjectInterp it(d);
+  for (int i = 0; i < 20; ++i) it.invoke(0, {1});
+  EXPECT_EQ(it.var(0), 10u);
+  it.invoke(0, {0});
+  EXPECT_EQ(it.var(0), 10u);
+}
+
+TEST(ParserIf, IfObjectSurvivesSynthesis) {
+  ObjectDesc d = parse_object(R"(
+    object credit {
+      var credits : 4 = 8;
+      method take guard credits != 0 {
+        credits = credits - 1;
+      }
+      method give {
+        if (credits < 15) { credits = credits + 1; }
+      }
+      method level returns 4 { return credits; }
+    }
+  )");
+  EquivResult r = check_equivalence(d, SynthOptions{.clients = 3},
+                                    EquivOptions{.cycles = 400, .seed = 77});
+  EXPECT_TRUE(r) << r.first_mismatch;
+}
+
+TEST(ParserIf, DoubleAssignAcrossIfRejected) {
+  EXPECT_THROW(parse_object(R"(
+    object o {
+      var x : 8 = 0;
+      method m(c : 1) {
+        x = 1;
+        if (c) { x = 2; }
+      }
+    }
+  )"),
+               ParseError);
+}
+
+TEST(ParserIf, ReturnInsideIfRejected) {
+  EXPECT_THROW(parse_object(R"(
+    object o {
+      var x : 8 = 0;
+      method m(c : 1) returns 8 {
+        if (c) { return x; }
+      }
+    }
+  )"),
+               ParseError);
+}
+
+TEST(ParserMulti, ParseObjectsReadsSeveral) {
+  auto objs = parse_objects(R"(
+    object a { var x : 1 = 0; method m { x = 1; } }
+    object b { var y : 4 = 2; method n { y = y + 1; } }
+  )");
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].name(), "a");
+  EXPECT_EQ(objs[1].name(), "b");
+  EXPECT_EQ(objs[1].vars()[0].init, 2u);
+}
+
+TEST(ParserMulti, VariableScopesDoNotLeakBetweenObjects) {
+  // 'x' from object a must not be visible in object b.
+  EXPECT_THROW(parse_objects(R"(
+    object a { var x : 1 = 0; method m { x = 1; } }
+    object b { var y : 1 = 0; method n { x = 1; } }
+  )"),
+               ParseError);
+}
+
+TEST(ParserMulti, EmptyInputRejected) {
+  EXPECT_THROW(parse_objects("   // nothing here\n"), ParseError);
+}
+
+TEST(ParserMulti, ParsedImplsBuildPolymorphicObject) {
+  auto objs = parse_objects(R"(
+    object up { var c : 8 = 0; method step { c = c + 1; }
+                method read returns 8 { return c; } }
+    object dn { var c : 8 = 50; method step { c = c - 1; }
+                method read returns 8 { return c; } }
+  )");
+  std::vector<const ObjectDesc*> impls;
+  for (const ObjectDesc& o : objs) impls.push_back(&o);
+  ObjectDesc poly = make_polymorphic("ud", impls, 0);
+  ObjectInterp it(poly);
+  it.invoke(poly.method_index("step"));
+  EXPECT_EQ(it.invoke(poly.method_index("read")), 1u);
+  it.invoke(poly.method_index("set_type"), {1});
+  EXPECT_EQ(it.invoke(poly.method_index("read")), 50u);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hlcs/synth/comm_synth.hpp"
+#include "hlcs/synth/report.hpp"
+#include "hlcs/synth/verilog.hpp"
+#include "objects.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+TEST(Verilog, EmitsModuleWithPorts) {
+  ObjectDesc d = testobj::mailbox();
+  Netlist nl = synthesize(d, SynthOptions{.clients = 2});
+  std::string v = emit_verilog(nl);
+  EXPECT_NE(v.find("module mailbox_rtl ("), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire rst"), std::string::npos);
+  EXPECT_NE(v.find("c0_req"), std::string::npos);
+  EXPECT_NE(v.find("c1_req"), std::string::npos);
+  EXPECT_NE(v.find("output wire c0_grant"), std::string::npos);
+  EXPECT_NE(v.find("[15:0] c0_ret"), std::string::npos);
+  EXPECT_NE(v.find("var_full"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, EveryRegisterAssignedInAlwaysBlock) {
+  ObjectDesc d = testobj::counter();
+  Netlist nl = synthesize(d, SynthOptions{.clients = 1});
+  std::string v = emit_verilog(nl);
+  for (const RegDesc& r : nl.regs()) {
+    const std::string q = nl.nets()[r.q].name;
+    EXPECT_NE(v.find(q + "_r <= "), std::string::npos) << q;
+  }
+}
+
+TEST(Verilog, InitialBlockSetsResetValues) {
+  ObjectDesc d = testobj::swapper();  // x init 0xAB = 171, y init 0xCD = 205
+  Netlist nl = synthesize(d, SynthOptions{.clients = 1});
+  std::string v = emit_verilog(nl);
+  EXPECT_NE(v.find("var_x_r = 8'd171"), std::string::npos);
+  EXPECT_NE(v.find("var_y_r = 8'd205"), std::string::npos);
+}
+
+TEST(Verilog, BalancedBeginEnd) {
+  ObjectDesc d = testobj::counter();
+  Netlist nl = synthesize(
+      d, SynthOptions{.clients = 4, .policy = osss::PolicyKind::RoundRobin});
+  std::string v = emit_verilog(nl);
+  auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = v.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("module "), 1u);
+  EXPECT_EQ(count_of("endmodule"), 1u);
+  EXPECT_EQ(count_of("begin"), count_of("  end\n"));
+}
+
+TEST(Verilog, AllPoliciesEmit) {
+  ObjectDesc d = testobj::mailbox();
+  for (auto policy : {osss::PolicyKind::Fifo, osss::PolicyKind::RoundRobin,
+                      osss::PolicyKind::StaticPriority,
+                      osss::PolicyKind::Random}) {
+    Netlist nl = synthesize(d, SynthOptions{.clients = 3, .policy = policy});
+    std::string v = emit_verilog(nl);
+    EXPECT_NE(v.find("endmodule"), std::string::npos)
+        << osss::policy_name(policy);
+    EXPECT_GT(v.size(), 500u);
+  }
+}
+
+TEST(Report, CountsFlipFlops) {
+  ObjectDesc d = testobj::swapper();  // two 8-bit vars
+  Netlist nl = synthesize(d, SynthOptions{.clients = 1});
+  ResourceReport r = report(nl);
+  EXPECT_EQ(r.flip_flops, 16u);
+  EXPECT_GT(r.gate_estimate, 0u);
+  EXPECT_GT(r.logic_depth, 0u);
+  EXPECT_EQ(r.design, "swapper_rtl");
+}
+
+TEST(Report, FifoPolicyAddsAgeCounters) {
+  ObjectDesc d = testobj::counter();
+  ResourceReport prio = report(synthesize(
+      d, SynthOptions{.clients = 4, .policy = osss::PolicyKind::StaticPriority}));
+  ResourceReport fifo = report(synthesize(
+      d, SynthOptions{.clients = 4, .policy = osss::PolicyKind::Fifo}));
+  // 4 clients x 8-bit age counters = 32 extra FFs.
+  EXPECT_EQ(fifo.flip_flops, prio.flip_flops + 32u);
+}
+
+TEST(Report, RandomPolicyAddsLfsr) {
+  ObjectDesc d = testobj::counter();
+  ResourceReport prio = report(synthesize(
+      d, SynthOptions{.clients = 2, .policy = osss::PolicyKind::StaticPriority}));
+  ResourceReport rnd = report(synthesize(
+      d, SynthOptions{.clients = 2, .policy = osss::PolicyKind::Random}));
+  EXPECT_EQ(rnd.flip_flops, prio.flip_flops + 16u);
+}
+
+TEST(Report, GatesGrowWithClients) {
+  ObjectDesc d = testobj::mailbox();
+  std::size_t prev = 0;
+  for (std::size_t c : {1u, 2u, 4u, 8u, 16u}) {
+    ResourceReport r = report(synthesize(d, SynthOptions{.clients = c}));
+    EXPECT_GT(r.gate_estimate, prev) << c << " clients";
+    prev = r.gate_estimate;
+  }
+}
+
+TEST(Report, ToStringContainsKeyNumbers) {
+  ObjectDesc d = testobj::counter();
+  ResourceReport r = report(synthesize(d, SynthOptions{.clients = 1}));
+  std::string s = r.to_string();
+  EXPECT_NE(s.find("counter_rtl"), std::string::npos);
+  EXPECT_NE(s.find("FFs"), std::string::npos);
+  EXPECT_NE(s.find("gates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlcs::synth

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/tlm/tlm.hpp"
+
+namespace hlcs::tlm {
+namespace {
+
+TEST(TlmMemory, ReadWriteRoundTrip) {
+  TlmMemory m(0x1000, 0x100);
+  EXPECT_EQ(m.write(0x1010, {0xAA, 0xBB}), Status::Ok);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x1010, out, 2), Status::Ok);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0xAA, 0xBB}));
+  EXPECT_EQ(m.peek(0x10), 0xAAu);
+  EXPECT_EQ(m.peek(0x14), 0xBBu);
+}
+
+TEST(TlmMemory, UnwrittenReadsZero) {
+  TlmMemory m(0, 0x100);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x40, out, 1), Status::Ok);
+  EXPECT_EQ(out.at(0), 0u);
+}
+
+TEST(TlmMemory, OutOfWindowAborts) {
+  TlmMemory m(0x1000, 0x100);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x2000, out, 1), Status::MasterAbort);
+  EXPECT_EQ(m.write(0x0FFC, {1}), Status::MasterAbort);
+  // A burst that starts inside but runs off the end aborts too.
+  EXPECT_EQ(m.read(0x10FC, out, 2), Status::MasterAbort);
+}
+
+TEST(TlmMemory, DecodesPredicate) {
+  TlmMemory m(0x1000, 0x100);
+  EXPECT_TRUE(m.decodes(0x1000));
+  EXPECT_TRUE(m.decodes(0x10FF));
+  EXPECT_FALSE(m.decodes(0x1100));
+  EXPECT_FALSE(m.decodes(0xFFF));
+}
+
+TEST(RegisterPeripheral, ScratchAndDataRegisters) {
+  RegisterPeripheral p(0x2000);
+  EXPECT_EQ(p.write(0x200C, {0x12345678}), Status::Ok);  // SCRATCH
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(p.read(0x200C, out, 1), Status::Ok);
+  EXPECT_EQ(out.at(0), 0x12345678u);
+}
+
+TEST(RegisterPeripheral, OperationSetsBusyThenReady) {
+  RegisterPeripheral p(0x2000, /*busy_polls=*/2);
+  p.write(0x200C, {0x0000FFFF});  // SCRATCH
+  p.write(0x2000, {0x1});         // CTRL: start operation
+  std::vector<std::uint32_t> st;
+  p.read(0x2004, st, 1);
+  EXPECT_EQ(st.at(0), 1u) << "busy on first poll";
+  st.clear();
+  p.read(0x2004, st, 1);
+  EXPECT_EQ(st.at(0), 1u) << "busy on second poll";
+  st.clear();
+  p.read(0x2004, st, 1);
+  EXPECT_EQ(st.at(0), 0u) << "ready on third poll";
+  std::vector<std::uint32_t> data;
+  p.read(0x2008, data, 1);
+  EXPECT_EQ(data.at(0), 0xFFFF0000u) << "DATA holds inverted SCRATCH";
+}
+
+TEST(RegisterPeripheral, StatusIsReadOnly) {
+  RegisterPeripheral p(0x2000);
+  p.write(0x2004, {0x99});
+  std::vector<std::uint32_t> st;
+  p.read(0x2004, st, 1);
+  EXPECT_EQ(st.at(0), 0u);
+}
+
+TEST(TlmRouter, RoutesByAddress) {
+  TlmMemory a(0x1000, 0x100);
+  TlmMemory b(0x2000, 0x100);
+  TlmRouter r;
+  r.attach(a);
+  r.attach(b);
+  EXPECT_EQ(r.write(0x1000, {1}), Status::Ok);
+  EXPECT_EQ(r.write(0x2000, {2}), Status::Ok);
+  EXPECT_EQ(a.peek(0), 1u);
+  EXPECT_EQ(b.peek(0), 2u);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(r.read(0x3000, out, 1), Status::MasterAbort);
+}
+
+TEST(Stimuli, SequentialIsWriteThenRead) {
+  auto w = sequential_workload(WorkloadConfig{.base = 0x1000, .span = 0x100},
+                               20);
+  ASSERT_EQ(w.size(), 20u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(w[i].op, pattern::BusOp::Write);
+  }
+  for (std::size_t i = 10; i < 20; ++i) {
+    EXPECT_EQ(w[i].op, pattern::BusOp::Read);
+  }
+}
+
+TEST(Stimuli, RandomIsDeterministicPerSeed) {
+  WorkloadConfig cfg{.base = 0, .span = 0x400, .seed = 5};
+  auto a = random_workload(cfg, 50);
+  auto b = random_workload(cfg, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].data, b[i].data);
+  }
+  cfg.seed = 6;
+  auto c = random_workload(cfg, 50);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].addr != c[i].addr || a[i].op != c[i].op) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+TEST(Stimuli, RandomStaysInWindow) {
+  WorkloadConfig cfg{.base = 0x1000, .span = 0x200, .max_burst = 8,
+                     .seed = 11};
+  auto w = random_workload(cfg, 200);
+  for (const auto& c : w) {
+    const std::uint32_t last = c.addr + static_cast<std::uint32_t>(
+                                            (c.words() - 1) * 4);
+    EXPECT_GE(c.addr, 0x1000u);
+    EXPECT_LT(last, 0x1200u) << "burst must stay inside the window";
+    EXPECT_EQ(c.addr % 4, 0u);
+  }
+}
+
+TEST(Stimuli, DmaPairsWriteAndReadBack) {
+  auto w = dma_workload(WorkloadConfig{.base = 0x1000, .span = 0x1000}, 3, 8);
+  ASSERT_EQ(w.size(), 6u);
+  for (std::size_t i = 0; i < w.size(); i += 2) {
+    EXPECT_EQ(w[i].op, pattern::BusOp::WriteBurst);
+    EXPECT_EQ(w[i + 1].op, pattern::BusOp::ReadBurst);
+    EXPECT_EQ(w[i].addr, w[i + 1].addr);
+    EXPECT_EQ(w[i].data.size(), w[i + 1].count);
+  }
+}
+
+TEST(TlmMemory, RejectsUnalignedConstruction) {
+  EXPECT_THROW(TlmMemory(0, 0x101), hlcs::Error);
+}
+
+}  // namespace
+}  // namespace hlcs::tlm

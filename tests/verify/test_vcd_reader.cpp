@@ -1,0 +1,185 @@
+// VCD reader: hand-written inputs, round-trip against our own Trace
+// writer, and waveform comparison of two simulation runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/verify/vcd_reader.hpp"
+
+namespace hlcs::verify {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+const char* kSmallVcd = R"($date today $end
+$version test $end
+$timescale 1ps $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var wire 4 " bus $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+b0000 "
+$end
+#1000
+1!
+b1010 "
+#2000
+0!
+#3000
+1!
+bzzzz "
+)";
+
+TEST(VcdReader, ParsesHeaderAndChanges) {
+  VcdFile f = VcdFile::parse(kSmallVcd);
+  EXPECT_TRUE(f.has_signal("top.clk"));
+  EXPECT_TRUE(f.has_signal("top.bus"));
+  EXPECT_FALSE(f.has_signal("nope"));
+  EXPECT_EQ(f.signal("top.clk").width, 1u);
+  EXPECT_EQ(f.signal("top.bus").width, 4u);
+  EXPECT_EQ(f.end_time_ps(), 3000u);
+  EXPECT_EQ(f.signal_names().size(), 2u);
+}
+
+TEST(VcdReader, ValueAtSamplesLastChange) {
+  VcdFile f = VcdFile::parse(kSmallVcd);
+  const VcdSignal& clk = f.signal("top.clk");
+  EXPECT_EQ(clk.value_at(0), "0");
+  EXPECT_EQ(clk.value_at(999), "0");
+  EXPECT_EQ(clk.value_at(1000), "1");
+  EXPECT_EQ(clk.value_at(2500), "0");
+  EXPECT_EQ(clk.value_at(99999), "1");
+  const VcdSignal& bus = f.signal("top.bus");
+  EXPECT_EQ(bus.value_at(1500), "1010");
+  EXPECT_EQ(bus.value_at(3000), "zzzz");
+  EXPECT_EQ(clk.transitions(), 3u);
+}
+
+TEST(VcdReader, TimescaleNsScalesTimes) {
+  VcdFile f = VcdFile::parse(
+      "$timescale 1ns $end\n$var wire 1 ! s $end\n"
+      "$enddefinitions $end\n#5\n1!\n");
+  EXPECT_EQ(f.timescale_ps(), 1000u);
+  EXPECT_EQ(f.signal("s").value_at(5000), "1");
+  EXPECT_EQ(f.signal("s").value_at(4999), "");
+}
+
+TEST(VcdReader, RejectsMalformedInput) {
+  EXPECT_THROW(VcdFile::parse("$var wire 1 ! s $end\n$enddefinitions $end\n"
+                              "1?unknownid\n"),
+               hlcs::Error);
+  EXPECT_THROW(VcdFile::parse("garbage tokens"), hlcs::Error);
+  VcdFile f = VcdFile::parse("$enddefinitions $end\n");
+  EXPECT_THROW(f.signal("missing"), hlcs::Error);
+}
+
+// Round trip: run a simulation with our Trace writer, read the file
+// back, and verify waveform facts.
+class VcdRoundTrip : public ::testing::Test {
+protected:
+  std::string path_ = ::testing::TempDir() + "hlcs_vcd_roundtrip.vcd";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(VcdRoundTrip, ClockWaveSurvives) {
+  sim::Kernel k;
+  {
+    sim::Trace t(path_);
+    sim::Clock clk(k, "clk", 10_ns);
+    sim::Signal<sim::LogicVec> bus(k, "data", sim::LogicVec::of(0, 8));
+    t.add(clk.signal());
+    t.add(bus);
+    k.attach_trace(t);
+    k.spawn("drv", [&]() -> sim::Task {
+      co_await k.wait(22_ns);
+      bus.write(sim::LogicVec::of(0xA5, 8));
+      co_await k.wait(20_ns);
+      bus.write(sim::LogicVec::all_z(8));
+    });
+    k.run_for(100_ns);
+  }
+  VcdFile f = VcdFile::load(path_);
+  const VcdSignal& clk = f.signal("clk.clk");
+  // Clock edges at 5, 10, 15 ... check levels mid-phase.
+  EXPECT_EQ(clk.value_at(7'000), "1");
+  EXPECT_EQ(clk.value_at(12'000), "0");
+  EXPECT_EQ(clk.value_at(17'000), "1");
+  EXPECT_GE(clk.transitions(), 15u);
+  const VcdSignal& bus = f.signal("data");
+  EXPECT_EQ(bus.value_at(10'000), "00000000");
+  EXPECT_EQ(bus.value_at(30'000), "10100101");
+  EXPECT_EQ(bus.value_at(50'000), "zzzzzzzz");
+}
+
+// Two identical PCI runs produce identical waveforms; a run with a
+// different wait-state configuration does not.
+std::string run_pci_to_vcd(const std::string& path, unsigned waits) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  auto port = arb.add_master("m0");
+  pci::PciMaster master(k, "m0", bus, *port.req, *port.gnt);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000,
+                                          .size = 0x1000,
+                                          .initial_wait = waits});
+  sim::Trace t(path);
+  bus.trace_all(t);
+  k.attach_trace(t);
+  k.spawn("drv", [&]() -> sim::Task {
+    pci::PciTransaction w{.cmd = pci::PciCommand::MemWrite,
+                          .addr = 0x1000,
+                          .data = {1, 2, 3}};
+    co_await master.execute(w);
+    k.stop();
+  });
+  k.run_for(10_us);
+  return path;
+}
+
+TEST_F(VcdRoundTrip, IdenticalRunsCompareEqual) {
+  const std::string p2 = ::testing::TempDir() + "hlcs_vcd_rt2.vcd";
+  run_pci_to_vcd(path_, 0);
+  run_pci_to_vcd(p2, 0);
+  VcdFile a = VcdFile::load(path_);
+  VcdFile b = VcdFile::load(p2);
+  auto r = compare_waves(a, b);
+  EXPECT_TRUE(r) << r.first_difference;
+  EXPECT_GE(r.signals_compared, 9u);
+  std::remove(p2.c_str());
+}
+
+TEST_F(VcdRoundTrip, DifferentTimingComparesUnequal) {
+  const std::string p2 = ::testing::TempDir() + "hlcs_vcd_rt3.vcd";
+  run_pci_to_vcd(path_, 0);
+  run_pci_to_vcd(p2, 3);
+  VcdFile a = VcdFile::load(path_);
+  VcdFile b = VcdFile::load(p2);
+  auto r = compare_waves(a, b);
+  EXPECT_FALSE(r);
+  EXPECT_FALSE(r.first_difference.empty());
+  std::remove(p2.c_str());
+}
+
+TEST(VcdCompare, SamplingGridIgnoresOffGridGlitches) {
+  // Two waves identical on the 1000ps grid, different between samples.
+  const char* wa =
+      "$timescale 1ps $end\n$var wire 1 ! s $end\n$enddefinitions $end\n"
+      "#0\n0!\n#1000\n1!\n";
+  const char* wb =
+      "$timescale 1ps $end\n$var wire 1 ! s $end\n$enddefinitions $end\n"
+      "#0\n0!\n#500\n1!\n#700\n0!\n#1000\n1!\n";
+  VcdFile a = VcdFile::parse(wa);
+  VcdFile b = VcdFile::parse(wb);
+  EXPECT_FALSE(compare_waves(a, b));
+  EXPECT_TRUE(compare_waves(a, b, 1000));
+}
+
+}  // namespace
+}  // namespace hlcs::verify

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "hlcs/verify/compare.hpp"
+#include "hlcs/verify/coverage.hpp"
+#include "hlcs/verify/transcript.hpp"
+
+namespace hlcs::verify {
+namespace {
+
+using namespace hlcs::sim::literals;
+using pattern::BusOp;
+using pattern::CommandType;
+using pattern::ResponseType;
+
+Transcript make_transcript(std::initializer_list<std::uint32_t> addrs) {
+  Transcript t;
+  std::uint64_t id = 0;
+  for (std::uint32_t a : addrs) {
+    CommandType c;
+    c.op = BusOp::Write;
+    c.addr = a;
+    c.data = {a * 2};
+    ResponseType r;
+    r.id = id;
+    t.record(c, r, sim::Time::ns(id * 10), sim::Time::ns(id * 10 + 5));
+    ++id;
+  }
+  return t;
+}
+
+TEST(Transcript, RecordsEntries) {
+  Transcript t = make_transcript({0x10, 0x20});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.entries()[0].addr, 0x10u);
+  EXPECT_EQ(t.entries()[0].data, (std::vector<std::uint32_t>{0x20}));
+  EXPECT_EQ(t.entries()[1].issued, 10_ns);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Transcript, SpanCoversFirstToLast) {
+  Transcript t = make_transcript({1, 2, 3});
+  EXPECT_EQ(t.span(), 25_ns);  // 0ns .. 25ns
+  EXPECT_EQ(Transcript{}.span(), sim::Time::zero());
+}
+
+TEST(Transcript, ReadUsesResponseData) {
+  Transcript t;
+  CommandType c;
+  c.op = BusOp::Read;
+  c.addr = 0x40;
+  c.count = 2;
+  ResponseType r;
+  r.data = {7, 8};
+  t.record(c, r, 0_ns, 1_ns);
+  EXPECT_EQ(t.entries()[0].data, (std::vector<std::uint32_t>{7, 8}));
+}
+
+TEST(Transcript, ToStringIsReadable) {
+  Transcript t = make_transcript({0xAB});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("@0xab"), std::string::npos);
+  EXPECT_NE(s.find("ok"), std::string::npos);
+}
+
+TEST(CompareFunctional, EqualTranscripts) {
+  Transcript a = make_transcript({1, 2, 3});
+  Transcript b = make_transcript({1, 2, 3});
+  auto r = compare_functional(a, b);
+  EXPECT_TRUE(r);
+  EXPECT_EQ(r.compared, 3u);
+  EXPECT_TRUE(r.first_difference.empty());
+}
+
+TEST(CompareFunctional, TimingDifferencesIgnored) {
+  Transcript a = make_transcript({1});
+  Transcript b;
+  CommandType c;
+  c.op = BusOp::Write;
+  c.addr = 1;
+  c.data = {2};
+  b.record(c, ResponseType{}, 500_ns, 900_ns);  // very different timing
+  EXPECT_TRUE(compare_functional(a, b));
+}
+
+TEST(CompareFunctional, DetectsAddrMismatch) {
+  auto r = compare_functional(make_transcript({1, 2}), make_transcript({1, 3}));
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.first_difference.find("entry 1"), std::string::npos);
+  EXPECT_NE(r.first_difference.find("addr"), std::string::npos);
+}
+
+TEST(CompareFunctional, DetectsDataMismatch) {
+  Transcript a = make_transcript({1});
+  Transcript b;
+  CommandType c;
+  c.op = BusOp::Write;
+  c.addr = 1;
+  c.data = {999};
+  b.record(c, ResponseType{}, 0_ns, 0_ns);
+  auto r = compare_functional(a, b);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.first_difference.find("data"), std::string::npos);
+}
+
+TEST(CompareFunctional, DetectsStatusMismatch) {
+  Transcript a = make_transcript({1});
+  Transcript b;
+  CommandType c;
+  c.op = BusOp::Write;
+  c.addr = 1;
+  c.data = {2};
+  ResponseType resp;
+  resp.status = pci::PciResult::MasterAbort;
+  b.record(c, resp, 0_ns, 0_ns);
+  auto r = compare_functional(a, b);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.first_difference.find("status"), std::string::npos);
+}
+
+TEST(CompareFunctional, DetectsLengthMismatch) {
+  auto r = compare_functional(make_transcript({1, 2, 3}),
+                              make_transcript({1, 2}));
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.first_difference.find("length"), std::string::npos);
+  EXPECT_EQ(r.compared, 2u);
+}
+
+TEST(CompareTiming, ComputesSlowdownAndLatencies) {
+  Transcript fast = make_transcript({1, 2});  // span 15ns, latency 5ns each
+  Transcript slow;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    CommandType c;
+    c.op = BusOp::Write;
+    c.addr = static_cast<std::uint32_t>(i + 1);
+    c.data = {static_cast<std::uint32_t>((i + 1) * 2)};
+    slow.record(c, ResponseType{}, sim::Time::ns(i * 100),
+                sim::Time::ns(i * 100 + 50));
+  }
+  auto t = compare_timing(fast, slow);
+  EXPECT_EQ(t.span_a, 15_ns);
+  EXPECT_EQ(t.span_b, 150_ns);
+  EXPECT_NEAR(t.slowdown_b_over_a, 10.0, 0.01);
+  EXPECT_EQ(t.mean_latency_ps_a, 5000u);
+  EXPECT_EQ(t.mean_latency_ps_b, 50000u);
+  EXPECT_NE(t.to_string().find("span"), std::string::npos);
+}
+
+TEST(Coverage, BinsTranscriptOps) {
+  Coverage cov;
+  Transcript t = make_transcript({1, 2, 3});
+  cov.observe(t);
+  EXPECT_EQ(cov.hits("write"), 3u);
+  EXPECT_EQ(cov.hits("read"), 0u);
+  EXPECT_EQ(cov.distinct_ops(), 1u);
+  EXPECT_EQ(cov.distinct_statuses(), 1u);
+}
+
+TEST(Coverage, BinsBusRecords) {
+  Coverage cov;
+  std::vector<pci::BusRecord> records(2);
+  records[0].cmd = pci::PciCommand::MemRead;
+  records[0].devsel_seen = true;
+  records[0].words = {1, 2, 3};
+  records[0].wait_cycles = 2;
+  records[1].cmd = pci::PciCommand::MemWrite;
+  records[1].devsel_seen = false;  // master abort
+  cov.observe(records);
+  EXPECT_EQ(cov.distinct_pci_cmds(), 2u);
+  EXPECT_EQ(cov.distinct_statuses(), 2u);
+  std::string rep = cov.report();
+  EXPECT_NE(rep.find("mem_read"), std::string::npos);
+  EXPECT_NE(rep.find("master_abort"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlcs::verify
