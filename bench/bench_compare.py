@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+
+For every benchmark present in both files, the real_time of CURRENT is
+compared against BASELINE.  A benchmark whose time grew by more than the
+tolerance (default 10%) is a regression; any regression makes the script
+exit non-zero, so it can gate CI (see the `bench-regress` target).
+
+Benchmarks present in only one file are reported but never fatal: the
+suite is allowed to grow.  When a file was produced with
+--benchmark_repetitions, the median aggregate is used (robust against
+scheduler noise); otherwise the raw single-run time is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    raw = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b["run_name"]] = float(b["real_time"])
+        else:
+            raw[b.get("run_name", b["name"])] = float(b["real_time"])
+    # Prefer the median aggregate wherever repetitions were recorded.
+    raw.update(medians)
+    return raw
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before failing (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    regressions = []
+    improvements = []
+    width = max((len(n) for n in base), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(base):
+        if name not in curr:
+            print(f"{name:<{width}}  {base[name]:>12.1f}  {'MISSING':>12}")
+            continue
+        b, c = base[name], curr[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.tolerance:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.tolerance:
+            flag = "  improved"
+            improvements.append((name, delta))
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:+7.1%}{flag}")
+    for name in sorted(set(curr) - set(base)):
+        print(f"{name:<{width}}  {'NEW':>12}  {curr[name]:>12.1f}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: no regression beyond {args.tolerance:.0%} "
+        f"({len(improvements)} improved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -226,6 +226,44 @@ void BM_LatencyTimerAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyTimerAblation)->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
+/// The whole FW1 contention sweep as one ParallelSweep run: every
+/// (policy, client-count) point is an independent deterministic kernel,
+/// so the sweep parallelises across worker threads with bit-identical
+/// results.  Arg = thread count (1 = serial reference).
+void BM_ParallelPolicySweep(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  constexpr PolicyKind kPolicies[] = {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                                      PolicyKind::StaticPriority,
+                                      PolicyKind::Random};
+  constexpr int kClients[] = {1, 2, 4, 8, 16, 32};
+  const std::size_t points = std::size(kPolicies) * std::size(kClients);
+  std::uint64_t grants = 0;
+  sim::ParallelSweep sweep([&](std::size_t i, sim::Kernel& k,
+                               std::string& transcript) {
+    const PolicyKind policy = kPolicies[i / std::size(kClients)];
+    const int clients = kClients[i % std::size(kClients)];
+    sim::Clock clk(k, "clk", 10_ns);
+    osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                          osss::make_policy(policy), 0);
+    for (int c = 0; c < clients; ++c) {
+      auto client = obj.make_client("c" + std::to_string(c));
+      k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {
+        for (;;) co_await client.call([](std::uint64_t& v) { ++v; });
+      });
+    }
+    k.run_for(sim::Time::ns(500 * 10));
+    transcript = std::to_string(obj.stats().grants);
+  });
+  for (auto _ : state) {
+    auto results = sweep.run(points, threads);
+    for (const auto& r : results) {
+      grants += static_cast<std::uint64_t>(std::stoull(r.transcript));
+    }
+  }
+  state.counters["grants"] = static_cast<double>(grants);
+}
+BENCHMARK(BM_ParallelPolicySweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -23,7 +23,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -50,20 +49,33 @@ struct SharedObjectStats {
   std::uint64_t grants = 0;
   std::uint64_t try_call_hits = 0;
   std::uint64_t try_call_misses = 0;
+  // Allocation observability for the granted-call fast path: an enqueue
+  // that fits the recycled pending-slot pool is a hit; one that has to
+  // grow the pool is a miss.  In steady state misses stay flat -- the
+  // pool capacity converges on the contention high-water mark and every
+  // further call() is allocation-free (docs/PERF.md).
+  std::uint64_t pending_pool_hits = 0;
+  std::uint64_t pending_pool_misses = 0;
   std::vector<ClientStats> clients;
 };
 
 template <class T>
 class SharedObject : public sim::Module {
+  /// Type-erased pending call.  The record itself lives in the caller's
+  /// coroutine frame (it IS the awaiter), so queuing a call never
+  /// allocates; guard/execute are reached through plain function
+  /// pointers installed by the concrete awaiter -- no vtable, no
+  /// virtual destructor, trivially destructible.
   struct PendingBase {
     std::size_t client = 0;
     std::uint64_t seq = 0;
     int priority = 0;
     std::uint64_t enq_tick = 0;
     std::coroutine_handle<> waiter;
-    virtual bool guard_ok(const T&) const = 0;
-    virtual void execute(T&) = 0;
-    virtual ~PendingBase() = default;
+    bool (*guard_fn)(const PendingBase*, const T&) = nullptr;
+    void (*exec_fn)(PendingBase*, T&) = nullptr;
+    bool guard_ok(const T& s) const { return guard_fn(this, s); }
+    void execute(T& s) { exec_fn(this, s); }
   };
 
 public:
@@ -76,7 +88,8 @@ public:
         service_ev_(k, sub("service")) {
     HLCS_ASSERT(policy_ != nullptr, "SharedObject requires a policy");
     sim::MethodProcess& m =
-        method("serve", [this] { serve_one(); }, /*initial_trigger=*/false);
+        method("serve", &SharedObject::serve_thunk, this,
+               /*initial_trigger=*/false);
     service_ev_.add_static(m);
   }
 
@@ -90,7 +103,8 @@ public:
         service_ev_(k, sub("service")) {
     HLCS_ASSERT(policy_ != nullptr, "SharedObject requires a policy");
     sim::MethodProcess& m =
-        method("serve", [this] { serve_one(); }, /*initial_trigger=*/false);
+        method("serve", &SharedObject::serve_thunk, this,
+               /*initial_trigger=*/false);
     clk.posedge().add_static(m);
   }
 
@@ -167,15 +181,20 @@ private:
         : obj(o), guard(std::move(g)), fn(std::move(f)) {
       this->client = client_id;
       this->priority = prio;
-    }
-
-    bool guard_ok(const T& s) const override { return guard(s); }
-    void execute(T& s) override {
-      if constexpr (std::is_void_v<R>) {
-        fn(s);
-      } else {
-        result = fn(s);
-      }
+      // Captureless-lambda thunks recover the concrete awaiter type; the
+      // cast is exact because `this` is the only object these pointers
+      // are ever installed on.
+      this->guard_fn = [](const PendingBase* p, const T& s) {
+        return static_cast<const CallAwaiter*>(p)->guard(s);
+      };
+      this->exec_fn = [](PendingBase* p, T& s) {
+        auto* self = static_cast<CallAwaiter*>(p);
+        if constexpr (std::is_void_v<R>) {
+          self->fn(s);
+        } else {
+          self->result = self->fn(s);
+        }
+      };
     }
 
     bool await_ready() const noexcept { return false; }
@@ -194,6 +213,11 @@ private:
     p.seq = next_seq_++;
     p.enq_tick = tick();
     stats_.clients[p.client].calls++;
+    if (queue_.size() < queue_.capacity()) {
+      stats_.pending_pool_hits++;
+    } else {
+      stats_.pending_pool_misses++;
+    }
     queue_.push_back(&p);
     if (!clocked()) service_ev_.notify_delta();
   }
@@ -202,24 +226,30 @@ private:
     return clocked() ? clock_->cycles() : kernel().stats().deltas;
   }
 
-  /// One service step: grant at most one eligible queued call.
+  static void serve_thunk(void* self) {
+    static_cast<SharedObject*>(self)->serve_one();
+  }
+
+  /// One service step: grant at most one eligible queued call.  The
+  /// eligibility scan reuses member scratch buffers, so a grant does no
+  /// heap work once the buffers reached the contention high-water mark.
   void serve_one() {
     if (queue_.empty()) return;
     // Collect eligible requests.
-    std::vector<RequestInfo> eligible;
-    std::vector<std::size_t> eligible_pos;
+    eligible_.clear();
+    eligible_pos_.clear();
     const std::uint64_t now_tick = tick();
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       PendingBase* p = queue_[i];
       if (p->guard_ok(state_)) {
-        eligible.push_back(RequestInfo{p->client, p->seq, p->priority,
-                                       now_tick - p->enq_tick});
-        eligible_pos.push_back(i);
+        eligible_.push_back(RequestInfo{p->client, p->seq, p->priority,
+                                        now_tick - p->enq_tick});
+        eligible_pos_.push_back(i);
       }
     }
-    if (eligible.empty()) return;
-    const std::size_t chosen = policy_->pick(eligible);
-    const std::size_t qi = eligible_pos[chosen];
+    if (eligible_.empty()) return;
+    const std::size_t chosen = policy_->pick(eligible_);
+    const std::size_t qi = eligible_pos_[chosen];
     PendingBase* p = queue_[qi];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
 
@@ -261,7 +291,12 @@ private:
   std::unique_ptr<ArbitrationPolicy> policy_;
   sim::Clock* clock_ = nullptr;
   sim::Event service_ev_;
-  std::deque<PendingBase*> queue_;
+  // Pending-slot pool: the vector's capacity IS the slab -- call records
+  // live in caller coroutine frames, so pointers are all that is pooled,
+  // and capacity is never released while the object lives.
+  std::vector<PendingBase*> queue_;
+  std::vector<RequestInfo> eligible_;
+  std::vector<std::size_t> eligible_pos_;
   std::uint64_t next_seq_ = 0;
   SharedObjectStats stats_;
 };

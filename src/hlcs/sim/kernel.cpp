@@ -8,41 +8,56 @@ namespace hlcs::sim {
 
 Kernel::~Kernel() = default;
 
-void Event::trigger() {
-  kernel_.stats_.events_triggered++;
-  if (!waiters_.empty()) {
-    for (auto h : waiters_) kernel_.make_runnable(h);
-    waiters_.clear();
-  }
-  for (MethodProcess* m : statics_) kernel_.queue_method(*m);
-}
-
 void Kernel::run_evaluation_phase() {
   // Processes made runnable while the phase runs execute in the same
-  // phase, so keep draining until both queues are empty.
+  // phase, so keep draining until both queues are empty.  Batches drain
+  // through recycled scratch buffers: clear-then-swap keeps both
+  // capacities alive across phases (and drops stale entries left behind
+  // by an exception unwind, matching the previous behaviour).
   while (!runnable_.empty() || !method_queue_.empty()) {
-    std::vector<std::coroutine_handle<>> ready;
-    ready.swap(runnable_);
-    for (auto h : ready) {
+    // Fast path: one runnable coroutine and nothing else (the common
+    // shape of notify/wake chains) -- skip the batch machinery.  While
+    // it runs, suspend points may pull the next single runnable via
+    // symmetric transfer (transfer_next), so one resume() call here can
+    // execute a whole notify/wake chain; the budget bounds chain depth
+    // and is disarmed for the batch path below, whose snapshot ordering
+    // a transfer must not bypass.
+    if (runnable_.size() == 1 && method_queue_.empty()) {
+      const std::coroutine_handle<> h = runnable_[0];
+      runnable_.clear();
       stats_.resumes++;
+      transfer_budget_ = kTransferChain;
       h.resume();
+      transfer_budget_ = 0;
       check_error();
+      continue;
     }
-    std::vector<MethodProcess*> methods;
-    methods.swap(method_queue_);
-    for (MethodProcess* m : methods) {
-      m->queued_ = false;
-      stats_.method_runs++;
-      (*m)();
-      check_error();
+    if (!runnable_.empty()) {
+      runnable_scratch_.clear();
+      runnable_scratch_.swap(runnable_);
+      for (auto h : runnable_scratch_) {
+        stats_.resumes++;
+        h.resume();
+        check_error();
+      }
+    }
+    if (!method_queue_.empty()) {
+      method_scratch_.clear();
+      method_scratch_.swap(method_queue_);
+      for (MethodProcess* m : method_scratch_) {
+        m->queued_ = false;
+        stats_.method_runs++;
+        (*m)();
+        check_error();
+      }
     }
   }
 }
 
 void Kernel::run_update_phase() {
-  std::vector<Channel*> updates;
-  updates.swap(update_queue_);
-  for (Channel* c : updates) {
+  update_scratch_.clear();
+  update_scratch_.swap(update_queue_);
+  for (Channel* c : update_scratch_) {
     c->update_pending_ = false;
     stats_.updates++;
     c->update();
@@ -50,36 +65,32 @@ void Kernel::run_update_phase() {
 }
 
 void Kernel::run_delta_notifications() {
-  std::vector<Event*> events;
-  events.swap(delta_events_);
-  for (Event* e : events) e->trigger();
+  delta_event_scratch_.clear();
+  delta_event_scratch_.swap(delta_events_);
+  for (Event* e : delta_event_scratch_) e->trigger();
   if (!delta_waiters_.empty()) {
     for (auto h : delta_waiters_) make_runnable(h);
     delta_waiters_.clear();
   }
 }
 
-bool Kernel::advance_time(Time limit) {
-  if (timed_.empty()) return false;
-  const std::uint64_t t = timed_.top().at_ps;
-  if (t > limit.picos()) {
-    // Do not consume entries beyond the horizon; a later run() call can
-    // still reach them.
-    now_ = limit;
-    return false;
+bool Kernel::delta_queues_empty() const {
+  return runnable_.empty() && method_queue_.empty() && update_queue_.empty() &&
+         delta_events_.empty() && delta_waiters_.empty();
+}
+
+void Kernel::dispatch_timed(const detail::TimedEntry& e) {
+  switch (e.kind) {
+    case detail::TimedKind::Resume:
+      make_runnable(std::coroutine_handle<>::from_address(e.payload));
+      break;
+    case detail::TimedKind::EventTrigger:
+      static_cast<Event*>(e.payload)->trigger();
+      break;
+    case detail::TimedKind::Method:
+      queue_method(*static_cast<MethodProcess*>(e.payload));
+      break;
   }
-  now_ = Time::ps(t);
-  while (!timed_.empty() && timed_.top().at_ps == t) {
-    TimedEntry e = timed_.top();
-    timed_.pop();
-    stats_.timed_actions++;
-    switch (e.kind) {
-      case TimedKind::Resume: make_runnable(e.handle); break;
-      case TimedKind::EventTrigger: e.event->trigger(); break;
-      case TimedKind::Method: queue_method(*e.m); break;
-    }
-  }
-  return true;
 }
 
 void Kernel::check_error() {
@@ -91,20 +102,68 @@ void Kernel::check_error() {
 
 void Kernel::run_until(Time limit) {
   stop_requested_ = false;
+  const std::uint64_t limit_ps = limit.picos();
   for (;;) {
     // Delta loop at the current simulated time.
-    while (!runnable_.empty() || !method_queue_.empty() ||
-           !update_queue_.empty() || !delta_events_.empty() ||
-           !delta_waiters_.empty()) {
+    while (!delta_queues_empty()) {
       run_evaluation_phase();
-      run_update_phase();
-      run_delta_notifications();
+      if (!update_queue_.empty()) run_update_phase();
+      if (!delta_events_.empty() || !delta_waiters_.empty())
+        run_delta_notifications();
       stats_.deltas++;
       if (trace_) trace_->sample(now_);
       if (stop_requested_) return;
     }
+    delta_work_ = false;  // all five queues just probed empty
     if (stop_requested_) return;
-    if (!advance_time(limit)) return;
+    // Fused fast cycle: while the only pending work is one timed Resume
+    // entry (a single sleeping process -- the dominant steady-state
+    // shape), resume it directly and complete its delta in place instead
+    // of bouncing through the runnable queue and phase machinery.  The
+    // observable schedule is identical: the resume is the sole action of
+    // its evaluation phase and the delta completes with empty update and
+    // notification phases, exactly as the general loop would run it.
+    for (;;) {
+      if (timed_.empty()) return;
+      const std::uint64_t t = timed_.next_at();
+      if (t > limit_ps) {
+        // Do not consume entries beyond the horizon; a later run() call
+        // can still reach them.
+        now_ = limit;
+        timed_.advance_base(limit_ps);
+        return;
+      }
+      now_ = Time::ps(t);
+      timed_.advance_base(t);
+      detail::TimedEntry single;
+      if (!timed_.pop_front_fast(t, single)) {
+        // Several simultaneous entries: take the general batch path.
+        timed_batch_.clear();
+        timed_.pop_at(t, timed_batch_);
+        stats_.timed_actions += timed_batch_.size();
+        for (const detail::TimedEntry& e : timed_batch_) dispatch_timed(e);
+        break;  // run the full delta loop
+      }
+      stats_.timed_actions++;
+      if (single.kind != detail::TimedKind::Resume) {
+        dispatch_timed(single);
+        break;  // run the full delta loop
+      }
+      stats_.resumes++;
+      std::coroutine_handle<>::from_address(single.payload).resume();
+      check_error();
+      if (delta_work_) {
+        // Something was enqueued since the last full probe.  Re-probe:
+        // if the resume made work pending in this same delta, let the
+        // general loop finish the evaluation phase and the delta.
+        if (!delta_queues_empty()) break;
+        delta_work_ = false;
+      }
+      // Nothing else pending: the delta consisted of that one resume.
+      stats_.deltas++;
+      if (trace_) trace_->sample(now_);
+      if (stop_requested_) return;
+    }
   }
 }
 

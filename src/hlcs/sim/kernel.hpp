@@ -14,13 +14,20 @@
 //
 // The kernel is strictly single-threaded and deterministic: within a
 // phase, processes run in the order they became runnable.
+//
+// Hot-path design (see docs/PERF.md): the timed queue is a two-level
+// calendar -- a bucket ring covering the near future plus a binary heap
+// for far-future events -- and every per-phase work list is a recycled
+// member buffer, so steady-state execution performs no heap allocation.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -62,25 +69,47 @@ private:
 
 /// A process triggered by events through static sensitivity; runs a plain
 /// function to completion each trigger (like SC_METHOD).
+///
+/// Two callable forms: a raw function pointer + context (preferred on hot
+/// paths -- one indirect call, no type erasure) or a std::function for
+/// arbitrary capturing callables.
 class MethodProcess {
 public:
+  using RawFn = void (*)(void*);
+
   MethodProcess(Kernel& k, std::string name, std::function<void()> fn)
       : kernel_(k), name_(std::move(name)), fn_(std::move(fn)) {}
+  MethodProcess(Kernel& k, std::string name, RawFn fn, void* ctx)
+      : kernel_(k), name_(std::move(name)), raw_fn_(fn), ctx_(ctx) {}
 
   const std::string& name() const { return name_; }
-  void operator()() { fn_(); }
+  void operator()() {
+    if (raw_fn_) {
+      raw_fn_(ctx_);
+    } else {
+      fn_();
+    }
+  }
 
 private:
   friend class Kernel;
   friend class Event;
   Kernel& kernel_;
   std::string name_;
+  RawFn raw_fn_ = nullptr;
+  void* ctx_ = nullptr;
   std::function<void()> fn_;
   bool queued_ = false;
 };
 
 /// A notification primitive.  Processes wait on events dynamically
 /// (`co_await ev`); method processes are attached statically.
+///
+/// Lost-notification rule: `notify()` when no process is waiting and no
+/// method is statically attached is a documented no-op -- the
+/// notification is NOT latched for later waiters.  For an opening
+/// handshake whose waiter may not have registered yet (e.g. the peer
+/// process spawns later in the same phase), use `sync()`.
 class Event {
 public:
   explicit Event(Kernel& k, std::string name = {});
@@ -90,35 +119,56 @@ public:
   const std::string& name() const { return name_; }
 
   /// Immediate notification: waiters become runnable in the current
-  /// evaluation phase.
+  /// evaluation phase.  No-op when nothing waits (see class comment).
   void notify();
   /// Delta notification: waiters become runnable in the next delta cycle.
   void notify_delta();
   /// Timed notification: waiters present at T(now+t) wake then.
   void notify(Time t);
+  /// Opening-handshake-safe notification.  Delta-deferred, so every
+  /// process spawned or made runnable in the *current* phase gets a
+  /// chance to register its wait before the event fires.  Use this for
+  /// the first notify of a ping-pong style protocol where spawn order
+  /// would otherwise decide whether the notification is lost.
+  void sync() { notify_delta(); }
+
+  /// True iff at least one process is currently waiting dynamically.
+  bool has_waiters() const { return inline_count_ != 0; }
 
   /// Attach a method process permanently (static sensitivity).
   void add_static(MethodProcess& m) { statics_.push_back(&m); }
 
-  /// Dynamic one-shot wait registration (used by the awaiter).
-  void add_waiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+  /// Dynamic one-shot wait registration (used by the awaiter).  The
+  /// first kInlineWaiters waiters live in the event itself; only
+  /// pathological fan-in spills to the heap-backed overflow vector.
+  void add_waiter(std::coroutine_handle<> h);
 
   struct Awaiter {
     Event& ev;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { ev.add_waiter(h); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      return ev.suspend_on(h);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter operator co_await() { return Awaiter{*this}; }
 
 private:
   friend class Kernel;
+  static constexpr std::uint32_t kInlineWaiters = 4;
+
   /// Wake all current waiters and queue all static methods.
   void trigger();
 
+  /// Awaiter backend: register the wait, then offer the scheduler's next
+  /// single runnable (if any) for symmetric transfer.
+  std::coroutine_handle<> suspend_on(std::coroutine_handle<> h);
+
   Kernel& kernel_;
   std::string name_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::array<std::coroutine_handle<>, kInlineWaiters> inline_waiters_{};
+  std::uint32_t inline_count_ = 0;
+  std::vector<std::coroutine_handle<>> overflow_waiters_;
   std::vector<MethodProcess*> statics_;
 };
 
@@ -130,7 +180,295 @@ struct KernelStats {
   std::uint64_t updates = 0;          // channel update commits
   std::uint64_t timed_actions = 0;    // timed-queue pops
   std::uint64_t events_triggered = 0;
+  // Allocation-observability counters (docs/PERF.md).
+  std::uint64_t timed_peak = 0;       // max simultaneous timed entries
+  std::uint64_t waiter_reallocs = 0;  // event waiter overflow regrowths
+
+  friend bool operator==(const KernelStats&, const KernelStats&) = default;
 };
+
+namespace detail {
+
+enum class TimedKind : std::uint8_t { Resume, EventTrigger, Method };
+
+struct TimedEntry {
+  std::uint64_t at_ps;
+  std::uint64_t seq;
+  void* payload;
+  TimedKind kind;
+};
+
+/// Two-level timed queue: a calendar ring of power-of-two buckets, each
+/// 2^kBucketShift ps of simulated time wide, covering the near-future
+/// horizon, plus a (at, seq) min-heap for everything beyond it.  Ring
+/// entries live in one node slab threaded into per-bucket FIFO lists, and
+/// freed nodes recycle through a freelist, so steady-state push/pop never
+/// allocates.  The earliest bucket is located through an occupancy bitmap
+/// (find-first-set instead of scanning empty buckets).  FIFO order among
+/// same-time entries is preserved: bucket lists append in seq order and
+/// mixed ring/heap batches are seq-sorted at pop time.
+class TimedQueue {
+public:
+  static constexpr unsigned kBucketShift = 5;  // 32 ps per bucket
+  static constexpr std::size_t kBuckets = 1024;
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static constexpr std::uint64_t kHorizonPs = kBuckets << kBucketShift;
+  static constexpr std::size_t kWords = kBuckets / 64;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// The bucket arrays (8 KiB) are initialised lazily on the first
+  /// calendar insertion: workloads whose pending-entry count never
+  /// exceeds one are served entirely by the bypass front and should not
+  /// pay the fill at construction (benches build a Kernel per iteration).
+  TimedQueue() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// High-water mark of simultaneous entries (tracked here because push
+  /// already holds size_ in a register; Kernel::stats() folds it into
+  /// KernelStats::timed_peak on read).
+  std::size_t peak() const { return peak_; }
+
+  /// `at_ps` must be >= the time last passed to advance_base().
+  ///
+  /// The earliest entry is kept in a one-element bypass cache (`front_`)
+  /// rather than the calendar itself, so the ubiquitous single-sleeper
+  /// pattern (one pending timed action at a time) never touches the ring
+  /// at all and costs about as much as a pair of loads and stores.
+  ///
+  /// FIFO bookkeeping: the queue stamps each entry's seq internally.
+  /// A push into an empty queue is stamped 0 without bumping the
+  /// counter -- it has no live peers, any later same-time push gets a
+  /// strictly larger stamp, and the counter RMW stays off the
+  /// single-sleeper path.  A front displaced by an earlier-time push
+  /// predates every live same-time entry (they all arrived while it was
+  /// the minimum), so it re-enters its bucket list at the HEAD to keep
+  /// the list in arrival order.
+  void push(std::uint64_t at_ps, void* payload, TimedKind kind) {
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+    if (front_valid_) [[likely]] {
+      // Strict < keeps FIFO: an equal-time push has a larger seq, so the
+      // incumbent front stays ahead of it.
+      if (at_ps < front_.at_ps) {
+        push_calendar(front_, /*at_head=*/true);
+        front_ = TimedEntry{at_ps, next_seq_++, payload, kind};
+      } else {
+        push_calendar(TimedEntry{at_ps, next_seq_++, payload, kind},
+                      /*at_head=*/false);
+      }
+      return;
+    }
+    if (size_ == 1) {
+      front_ = TimedEntry{at_ps, 0, payload, kind};
+      front_valid_ = true;
+      return;
+    }
+    push_calendar(TimedEntry{at_ps, next_seq_++, payload, kind},
+                  /*at_head=*/false);
+  }
+
+  /// Earliest timestamp in the queue.  Precondition: !empty().
+  std::uint64_t next_at() const {
+    if (front_valid_) return front_.at_ps;  // front is the global minimum
+    std::uint64_t best = ~0ull;
+    if (ring_count_ != 0) best = ring_min();
+    if (!heap_.empty() && heap_.front().at_ps < best) {
+      best = heap_.front().at_ps;
+    }
+    return best;
+  }
+
+  /// Fast single-entry pop: succeeds iff the queue holds exactly one
+  /// entry and it is the bypass front.  The dominant advance_time shape
+  /// (one sleeping process) then never touches the calendar or a batch
+  /// vector at all.
+  bool pop_front_fast(std::uint64_t t, TimedEntry& out) {
+    if (front_valid_ && size_ == 1 && front_.at_ps == t) [[likely]] {
+      out = front_;
+      front_valid_ = false;
+      size_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Remove every entry stamped exactly `t` and append them to `out` in
+  /// seq (FIFO) order.
+  void pop_at(std::uint64_t t, std::vector<TimedEntry>& out) {
+    const std::size_t first = out.size();
+    if (front_valid_ && front_.at_ps == t) {
+      // Front has the minimal (at, seq), so it belongs first in the batch.
+      out.push_back(front_);
+      front_valid_ = false;
+      --size_;
+      if (size_ == 0) return;
+    }
+    const std::uint64_t bucket = t >> kBucketShift;
+    if (ring_count_ != 0 && bucket - base_bucket_ < kBuckets) {
+      const std::size_t slot = bucket & kMask;
+      std::uint32_t idx = head_[slot];
+      std::uint32_t keep_head = kNil, keep_tail = kNil;
+      while (idx != kNil) {
+        const std::uint32_t next = pool_[idx].next;
+        if (pool_[idx].entry.at_ps == t) {
+          out.push_back(pool_[idx].entry);
+          free_node(idx);
+          --ring_count_;
+          --size_;
+        } else {
+          if (keep_tail == kNil) {
+            keep_head = idx;
+          } else {
+            pool_[keep_tail].next = idx;
+          }
+          keep_tail = idx;
+          pool_[idx].next = kNil;
+        }
+        idx = next;
+      }
+      head_[slot] = keep_head;
+      tail_[slot] = keep_tail;
+      if (keep_head == kNil) occ_[slot >> 6] &= ~(1ull << (slot & 63));
+    }
+    bool from_heap = false;
+    while (!heap_.empty() && heap_.front().at_ps == t) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+      out.push_back(heap_.back());
+      heap_.pop_back();
+      --size_;
+      from_heap = true;
+    }
+    if (from_heap && out.size() - first > 1) {
+      // Ring and heap entries can share a timestamp (the heap entry was
+      // pushed when the time was beyond the horizon).  Restore global
+      // FIFO order.
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+                [](const TimedEntry& a, const TimedEntry& b) {
+                  return a.seq < b.seq;
+                });
+    }
+  }
+
+  /// Slide the near-future window forward.  `now_ps` must be
+  /// monotonically non-decreasing across calls.
+  void advance_base(std::uint64_t now_ps) {
+    base_bucket_ = now_ps >> kBucketShift;
+  }
+
+private:
+  struct Node {
+    TimedEntry entry;
+    std::uint32_t next;
+  };
+  struct HeapAfter {  // min-heap on (at_ps, seq)
+    bool operator()(const TimedEntry& a, const TimedEntry& b) const {
+      if (a.at_ps != b.at_ps) return a.at_ps > b.at_ps;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_calendar(const TimedEntry& e, bool at_head) {
+    if (!ring_init_) [[unlikely]] {
+      head_.fill(kNil);
+      tail_.fill(kNil);
+      ring_init_ = true;
+    }
+    const std::uint64_t bucket = e.at_ps >> kBucketShift;
+    if (bucket - base_bucket_ < kBuckets) {
+      const std::size_t slot = bucket & kMask;
+      const std::uint32_t idx = alloc_node(e);
+      if (tail_[slot] == kNil) {
+        head_[slot] = idx;
+        tail_[slot] = idx;
+        occ_[slot >> 6] |= 1ull << (slot & 63);
+      } else if (at_head) {
+        // Displaced bypass front: it predates every live same-time
+        // entry, so it must precede them in its bucket's list.
+        pool_[idx].next = head_[slot];
+        head_[slot] = idx;
+      } else {
+        pool_[tail_[slot]].next = idx;
+        tail_[slot] = idx;
+      }
+      ++ring_count_;
+    } else {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
+    }
+  }
+
+  std::uint32_t alloc_node(const TimedEntry& e) {
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = pool_[idx].next;
+      pool_[idx].entry = e;
+      pool_[idx].next = kNil;
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(Node{e, kNil});
+    }
+    return idx;
+  }
+
+  void free_node(std::uint32_t idx) {
+    pool_[idx].next = free_head_;
+    free_head_ = idx;
+  }
+
+  /// Earliest timestamp held in the ring.  Precondition: ring_count_>0.
+  std::uint64_t ring_min() const {
+    const std::size_t slot = first_occupied_slot();
+    std::uint64_t best = ~0ull;
+    for (std::uint32_t idx = head_[slot]; idx != kNil;
+         idx = pool_[idx].next) {
+      if (pool_[idx].entry.at_ps < best) best = pool_[idx].entry.at_ps;
+    }
+    return best;
+  }
+
+  /// First occupied slot at or cyclically after the base slot.  All
+  /// occupied slots lie within one window, so the first hit in cyclic
+  /// order is the earliest bucket.  Precondition: ring_count_ > 0.
+  std::size_t first_occupied_slot() const {
+    const std::size_t start = base_bucket_ & kMask;
+    const std::size_t sw = start >> 6;
+    const unsigned sb = static_cast<unsigned>(start & 63);
+    std::uint64_t w = occ_[sw] & (~0ull << sb);
+    if (w != 0) return (sw << 6) + static_cast<std::size_t>(std::countr_zero(w));
+    for (std::size_t i = 1; i < kWords; ++i) {
+      const std::size_t wi = (sw + i) & (kWords - 1);
+      if (occ_[wi] != 0) {
+        return (wi << 6) + static_cast<std::size_t>(std::countr_zero(occ_[wi]));
+      }
+    }
+    // Wrapped all the way around: the hit is below the base bit in the
+    // starting word.
+    w = occ_[sw] & ~(~0ull << sb);
+    HLCS_ASSERT(w != 0, "TimedQueue bitmap out of sync");
+    return (sw << 6) + static_cast<std::size_t>(std::countr_zero(w));
+  }
+
+  std::vector<Node> pool_;
+  std::array<std::uint32_t, kBuckets> head_;
+  std::array<std::uint32_t, kBuckets> tail_;
+  std::array<std::uint64_t, kWords> occ_{};
+  std::vector<TimedEntry> heap_;
+  TimedEntry front_{};
+  bool front_valid_ = false;
+  bool ring_init_ = false;
+  std::uint64_t base_bucket_ = 0;
+  // Starts at 1: stamp 0 is reserved for pushes into an empty queue
+  // (see push), which must sort ahead of every later same-time stamp.
+  std::uint64_t next_seq_ = 1;
+  std::uint32_t free_head_ = kNil;
+  std::size_t ring_count_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace detail
 
 class Kernel {
 public:
@@ -166,24 +504,70 @@ public:
     return m;
   }
 
+  /// Raw-function-pointer flavour: dispatch is a single indirect call
+  /// with no std::function machinery.  Preferred on hot paths.
+  MethodProcess& method(std::string name, MethodProcess::RawFn fn, void* ctx,
+                        bool initial_trigger = true) {
+    methods_.push_back(
+        std::make_unique<MethodProcess>(*this, std::move(name), fn, ctx));
+    MethodProcess& m = *methods_.back();
+    if (initial_trigger) queue_method(m);
+    return m;
+  }
+
   // ----- scheduling primitives ----------------------------------------
-  void make_runnable(std::coroutine_handle<> h) { runnable_.push_back(h); }
+  // Every delta-cycle enqueue raises `delta_work_`; the run loop's fused
+  // timed cycle then needs a single load to learn that nothing became
+  // pending, instead of probing all five queues after every resume.
+  void make_runnable(std::coroutine_handle<> h) {
+    delta_work_ = true;
+    runnable_.push_back(h);
+  }
+  /// Symmetric-transfer donor (scheduler-internal; called from awaiter
+  /// suspend paths).  When the evaluation loop's next action would be to
+  /// resume exactly one runnable coroutine, hand that handle to the
+  /// suspending coroutine so it tail-transfers directly, skipping the
+  /// bounce through the loop.  The observable schedule and statistics
+  /// are identical: the loop would pop the same handle and count the
+  /// same resume.  Transfers are only armed inside the eval loop's
+  /// single-runnable fast path (`transfer_budget_` is zero during batch
+  /// drains, the fused timed cycle, and outside run()), and the budget
+  /// bounds chain depth so builds that cannot guarantee tail calls
+  /// (e.g. sanitizers) cannot grow the stack without bound.
+  std::coroutine_handle<> transfer_next() noexcept {
+    if (transfer_budget_ != 0 && runnable_.size() == 1 &&
+        method_queue_.empty() && !error_) [[likely]] {
+      --transfer_budget_;
+      const std::coroutine_handle<> h = runnable_[0];
+      runnable_.clear();
+      stats_.resumes++;
+      return h;
+    }
+    return std::noop_coroutine();
+  }
   void queue_method(MethodProcess& m) {
     if (!m.queued_) {
       m.queued_ = true;
+      delta_work_ = true;
       method_queue_.push_back(&m);
     }
   }
-  void request_update(Channel& c) { update_queue_.push_back(&c); }
-  void notify_delta_event(Event& e) { delta_events_.push_back(&e); }
+  void request_update(Channel& c) {
+    delta_work_ = true;
+    update_queue_.push_back(&c);
+  }
+  void notify_delta_event(Event& e) {
+    delta_work_ = true;
+    delta_events_.push_back(&e);
+  }
   void schedule_resume(Time abs, std::coroutine_handle<> h) {
-    timed_.push({abs.picos(), next_seq_++, TimedKind::Resume, h, nullptr, nullptr});
+    push_timed(abs, detail::TimedKind::Resume, h.address());
   }
   void schedule_event(Time abs, Event& e) {
-    timed_.push({abs.picos(), next_seq_++, TimedKind::EventTrigger, nullptr, &e, nullptr});
+    push_timed(abs, detail::TimedKind::EventTrigger, &e);
   }
   void schedule_method(Time abs, MethodProcess& m) {
-    timed_.push({abs.picos(), next_seq_++, TimedKind::Method, nullptr, nullptr, &m});
+    push_timed(abs, detail::TimedKind::Method, &m);
   }
 
   // ----- run control ---------------------------------------------------
@@ -197,13 +581,22 @@ public:
   void stop() { stop_requested_ = true; }
 
   Time now() const { return now_; }
-  const KernelStats& stats() const { return stats_; }
+  const KernelStats& stats() const {
+    // Fold the queue-tracked high-water mark in on read, so the hot push
+    // path carries no extra loads (see TimedQueue::peak).
+    if (timed_.peak() > stats_.timed_peak) stats_.timed_peak = timed_.peak();
+    return stats_;
+  }
 
   /// Awaitable: suspend the calling process for `t` simulated time.
   struct TimeAwaiter {
     Kernel& k;
     Time t;
     bool await_ready() const noexcept { return false; }
+    // No symmetric-transfer offer here: a timed wait is overwhelmingly
+    // the last act of a process's delta (fused timed cycle never arms
+    // transfers), so the offer would be declined at the cost of an
+    // indirect noop resume on the hottest sleep path.
     void await_suspend(std::coroutine_handle<> h) {
       k.schedule_resume(k.now() + t, h);
     }
@@ -215,7 +608,7 @@ public:
   struct DeltaAwaiter {
     Kernel& k;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h);
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h);
     void await_resume() const noexcept {}
   };
   DeltaAwaiter wait_delta() { return DeltaAwaiter{*this}; }
@@ -238,31 +631,23 @@ private:
     Task task;
   };
 
-  enum class TimedKind { Resume, EventTrigger, Method };
-  struct TimedEntry {
-    std::uint64_t at_ps;
-    std::uint64_t seq;
-    TimedKind kind;
-    std::coroutine_handle<> handle;
-    Event* event;
-    MethodProcess* m;
-    // Min-heap ordering: earliest time first, FIFO within a time.
-    friend bool operator>(const TimedEntry& a, const TimedEntry& b) {
-      if (a.at_ps != b.at_ps) return a.at_ps > b.at_ps;
-      return a.seq > b.seq;
-    }
-  };
+  void push_timed(Time abs, detail::TimedKind kind, void* payload) {
+    timed_.push(abs.picos(), payload, kind);
+  }
 
   void run_evaluation_phase();
   void run_update_phase();
   void run_delta_notifications();
-  /// Pops all timed entries at the earliest timestamp; returns false if
-  /// the queue is empty or past the limit.
-  bool advance_time(Time limit);
+  void dispatch_timed(const detail::TimedEntry& e);
+  bool delta_queues_empty() const;
   void check_error();
 
   Time now_ = Time::zero();
   bool stop_requested_ = false;
+  // True whenever a delta-cycle queue MAY be non-empty; cleared only
+  // after a full delta_queues_empty() probe confirms they are drained.
+  // Invariant: any non-empty delta queue implies delta_work_ is set.
+  bool delta_work_ = false;
   std::exception_ptr error_;
 
   std::vector<std::coroutine_handle<>> runnable_;
@@ -272,15 +657,30 @@ private:
   // Delta-wait processes resume via a dedicated event.
   std::vector<std::coroutine_handle<>> delta_waiters_;
 
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
-                      std::greater<TimedEntry>>
-      timed_;
-  std::uint64_t next_seq_ = 0;
+  // Recycled batch buffers: each phase swaps its input queue into the
+  // matching scratch buffer and drains that, so buffer capacity
+  // ping-pongs between the two vectors instead of being freed and
+  // re-grown every delta cycle.
+  std::vector<std::coroutine_handle<>> runnable_scratch_;
+  std::vector<MethodProcess*> method_scratch_;
+  std::vector<Channel*> update_scratch_;
+  std::vector<Event*> delta_event_scratch_;
+  std::vector<detail::TimedEntry> timed_batch_;
+
+  // Remaining symmetric-transfer hops before the chain must fall back to
+  // the evaluation loop (see transfer_next).  Non-zero only while the
+  // loop's single-runnable fast path is executing a coroutine.
+  std::uint32_t transfer_budget_ = 0;
+  static constexpr std::uint32_t kTransferChain = 128;
+
+  detail::TimedQueue timed_;
 
   std::vector<std::unique_ptr<ThreadHolder>> threads_;
   std::vector<std::unique_ptr<MethodProcess>> methods_;
 
-  KernelStats stats_;
+  // Mutable so the const stats() accessor can fold in lazily-tracked
+  // counters (timed_peak) at read time.
+  mutable KernelStats stats_;
   Trace* trace_ = nullptr;
 };
 
@@ -297,6 +697,28 @@ inline void Channel::request_update() {
 inline Event::Event(Kernel& k, std::string name)
     : kernel_(k), name_(std::move(name)) {}
 
+inline void Event::trigger() {
+  kernel_.stats_.events_triggered++;
+  const std::uint32_t n = inline_count_;
+  if (n == 1) [[likely]] {
+    // Single dynamic waiter: the notify/wake handshake shape.
+    inline_count_ = 0;
+    kernel_.make_runnable(inline_waiters_[0]);
+  } else if (n != 0) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      kernel_.make_runnable(inline_waiters_[i]);
+    }
+    inline_count_ = 0;
+    // The overflow spill is only populated once the inline slots filled,
+    // so it need not even be inspected unless they were full.
+    if (n == kInlineWaiters && !overflow_waiters_.empty()) [[unlikely]] {
+      for (auto h : overflow_waiters_) kernel_.make_runnable(h);
+      overflow_waiters_.clear();
+    }
+  }
+  for (MethodProcess* m : statics_) kernel_.queue_method(*m);
+}
+
 inline void Event::notify() { trigger(); }
 
 inline void Event::notify_delta() { kernel_.notify_delta_event(*this); }
@@ -305,8 +727,27 @@ inline void Event::notify(Time t) {
   kernel_.schedule_event(kernel_.now() + t, *this);
 }
 
-inline void Kernel::DeltaAwaiter::await_suspend(std::coroutine_handle<> h) {
+inline std::coroutine_handle<> Event::suspend_on(std::coroutine_handle<> h) {
+  add_waiter(h);
+  return kernel_.transfer_next();
+}
+
+inline void Event::add_waiter(std::coroutine_handle<> h) {
+  if (inline_count_ < kInlineWaiters) {
+    inline_waiters_[inline_count_++] = h;
+    return;
+  }
+  if (overflow_waiters_.size() == overflow_waiters_.capacity()) {
+    kernel_.stats_.waiter_reallocs++;
+  }
+  overflow_waiters_.push_back(h);
+}
+
+inline std::coroutine_handle<> Kernel::DeltaAwaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  k.delta_work_ = true;
   k.delta_waiters_.push_back(h);
+  return k.transfer_next();
 }
 
 // Root-process exception hand-off: when a root coroutine finishes with a
@@ -315,7 +756,13 @@ inline std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(
     std::coroutine_handle<promise_type> h) noexcept {
   promise_type& p = h.promise();
   if (p.continuation) return p.continuation;
-  if (p.exception && p.root_kernel) p.root_kernel->set_process_error(p.exception);
+  if (p.root_kernel) {
+    if (p.exception) p.root_kernel->set_process_error(p.exception);
+    // A finishing root process can hand off to the next runnable just
+    // like any other suspend point (transfer_next declines when the
+    // exception above was recorded, so errors still unwind promptly).
+    return p.root_kernel->transfer_next();
+  }
   return std::noop_coroutine();
 }
 

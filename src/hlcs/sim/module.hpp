@@ -35,6 +35,13 @@ protected:
     return kernel_.method(sub(leaf), std::move(fn), initial_trigger);
   }
 
+  /// Raw-function-pointer flavour (see Kernel::method): hot-path method
+  /// processes dispatch through a single indirect call.
+  MethodProcess& method(const std::string& leaf, MethodProcess::RawFn fn,
+                        void* ctx, bool initial_trigger = true) {
+    return kernel_.method(sub(leaf), fn, ctx, initial_trigger);
+  }
+
 private:
   Kernel& kernel_;
   std::string name_;

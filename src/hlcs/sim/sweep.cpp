@@ -1,0 +1,71 @@
+#include "hlcs/sim/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::sim {
+
+ParallelSweep::ParallelSweep(Scenario fn) : scenario_(std::move(fn)) {
+  HLCS_ASSERT(scenario_ != nullptr, "ParallelSweep requires a scenario");
+}
+
+std::vector<SweepResult> ParallelSweep::run(std::size_t points,
+                                            unsigned threads) {
+  std::vector<SweepResult> results(points);
+  std::vector<std::exception_ptr> errors(points);
+  if (points == 0) return results;
+
+  // One sweep point, entirely thread-local: private kernel, private
+  // result slot, private error slot.  Workers never touch shared state
+  // beyond the claim counter.
+  const auto run_point = [&](std::size_t i) {
+    SweepResult& r = results[i];
+    r.index = i;
+    try {
+      Kernel k;
+      scenario_(i, k, r.transcript);
+      r.end_time = k.now();
+      r.stats = k.stats();
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > points) threads = static_cast<unsigned>(points);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < points; ++i) run_point(i);
+  } else {
+    // Dynamic claiming: sweep points can have wildly different runtimes
+    // (e.g. client-count sweeps), so a shared atomic cursor load-balances
+    // better than static striping and costs one fetch_add per point.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= points) return;
+          run_point(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < points; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+}  // namespace hlcs::sim

@@ -1,0 +1,157 @@
+// Regression tests for the documented lost-notification rule and the
+// sync() opening-handshake helper.
+//
+// notify() when nothing waits is a no-op BY DESIGN (no latching): a
+// process that registers its wait later must not observe an earlier
+// notification.  sync() is the sanctioned way to open a handshake whose
+// peer registers in the same phase -- it defers the trigger by one delta,
+// giving every process spawned or woken in the current phase a chance to
+// reach its co_await first.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs::sim;
+using namespace hlcs::sim::literals;
+
+TEST(EventSync, NotifyBeforeAnyWaiterIsANoOp) {
+  Kernel k;
+  Event ev(k, "ev");
+  bool woke = false;
+  k.spawn("early", [&]() -> Task {
+    // Fires before anyone waits: must be dropped, not latched.
+    ev.notify();
+    co_return;
+  });
+  k.spawn("late", [&]() -> Task {
+    co_await k.wait(1_ns);
+    // Waits only now; the earlier notify must not satisfy this wait.
+    co_await ev;
+    woke = true;
+  });
+  k.run_for(10_ns);
+  EXPECT_FALSE(woke);
+  // The dropped notification still counts as a trigger (observability).
+  EXPECT_EQ(k.stats().events_triggered, 1u);
+}
+
+TEST(EventSync, NotifyWithNoWaiterLeavesNoWaiters) {
+  Kernel k;
+  Event ev(k, "ev");
+  EXPECT_FALSE(ev.has_waiters());
+  ev.notify();
+  EXPECT_FALSE(ev.has_waiters());
+}
+
+TEST(EventSync, PlainNotifyLosesRaceAgainstLaterSpawn) {
+  // Spawn order: the notifier runs before the waiter has registered, so
+  // a plain notify() is lost and the waiter stalls forever.
+  Kernel k;
+  Event ev(k, "ev");
+  bool woke = false;
+  k.spawn("a", [&]() -> Task {
+    ev.notify();
+    co_return;
+  });
+  k.spawn("b", [&]() -> Task {
+    co_await ev;
+    woke = true;
+  });
+  k.run_for(100_ns);
+  EXPECT_FALSE(woke);
+}
+
+TEST(EventSync, SyncSurvivesTheSameRace) {
+  // Identical spawn order, but sync() defers the trigger one delta, so
+  // "b" registers its wait before the event fires.
+  Kernel k;
+  Event ev(k, "ev");
+  bool woke = false;
+  k.spawn("a", [&]() -> Task {
+    ev.sync();
+    co_return;
+  });
+  k.spawn("b", [&]() -> Task {
+    co_await ev;
+    woke = true;
+  });
+  k.run_for(100_ns);
+  EXPECT_TRUE(woke);
+}
+
+TEST(EventSync, SyncOpensPingPongRegardlessOfSpawnOrder) {
+  // Ping-pong where the OPENER spawns first (the order that loses the
+  // first notification with plain notify()).
+  Kernel k;
+  Event ping(k, "ping"), pong(k, "pong");
+  int rounds_done = 0;
+  constexpr int kRounds = 5;
+  k.spawn("a", [&]() -> Task {
+    ping.sync();  // opening handshake
+    for (int i = 0; i < kRounds; ++i) {
+      co_await pong;
+      ++rounds_done;
+      if (i + 1 < kRounds) ping.notify();
+    }
+  });
+  k.spawn("b", [&]() -> Task {
+    for (int i = 0; i < kRounds; ++i) {
+      co_await ping;
+      pong.notify();
+    }
+  });
+  k.run_for(100_ns);
+  EXPECT_EQ(rounds_done, kRounds);
+}
+
+TEST(EventSync, InlineWaiterOverflowWakesEveryoneInOrder) {
+  // More simultaneous waiters than the inline slots: the overflow path
+  // must wake all of them, preserving registration (FIFO) order.
+  Kernel k;
+  Event ev(k, "ev");
+  std::string order;
+  constexpr int kWaiters = 7;  // > kInlineWaiters (4)
+  for (int i = 0; i < kWaiters; ++i) {
+    k.spawn("w" + std::to_string(i), [&k, &ev, &order, i]() -> Task {
+      co_await ev;
+      order.push_back(static_cast<char>('0' + i));
+    });
+  }
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run_for(10_ns);
+  EXPECT_EQ(order, "0123456");
+  EXPECT_FALSE(ev.has_waiters());
+}
+
+TEST(EventSync, WaiterReallocsCountedOnOverflowGrowth) {
+  Kernel k;
+  Event ev(k, "ev");
+  constexpr int kWaiters = 12;
+  int woke = 0;
+  for (int i = 0; i < kWaiters; ++i) {
+    k.spawn("w" + std::to_string(i), [&k, &ev, &woke]() -> Task {
+      co_await ev;
+      ++woke;
+    });
+  }
+  k.spawn("n", [&]() -> Task {
+    co_await k.wait(1_ns);
+    ev.notify();
+    co_return;
+  });
+  k.run_for(10_ns);
+  EXPECT_EQ(woke, kWaiters);
+  // 8 waiters spilled past the 4 inline slots; the overflow vector grew
+  // from zero capacity at least once.
+  EXPECT_GE(k.stats().waiter_reallocs, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests aimed at the two-level (calendar ring + far-future heap) timed
+// queue behind Kernel::wait / Event::notify(Time).  The queue is an
+// internal detail; everything here is asserted through kernel-visible
+// ordering, which is exactly what must not change.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs::sim;
+using namespace hlcs::sim::literals;
+
+TEST(TimedQueue, SameTimeEntriesFireInScheduleOrder) {
+  // Entries scheduled for the same instant wake in scheduling (FIFO)
+  // order, regardless of how many there are.
+  Kernel k;
+  std::string order;
+  for (int i = 0; i < 10; ++i) {
+    k.spawn("p" + std::to_string(i), [&k, &order, i]() -> Task {
+      co_await k.wait(5_ns);
+      order.push_back(static_cast<char>('0' + i));
+    });
+  }
+  k.run();
+  EXPECT_EQ(order, "0123456789");
+  EXPECT_EQ(k.now(), 5_ns);
+}
+
+TEST(TimedQueue, FarFutureBeyondHorizonStillOrdered) {
+  // The calendar ring covers 32768 ps; schedule across and far beyond it
+  // so entries split between ring and heap, and check global ordering.
+  Kernel k;
+  std::vector<int> order;
+  const Time waits[] = {1_us, 3_ns, 500_us, 40_ns, 100_us, 1_ns};
+  for (int i = 0; i < 6; ++i) {
+    const Time w = waits[i];
+    k.spawn("p" + std::to_string(i), [&k, &order, i, w]() -> Task {
+      co_await k.wait(w);
+      order.push_back(i);
+    });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 1, 3, 0, 4, 2}));
+  EXPECT_EQ(k.now(), 500_us);
+}
+
+TEST(TimedQueue, DisplacedFrontKeepsFifoAmongSameTimeEntries) {
+  // A (scheduled first, t=100ps) holds the bypass-front slot; B joins
+  // the calendar at the same instant; C (t=50ps) then displaces A out
+  // of the front slot into the calendar.  A must still fire before B --
+  // the displaced front predates every live same-time entry.
+  Kernel k;
+  std::string order;
+  k.spawn("A", [&]() -> Task {
+    co_await k.wait(100_ps);
+    order.push_back('A');
+  });
+  k.spawn("B", [&]() -> Task {
+    co_await k.wait(100_ps);
+    order.push_back('B');
+  });
+  k.spawn("C", [&]() -> Task {
+    co_await k.wait(50_ps);
+    order.push_back('C');
+  });
+  k.run();
+  EXPECT_EQ(order, "CAB");
+  EXPECT_EQ(k.now(), 100_ps);
+}
+
+TEST(TimedQueue, RingAndHeapEntriesAtSameInstantKeepFifo) {
+  // One process schedules a wake far in the future (heap path at push
+  // time); later, another schedules the SAME instant from close range
+  // (ring path).  The first scheduled must still wake first.
+  Kernel k;
+  std::string order;
+  k.spawn("far", [&]() -> Task {
+    co_await k.wait(100_us);  // >> horizon at schedule time
+    order.push_back('F');
+  });
+  k.spawn("near", [&]() -> Task {
+    co_await k.wait(Time::ps(100_us .picos() - 100));  // land 100 ps short
+    co_await k.wait(Time::ps(100));                    // same instant, in-window
+    order.push_back('N');
+  });
+  k.run();
+  EXPECT_EQ(order, "FN");
+  EXPECT_EQ(k.now().picos(), (100_us).picos());
+}
+
+TEST(TimedQueue, RepeatedHorizonCrossingsStayOrdered) {
+  // A process hopping in steps larger than the ring horizon (32768 ps)
+  // forces every wake through the far-future heap and repeated window
+  // advances.
+  Kernel k;
+  int hops = 0;
+  k.spawn("hop", [&]() -> Task {
+    for (int i = 0; i < 50; ++i) {
+      co_await k.wait(50_ns);  // 50000 ps > horizon
+      ++hops;
+    }
+  });
+  k.run();
+  EXPECT_EQ(hops, 50);
+  EXPECT_EQ(k.now(), Time::ps(50u * 50000u));
+}
+
+TEST(TimedQueue, MixedScalesStress) {
+  // Many processes with co-prime periods from 1 ps to 1000 ns: exercises
+  // bucket collisions, window slides, heap spills, and the bypass front
+  // all at once.  Checked against an arithmetic model.
+  Kernel k;
+  const std::uint64_t periods[] = {1, 7, 31, 32, 33, 1024, 4096, 32768,
+                                   33000, 1000000};
+  std::uint64_t fired[std::size(periods)] = {};
+  constexpr std::uint64_t kEnd = 3000000;  // 3 us in ps
+  for (std::size_t i = 0; i < std::size(periods); ++i) {
+    const std::uint64_t p = periods[i];
+    k.spawn("p" + std::to_string(i), [&k, &fired, i, p]() -> Task {
+      for (std::uint64_t t = p; t <= kEnd; t += p) {
+        co_await k.wait(Time::ps(p));
+        fired[i]++;
+      }
+    });
+  }
+  k.run();
+  for (std::size_t i = 0; i < std::size(periods); ++i) {
+    EXPECT_EQ(fired[i], kEnd / periods[i]) << "period " << periods[i];
+  }
+  EXPECT_EQ(k.now().picos(), kEnd);
+}
+
+TEST(TimedQueue, RunForBoundaryThenResumeLater) {
+  // run_for(t) executes events AT the boundary but must not consume
+  // entries beyond it; a later run() picks them up -- including entries
+  // that sat in the far-future heap across the pause.
+  Kernel k;
+  std::string order;
+  k.spawn("a", [&]() -> Task {
+    co_await k.wait(10_ns);
+    order.push_back('a');  // exactly at the first boundary
+    co_await k.wait(100_us);
+    order.push_back('b');  // far beyond it
+  });
+  k.run_for(10_ns);
+  EXPECT_EQ(order, "a");
+  EXPECT_EQ(k.now(), 10_ns);
+  k.run();
+  EXPECT_EQ(order, "ab");
+}
+
+TEST(TimedQueue, TimedPeakTracksSimultaneousEntries) {
+  Kernel k;
+  for (int i = 0; i < 8; ++i) {
+    k.spawn("p" + std::to_string(i), [&k, i]() -> Task {
+      co_await k.wait(Time::ns(static_cast<std::uint64_t>(i + 1)));
+    });
+  }
+  k.run();
+  EXPECT_EQ(k.stats().timed_peak, 8u);
+  EXPECT_EQ(k.stats().timed_actions, 8u);
+}
+
+TEST(TimedQueue, SingleSleeperStatsUnchanged) {
+  // The bypass-front fast path must be observationally identical to the
+  // general path: one timed action and one delta per wake.
+  Kernel k;
+  constexpr int kWakes = 100;
+  k.spawn("s", [&]() -> Task {
+    for (int i = 0; i < kWakes; ++i) co_await k.wait(1_ns);
+  });
+  k.run();
+  EXPECT_EQ(k.stats().timed_actions, static_cast<std::uint64_t>(kWakes));
+  EXPECT_EQ(k.stats().resumes, static_cast<std::uint64_t>(kWakes) + 1);
+  EXPECT_EQ(k.stats().deltas, static_cast<std::uint64_t>(kWakes) + 1);
+  EXPECT_EQ(k.stats().timed_peak, 1u);
+  EXPECT_EQ(k.now(), Time::ns(kWakes));
+}
+
+}  // namespace
