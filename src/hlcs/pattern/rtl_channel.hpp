@@ -112,20 +112,22 @@ private:
     }
     rtl_.settle();
     // Capture combinational grant/ret before latching -- the values a
-    // hardware client samples on this edge.
-    std::vector<std::size_t> granted;
+    // hardware client samples on this edge.  The grant list is a
+    // persistent scratch buffer so the per-edge hot path never
+    // allocates.
+    granted_.clear();
     for (std::size_t c = 0; c < clients_.size(); ++c) {
       ClientState& cs = *clients_[c];
       if (!cs.req) continue;
       if (rtl_.get(synth::grant_port(c)) != 0) {
         cs.ret = rtl_.get(synth::ret_port(c));
-        granted.push_back(c);
+        granted_.push_back(c);
       } else {
         cs.waited_cycles++;
       }
     }
     rtl_.clock_edge();
-    for (std::size_t c : granted) {
+    for (std::size_t c : granted_) {
       ClientState& cs = *clients_[c];
       cs.req = false;  // the client FSM deasserts on grant
       ++grants_;
@@ -138,6 +140,7 @@ private:
   }
 
   synth::NetlistSim rtl_;
+  std::vector<std::size_t> granted_;  ///< per-edge scratch (no allocation)
   std::vector<std::unique_ptr<ClientState>> clients_;
   std::uint64_t grants_ = 0;
   std::uint64_t edges_ = 0;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hlcs/synth/expr.hpp"
@@ -42,8 +43,12 @@ public:
 
   NetId add_net(std::string net_name, unsigned width) {
     HLCS_ASSERT(width >= 1 && width <= 64, "net width out of range");
+    const NetId id = static_cast<NetId>(nets_.size());
+    if (!index_.emplace(net_name, id).second) {
+      throw SynthesisError(name_ + ": duplicate net name '" + net_name + "'");
+    }
     nets_.push_back(Net{std::move(net_name), width});
-    return static_cast<NetId>(nets_.size() - 1);
+    return id;
   }
   void mark_input(NetId n) { inputs_.push_back(check(n)); }
   void mark_output(NetId n) { outputs_.push_back(check(n)); }
@@ -75,10 +80,9 @@ public:
   const std::vector<RegDesc>& regs() const { return regs_; }
 
   NetId find(const std::string& net_name) const {
-    for (NetId i = 0; i < nets_.size(); ++i) {
-      if (nets_[i].name == net_name) return i;
-    }
-    fail("Netlist: no net named " + net_name);
+    auto it = index_.find(net_name);
+    if (it == index_.end()) fail("Netlist: no net named " + net_name);
+    return it->second;
   }
 
   /// Checks the netlist is well-formed: every net driven exactly once
@@ -94,6 +98,7 @@ private:
 
   std::string name_;
   ExprArena arena_;
+  std::unordered_map<std::string, NetId> index_;  ///< name -> NetId
   std::vector<Net> nets_;
   std::vector<NetId> inputs_;
   std::vector<NetId> outputs_;

@@ -2,10 +2,31 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 
 namespace hlcs::synth {
 
 namespace {
+
+/// Structural identity of a node, for hash-consing.
+struct NodeKey {
+  ExprOp op;
+  unsigned width;
+  std::uint64_t imm;
+  ExprId a, b, c;
+
+  friend bool operator==(const NodeKey&, const NodeKey&) = default;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(k.op) * 0x9E3779B97F4A7C15ull;
+    h ^= (h >> 29) + k.width;
+    h = (h ^ k.imm) * 0xBF58476D1CE4E5B9ull;
+    h ^= (std::uint64_t{k.a} << 32) ^ (std::uint64_t{k.b} << 16) ^ k.c;
+    return static_cast<std::size_t>(h * 0x94D049BB133111EBull);
+  }
+};
 
 std::optional<std::uint64_t> const_of(const ExprArena& a, ExprId id) {
   const ExprNode& n = a.at(id);
@@ -41,21 +62,52 @@ std::size_t count_nodes(const ExprArena& a, ExprId id) {
 }
 
 struct Simplifier {
+  Simplifier(const ExprArena& s, ExprArena& d) : src(s), dst(d) {}
+
   const ExprArena& src;
   ExprArena& dst;
   std::size_t folds = 0;
+  std::size_t cse_hits = 0;
+  /// src node -> rewritten dst node (rewrite shared subtrees once).
+  std::unordered_map<ExprId, ExprId> memo;
+  /// Hash-consing table over dst: structurally identical nodes collapse
+  /// to one id, so downstream struct_eq is (mostly) id equality and the
+  /// tape compiler sees a reduced DAG.
+  std::unordered_map<NodeKey, ExprId, NodeKeyHash> interned;
 
-  ExprId cst(std::uint64_t v, unsigned w) { return dst.cst(v, w); }
+  /// Intern a freshly built (or folded-to-existing) dst node.
+  ExprId intern(ExprId id) {
+    const ExprNode& n = dst.at(id);
+    auto [it, inserted] =
+        interned.emplace(NodeKey{n.op, n.width, n.imm, n.a, n.b, n.c}, id);
+    if (!inserted && it->second != id) {
+      // The equivalent node already exists; the duplicate we just built
+      // stays in the arena unreferenced (append-only), which is harmless.
+      ++cse_hits;
+      return it->second;
+    }
+    return it->second;
+  }
+
+  ExprId cst(std::uint64_t v, unsigned w) { return intern(dst.cst(v, w)); }
 
   ExprId run(ExprId id) {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const ExprId out = rewrite(id);
+    memo.emplace(id, out);
+    return out;
+  }
+
+  ExprId rewrite(ExprId id) {
     const ExprNode& n = src.at(id);
     switch (n.op) {
       case ExprOp::Const:
-        return dst.cst(n.imm, n.width);
+        return cst(n.imm, n.width);
       case ExprOp::Var:
-        return dst.var(static_cast<std::uint32_t>(n.imm), n.width);
+        return intern(dst.var(static_cast<std::uint32_t>(n.imm), n.width));
       case ExprOp::Arg:
-        return dst.arg(static_cast<std::uint32_t>(n.imm), n.width);
+        return intern(dst.arg(static_cast<std::uint32_t>(n.imm), n.width));
       case ExprOp::Mux:
         return mux(run(n.a), run(n.b), run(n.c));
       case ExprOp::ZExt:
@@ -86,7 +138,7 @@ struct Simplifier {
       ++folds;
       return dst.at(a).a;
     }
-    return dst.un(op, a);
+    return intern(dst.un(op, a));
   }
 
   ExprId zext(ExprId a, unsigned w) {
@@ -98,7 +150,7 @@ struct Simplifier {
       ++folds;
       return cst(*ca, w);
     }
-    return dst.zext(a, w);
+    return intern(dst.zext(a, w));
   }
 
   ExprId slice(ExprId a, unsigned lsb, unsigned w) {
@@ -110,7 +162,7 @@ struct Simplifier {
       ++folds;
       return cst(*ca >> lsb, w);
     }
-    return dst.slice(a, lsb, w);
+    return intern(dst.slice(a, lsb, w));
   }
 
   ExprId mux(ExprId s, ExprId t, ExprId f) {
@@ -122,7 +174,7 @@ struct Simplifier {
       ++folds;
       return t;
     }
-    return dst.mux(s, t, f);
+    return intern(dst.mux(s, t, f));
   }
 
   ExprId bin(ExprOp op, ExprId a, ExprId b) {
@@ -192,7 +244,7 @@ struct Simplifier {
         default: return cst(0, wa);  // x^x, x-x
       }
     }
-    return dst.bin(op, a, b);
+    return intern(dst.bin(op, a, b));
   }
 
   ExprId fold_bin(ExprOp op, std::uint64_t a, std::uint64_t b, unsigned wa,
@@ -229,7 +281,7 @@ Netlist optimize(const Netlist& nl, OptimizeStats* stats) {
   for (const RegDesc& r : nl.regs()) out.add_reg(r.q, r.d, r.init);
 
   OptimizeStats local;
-  Simplifier s{nl.arena(), out.arena(), 0};
+  Simplifier s(nl.arena(), out.arena());
   for (const CombAssign& c : nl.combs()) {
     local.nodes_before += count_nodes(nl.arena(), c.value);
     ExprId v = s.run(c.value);
@@ -241,6 +293,7 @@ Netlist optimize(const Netlist& nl, OptimizeStats* stats) {
     local.nodes_after += count_nodes(out.arena(), v);
   }
   local.folds = s.folds;
+  local.cse_hits = s.cse_hits;
   out.validate_and_order();
   if (stats) *stats = local;
   return out;

@@ -16,6 +16,10 @@
 //   * mux(1,a,b)=a, mux(0,a,b)=b, mux(c,a,a)=a
 //   * not(not(x))=x, zext to same width = x, slice of whole = x
 //   * slice(const), zext(const), concat(const,const) folded
+//   * common-subexpression elimination: the output arena is hash-consed,
+//     so structurally identical subexpressions (within and across comb
+//     assigns) collapse to one node -- the tape compiler
+//     (hlcs/synth/tape.hpp) then evaluates each shared node once
 #pragma once
 
 #include "hlcs/synth/netlist.hpp"
@@ -25,7 +29,8 @@ namespace hlcs::synth {
 struct OptimizeStats {
   std::size_t nodes_before = 0;
   std::size_t nodes_after = 0;
-  std::size_t folds = 0;  ///< rewrites applied
+  std::size_t folds = 0;     ///< rewrites applied
+  std::size_t cse_hits = 0;  ///< nodes deduplicated by hash-consing
 };
 
 /// Return a behaviourally identical netlist with simplified

@@ -1,13 +1,24 @@
 // Cycle-accurate netlist simulator.
 //
 // NetlistSim is a standalone two-phase evaluator (settle combinational
-// logic in topological order, latch registers on clock_edge()) used by
-// the consistency experiments and tests.  RtlModule wraps a NetlistSim
-// into a kernel Module driven by a Clock with Signal<uint64_t> pins, so
-// synthesised blocks co-simulate with behavioural models.
+// logic, latch registers on clock_edge()) used by the consistency
+// experiments and tests.  Since PR 2 the combinational logic runs on a
+// compile-once bytecode tape (hlcs/synth/tape.hpp) and settling is
+// event-driven: only the cone reachable from nets that actually changed
+// is re-evaluated, drained in topological-level order.  The legacy
+// recursive tree-walk and a full-tape mode are kept selectable for A/B
+// measurement and the bit-identity test suite (docs/PERF.md).
+//
+// RtlModule wraps a NetlistSim into a kernel Module driven by a Clock
+// with Signal<uint64_t> pins, so synthesised blocks co-simulate with
+// behavioural models.  Pins are resolved string->NetId once at
+// construction and iterated as flat name-sorted arrays on each edge, so
+// sampling/publishing order is deterministic across platforms.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,24 +27,57 @@
 #include "hlcs/sim/module.hpp"
 #include "hlcs/sim/signal.hpp"
 #include "hlcs/synth/netlist.hpp"
+#include "hlcs/synth/tape.hpp"
 
 namespace hlcs::synth {
 
+/// How settle() evaluates the combinational logic.
+enum class SettleMode : std::uint8_t {
+  Incremental,  ///< event-driven: dirty cone only, in level order (default)
+  FullTape,     ///< every comb, every settle, on the bytecode tape
+  TreeWalk,     ///< every comb via the recursive interpreter (A/B reference)
+};
+
+inline const char* to_string(SettleMode m) {
+  switch (m) {
+    case SettleMode::Incremental: return "incremental";
+    case SettleMode::FullTape: return "full_tape";
+    case SettleMode::TreeWalk: return "tree_walk";
+  }
+  return "?";
+}
+
 class NetlistSim {
 public:
-  explicit NetlistSim(const Netlist& nl)
-      : nl_(nl), order_(nl.validate_and_order()), values_(nl.nets().size(), 0) {
+  explicit NetlistSim(const Netlist& nl,
+                      SettleMode mode = SettleMode::Incremental)
+      : nl_(nl),
+        mode_(mode),
+        tape_(TapeProgram::compile(nl)),
+        values_(nl.nets().size(), 0),
+        stack_(std::max<std::uint32_t>(tape_.max_stack(), 1), 0),
+        slots_(std::max<std::uint32_t>(tape_.max_slots(), 1), 0),
+        latch_(nl.regs().size(), 0),
+        dirty_(tape_.combs().size(), 0),
+        buckets_(tape_.levels()) {
+    if (mode_ == SettleMode::TreeWalk) order_ = nl.validate_and_order();
     reset_state();
   }
 
-  /// Latch every register's initial value and settle.
+  /// Latch every register's initial value and settle (fully).
   void reset_state() {
     for (const RegDesc& r : nl_.regs()) values_[r.q] = r.init;
-    settle();
+    full_settle();
+    ++stats_.settles;
+    ++stats_.full_settles;
   }
 
   void set_input(NetId n, std::uint64_t v) {
-    values_[n] = v & ExprArena::mask(nl_.nets()[n].width);
+    v &= ExprArena::mask(nl_.nets()[n].width);
+    if (values_[n] == v) return;
+    values_[n] = v;
+    ++stats_.input_changes;
+    if (mode_ == SettleMode::Incremental) mark_net(n);
   }
   void set_input(const std::string& name, std::uint64_t v) {
     set_input(nl_.find(name), v);
@@ -44,53 +88,146 @@ public:
     return values_.at(nl_.find(name));
   }
 
-  /// Propagate combinational logic (topological order -> one pass).
+  /// Propagate combinational logic.  Incremental mode drains the dirty
+  /// worklist level by level; the other modes evaluate every comb.
   void settle() {
-    const auto& combs = nl_.combs();
-    for (std::size_t ci : order_) {
-      values_[combs[ci].target] = eval(nl_.arena(), combs[ci].value, values_, {});
+    ++stats_.settles;
+    if (mode_ != SettleMode::Incremental) {
+      full_settle();
+      ++stats_.full_settles;
+      return;
     }
+    stats_.combs_possible += tape_.combs().size();
+    if (pending_ == 0) return;
+    const std::vector<TapeComb>& combs = tape_.combs();
+    for (std::vector<std::uint32_t>& bucket : buckets_) {
+      // Evaluating a comb at level L only dirties strictly higher
+      // levels, so this bucket cannot grow while we drain it.
+      for (std::uint32_t ci : bucket) {
+        dirty_[ci] = 0;
+        const TapeComb& c = combs[ci];
+        const std::uint64_t v =
+            tape_.run(c, values_.data(), stack_.data(), slots_.data());
+        ++stats_.combs_evaluated;
+        stats_.tape_instructions += c.end - c.begin;
+        if (values_[c.target] != v) {
+          values_[c.target] = v;
+          mark_net(c.target);
+        }
+      }
+      bucket.clear();
+    }
+    pending_ = 0;
   }
 
   /// One rising clock edge: settle, latch all registers simultaneously,
   /// settle again so outputs reflect the new state.
   void clock_edge() {
     settle();
-    std::vector<std::uint64_t> next;
-    next.reserve(nl_.regs().size());
-    for (const RegDesc& r : nl_.regs()) next.push_back(values_[r.d]);
-    std::size_t i = 0;
-    for (const RegDesc& r : nl_.regs()) values_[r.q] = next[i++];
+    const std::vector<RegDesc>& regs = nl_.regs();
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      latch_[i] = values_[regs[i].d];
+    }
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      const NetId q = regs[i].q;
+      if (values_[q] == latch_[i]) continue;
+      values_[q] = latch_[i];
+      ++stats_.reg_changes;
+      if (mode_ == SettleMode::Incremental) mark_net(q);
+    }
     settle();
+    ++stats_.edges;
   }
 
   const Netlist& netlist() const { return nl_; }
+  const TapeProgram& tape() const { return tape_; }
+  SettleMode mode() const { return mode_; }
+  const NetlistStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetlistStats{}; }
 
 private:
+  /// Evaluate every comb in topological order, then discard any pending
+  /// dirty state (everything is consistent afterwards).
+  void full_settle() {
+    stats_.combs_possible += tape_.combs().size();
+    if (mode_ == SettleMode::TreeWalk) {
+      const auto& combs = nl_.combs();
+      for (std::size_t ci : order_) {
+        values_[combs[ci].target] =
+            eval(nl_.arena(), combs[ci].value, values_, {});
+        ++stats_.combs_evaluated;
+      }
+    } else {
+      for (const TapeComb& c : tape_.combs()) {
+        values_[c.target] =
+            tape_.run(c, values_.data(), stack_.data(), slots_.data());
+        ++stats_.combs_evaluated;
+        stats_.tape_instructions += c.end - c.begin;
+      }
+    }
+    if (pending_ != 0) {
+      for (std::vector<std::uint32_t>& bucket : buckets_) {
+        for (std::uint32_t ci : bucket) dirty_[ci] = 0;
+        bucket.clear();
+      }
+      pending_ = 0;
+    }
+  }
+
+  void mark_net(NetId n) {
+    const std::uint32_t* it = tape_.fanout_begin(n);
+    const std::uint32_t* end = tape_.fanout_end(n);
+    for (; it != end; ++it) {
+      if (dirty_[*it]) continue;
+      dirty_[*it] = 1;
+      buckets_[tape_.combs()[*it].level].push_back(*it);
+      ++pending_;
+    }
+    if (pending_ > stats_.peak_worklist) stats_.peak_worklist = pending_;
+  }
+
   const Netlist& nl_;
-  std::vector<std::size_t> order_;
+  SettleMode mode_;
+  TapeProgram tape_;
+  std::vector<std::size_t> order_;  ///< TreeWalk mode only
   std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> stack_;  ///< tape evaluation stack
+  std::vector<std::uint64_t> slots_;  ///< tape CSE slots
+  std::vector<std::uint64_t> latch_;  ///< persistent two-phase reg scratch
+  std::vector<std::uint8_t> dirty_;   ///< per comb (topo index)
+  std::vector<std::vector<std::uint32_t>> buckets_;  ///< dirty combs per level
+  std::size_t pending_ = 0;
+  NetlistStats stats_;
 };
 
 /// Kernel integration: the synthesised block as a clocked module.  Input
 /// nets are sampled from bound signals just before each rising edge
 /// (i.e. the values written during the previous cycle), and output nets
-/// are published to bound signals after the edge.
+/// are published to bound signals after the edge.  Pins live in dense
+/// name-sorted arrays: resolution happens once here, and edge traversal
+/// order (hence VCD trace and transcript order) is deterministic.
 class RtlModule : public sim::Module {
 public:
   RtlModule(sim::Kernel& k, std::string name, const Netlist& nl,
             sim::Clock& clk)
       : Module(k, std::move(name)), sim_(nl) {
-    for (NetId n : nl.inputs()) {
-      in_.emplace(nl.nets()[n].name,
-                  Pin{n, std::make_unique<sim::Signal<std::uint64_t>>(
-                             k, sub(nl.nets()[n].name), 0)});
-    }
-    for (NetId n : nl.outputs()) {
-      out_.emplace(nl.nets()[n].name,
-                   Pin{n, std::make_unique<sim::Signal<std::uint64_t>>(
-                              k, sub(nl.nets()[n].name), 0)});
-    }
+    auto build = [&](const std::vector<NetId>& nets, std::vector<Pin>& pins,
+                     std::unordered_map<std::string, std::size_t>& index) {
+      std::vector<NetId> sorted = nets;
+      std::sort(sorted.begin(), sorted.end(), [&](NetId a, NetId b) {
+        return nl.nets()[a].name < nl.nets()[b].name;
+      });
+      pins.reserve(sorted.size());
+      for (NetId n : sorted) {
+        const std::string& pin_name = nl.nets()[n].name;
+        index.emplace(pin_name, pins.size());
+        pins.push_back(Pin{pin_name, n,
+                           std::make_unique<sim::Signal<std::uint64_t>>(
+                               k, sub(pin_name), 0)});
+      }
+    };
+    build(nl.inputs(), in_, in_ix_);
+    build(nl.outputs(), out_, out_ix_);
     sim::MethodProcess& m =
         method("edge", [this] { on_edge(); }, /*initial_trigger=*/false);
     clk.posedge().add_static(m);
@@ -98,39 +235,53 @@ public:
   }
 
   sim::Signal<std::uint64_t>& in(const std::string& pin_name) {
-    auto it = in_.find(pin_name);
-    HLCS_ASSERT(it != in_.end(), "RtlModule: no input pin " + pin_name);
-    return *it->second.sig;
+    auto it = in_ix_.find(pin_name);
+    HLCS_ASSERT(it != in_ix_.end(), "RtlModule: no input pin " + pin_name);
+    return *in_[it->second].sig;
   }
   sim::Signal<std::uint64_t>& out(const std::string& pin_name) {
-    auto it = out_.find(pin_name);
-    HLCS_ASSERT(it != out_.end(), "RtlModule: no output pin " + pin_name);
-    return *it->second.sig;
+    auto it = out_ix_.find(pin_name);
+    HLCS_ASSERT(it != out_ix_.end(), "RtlModule: no output pin " + pin_name);
+    return *out_[it->second].sig;
   }
+
+  /// Pin names in traversal (publish) order: sorted, deterministic.
+  std::vector<std::string> input_pins() const { return names(in_); }
+  std::vector<std::string> output_pins() const { return names(out_); }
 
   NetlistSim& netlist_sim() { return sim_; }
   std::uint64_t edges() const { return edges_; }
 
 private:
   struct Pin {
+    std::string name;
     NetId net;
     std::unique_ptr<sim::Signal<std::uint64_t>> sig;
   };
 
+  static std::vector<std::string> names(const std::vector<Pin>& pins) {
+    std::vector<std::string> out;
+    out.reserve(pins.size());
+    for (const Pin& p : pins) out.push_back(p.name);
+    return out;
+  }
+
   void on_edge() {
-    for (auto& [pin_name, pin] : in_) sim_.set_input(pin.net, pin.sig->read());
+    for (const Pin& pin : in_) sim_.set_input(pin.net, pin.sig->read());
     sim_.clock_edge();
     publish_outputs();
     ++edges_;
   }
 
   void publish_outputs() {
-    for (auto& [pin_name, pin] : out_) pin.sig->write(sim_.get(pin.net));
+    for (const Pin& pin : out_) pin.sig->write(sim_.get(pin.net));
   }
 
   NetlistSim sim_;
-  std::unordered_map<std::string, Pin> in_;
-  std::unordered_map<std::string, Pin> out_;
+  std::vector<Pin> in_;
+  std::vector<Pin> out_;
+  std::unordered_map<std::string, std::size_t> in_ix_;
+  std::unordered_map<std::string, std::size_t> out_ix_;
   std::uint64_t edges_ = 0;
 };
 

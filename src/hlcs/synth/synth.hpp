@@ -13,4 +13,5 @@
 #include "hlcs/synth/poly.hpp"
 #include "hlcs/synth/report.hpp"
 #include "hlcs/synth/rtl_sim.hpp"
+#include "hlcs/synth/tape.hpp"
 #include "hlcs/synth/verilog.hpp"

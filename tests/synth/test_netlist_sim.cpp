@@ -184,5 +184,39 @@ TEST(RtlModule, UnknownPinThrows) {
   EXPECT_THROW(rtl.out("bogus"), hlcs::Error);
 }
 
+TEST(RtlModule, PinEnumerationIsSorted) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  Netlist nl = make_counter_netlist();
+  RtlModule rtl(k, "dut", nl, clk);
+  const std::vector<std::string> ins = rtl.input_pins();
+  EXPECT_EQ(ins, (std::vector<std::string>{"en", "rst"}));
+  const std::vector<std::string> outs = rtl.output_pins();
+  EXPECT_EQ(outs, (std::vector<std::string>{"q"}));
+}
+
+TEST(Netlist, RejectsDuplicateNetName) {
+  Netlist nl("dup");
+  nl.add_net("x", 4);
+  EXPECT_THROW(nl.add_net("x", 8), SynthesisError);
+}
+
+TEST(NetlistSim, StatsCountEdgesAndRegisterChanges) {
+  Netlist nl = make_counter_netlist();
+  NetlistSim s(nl);
+  s.reset_stats();
+  s.set_input("rst", 0);
+  s.set_input("en", 1);
+  for (int i = 0; i < 4; ++i) s.clock_edge();
+  const NetlistStats& st = s.stats();
+  EXPECT_EQ(st.edges, 4u);
+  EXPECT_EQ(st.reg_changes, 4u);  // q changes every edge while counting
+  EXPECT_EQ(st.input_changes, 1u);  // rst was already 0, only en changed
+  s.set_input("en", 0);
+  s.clock_edge();
+  s.clock_edge();
+  EXPECT_EQ(s.stats().reg_changes, 4u) << "disabled counter latched anyway";
+}
+
 }  // namespace
 }  // namespace hlcs::synth

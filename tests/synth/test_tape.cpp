@@ -1,0 +1,530 @@
+// Tape engine: structure tests plus the randomized bit-identity suite.
+//
+// The compiled tape + event-driven settle must be indistinguishable from
+// the recursive tree-walking interpreter on every net, every cycle.  The
+// suite generates seeded random netlists (DAG-shaped expressions, shared
+// subtrees, registers, feedback through regs) and random ObjectDescs
+// (synthesised and cross-checked against the ObjectInterp-backed golden
+// model), then drives thousands of edges comparing all three settle
+// modes in lock step.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hlcs/sim/random.hpp"
+#include "hlcs/synth/equiv.hpp"
+#include "hlcs/synth/optimize.hpp"
+#include "hlcs/synth/rtl_sim.hpp"
+#include "hlcs/synth/tape.hpp"
+
+namespace hlcs::synth {
+namespace {
+
+// ---------------------------------------------------------------------
+// Random netlist generation
+// ---------------------------------------------------------------------
+
+struct NetlistGen {
+  Netlist nl;
+  sim::Xorshift rng;
+  std::vector<NetId> inputs;
+  /// Nets usable as expression sources at the current build point.
+  std::vector<NetId> avail;
+  /// Previously built expressions by rough size class, for DAG sharing.
+  std::vector<ExprId> pool;
+
+  explicit NetlistGen(std::uint64_t seed) : nl("rand"), rng(seed) {}
+
+  unsigned rand_width() {
+    // Bias towards narrow nets, with occasional wide ones.
+    switch (rng.below(4)) {
+      case 0: return 1;
+      case 1: return static_cast<unsigned>(rng.range(2, 8));
+      case 2: return static_cast<unsigned>(rng.range(9, 24));
+      default: return static_cast<unsigned>(rng.range(25, 64));
+    }
+  }
+
+  /// An expression of exactly `width` bits from an existing net.
+  ExprId net_leaf(unsigned width) {
+    const NetId n = avail[rng.below(avail.size())];
+    const unsigned w = nl.nets()[n].width;
+    ExprId e = nl.net_ref(n);
+    if (w == width) return e;
+    if (w > width) {
+      const unsigned lsb = static_cast<unsigned>(rng.below(w - width + 1));
+      return nl.arena().slice(e, lsb, width);
+    }
+    return nl.arena().zext(e, width);
+  }
+
+  ExprId expr(unsigned width, unsigned depth) {
+    // Occasionally reuse an already-built expression of this width: that
+    // makes the arena a DAG and exercises the tape's slot-CSE path.
+    if (!pool.empty() && rng.chance(1, 5)) {
+      const ExprId cand = pool[rng.below(pool.size())];
+      if (nl.arena().at(cand).width == width) return cand;
+    }
+    ExprId out = build(width, depth);
+    pool.push_back(out);
+    return out;
+  }
+
+  ExprId build(unsigned width, unsigned depth) {
+    auto& A = nl.arena();
+    if (depth == 0 || rng.chance(1, 4)) {
+      if (rng.chance(1, 3)) return A.cst(rng.next(), width);
+      return net_leaf(width);
+    }
+    const unsigned d = depth - 1;
+    if (width == 1 && rng.chance(1, 2)) {
+      // 1-bit results: comparisons and reductions.
+      const unsigned ow = rand_width();
+      switch (rng.below(4)) {
+        case 0: return A.un(ExprOp::RedOr, expr(ow, d));
+        case 1: return A.un(ExprOp::RedAnd, expr(ow, d));
+        case 2: {
+          static constexpr ExprOp cmp[] = {ExprOp::Eq, ExprOp::Ne, ExprOp::Lt,
+                                           ExprOp::Le, ExprOp::Gt, ExprOp::Ge};
+          return A.bin(cmp[rng.below(6)], expr(ow, d), expr(ow, d));
+        }
+        default: break;  // fall through to the generic ops
+      }
+    }
+    switch (rng.below(8)) {
+      case 0: return A.un(rng.chance(1, 2) ? ExprOp::Not : ExprOp::Neg,
+                          expr(width, d));
+      case 1: {
+        static constexpr ExprOp arith[] = {ExprOp::Add, ExprOp::Sub,
+                                           ExprOp::Mul};
+        return A.bin(arith[rng.below(3)], expr(width, d), expr(width, d));
+      }
+      case 2: {
+        static constexpr ExprOp bitw[] = {ExprOp::And, ExprOp::Or, ExprOp::Xor};
+        return A.bin(bitw[rng.below(3)], expr(width, d), expr(width, d));
+      }
+      case 3:
+        return A.bin(rng.chance(1, 2) ? ExprOp::Shl : ExprOp::Shr,
+                     expr(width, d),
+                     expr(static_cast<unsigned>(rng.range(1, 7)), d));
+      case 4:
+        if (width >= 2) {
+          const unsigned wb = static_cast<unsigned>(rng.range(1, width - 1));
+          return A.bin(ExprOp::Concat, expr(width - wb, d), expr(wb, d));
+        }
+        [[fallthrough]];
+      case 5:
+        return A.mux(expr(1, d), expr(width, d), expr(width, d));
+      case 6:
+        if (width < 64) {
+          const unsigned narrower =
+              static_cast<unsigned>(rng.range(1, width));
+          return A.zext(expr(narrower, d), width);
+        }
+        [[fallthrough]];
+      default: {
+        const unsigned wider = static_cast<unsigned>(rng.range(width, 64));
+        const unsigned lsb =
+            static_cast<unsigned>(rng.below(wider - width + 1));
+        return A.slice(expr(wider, d), lsb, width);
+      }
+    }
+  }
+};
+
+/// A random-but-valid netlist: inputs, a comb pipeline where net i only
+/// reads earlier nets (acyclic by construction), and registers feeding
+/// back into the logic.
+Netlist make_random_netlist(std::uint64_t seed) {
+  NetlistGen g(seed);
+  const std::size_t n_in = g.rng.range(1, 4);
+  const std::size_t n_reg = g.rng.range(1, 4);
+  const std::size_t n_mid = g.rng.range(2, 10);
+
+  for (std::size_t i = 0; i < n_in; ++i) {
+    NetId n = g.nl.add_net("in" + std::to_string(i), g.rand_width());
+    g.nl.mark_input(n);
+    g.inputs.push_back(n);
+    g.avail.push_back(n);
+  }
+  struct Reg {
+    NetId q, d;
+  };
+  std::vector<Reg> regs;
+  for (std::size_t i = 0; i < n_reg; ++i) {
+    const unsigned w = g.rand_width();
+    Reg r;
+    r.q = g.nl.add_net("q" + std::to_string(i), w);
+    r.d = g.nl.add_net("d" + std::to_string(i), w);
+    g.nl.add_reg(r.q, r.d, g.rng.next());
+    regs.push_back(r);
+    g.avail.push_back(r.q);  // feedback: combs may read register outputs
+  }
+  for (std::size_t i = 0; i < n_mid; ++i) {
+    const unsigned w = g.rand_width();
+    NetId n = g.nl.add_net("m" + std::to_string(i), w);
+    g.nl.add_comb(n, g.expr(w, static_cast<unsigned>(g.rng.range(1, 4))));
+    g.avail.push_back(n);  // later combs may read it: stays acyclic
+    if (g.rng.chance(1, 2)) g.nl.mark_output(n);
+  }
+  for (const Reg& r : regs) {
+    const unsigned w = g.nl.nets()[r.d].width;
+    g.nl.add_comb(r.d, g.expr(w, static_cast<unsigned>(g.rng.range(1, 4))));
+  }
+  g.nl.validate_and_order();
+  return g.nl;
+}
+
+/// Drive `sims` in lock step with random stimulus and require bit
+/// identity on every net after every settle and every edge.
+void drive_lockstep(const Netlist& nl, std::vector<NetlistSim*> sims,
+                    std::uint64_t seed, int edges) {
+  sim::Xorshift rng(seed);
+  const std::vector<NetId>& ins = nl.inputs();
+  auto expect_identical = [&](int edge, const char* phase) {
+    for (NetId n = 0; n < nl.nets().size(); ++n) {
+      const std::uint64_t ref = sims[0]->get(n);
+      for (std::size_t s = 1; s < sims.size(); ++s) {
+        ASSERT_EQ(sims[s]->get(n), ref)
+            << "net '" << nl.nets()[n].name << "' differs (" << phase
+            << ", edge " << edge << ", " << to_string(sims[s]->mode())
+            << " vs " << to_string(sims[0]->mode()) << ")";
+      }
+    }
+  };
+  for (int e = 0; e < edges; ++e) {
+    for (NetId in : ins) {
+      // Sometimes rewrite with the same value, sometimes skip the input
+      // entirely: the sparse paths must behave exactly like the dense
+      // ones.
+      if (rng.chance(1, 4)) continue;
+      const std::uint64_t v =
+          rng.chance(1, 4) ? sims[0]->get(in) : rng.next();
+      for (NetlistSim* s : sims) s->set_input(in, v);
+    }
+    if (rng.chance(1, 3)) {
+      for (NetlistSim* s : sims) s->settle();
+      expect_identical(e, "settle");
+    }
+    for (NetlistSim* s : sims) s->clock_edge();
+    expect_identical(e, "edge");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Structure tests
+// ---------------------------------------------------------------------
+
+TEST(Tape, CompilesCounterToExpectedShape) {
+  Netlist nl("counter8");
+  NetId rst = nl.add_net("rst", 1);
+  NetId en = nl.add_net("en", 1);
+  NetId q = nl.add_net("q", 8);
+  NetId d = nl.add_net("d", 8);
+  nl.mark_input(rst);
+  nl.mark_input(en);
+  nl.mark_output(q);
+  nl.add_reg(q, d, 0);
+  auto& A = nl.arena();
+  ExprId inc = A.bin(ExprOp::Add, nl.net_ref(q), A.cst(1, 8));
+  ExprId held = A.mux(nl.net_ref(en), inc, nl.net_ref(q));
+  nl.add_comb(d, A.mux(nl.net_ref(rst), A.cst(0, 8), held));
+
+  TapeProgram p = TapeProgram::compile(nl);
+  ASSERT_EQ(p.combs().size(), 1u);
+  EXPECT_EQ(p.combs()[0].target, d);
+  EXPECT_EQ(p.combs()[0].level, 0u);
+  EXPECT_EQ(p.levels(), 1u);
+  EXPECT_GE(p.max_stack(), 3u);
+  // Fanout: the comb reads rst, en and q but not d.
+  EXPECT_EQ(p.fanout_end(rst) - p.fanout_begin(rst), 1);
+  EXPECT_EQ(p.fanout_end(en) - p.fanout_begin(en), 1);
+  EXPECT_EQ(p.fanout_end(q) - p.fanout_begin(q), 1);
+  EXPECT_EQ(p.fanout_end(d) - p.fanout_begin(d), 0);
+}
+
+TEST(Tape, LevelsFollowDependencyChains) {
+  Netlist nl("chain");
+  NetId in = nl.add_net("in", 4);
+  nl.mark_input(in);
+  NetId a = nl.add_net("a", 4);
+  NetId b = nl.add_net("b", 4);
+  NetId c = nl.add_net("c", 4);
+  nl.mark_output(c);
+  auto& A = nl.arena();
+  nl.add_comb(c, A.bin(ExprOp::Add, nl.net_ref(b), A.cst(1, 4)));
+  nl.add_comb(b, A.bin(ExprOp::Add, nl.net_ref(a), A.cst(1, 4)));
+  nl.add_comb(a, A.bin(ExprOp::Add, nl.net_ref(in), A.cst(1, 4)));
+  TapeProgram p = TapeProgram::compile(nl);
+  ASSERT_EQ(p.combs().size(), 3u);
+  EXPECT_EQ(p.levels(), 3u);
+  // Topo order a, b, c with levels 0, 1, 2.
+  EXPECT_EQ(p.combs()[0].target, a);
+  EXPECT_EQ(p.combs()[0].level, 0u);
+  EXPECT_EQ(p.combs()[1].target, b);
+  EXPECT_EQ(p.combs()[1].level, 1u);
+  EXPECT_EQ(p.combs()[2].target, c);
+  EXPECT_EQ(p.combs()[2].level, 2u);
+}
+
+TEST(Tape, SharedSubtreesCompileToSlots) {
+  // (x*x) appears three times through the same arena node: the tape
+  // must compute it once (one Mul) and re-push it from a slot.
+  Netlist nl("cse");
+  NetId x = nl.add_net("x", 16);
+  nl.mark_input(x);
+  NetId y = nl.add_net("y", 16);
+  nl.mark_output(y);
+  auto& A = nl.arena();
+  ExprId sq = A.bin(ExprOp::Mul, nl.net_ref(x), nl.net_ref(x));
+  ExprId sum = A.bin(ExprOp::Add, sq, sq);
+  nl.add_comb(y, A.bin(ExprOp::Add, sum, sq));
+  TapeProgram p = TapeProgram::compile(nl);
+  EXPECT_GE(p.max_slots(), 1u);
+  std::size_t muls = 0, pushes = 0;
+  for (const TapeInsn& i : p.code()) {
+    if (i.op == TapeOp::Mul) ++muls;
+    if (i.op == TapeOp::PushSlot) ++pushes;
+  }
+  EXPECT_EQ(muls, 1u) << "shared subtree evaluated more than once";
+  EXPECT_EQ(pushes, 3u);
+
+  NetlistSim s(nl);
+  s.set_input("x", 7);
+  s.settle();
+  EXPECT_EQ(s.get("y"), (7u * 7u) * 3u);
+}
+
+// ---------------------------------------------------------------------
+// Incremental-settle behaviour (NetlistStats)
+// ---------------------------------------------------------------------
+
+TEST(NetlistSimIncremental, QuiescentSettleEvaluatesNothing) {
+  Netlist nl = make_random_netlist(0xBEEF);
+  NetlistSim s(nl);
+  s.clock_edge();
+  s.clock_edge();
+  // Let register feedback reach a fixed point (or not -- either way a
+  // settle with no new events after a settle must be free).
+  s.settle();
+  const std::uint64_t before = s.stats().combs_evaluated;
+  s.settle();
+  EXPECT_EQ(s.stats().combs_evaluated, before)
+      << "settle with empty worklist re-evaluated combs";
+  // Re-writing an input with its current value must not dirty anything.
+  const NetId in = nl.inputs()[0];
+  s.set_input(in, s.get(in));
+  s.settle();
+  EXPECT_EQ(s.stats().combs_evaluated, before);
+}
+
+TEST(NetlistSimIncremental, SparseInputTouchesOnlyTheCone) {
+  // chain: in0 -> a -> b ; in1 -> c   (two independent cones)
+  Netlist nl("cones");
+  NetId in0 = nl.add_net("in0", 8);
+  NetId in1 = nl.add_net("in1", 8);
+  nl.mark_input(in0);
+  nl.mark_input(in1);
+  NetId a = nl.add_net("a", 8);
+  NetId b = nl.add_net("b", 8);
+  NetId c = nl.add_net("c", 8);
+  nl.mark_output(b);
+  nl.mark_output(c);
+  auto& A = nl.arena();
+  nl.add_comb(a, A.bin(ExprOp::Add, nl.net_ref(in0), A.cst(1, 8)));
+  nl.add_comb(b, A.bin(ExprOp::Add, nl.net_ref(a), A.cst(1, 8)));
+  nl.add_comb(c, A.bin(ExprOp::Add, nl.net_ref(in1), A.cst(1, 8)));
+
+  NetlistSim s(nl);
+  const std::uint64_t base = s.stats().combs_evaluated;
+  s.set_input(in1, 5);
+  s.settle();
+  // Only c is in in1's cone.
+  EXPECT_EQ(s.stats().combs_evaluated, base + 1);
+  EXPECT_EQ(s.get(c), 6u);
+  s.set_input(in0, 1);
+  s.settle();
+  EXPECT_EQ(s.stats().combs_evaluated, base + 3);  // a and b
+  EXPECT_EQ(s.get(b), 3u);
+  EXPECT_GE(s.stats().peak_worklist, 1u);
+  EXPECT_EQ(s.stats().settles, 3u);  // reset_state + the two above
+}
+
+TEST(NetlistSimIncremental, ChangePropagationStopsWhenValueIsStable) {
+  // b = redor(zext(a)) stays 1 for most values of a: changing a must
+  // re-evaluate a's cone but stop before b's reader when b is unchanged.
+  Netlist nl("stable");
+  NetId in = nl.add_net("in", 8);
+  nl.mark_input(in);
+  NetId a = nl.add_net("a", 8);
+  NetId b = nl.add_net("b", 1);
+  NetId c = nl.add_net("c", 1);
+  nl.mark_output(c);
+  auto& A = nl.arena();
+  nl.add_comb(a, A.bin(ExprOp::Or, nl.net_ref(in), A.cst(1, 8)));
+  nl.add_comb(b, A.un(ExprOp::RedOr, nl.net_ref(a)));  // always 1
+  nl.add_comb(c, A.un(ExprOp::Not, nl.net_ref(b)));
+  NetlistSim s(nl);
+  const std::uint64_t base = s.stats().combs_evaluated;
+  s.set_input(in, 0x40);
+  s.settle();
+  // a changed, b recomputed but unchanged, c never dirtied.
+  EXPECT_EQ(s.stats().combs_evaluated, base + 2);
+}
+
+// ---------------------------------------------------------------------
+// Randomized bit-identity
+// ---------------------------------------------------------------------
+
+TEST(TapeEquivalence, RandomNetlistsAllModesBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Netlist nl = make_random_netlist(seed * 0x9E3779B9u);
+    NetlistSim tree(nl, SettleMode::TreeWalk);
+    NetlistSim full(nl, SettleMode::FullTape);
+    NetlistSim incr(nl, SettleMode::Incremental);
+    drive_lockstep(nl, {&tree, &full, &incr}, seed ^ 0xD1CE, 400);
+    // The incremental engine must not have done more comb evaluations
+    // than the full engine (it may do fewer).
+    EXPECT_LE(incr.stats().combs_evaluated, full.stats().combs_evaluated)
+        << "seed " << seed;
+  }
+}
+
+TEST(TapeEquivalence, OptimizedRandomNetlistsStayBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Netlist nl = make_random_netlist(seed * 0xABCDu + 17);
+    Netlist opt = optimize(nl);
+    NetlistSim ref(nl, SettleMode::TreeWalk);
+    NetlistSim fast(opt, SettleMode::Incremental);
+    sim::Xorshift rng(seed);
+    for (int e = 0; e < 300; ++e) {
+      for (NetId in : nl.inputs()) {
+        const std::uint64_t v = rng.next();
+        ref.set_input(in, v);
+        fast.set_input(in, v);
+      }
+      ref.clock_edge();
+      fast.clock_edge();
+      for (NetId out : nl.outputs()) {
+        ASSERT_EQ(fast.get(out), ref.get(out))
+            << "seed " << seed << " edge " << e << " net "
+            << nl.nets()[out].name;
+      }
+      for (const RegDesc& r : nl.regs()) {
+        ASSERT_EQ(fast.get(r.q), ref.get(r.q)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+/// Randomized ObjectDesc -> synthesis -> lock-step against the
+/// ObjectInterp-backed golden model (check_equivalence drives the
+/// default incremental NetlistSim).
+TEST(TapeEquivalence, RandomObjectsMatchInterpreter) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Xorshift rng(seed * 77 + 3);
+    ObjectDesc d("rand_obj");
+    const std::size_t n_vars = rng.range(1, 3);
+    std::vector<unsigned> var_w;
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      var_w.push_back(static_cast<unsigned>(rng.range(1, 16)));
+      d.add_var("v" + std::to_string(v), var_w.back(), rng.next());
+    }
+    const std::size_t n_methods = rng.range(1, 3);
+    for (std::size_t m = 0; m < n_methods; ++m) {
+      auto mb = d.add_method("m" + std::to_string(m));
+      unsigned arg_w = 0;
+      if (rng.chance(1, 2)) {
+        arg_w = static_cast<unsigned>(rng.range(1, 16));
+        mb.arg("a0", arg_w);
+      }
+      auto operand = [&](unsigned w) -> ExprId {
+        // A width-w expression over state, argument and constants.
+        ExprId e;
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.below(n_vars));
+        switch (rng.below(3)) {
+          case 0:
+            e = d.v(v);
+            if (var_w[v] < w) e = d.arena().zext(e, w);
+            else if (var_w[v] > w) e = d.arena().slice(e, 0, w);
+            break;
+          case 1:
+            if (arg_w > 0) {
+              e = d.a(0, arg_w);
+              if (arg_w < w) e = d.arena().zext(e, w);
+              else if (arg_w > w) e = d.arena().slice(e, 0, w);
+              break;
+            }
+            [[fallthrough]];
+          default:
+            e = d.lit(rng.next(), w);
+        }
+        return e;
+      };
+      if (rng.chance(2, 3)) {
+        static constexpr ExprOp cmp[] = {ExprOp::Ne, ExprOp::Lt, ExprOp::Ge};
+        const unsigned w = var_w[rng.below(n_vars)];
+        mb.guard(d.arena().bin(cmp[rng.below(3)], operand(w), operand(w)));
+      }
+      for (std::size_t v = 0; v < n_vars; ++v) {
+        if (!rng.chance(2, 3)) continue;
+        static constexpr ExprOp ops[] = {ExprOp::Add, ExprOp::Sub,
+                                         ExprOp::Xor, ExprOp::And};
+        mb.assign(static_cast<std::uint32_t>(v),
+                  d.arena().bin(ops[rng.below(4)], operand(var_w[v]),
+                                operand(var_w[v])));
+      }
+      if (rng.chance(1, 2)) {
+        const unsigned rw = static_cast<unsigned>(rng.range(1, 16));
+        mb.returns(operand(rw), rw);
+      }
+    }
+    d.validate();
+
+    SynthOptions opt;
+    opt.clients = rng.range(1, 3);
+    static constexpr osss::PolicyKind policies[] = {
+        osss::PolicyKind::Fifo, osss::PolicyKind::RoundRobin,
+        osss::PolicyKind::StaticPriority, osss::PolicyKind::Random};
+    opt.policy = policies[rng.below(4)];
+    EquivOptions eopt;
+    eopt.cycles = 500;
+    eopt.seed = seed * 0x5EED;
+    eopt.reset_percent = 2;
+    EquivResult r = check_equivalence(d, opt, eopt);
+    EXPECT_TRUE(r.equal) << "seed " << seed << ": " << r.first_mismatch;
+  }
+}
+
+/// The real synthesised channel, all policies: thousands of edges of
+/// three-way mode identity under the equivalence stimulus.
+TEST(TapeEquivalence, SynthesisedChannelModesBitIdentical) {
+  ObjectDesc d("mbox");
+  const std::uint32_t full = d.add_var("full", 1, 0);
+  const std::uint32_t data = d.add_var("data", 16, 0);
+  d.add_method("put")
+      .arg("d", 16)
+      .guard(d.arena().bin(ExprOp::Eq, d.v(full), d.lit(0, 1)))
+      .assign(full, d.lit(1, 1))
+      .assign(data, d.a(0, 16));
+  d.add_method("get")
+      .guard(d.arena().bin(ExprOp::Eq, d.v(full), d.lit(1, 1)))
+      .assign(full, d.lit(0, 1))
+      .returns(d.v(data), 16);
+  for (auto policy :
+       {osss::PolicyKind::Fifo, osss::PolicyKind::RoundRobin,
+        osss::PolicyKind::StaticPriority, osss::PolicyKind::Random}) {
+    SynthOptions opt;
+    opt.clients = 3;
+    opt.policy = policy;
+    Netlist nl = synthesize(d, opt);
+    NetlistSim tree(nl, SettleMode::TreeWalk);
+    NetlistSim full_tape(nl, SettleMode::FullTape);
+    NetlistSim incr(nl, SettleMode::Incremental);
+    drive_lockstep(nl, {&tree, &full_tape, &incr}, 0xCAB + (int)policy, 700);
+  }
+}
+
+}  // namespace
+}  // namespace hlcs::synth
