@@ -13,6 +13,7 @@
 
 #include "hlcs/pattern/pattern.hpp"
 #include "hlcs/sim/sim.hpp"
+#include "hlcs/verify/vcd_reader.hpp"
 
 using namespace hlcs;
 using namespace hlcs::sim::literals;
@@ -76,8 +77,9 @@ int main() {
 
   // The headline run (matches the paper's test system: one application,
   // the PCI library element, one target) with the VCD dump.
+  const char* vcd_path = HLCS_TRACE_DIR "/fig4_waveforms.vcd";
   {
-    sim::Trace trace("fig4_waveforms.vcd");
+    sim::Trace trace(vcd_path);
     RunResult r = run_system(
         pci::TargetConfig{.base = 0x40000000,
                           .size = 0x1000,
@@ -85,7 +87,7 @@ int main() {
                           .initial_wait = 1,
                           .per_word_wait = 0},
         &trace);
-    std::printf("VCD written to fig4_waveforms.vcd (open in GTKWave)\n\n");
+    std::printf("VCD written to %s (open in GTKWave)\n\n", vcd_path);
     std::printf("transaction timings at 33 MHz (medium DEVSEL, 1 initial "
                 "wait):\n");
     std::printf("  single write : %3llu cycles end-to-end\n",
@@ -97,6 +99,29 @@ int main() {
     std::printf("  8-word read  : %3llu cycles\n",
                 static_cast<unsigned long long>(r.cycles_burst8_read));
     std::printf("  protocol violations: %zu\n\n", r.violations);
+  }
+
+  // The paper's step-3 check, waveform edition: re-simulate the same
+  // system and verify pin-level consistency against the dump above.
+  // The comparison streams both files change-by-change (only the
+  // current value per signal is held, never a full timeline).
+  {
+    const char* vcd2 = HLCS_TRACE_DIR "/fig4_waveforms_check.vcd";
+    {
+      sim::Trace trace(vcd2);
+      run_system(pci::TargetConfig{.base = 0x40000000,
+                                   .size = 0x1000,
+                                   .devsel = pci::DevselSpeed::Medium,
+                                   .initial_wait = 1,
+                                   .per_word_wait = 0},
+                 &trace);
+    }
+    const verify::WaveCompareResult wc = verify::compare_vcd_files(
+        vcd_path, vcd2);
+    std::printf("waveform consistency (streamed re-simulation): %s "
+                "(%zu signals)\n\n",
+                wc ? "PASS" : wc.first_difference.c_str(),
+                wc.signals_compared);
   }
 
   // ABL2: wait states x DEVSEL speed sweep.

@@ -1,0 +1,180 @@
+// TRACE: waveform-path microbenchmarks -- the A/B evidence for the
+// dirty-list VCD emitter and the streaming verify pipeline.
+//
+//   BM_TraceDelta   the paper's PCI test system running a full
+//                   application workload, with tracing off (baseline
+//                   kernel throughput) and on (the emitter riding every
+//                   delta).  The gap between the two is the entire cost
+//                   of waveform dumping.
+//   BM_TraceSparse  pure emitter cost under sparse activity: many
+//                   registered signals, one toggling.  dirty_frac shows
+//                   the dirty list visiting a fraction of the items the
+//                   old poll-everything emitter walked each sample.
+//   BM_VcdParse     consumer side: zero-copy tokenizer + packed change
+//                   storage over a real PCI dump, reported as bytes/s.
+//   BM_VcdCompare   the streaming two-file comparator over the same
+//                   dump pair (the Fig. 4 consistency check's hot loop).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/verify/vcd_reader.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+
+/// One full PCI system run (the pci_system example's shape): write,
+/// read, burst write, burst read.  Returns the kernel delta count.
+std::uint64_t run_pci_workload(sim::Trace* trace) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", 30_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000,
+                                          .size = 0x1000,
+                                          .initial_wait = 1});
+  pattern::PciBusInterface iface(k, "iface", bus, arb);
+  if (trace) {
+    bus.trace_all(*trace);
+    k.attach_trace(*trace);
+  }
+  std::vector<pattern::CommandType> workload = {
+      {.op = pattern::BusOp::Write, .addr = 0x1000, .data = {0xCAFED00D}},
+      {.op = pattern::BusOp::Read, .addr = 0x1000, .count = 1},
+      {.op = pattern::BusOp::WriteBurst,
+       .addr = 0x1040,
+       .data = {1, 2, 3, 4, 5, 6, 7, 8}},
+      {.op = pattern::BusOp::ReadBurst, .addr = 0x1040, .count = 8},
+  };
+  pattern::Application app(k, "app", iface, workload);
+  for (int slice = 0; slice < 100 && !app.done(); ++slice) k.run_for(10_us);
+  return k.stats().deltas;
+}
+
+/// Delta throughput of the PCI system with tracing off (arg 0) and on
+/// (arg 1).  The trace file lives in the build tree and is rewritten
+/// every iteration, so file-system append cost is included -- that is
+/// part of what the chunked buffer is for.
+void BM_TraceDelta(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const std::string path = HLCS_TRACE_DIR "/trace_micro_delta.vcd";
+  std::uint64_t deltas = 0;
+  std::uint64_t dirty_visits = 0, samples = 0, registered = 0;
+  for (auto _ : state) {
+    if (traced) {
+      sim::Trace t(path);
+      deltas += run_pci_workload(&t);
+      t.flush();
+      const sim::TraceStats& st = t.stats();
+      dirty_visits += st.dirty_visits;
+      samples += st.samples;
+      registered = st.registered;
+    } else {
+      deltas += run_pci_workload(nullptr);
+    }
+  }
+  state.counters["deltas/s"] = benchmark::Counter(
+      static_cast<double>(deltas), benchmark::Counter::kIsRate);
+  if (traced && samples > 0 && registered > 0) {
+    state.counters["dirty_frac"] =
+        static_cast<double>(dirty_visits) /
+        (static_cast<double>(samples) * static_cast<double>(registered));
+  }
+}
+BENCHMARK(BM_TraceDelta)->ArgName("traced")->Arg(0)->Arg(1);
+
+/// Pure emitter cost under sparse activity: 64 registered signals, one
+/// toggling each delta.  This isolates Trace::sample from the kernel --
+/// the old emitter walked all 64 items per sample, the dirty list
+/// visits ~1.
+void BM_TraceSparse(benchmark::State& state) {
+  const std::string path = HLCS_TRACE_DIR "/trace_micro_sparse.vcd";
+  sim::Kernel k;
+  std::vector<std::unique_ptr<sim::Signal<std::uint32_t>>> quiet;
+  for (int i = 0; i < 63; ++i) {
+    quiet.push_back(std::make_unique<sim::Signal<std::uint32_t>>(
+        k, "q" + std::to_string(i), 0u));
+  }
+  sim::Signal<bool> busy(k, "busy", false);
+  sim::Trace t(path);
+  for (auto& q : quiet) t.add(*q);
+  t.add(busy);
+  k.attach_trace(t);
+  bool v = false;
+  for (auto _ : state) {
+    v = !v;
+    busy.write(v);
+    k.run_for(1_ns);  // one delta + one sample per iteration
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  const sim::TraceStats& st = t.stats();
+  if (st.samples > 0 && st.registered > 0) {
+    state.counters["dirty_frac"] =
+        static_cast<double>(st.dirty_visits) /
+        (static_cast<double>(st.samples) * static_cast<double>(st.registered));
+  }
+}
+BENCHMARK(BM_TraceSparse);
+
+/// Generate the PCI dump once per benchmark binary run and hand the
+/// bytes to the parser / the paths to the comparator.
+const std::string& pci_dump_path() {
+  static const std::string path = [] {
+    const std::string p = HLCS_TRACE_DIR "/trace_micro_parse.vcd";
+    sim::Trace t(p);
+    run_pci_workload(&t);
+    return p;
+  }();
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void BM_VcdParse(benchmark::State& state) {
+  const std::string text = slurp(pci_dump_path());
+  std::uint64_t changes = 0;
+  for (auto _ : state) {
+    verify::VcdFile f = verify::VcdFile::parse(text);
+    for (const auto& name : f.signal_names()) {
+      changes += f.signal(name).num_changes();
+    }
+    benchmark::DoNotOptimize(changes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["dump_bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_VcdParse);
+
+void BM_VcdCompare(benchmark::State& state) {
+  const std::string& a = pci_dump_path();
+  const std::uint64_t bytes = slurp(a).size();
+  for (auto _ : state) {
+    verify::WaveCompareResult r = verify::compare_vcd_files(a, a);
+    if (!r) state.SkipWithError("self-compare failed");
+    benchmark::DoNotOptimize(r.signals_compared);
+  }
+  // Two files streamed per comparison.
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * bytes));
+}
+BENCHMARK(BM_VcdCompare);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,8 @@
 // application drives the PCI bus-interface library element through the
 // guarded-method global object; the interface translates commands into
 // pin-level PCI operations against a target device.  A VCD trace of the
-// bus -- the paper's Figure 4 waveforms -- is written to pci_system.vcd.
+// bus -- the paper's Figure 4 waveforms -- is written to pci_system.vcd
+// in the build's examples/ directory.
 //
 // Build & run:  ./examples/pci_system   (then open pci_system.vcd in GTKWave)
 #include <cstdio>
@@ -33,8 +34,8 @@ int main() {
   // master toward the bus.
   pattern::PciBusInterface iface(k, "iface", bus, arbiter);
 
-  // Waveform dump (Figure 4).
-  sim::Trace trace("pci_system.vcd");
+  // Waveform dump (Figure 4), written under the build tree.
+  sim::Trace trace(HLCS_TRACE_DIR "/pci_system.vcd");
   bus.trace_all(trace);
   k.attach_trace(trace);
 
@@ -84,6 +85,7 @@ int main() {
   cov.observe(monitor.records());
   std::printf("\ncoverage:\n%s\n", cov.report().c_str());
 
-  std::printf("\nwaveforms written to pci_system.vcd (Figure 4)\n");
+  std::printf("\nwaveforms written to %s (Figure 4)\n",
+              HLCS_TRACE_DIR "/pci_system.vcd");
   return monitor.violations().empty() ? 0 : 1;
 }

@@ -39,7 +39,7 @@ namespace hlcs::sim {
 
 class Kernel;
 class Event;
-class Trace;
+class Sampler;
 
 /// Base for updatable channels (signals, wires).  A channel requests an
 /// update during the evaluation phase; the kernel commits it in the
@@ -619,7 +619,11 @@ public:
   }
 
   // ----- tracing ---------------------------------------------------------
-  void attach_trace(Trace& t) { trace_ = &t; }
+  /// Attach an observer sampled after every delta cycle (typically a
+  /// Trace).  The caller keeps ownership; detach before destroying it if
+  /// the kernel will run again.
+  void attach_trace(Sampler& t) { trace_ = &t; }
+  void detach_trace() { trace_ = nullptr; }
 
 private:
   friend class Event;
@@ -681,7 +685,7 @@ private:
   // Mutable so the const stats() accessor can fold in lazily-tracked
   // counters (timed_peak) at read time.
   mutable KernelStats stats_;
-  Trace* trace_ = nullptr;
+  Sampler* trace_ = nullptr;
 };
 
 inline Channel::Channel(Kernel& k, std::string name)

@@ -143,6 +143,11 @@ public:
            a.x_ == b.x_;
   }
 
+  /// Bit-planes of the 2-bit trace code per bit (code == Logic enum
+  /// value: 0/1/z/x -> 0/1/2/3).  lo carries code bit 0, hi code bit 1.
+  constexpr std::uint64_t trace_plane_lo() const { return val_ | x_; }
+  constexpr std::uint64_t trace_plane_hi() const { return z_ | x_; }
+
   std::string to_string() const {
     std::string s;
     s.reserve(width_);

@@ -15,18 +15,25 @@ namespace hlcs::sim {
 
 namespace detail {
 
-inline std::string trace_repr(bool v) { return v ? "1" : "0"; }
-inline std::string trace_repr(Logic v) { return std::string(1, to_char(v)); }
-inline std::string trace_repr(const LogicVec& v) { return v.to_string(); }
+// Pack a value into the trace's 2-bit-per-position snapshot.  Codes match
+// the Logic enum, so two-valued data has an all-zero hi plane and the lo
+// plane is simply the bits of the value -- no per-bit work, no heap.
+inline void trace_pack(TraceValue& out, bool v) {
+  out.assign_inline(1, v ? 1 : 0, 0);
+}
+inline void trace_pack(TraceValue& out, Logic v) {
+  const auto code = static_cast<std::uint8_t>(v);
+  out.assign_inline(1, code & 1, code >> 1);
+}
+inline void trace_pack(TraceValue& out, const LogicVec& v) {
+  out.assign_inline(v.width(), v.trace_plane_lo(), v.trace_plane_hi());
+}
 template <std::integral T>
   requires(!std::same_as<T, bool>)
-std::string trace_repr(T v) {
-  // Binary, MSB first, natural width of the type.
-  std::string s;
-  for (int i = static_cast<int>(sizeof(T) * 8) - 1; i >= 0; --i) {
-    s.push_back(((static_cast<std::uint64_t>(v) >> i) & 1) ? '1' : '0');
-  }
-  return s;
+void trace_pack(TraceValue& out, T v) {
+  constexpr unsigned w = sizeof(T) * 8;
+  constexpr std::uint64_t m = w >= 64 ? ~0ull : (1ull << w) - 1;
+  out.assign_inline(w, static_cast<std::uint64_t>(v) & m, 0);
 }
 
 template <class T>
@@ -68,13 +75,16 @@ public:
       return detail::trace_width_of<T>();
     }
   }
-  std::string trace_value() const override { return detail::trace_repr(cur_); }
+  void trace_value_into(TraceValue& v) const override {
+    detail::trace_pack(v, cur_);
+  }
 
 protected:
   void update() override {
     if (!(next_ == cur_)) {
       cur_ = next_;
       changed_.notify_delta();
+      trace_touch();
     }
   }
 

@@ -1,21 +1,67 @@
 #include "hlcs/sim/trace.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <vector>
 
 #include "hlcs/sim/assert.hpp"
 
 namespace hlcs::sim {
 
-Trace::Trace(std::string path) : path_(std::move(path)), out_(path_) {
-  if (!out_) fail("Trace: cannot open " + path_);
+namespace {
+
+// Buffered text is pushed to the ofstream in chunks of this size; small
+// simulations pay a single write at destruction.
+constexpr std::size_t kFlushChunk = 64 * 1024;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char tmp[20];
+  auto [end, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  out.append(tmp, end);
 }
 
-Trace::~Trace() = default;
+}  // namespace
 
-void Trace::add(const Traceable& t) {
+Traceable::~Traceable() {
+  if (trace_hook_) trace_hook_->forget(trace_slot_);
+}
+
+std::string Traceable::trace_value() const {
+  TraceValue v;
+  trace_value_into(v);
+  return v.to_string();
+}
+
+Trace::Trace(std::string path) : path_(std::move(path)), out_(path_) {
+  if (!out_) fail("Trace: cannot open " + path_);
+  buf_.reserve(kFlushChunk + 4096);
+}
+
+Trace::~Trace() {
+  flush();
+  for (Item& item : items_) {
+    if (item.t) item.t->trace_hook_ = nullptr;
+  }
+}
+
+void Trace::flush() {
+  if (buf_.empty()) return;
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  out_.flush();  // make the dump readable while the Trace is still alive
+  stats_.bytes_written += buf_.size();
+  stats_.flushes++;
+  buf_.clear();
+}
+
+void Trace::add(Traceable& t) {
   HLCS_ASSERT(!header_written_, "Trace::add after tracing started");
-  items_.push_back(Item{&t, id_for(items_.size()), {}});
+  HLCS_ASSERT(t.trace_hook_ == nullptr,
+              "Traceable already registered with a Trace");
+  t.trace_hook_ = this;
+  t.trace_slot_ = static_cast<std::uint32_t>(items_.size());
+  items_.push_back(
+      Item{&t, id_for(items_.size()), TraceValue{}, t.trace_width(), false});
+  stats_.registered++;
 }
 
 std::string Trace::id_for(std::size_t index) {
@@ -29,9 +75,9 @@ std::string Trace::id_for(std::size_t index) {
 }
 
 void Trace::write_header() {
-  out_ << "$date\n  (hlcs simulation)\n$end\n";
-  out_ << "$version\n  hlcs VCD trace\n$end\n";
-  out_ << "$timescale 1ps $end\n";
+  buf_ += "$date\n  (hlcs simulation)\n$end\n";
+  buf_ += "$version\n  hlcs VCD trace\n$end\n";
+  buf_ += "$timescale 1ps $end\n";
   // Hierarchical scopes from dotted names: "pci.AD" becomes scope "pci",
   // leaf "AD".  Items are emitted grouped by scope path so viewers show
   // the module tree.
@@ -43,9 +89,10 @@ void Trace::write_header() {
   std::vector<Entry> entries;
   entries.reserve(items_.size());
   for (const Item& item : items_) {
+    if (!item.t) continue;
     Entry e;
     e.item = &item;
-    const std::string& full = item.t->trace_name();
+    const std::string full = item.t->trace_name();
     std::size_t start = 0, dot;
     while ((dot = full.find('.', start)) != std::string::npos) {
       e.scope.push_back(full.substr(start, dot - start));
@@ -66,60 +113,93 @@ void Trace::write_header() {
       ++common;
     }
     while (open.size() > common) {
-      out_ << "$upscope $end\n";
+      buf_ += "$upscope $end\n";
       open.pop_back();
     }
     for (std::size_t i = common; i < want.size(); ++i) {
-      out_ << "$scope module " << want[i] << " $end\n";
+      buf_ += "$scope module ";
+      buf_ += want[i];
+      buf_ += " $end\n";
       open.push_back(want[i]);
     }
   };
   for (const Entry& e : entries) {
     sync_scope(e.scope);
-    out_ << "$var wire " << e.item->t->trace_width() << " " << e.item->id
-         << " " << e.leaf << " $end\n";
+    buf_ += "$var wire ";
+    append_u64(buf_, e.item->width);
+    buf_ += " ";
+    buf_ += e.item->id;
+    buf_ += " ";
+    buf_ += e.leaf;
+    buf_ += " $end\n";
   }
   sync_scope({});
-  out_ << "$enddefinitions $end\n";
+  buf_ += "$enddefinitions $end\n";
   header_written_ = true;
 }
 
-void Trace::emit(const Item& item, const std::string& value) {
-  if (item.t->trace_width() == 1) {
-    out_ << value << item.id << "\n";
+void Trace::emit(const Item& item, const TraceValue& value) {
+  if (item.width == 1) {
+    buf_.push_back(value.char_at(0));
   } else {
-    out_ << "b" << value << " " << item.id << "\n";
+    buf_.push_back('b');
+    value.append_chars(buf_);
+    buf_.push_back(' ');
   }
+  buf_ += item.id;
+  buf_.push_back('\n');
+  stats_.changes++;
+}
+
+void Trace::first_sample(Time now) {
+  write_header();
+  buf_ += "$dumpvars\n";
+  for (Item& item : items_) {
+    item.dirty = false;
+    if (!item.t) continue;
+    item.t->trace_value_into(item.last);
+    note_pack(item.last);
+    stats_.dirty_visits++;
+    emit(item, item.last);
+  }
+  buf_ += "$end\n";
+  dirty_.clear();
+  marker_time_ps_ = now.picos();
+  marker_valid_ = true;
+  if (buf_.size() >= kFlushChunk) flush();
 }
 
 void Trace::sample(Time now) {
+  stats_.samples++;
   if (!header_written_) {
-    write_header();
-    out_ << "$dumpvars\n";
-    for (Item& item : items_) {
-      item.last = item.t->trace_value();
-      emit(item, item.last);
-    }
-    out_ << "$end\n";
-    last_time_ps_ = now.picos();
-    time_marker_written_ = true;
+    first_sample(now);
     return;
   }
-  if (now.picos() != last_time_ps_) {
-    last_time_ps_ = now.picos();
-    time_marker_written_ = false;
-  }
-  for (Item& item : items_) {
-    std::string v = item.t->trace_value();
-    if (v != item.last) {
-      if (!time_marker_written_) {
-        out_ << "#" << last_time_ps_ << "\n";
-        time_marker_written_ = true;
-      }
-      emit(item, v);
-      item.last = std::move(v);
+  if (dirty_.empty()) return;
+  // The dirty list holds slots in touch order; sort so changes are
+  // emitted in registration order, exactly as the polling emitter did.
+  std::sort(dirty_.begin(), dirty_.end());
+  const std::uint64_t t = now.picos();
+  for (std::uint32_t slot : dirty_) {
+    Item& item = items_[slot];
+    item.dirty = false;
+    if (!item.t) continue;
+    stats_.dirty_visits++;
+    item.t->trace_value_into(scratch_);
+    note_pack(scratch_);
+    if (scratch_ == item.last) continue;  // touched but settled back
+    if (!marker_valid_ || t != marker_time_ps_) {
+      buf_.push_back('#');
+      append_u64(buf_, t);
+      buf_.push_back('\n');
+      marker_time_ps_ = t;
+      marker_valid_ = true;
     }
+    emit(item, scratch_);
+    item.last.swap(scratch_);
   }
+  dirty_.clear();
+  if (buf_.size() >= kFlushChunk) flush();
 }
 
 }  // namespace hlcs::sim

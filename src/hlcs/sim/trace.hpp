@@ -1,7 +1,17 @@
 // VCD waveform tracing.  Channels register as Traceable; the kernel calls
-// Trace::sample() at the end of every delta cycle and the trace records
+// Sampler::sample() at the end of every delta cycle and the trace records
 // value changes in standard VCD format (viewable in GTKWave), which is how
 // the paper's Figure 4 waveforms are regenerated.
+//
+// The write path is change-driven and allocation-free in steady state:
+// channels that commit a value change push their trace slot onto a dirty
+// list (Traceable::trace_touch), so sample() visits only changed items
+// instead of polling every registered channel; values travel as packed
+// 2-bit-per-position TraceValue snapshots (scalar and <=64-bit vectors
+// never touch the heap) and are compared word-wise against the last
+// emitted snapshot; text accumulates in a chunked append buffer flushed
+// in large writes.  The emitted bytes are identical to the original
+// poll-everything emitter (pinned by tests/verify/golden_trace.vcd).
 #pragma once
 
 #include <cstdint>
@@ -9,52 +19,230 @@
 #include <string>
 #include <vector>
 
+#include "hlcs/sim/assert.hpp"
 #include "hlcs/sim/time.hpp"
 
 namespace hlcs::sim {
 
-class Traceable {
+class Trace;
+
+/// A packed 4-valued vector snapshot: one 2-bit code per bit position,
+/// split into two bit-planes (`lo` = code bit 0, `hi` = code bit 1).
+/// Codes follow the Logic enum: 0 -> '0', 1 -> '1', 2 -> 'z', 3 -> 'x',
+/// so for a LogicVec the planes are exactly `val|x` and `z|x`, and for
+/// two-valued data (bool, integers) the hi plane is zero and the lo plane
+/// is the value itself.  Widths up to 64 live entirely in two inline
+/// words; wider values (seen only when parsing external VCD files) spill
+/// to a heap vector laid out as [lo words..., hi words...].
+class TraceValue {
 public:
-  virtual ~Traceable() = default;
-  virtual std::string trace_name() const = 0;
-  virtual unsigned trace_width() const = 0;
-  /// Current value, MSB-first, using VCD characters 0/1/x/z.
-  virtual std::string trace_value() const = 0;
+  TraceValue() = default;
+
+  unsigned width() const { return width_; }
+  bool is_inline() const { return width_ <= 64; }
+
+  /// Make this an all-'0' value of `width` bits, keeping any existing
+  /// heap capacity.
+  void reset(unsigned width) {
+    width_ = width;
+    lo_ = hi_ = 0;
+    if (width > 64) {
+      wide_.assign(2 * words(), 0);
+    } else {
+      wide_.clear();
+    }
+  }
+
+  /// Fast path: adopt both planes of a value of `width` <= 64 bits.
+  void assign_inline(unsigned width, std::uint64_t lo, std::uint64_t hi) {
+    HLCS_ASSERT(width >= 1 && width <= 64, "TraceValue inline width");
+    width_ = width;
+    lo_ = lo;
+    hi_ = hi;
+    wide_.clear();
+  }
+
+  /// Set the 2-bit code at bit position `i` (0 = LSB / rightmost char).
+  void set_code(unsigned i, std::uint8_t code) {
+    HLCS_ASSERT(i < width_, "TraceValue::set_code out of range");
+    if (width_ <= 64) {
+      const std::uint64_t b = 1ull << i;
+      lo_ = (lo_ & ~b) | (std::uint64_t(code & 1) << i);
+      hi_ = (hi_ & ~b) | (std::uint64_t(code >> 1) << i);
+    } else {
+      const std::size_t w = i / 64;
+      const std::uint64_t b = 1ull << (i % 64);
+      std::uint64_t& lo = wide_[w];
+      std::uint64_t& hi = wide_[words() + w];
+      lo = (lo & ~b) | (std::uint64_t(code & 1) << (i % 64));
+      hi = (hi & ~b) | (std::uint64_t(code >> 1) << (i % 64));
+    }
+  }
+
+  std::uint8_t code_at(unsigned i) const {
+    HLCS_ASSERT(i < width_, "TraceValue::code_at out of range");
+    if (width_ <= 64) {
+      return static_cast<std::uint8_t>((lo_ >> i & 1) | ((hi_ >> i & 1) << 1));
+    }
+    const std::size_t w = i / 64;
+    return static_cast<std::uint8_t>((wide_[w] >> (i % 64) & 1) |
+                                     ((wide_[words() + w] >> (i % 64) & 1)
+                                      << 1));
+  }
+
+  /// Append the value as VCD characters, MSB first, full width (the
+  /// emitter does not canonically truncate; neither did its predecessor).
+  void append_chars(std::string& out) const {
+    for (unsigned i = width_; i-- > 0;) out.push_back(char_at(i));
+  }
+
+  std::string to_string() const {
+    std::string s;
+    s.reserve(width_);
+    append_chars(s);
+    return s;
+  }
+
+  char char_at(unsigned i) const {
+    static constexpr char kChars[4] = {'0', '1', 'z', 'x'};
+    return kChars[code_at(i)];
+  }
+
+  void swap(TraceValue& o) noexcept {
+    std::swap(width_, o.width_);
+    std::swap(lo_, o.lo_);
+    std::swap(hi_, o.hi_);
+    wide_.swap(o.wide_);
+  }
+
+  friend bool operator==(const TraceValue& a, const TraceValue& b) {
+    if (a.width_ != b.width_) return false;
+    if (a.width_ <= 64) return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+    return a.wide_ == b.wide_;
+  }
+
+private:
+  std::size_t words() const { return (width_ + 63u) / 64u; }
+
+  unsigned width_ = 0;
+  std::uint64_t lo_ = 0;  // plane of code bit 0 (width <= 64)
+  std::uint64_t hi_ = 0;  // plane of code bit 1 (width <= 64)
+  std::vector<std::uint64_t> wide_;  // width > 64: [lo words, hi words]
 };
 
-class Trace {
+class Traceable {
+public:
+  virtual ~Traceable();
+  virtual std::string trace_name() const = 0;
+  virtual unsigned trace_width() const = 0;
+  /// Pack the current value into `v` (overwrites `v` entirely).
+  virtual void trace_value_into(TraceValue& v) const = 0;
+  /// Current value rendered MSB-first with VCD characters 0/1/x/z.
+  /// Convenience for tests and tools; the trace itself never builds
+  /// these strings.
+  std::string trace_value() const;
+
+protected:
+  /// Channels call this when an update commits a changed value; it marks
+  /// the trace slot dirty so the next sample() visits this item.  No-op
+  /// when the traceable is not registered with a live Trace.
+  void trace_touch();
+
+private:
+  friend class Trace;
+  Trace* trace_hook_ = nullptr;
+  std::uint32_t trace_slot_ = 0;
+};
+
+/// What the kernel sees: something to call after every delta cycle.
+/// Decouples the kernel from the concrete Trace implementation so tests
+/// and tools can substitute their own observers.
+class Sampler {
+public:
+  virtual ~Sampler() = default;
+  /// Record state at simulated time `now`; called after every delta.
+  virtual void sample(Time now) = 0;
+};
+
+/// Observability counters for the waveform fast path, in the style of
+/// KernelStats / NetlistStats.
+struct TraceStats {
+  std::uint64_t registered = 0;    // traceables added
+  std::uint64_t samples = 0;       // sample() calls
+  std::uint64_t dirty_visits = 0;  // items visited across all samples
+  std::uint64_t changes = 0;       // value records written (incl. $dumpvars)
+  std::uint64_t bytes_written = 0; // bytes flushed to the file
+  std::uint64_t flushes = 0;       // buffer flushes (large writes)
+  std::uint64_t packs_inline = 0;  // values packed without heap
+  std::uint64_t packs_heap = 0;    // values spilled to the wide buffer
+};
+
+class Trace final : public Sampler {
 public:
   /// Opens `path` for writing; the header is emitted on the first sample.
   explicit Trace(std::string path);
-  ~Trace();
+  ~Trace() override;
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
 
-  void add(const Traceable& t);
+  void add(Traceable& t);
 
   /// Record changes at simulated time `now`.  Idempotent per (time,
   /// value) pair; called by the kernel after every delta cycle.
-  void sample(Time now);
+  void sample(Time now) override;
+
+  /// Write out any buffered text.  Called automatically on destruction.
+  void flush();
 
   const std::string& path() const { return path_; }
+  const TraceStats& stats() const { return stats_; }
 
 private:
+  friend class Traceable;
+
   struct Item {
-    const Traceable* t;
-    std::string id;    // VCD identifier code
-    std::string last;  // last emitted value
+    Traceable* t;     // null once the traceable was destroyed
+    std::string id;   // VCD identifier code
+    TraceValue last;  // last emitted packed value
+    unsigned width;
+    bool dirty;
   };
 
+  void touch(std::uint32_t slot) {
+    Item& it = items_[slot];
+    if (!it.dirty) {
+      it.dirty = true;
+      dirty_.push_back(slot);
+    }
+  }
+  void forget(std::uint32_t slot) { items_[slot].t = nullptr; }
+
   void write_header();
+  void first_sample(Time now);
   static std::string id_for(std::size_t index);
-  void emit(const Item& item, const std::string& value);
+  void emit(const Item& item, const TraceValue& value);
+  void note_pack(const TraceValue& v) {
+    if (v.is_inline()) {
+      stats_.packs_inline++;
+    } else {
+      stats_.packs_heap++;
+    }
+  }
 
   std::string path_;
   std::ofstream out_;
   std::vector<Item> items_;
+  std::vector<std::uint32_t> dirty_;
+  TraceValue scratch_;
+  std::string buf_;
+  TraceStats stats_;
   bool header_written_ = false;
-  std::uint64_t last_time_ps_ = 0;
-  bool time_marker_written_ = false;
+  std::uint64_t marker_time_ps_ = 0;
+  bool marker_valid_ = false;
 };
+
+inline void Traceable::trace_touch() {
+  if (trace_hook_) trace_hook_->touch(trace_slot_);
+}
 
 }  // namespace hlcs::sim

@@ -55,8 +55,9 @@ public:
   // Traceable
   std::string trace_name() const override { return name(); }
   unsigned trace_width() const override { return 1; }
-  std::string trace_value() const override {
-    return std::string(1, to_char(cur_));
+  void trace_value_into(TraceValue& v) const override {
+    const auto code = static_cast<std::uint8_t>(cur_);
+    v.assign_inline(1, code & 1, code >> 1);
   }
 
 protected:
@@ -66,6 +67,7 @@ protected:
     if (r != cur_) {
       cur_ = r;
       changed_.notify_delta();
+      trace_touch();
     }
   }
 
@@ -124,7 +126,9 @@ public:
   // Traceable
   std::string trace_name() const override { return name(); }
   unsigned trace_width() const override { return width_; }
-  std::string trace_value() const override { return cur_.to_string(); }
+  void trace_value_into(TraceValue& v) const override {
+    v.assign_inline(width_, cur_.trace_plane_lo(), cur_.trace_plane_hi());
+  }
 
 protected:
   void update() override {
@@ -133,6 +137,7 @@ protected:
     if (!(r == cur_)) {
       cur_ = r;
       changed_.notify_delta();
+      trace_touch();
     }
   }
 

@@ -2,7 +2,10 @@
 // ("the resulting model was again simulated to check behavior
 // consistency with the original model").  Functional equivalence ignores
 // timing; the timing report quantifies the cost delta between
-// abstraction levels.
+// abstraction levels.  The waveform-level (Figure 4) counterpart lives
+// in vcd_reader.hpp: compare_waves over parsed files, and the streaming
+// compare_vcd_files that checks two dumps change-by-change without
+// materialising either timeline.
 #pragma once
 
 #include <cstdint>

@@ -2,54 +2,131 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace hlcs::verify {
 
 namespace {
 
-/// Split a VCD stream into whitespace-separated words.
-std::vector<std::string> words_of(const std::string& text) {
-  std::vector<std::string> out;
-  std::istringstream is(text);
-  std::string w;
-  while (is >> w) out.push_back(w);
-  return out;
+/// Single-pass whitespace tokenizer: hands out views into the loaded
+/// text, never copies a token.
+struct Cursor {
+  std::string_view text;
+  std::size_t i = 0;
+
+  std::string_view next() {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) return {};
+    const std::size_t s = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    return text.substr(s, i - s);
+  }
+};
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    fail(std::string("VCD: bad number in ") + what + ": " + std::string(s));
+  }
+  return v;
 }
 
-}  // namespace
+/// 2-bit code for a VCD value character; 0xFF for anything else.
+std::uint8_t code_of(char ch) {
+  switch (ch) {
+    case '0': return 0;
+    case '1': return 1;
+    case 'z': case 'Z': return 2;
+    case 'x': case 'X': return 3;
+    default: return 0xFF;
+  }
+}
 
-VcdFile VcdFile::parse(const std::string& text) {
-  VcdFile f;
-  const std::vector<std::string> words = words_of(text);
-  std::size_t i = 0;
-  auto need = [&](const char* what) -> const std::string& {
-    if (i >= words.size()) fail(std::string("VCD: truncated ") + what);
-    return words[i];
-  };
+/// Pack a value token (MSB-first chars) into `v` at the declared signal
+/// width, applying the canonical VCD left-extension rule: shorter tokens
+/// extend with '0', except an x/z MSB which extends with itself.
+void pack_token(sim::TraceValue& v, std::string_view tok, unsigned width) {
+  if (tok.empty()) fail("VCD: empty value");
+  if (tok.size() > width) {
+    fail("VCD: value " + std::string(tok) + " wider than declared width " +
+         std::to_string(width));
+  }
+  v.reset(width);
+  const unsigned n = static_cast<unsigned>(tok.size());
+  for (unsigned j = 0; j < n; ++j) {
+    const std::uint8_t code = code_of(tok[n - 1 - j]);
+    if (code == 0xFF) {
+      fail("VCD: bad value character in " + std::string(tok));
+    }
+    if (code != 0) v.set_code(j, code);
+  }
+  if (n < width) {
+    const std::uint8_t ext = code_of(tok[0]);
+    if (ext >= 2) {
+      for (unsigned j = n; j < width; ++j) v.set_code(j, ext);
+    }
+  }
+}
 
-  std::map<std::string, VcdSignal*> by_id;
-  std::vector<std::string> scope_stack;
+bool is_scalar_value_char(char c) {
+  return c == '0' || c == '1' || c == 'x' || c == 'X' || c == 'z' || c == 'Z';
+}
 
-  // --- header -------------------------------------------------------------
-  while (i < words.size()) {
-    const std::string& w = words[i];
+bool is_dump_directive(std::string_view w) {
+  return w == "$dumpvars" || w == "$dumpall" || w == "$dumpon" ||
+         w == "$dumpoff";
+}
+
+struct VarDecl {
+  std::string name;  // scope-qualified ("pci.AD")
+  std::string id;    // VCD identifier code
+  unsigned width = 1;
+};
+
+struct Header {
+  unsigned timescale_ps = 1;
+  std::vector<VarDecl> vars;  // in declaration order
+};
+
+void skip_to_end(Cursor& c) {
+  for (std::string_view w = c.next(); !w.empty() && w != "$end";
+       w = c.next()) {
+  }
+}
+
+/// Parse the declaration section, leaving the cursor at the first dump
+/// token.  Shared by VcdFile::parse and the streaming comparator.
+Header parse_header(Cursor& c) {
+  Header h;
+  std::vector<std::string_view> scope_stack;
+  for (;;) {
+    const std::string_view w = c.next();
+    if (w.empty()) break;
     if (w == "$enddefinitions") {
-      // consume through $end
-      while (i < words.size() && words[i] != "$end") ++i;
-      ++i;
+      skip_to_end(c);
       break;
     }
     if (w == "$timescale") {
-      ++i;
       std::string spec;
-      while (i < words.size() && words[i] != "$end") spec += words[i++];
-      ++i;
+      for (std::string_view t = c.next(); !t.empty() && t != "$end";
+           t = c.next()) {
+        spec += t;
+      }
       // Accept "1ps", "1ns", "10ps" etc.
       std::size_t p = 0;
       unsigned mul = 0;
-      while (p < spec.size() && std::isdigit(static_cast<unsigned char>(spec[p]))) {
+      while (p < spec.size() &&
+             std::isdigit(static_cast<unsigned char>(spec[p]))) {
         mul = mul * 10 + static_cast<unsigned>(spec[p] - '0');
         ++p;
       }
@@ -59,126 +136,130 @@ VcdFile VcdFile::parse(const std::string& text) {
       else if (unit == "ns") unit_ps = 1000;
       else if (unit == "us") unit_ps = 1000000;
       else fail("VCD: unsupported timescale unit " + unit);
-      f.timescale_ps_ = (mul ? mul : 1) * unit_ps;
+      h.timescale_ps = (mul ? mul : 1) * unit_ps;
       continue;
     }
     if (w == "$scope") {
-      ++i;
-      ++i;  // scope kind (module)
-      scope_stack.push_back(need("scope name"));
-      ++i;
-      if (need("$end") != "$end") fail("VCD: malformed $scope");
-      ++i;
+      c.next();  // scope kind (module)
+      const std::string_view name = c.next();
+      if (name.empty()) fail("VCD: truncated scope name");
+      scope_stack.push_back(name);
+      if (c.next() != "$end") fail("VCD: malformed $scope");
       continue;
     }
     if (w == "$upscope") {
       if (!scope_stack.empty()) scope_stack.pop_back();
-      i += 2;  // $upscope $end
+      c.next();  // $end
       continue;
     }
     if (w == "$var") {
-      ++i;
-      ++i;  // var type (wire/reg)
+      c.next();  // var type (wire/reg)
+      const std::string_view width_tok = c.next();
+      if (width_tok.empty()) fail("VCD: truncated var width");
       const unsigned width =
-          static_cast<unsigned>(std::stoul(need("var width")));
-      ++i;
-      const std::string id = need("var id");
-      ++i;
-      std::string name = need("var name");
-      ++i;
+          static_cast<unsigned>(parse_u64(width_tok, "var width"));
+      const std::string_view id = c.next();
+      if (id.empty()) fail("VCD: truncated var id");
+      std::string name;
+      const std::string_view name_tok = c.next();
+      if (name_tok.empty()) fail("VCD: truncated var name");
+      name = name_tok;
       // Optional bit-range token like [7:0] before $end.
-      while (i < words.size() && words[i] != "$end") {
-        name += words[i];
-        ++i;
+      for (std::string_view t = c.next(); !t.empty() && t != "$end";
+           t = c.next()) {
+        name += t;
       }
-      ++i;  // $end
       // Qualify with the enclosing scope path so hierarchical traces
       // round-trip ("pci" scope + "AD" leaf -> "pci.AD").
       std::string full;
-      for (const std::string& sc : scope_stack) full += sc + ".";
+      for (const std::string_view sc : scope_stack) {
+        full += sc;
+        full += '.';
+      }
       full += name;
-      name = std::move(full);
-      VcdSignal sig;
-      sig.name = name;
-      sig.width = width;
-      auto [it, inserted] = f.by_name_.emplace(name, std::move(sig));
-      if (!inserted) fail("VCD: duplicate signal name " + name);
-      by_id[id] = &it->second;
+      h.vars.push_back(VarDecl{std::move(full), std::string(id), width});
       continue;
     }
     if (w == "$date" || w == "$version" || w == "$comment") {
-      ++i;
-      while (i < words.size() && words[i] != "$end") ++i;
-      ++i;
+      skip_to_end(c);
       continue;
     }
-    fail("VCD: unexpected token in header: " + w);
+    fail("VCD: unexpected token in header: " + std::string(w));
   }
-
-  // --- value changes --------------------------------------------------------
-  std::uint64_t now = 0;
-  bool in_dump_block = false;
-  while (i < words.size()) {
-    const std::string& w = words[i];
-    if (w.empty()) {
-      ++i;
-      continue;
-    }
-    if (w[0] == '#') {
-      now = std::stoull(w.substr(1)) * f.timescale_ps_;
-      f.end_time_ps_ = std::max(f.end_time_ps_, now);
-      ++i;
-      continue;
-    }
-    if (w == "$dumpvars" || w == "$dumpall" || w == "$dumpon" ||
-        w == "$dumpoff") {
-      in_dump_block = true;
-      ++i;
-      continue;
-    }
-    if (w == "$end") {
-      in_dump_block = false;
-      ++i;
-      continue;
-    }
-    (void)in_dump_block;
-    if (w[0] == 'b' || w[0] == 'B') {
-      const std::string value = w.substr(1);
-      ++i;
-      const std::string& id = need("vector id");
-      auto it = by_id.find(id);
-      if (it == by_id.end()) fail("VCD: change for unknown id " + id);
-      it->second->changes.push_back(VcdChange{now, value});
-      ++i;
-      continue;
-    }
-    // Scalar: value char + id glued together.
-    const char v = w[0];
-    if (v == '0' || v == '1' || v == 'x' || v == 'X' || v == 'z' ||
-        v == 'Z') {
-      const std::string id = w.substr(1);
-      auto it = by_id.find(id);
-      if (it == by_id.end()) fail("VCD: change for unknown id " + id);
-      it->second->changes.push_back(
-          VcdChange{now, std::string(1, static_cast<char>(std::tolower(v)))});
-      ++i;
-      continue;
-    }
-    fail("VCD: unexpected token in dump: " + w);
-  }
-  return f;
+  return h;
 }
 
-VcdFile VcdFile::load(const std::string& path) {
+std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("VCD: cannot open " + path);
   std::stringstream ss;
   ss << in.rdbuf();
-  return parse(ss.str());
+  return ss.str();
 }
 
+}  // namespace
+
+const sim::TraceValue* VcdSignal::packed_at(std::uint64_t t_ps) const {
+  const auto it = std::upper_bound(times_ps.begin(), times_ps.end(), t_ps);
+  if (it == times_ps.begin()) return nullptr;
+  return &values[static_cast<std::size_t>(it - times_ps.begin()) - 1];
+}
+
+VcdFile VcdFile::parse(const std::string& text) {
+  VcdFile f;
+  Cursor c{text};
+  const Header h = parse_header(c);
+  f.timescale_ps_ = h.timescale_ps;
+
+  std::map<std::string, VcdSignal*, std::less<>> by_id;
+  for (const VarDecl& v : h.vars) {
+    VcdSignal sig;
+    sig.name = v.name;
+    sig.width = v.width;
+    const auto [it, inserted] = f.by_name_.emplace(v.name, std::move(sig));
+    if (!inserted) fail("VCD: duplicate signal name " + v.name);
+    by_id[v.id] = &it->second;
+  }
+
+  // --- value changes ------------------------------------------------------
+  std::uint64_t now = 0;
+  for (;;) {
+    const std::string_view w = c.next();
+    if (w.empty()) break;
+    if (w[0] == '#') {
+      now = parse_u64(w.substr(1), "time marker") * f.timescale_ps_;
+      f.end_time_ps_ = std::max(f.end_time_ps_, now);
+      continue;
+    }
+    if (is_dump_directive(w) || w == "$end") continue;
+    std::string_view value_tok;
+    std::string_view id;
+    if (w[0] == 'b' || w[0] == 'B') {
+      value_tok = w.substr(1);
+      id = c.next();
+      if (id.empty()) fail("VCD: truncated vector id");
+    } else if (is_scalar_value_char(w[0])) {
+      value_tok = w.substr(0, 1);
+      id = w.substr(1);
+    } else {
+      fail("VCD: unexpected token in dump: " + std::string(w));
+    }
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      fail("VCD: change for unknown id " + std::string(id));
+    }
+    VcdSignal& sig = *it->second;
+    sig.times_ps.push_back(now);
+    sig.values.emplace_back();
+    pack_token(sig.values.back(), value_tok, sig.width);
+  }
+  return f;
+}
+
+VcdFile VcdFile::load(const std::string& path) { return parse(read_file(path)); }
+
 const VcdSignal& VcdFile::signal(const std::string& name) const {
-  auto it = by_name_.find(name);
+  const auto it = by_name_.find(name);
   if (it == by_name_.end()) fail("VCD: no signal named " + name);
   return it->second;
 }
@@ -194,6 +275,18 @@ std::vector<std::string> VcdFile::signal_names() const {
   return names;
 }
 
+namespace {
+
+std::string diff_message(const std::string& name, std::uint64_t t,
+                         const sim::TraceValue* va,
+                         const sim::TraceValue* vb) {
+  return name + " differs at " + std::to_string(t) + "ps: '" +
+         (va ? va->to_string() : std::string()) + "' vs '" +
+         (vb ? vb->to_string() : std::string()) + "'";
+}
+
+}  // namespace
+
 WaveCompareResult compare_waves(const VcdFile& a, const VcdFile& b,
                                 std::uint64_t sample_period_ps) {
   WaveCompareResult r;
@@ -206,25 +299,207 @@ WaveCompareResult compare_waves(const VcdFile& a, const VcdFile& b,
       r.first_difference = name + ": width differs";
       return r;
     }
-    // Union of change times (filtered to the sampling grid if given).
-    std::vector<std::uint64_t> times;
-    for (const VcdChange& c : sa.changes) times.push_back(c.time_ps);
-    for (const VcdChange& c : sb.changes) times.push_back(c.time_ps);
-    std::sort(times.begin(), times.end());
-    times.erase(std::unique(times.begin(), times.end()), times.end());
-    for (std::uint64_t t : times) {
+    // Merge-walk the two change timelines, comparing the current values
+    // at every instant either side changed (filtered to the sampling
+    // grid if given).  Several same-instant changes collapse to the
+    // last one, matching the emitter's delta-cycle behaviour.
+    const std::size_t na = sa.times_ps.size(), nb = sb.times_ps.size();
+    std::size_t ia = 0, ib = 0;
+    const sim::TraceValue* va = nullptr;
+    const sim::TraceValue* vb = nullptr;
+    while (ia < na || ib < nb) {
+      constexpr auto kInf = ~0ull;
+      const std::uint64_t t = std::min(ia < na ? sa.times_ps[ia] : kInf,
+                                       ib < nb ? sb.times_ps[ib] : kInf);
+      while (ia < na && sa.times_ps[ia] == t) va = &sa.values[ia++];
+      while (ib < nb && sb.times_ps[ib] == t) vb = &sb.values[ib++];
       if (sample_period_ps != 0 && t % sample_period_ps != 0) continue;
-      const std::string va = sa.value_at(t);
-      const std::string vb = sb.value_at(t);
-      if (va != vb) {
+      const bool eq = (va && vb) ? *va == *vb : va == vb;
+      if (!eq) {
         r.equal = false;
-        r.first_difference = name + " differs at " + std::to_string(t) +
-                             "ps: '" + va + "' vs '" + vb + "'";
+        r.first_difference = diff_message(name, t, va, vb);
         return r;
       }
     }
     ++r.signals_compared;
   }
+  return r;
+}
+
+namespace {
+
+/// A signal present in both files under comparison: the only per-signal
+/// state the streaming walk keeps is the current value on each side.
+struct CommonSig {
+  std::string name;
+  unsigned width = 1;
+  sim::TraceValue cur[2];
+  bool has[2] = {false, false};
+  std::uint32_t touch_epoch = 0;
+};
+
+/// Applies one file's dump section block-by-block ("block" = all changes
+/// at one time marker), updating only the common signals' current values.
+class DumpWalker {
+public:
+  DumpWalker(Cursor c, unsigned timescale_ps,
+             std::map<std::string, std::int32_t, std::less<>> ids, int side,
+             std::vector<CommonSig>& common)
+      : c_(c),
+        ids_(std::move(ids)),
+        common_(common),
+        timescale_ps_(timescale_ps),
+        side_(side) {
+    pend_ = c_.next();
+    prime();
+  }
+
+  bool done() const { return done_; }
+  std::uint64_t time() const { return time_ps_; }
+
+  /// Apply every change of the pending block, recording the touched
+  /// common-signal indices (deduplicated via `epoch`), then advance to
+  /// the next block.
+  void apply_block(std::vector<std::uint32_t>& touched, std::uint32_t epoch) {
+    while (!pend_.empty() && pend_[0] != '#') {
+      const std::string_view w = pend_;
+      if (is_dump_directive(w) || w == "$end") {
+        pend_ = c_.next();
+        continue;
+      }
+      std::string_view value_tok;
+      std::string_view id;
+      if (w[0] == 'b' || w[0] == 'B') {
+        value_tok = w.substr(1);
+        id = c_.next();
+        if (id.empty()) fail("VCD: truncated vector id");
+      } else if (is_scalar_value_char(w[0])) {
+        value_tok = w.substr(0, 1);
+        id = w.substr(1);
+      } else {
+        fail("VCD: unexpected token in dump: " + std::string(w));
+      }
+      apply(value_tok, id, touched, epoch);
+      pend_ = c_.next();
+    }
+    prime();
+  }
+
+private:
+  void prime() {
+    for (;;) {
+      if (pend_.empty()) {
+        done_ = true;
+        return;
+      }
+      if (pend_[0] == '#') {
+        time_ps_ = parse_u64(pend_.substr(1), "time marker") * timescale_ps_;
+        pend_ = c_.next();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void apply(std::string_view value_tok, std::string_view id,
+             std::vector<std::uint32_t>& touched, std::uint32_t epoch) {
+    const auto it = ids_.find(id);
+    if (it == ids_.end()) {
+      fail("VCD: change for unknown id " + std::string(id));
+    }
+    if (it->second < 0) return;  // declared, but not common to both files
+    const auto ci = static_cast<std::uint32_t>(it->second);
+    CommonSig& s = common_[ci];
+    pack_token(s.cur[side_], value_tok, s.width);
+    s.has[side_] = true;
+    if (s.touch_epoch != epoch) {
+      s.touch_epoch = epoch;
+      touched.push_back(ci);
+    }
+  }
+
+  Cursor c_;
+  std::map<std::string, std::int32_t, std::less<>> ids_;
+  std::vector<CommonSig>& common_;
+  std::string_view pend_;
+  std::uint64_t time_ps_ = 0;
+  unsigned timescale_ps_ = 1;
+  int side_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+WaveCompareResult compare_vcd_files(const std::string& path_a,
+                                    const std::string& path_b,
+                                    std::uint64_t sample_period_ps) {
+  const std::string text_a = read_file(path_a);
+  const std::string text_b = read_file(path_b);
+  Cursor ca{text_a};
+  Cursor cb{text_b};
+  const Header ha = parse_header(ca);
+  const Header hb = parse_header(cb);
+
+  WaveCompareResult r;
+  std::map<std::string_view, const VarDecl*> b_by_name;
+  for (const VarDecl& v : hb.vars) {
+    if (!b_by_name.emplace(v.name, &v).second) {
+      fail("VCD: duplicate signal name " + v.name);
+    }
+  }
+  std::vector<CommonSig> common;
+  std::map<std::string, std::int32_t, std::less<>> ids_a, ids_b;
+  std::map<std::string_view, std::uint32_t> index_of;
+  for (const VarDecl& v : ha.vars) {
+    if (!index_of.emplace(v.name, 0).second) {
+      fail("VCD: duplicate signal name " + v.name);
+    }
+    const auto bit = b_by_name.find(v.name);
+    if (bit == b_by_name.end()) {
+      ids_a[v.id] = -1;
+      continue;
+    }
+    if (v.width != bit->second->width) {
+      r.equal = false;
+      r.first_difference = v.name + ": width differs";
+      return r;
+    }
+    const auto ci = static_cast<std::uint32_t>(common.size());
+    common.push_back(CommonSig{v.name, v.width, {}, {false, false}, 0});
+    ids_a[v.id] = static_cast<std::int32_t>(ci);
+    ids_b[bit->second->id] = static_cast<std::int32_t>(ci);
+  }
+  for (const VarDecl& v : hb.vars) {
+    if (!ids_b.count(v.id)) ids_b[v.id] = -1;
+  }
+
+  DumpWalker wa(ca, ha.timescale_ps, std::move(ids_a), 0, common);
+  DumpWalker wb(cb, hb.timescale_ps, std::move(ids_b), 1, common);
+  std::vector<std::uint32_t> touched;
+  std::uint32_t epoch = 0;
+  while (!wa.done() || !wb.done()) {
+    constexpr auto kInf = ~0ull;
+    const std::uint64_t t = std::min(wa.done() ? kInf : wa.time(),
+                                     wb.done() ? kInf : wb.time());
+    ++epoch;
+    touched.clear();
+    if (!wa.done() && wa.time() == t) wa.apply_block(touched, epoch);
+    if (!wb.done() && wb.time() == t) wb.apply_block(touched, epoch);
+    if (sample_period_ps != 0 && t % sample_period_ps != 0) continue;
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t ci : touched) {
+      const CommonSig& s = common[ci];
+      const sim::TraceValue* va = s.has[0] ? &s.cur[0] : nullptr;
+      const sim::TraceValue* vb = s.has[1] ? &s.cur[1] : nullptr;
+      const bool eq = (va && vb) ? *va == *vb : va == vb;
+      if (!eq) {
+        r.equal = false;
+        r.first_difference = diff_message(s.name, t, va, vb);
+        return r;
+      }
+    }
+  }
+  r.signals_compared = common.size();
   return r;
 }
 

@@ -6,6 +6,17 @@
 // timelines, and supports queries ("value of FRAME_n at 1250 ns") and
 // whole-waveform comparison -- so waveform-level consistency checking is
 // a test, not an eyeball.
+//
+// Parsing is a single zero-copy pass: the tokenizer hands out
+// string_views into the loaded text and every change is stored as a
+// packed sim::TraceValue (two bit-planes, inline up to 64 bits) keyed by
+// a parallel time array -- no per-change heap string.  Values are
+// normalised to the declared signal width with the canonical VCD
+// left-extension rule, so "b1010" and "b00001010" read back identically
+// for an 8-bit var.  For RTL-vs-behavioural consistency checks that do
+// not need random access, compare_vcd_files() walks two dumps
+// change-by-change holding only the current value per common signal
+// instead of materialising both full timelines.
 #pragma once
 
 #include <cstdint>
@@ -14,32 +25,33 @@
 #include <vector>
 
 #include "hlcs/sim/assert.hpp"
+#include "hlcs/sim/trace.hpp"
 
 namespace hlcs::verify {
-
-struct VcdChange {
-  std::uint64_t time_ps;
-  std::string value;  ///< MSB-first, chars 0/1/x/z
-};
 
 struct VcdSignal {
   std::string name;
   unsigned width = 1;
-  std::vector<VcdChange> changes;  ///< sorted by time
+  /// Change history: times_ps is sorted (duplicates allowed -- several
+  /// delta-cycle changes can land on one instant; the last one wins) and
+  /// values runs parallel to it.
+  std::vector<std::uint64_t> times_ps;
+  std::vector<sim::TraceValue> values;
 
-  /// Value at time t (last change at or before t); empty before the
-  /// first change.
+  /// Packed value at time t (last change at or before t); nullptr before
+  /// the first change.  O(log changes).
+  const sim::TraceValue* packed_at(std::uint64_t t_ps) const;
+
+  /// Value at time t rendered MSB-first with chars 0/1/x/z; empty string
+  /// before the first change.
   std::string value_at(std::uint64_t t_ps) const {
-    std::string v;
-    for (const VcdChange& c : changes) {
-      if (c.time_ps > t_ps) break;
-      v = c.value;
-    }
-    return v;
+    const sim::TraceValue* v = packed_at(t_ps);
+    return v ? v->to_string() : std::string();
   }
 
+  std::size_t num_changes() const { return times_ps.size(); }
   std::size_t transitions() const {
-    return changes.empty() ? 0 : changes.size() - 1;
+    return times_ps.empty() ? 0 : times_ps.size() - 1;
   }
 };
 
@@ -57,7 +69,7 @@ public:
   unsigned timescale_ps() const { return timescale_ps_; }
 
 private:
-  std::map<std::string, VcdSignal> by_name_;  // keyed by signal name
+  std::map<std::string, VcdSignal, std::less<>> by_name_;
   std::uint64_t end_time_ps_ = 0;
   unsigned timescale_ps_ = 1;
 };
@@ -76,5 +88,15 @@ struct WaveCompareResult {
 /// only, ignoring sub-cycle glitches).
 WaveCompareResult compare_waves(const VcdFile& a, const VcdFile& b,
                                 std::uint64_t sample_period_ps = 0);
+
+/// Streaming variant of compare_waves for whole files: tokenizes both
+/// dumps in one pass, keeps only the current value per common signal,
+/// and stops at the first difference.  Same comparison semantics as
+/// compare_waves (common signals, union of change instants, optional
+/// sampling grid); signals_compared reports the number of common signals.
+/// Throws hlcs::Error if either file is missing or malformed.
+WaveCompareResult compare_vcd_files(const std::string& path_a,
+                                    const std::string& path_b,
+                                    std::uint64_t sample_period_ps = 0);
 
 }  // namespace hlcs::verify

@@ -78,6 +78,40 @@ TEST(VcdReader, RejectsMalformedInput) {
   EXPECT_THROW(f.signal("missing"), hlcs::Error);
 }
 
+// value_at is a binary search over the packed change list; pin its
+// behaviour on a dump with thousands of changes: exact hit, between
+// changes, before the first change, after the last, and duplicate times
+// (the later change at the same #time wins).
+TEST(VcdReader, ValueAtBinarySearchOverManyChanges) {
+  constexpr int kChanges = 4096;
+  std::string vcd =
+      "$timescale 1ps $end\n$var wire 16 ! s $end\n$enddefinitions $end\n";
+  auto to_bin16 = [](unsigned v) {
+    std::string s(16, '0');
+    for (int b = 0; b < 16; ++b) {
+      if (v & (1u << b)) s[15 - b] = '1';
+    }
+    return s;
+  };
+  for (int i = 0; i < kChanges; ++i) {
+    vcd += "#" + std::to_string(100 + i * 10) + "\nb" +
+           to_bin16(static_cast<unsigned>(i)) + " !\n";
+  }
+  vcd += "#50000\nb" + to_bin16(0xAAAA) + " !\n";
+  vcd += "#50000\nb" + to_bin16(0x5555) + " !\n";  // same time, last wins
+  VcdFile f = VcdFile::parse(vcd);
+  const VcdSignal& s = f.signal("s");
+  EXPECT_EQ(s.num_changes(), static_cast<std::size_t>(kChanges) + 2);
+  EXPECT_EQ(s.value_at(99), "");  // before the first change
+  EXPECT_EQ(s.value_at(100), to_bin16(0));
+  for (int i : {0, 1, 7, 1000, 2047, 4095}) {
+    EXPECT_EQ(s.value_at(100 + i * 10), to_bin16(static_cast<unsigned>(i)));
+    EXPECT_EQ(s.value_at(100 + i * 10 + 9), to_bin16(static_cast<unsigned>(i)));
+  }
+  EXPECT_EQ(s.value_at(50'000), to_bin16(0x5555));
+  EXPECT_EQ(s.value_at(1'000'000), to_bin16(0x5555));
+}
+
 // Round trip: run a simulation with our Trace writer, read the file
 // back, and verify waveform facts.
 class VcdRoundTrip : public ::testing::Test {
