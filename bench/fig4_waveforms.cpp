@@ -11,6 +11,7 @@
 // google-benchmark binary.
 #include <cstdio>
 
+#include "hlcs/check/check.hpp"
 #include "hlcs/pattern/pattern.hpp"
 #include "hlcs/sim/sim.hpp"
 #include "hlcs/verify/vcd_reader.hpp"
@@ -26,6 +27,12 @@ struct RunResult {
   std::uint64_t cycles_burst8_read = 0;
   std::uint64_t cycles_burst8_write = 0;
   std::size_t violations = 0;
+  /// Temporal-property results: total failures across both engines, a
+  /// bit-identity flag between them, and the behavioural per-property
+  /// pass counts (for cross-run comparison).
+  std::uint64_t prop_fails = 0;
+  bool engines_agree = false;
+  std::vector<std::pair<std::string, std::uint64_t>> prop_passes;
 };
 
 RunResult run_system(const pci::TargetConfig& tcfg, sim::Trace* trace) {
@@ -36,6 +43,15 @@ RunResult run_system(const pci::TargetConfig& tcfg, sim::Trace* trace) {
   pci::PciMonitor mon(k, "mon", bus);
   pci::PciTarget target(k, "t0", bus, tcfg);
   pattern::PciBusInterface iface(k, "iface", bus, arb);
+  // The same PCI rule pack watches the run twice: behaviourally and as
+  // the synthesised monitor netlist (the paper's step-3 consistency
+  // check restated over properties).
+  const check::Spec spec =
+      check::pci_rules(check::PciRuleOptions{.arbitration = true});
+  const check::ProbeSet probes =
+      check::pci_probes(bus, {iface.arb_port().gnt});
+  check::Monitor beh(k, "beh", spec, clk, probes);
+  check::NetlistMonitor rtl(k, "rtl", spec, clk, probes);
   if (trace) {
     bus.trace_all(*trace);
     k.attach_trace(*trace);
@@ -64,6 +80,18 @@ RunResult run_system(const pci::TargetConfig& tcfg, sim::Trace* trace) {
   r.cycles_burst8_write = (es[2].completed - es[2].issued).picos() / 30000;
   r.cycles_burst8_read = (es[3].completed - es[3].issued).picos() / 30000;
   r.violations = mon.violations().size();
+  r.prop_fails = beh.stats().fails() + rtl.stats().fails();
+  const auto& sb = beh.stats().props;
+  const auto& sr = rtl.stats().props;
+  r.engines_agree =
+      beh.stats().edges == rtl.stats().edges && sb.size() == sr.size();
+  for (std::size_t i = 0; i < sb.size() && i < sr.size(); ++i) {
+    r.engines_agree = r.engines_agree && sb[i].attempts == sr[i].attempts &&
+                      sb[i].passes == sr[i].passes &&
+                      sb[i].fails == sr[i].fails &&
+                      sb[i].vacuous == sr[i].vacuous;
+    r.prop_passes.emplace_back(sb[i].name, sb[i].passes);
+  }
   return r;
 }
 
@@ -75,12 +103,16 @@ int main() {
   std::printf("=============================================================="
               "==\n\n");
 
+  int status = 0;
+
   // The headline run (matches the paper's test system: one application,
   // the PCI library element, one target) with the VCD dump.
   const char* vcd_path = HLCS_TRACE_DIR "/fig4_waveforms.vcd";
+  RunResult r1;
   {
     sim::Trace trace(vcd_path);
-    RunResult r = run_system(
+    RunResult& r = r1;
+    r = run_system(
         pci::TargetConfig{.base = 0x40000000,
                           .size = 0x1000,
                           .devsel = pci::DevselSpeed::Medium,
@@ -107,21 +139,40 @@ int main() {
   // current value per signal is held, never a full timeline).
   {
     const char* vcd2 = HLCS_TRACE_DIR "/fig4_waveforms_check.vcd";
+    RunResult r2;
     {
       sim::Trace trace(vcd2);
-      run_system(pci::TargetConfig{.base = 0x40000000,
-                                   .size = 0x1000,
-                                   .devsel = pci::DevselSpeed::Medium,
-                                   .initial_wait = 1,
-                                   .per_word_wait = 0},
-                 &trace);
+      r2 = run_system(pci::TargetConfig{.base = 0x40000000,
+                                        .size = 0x1000,
+                                        .devsel = pci::DevselSpeed::Medium,
+                                        .initial_wait = 1,
+                                        .per_word_wait = 0},
+                      &trace);
     }
     const verify::WaveCompareResult wc = verify::compare_vcd_files(
         vcd_path, vcd2);
     std::printf("waveform consistency (streamed re-simulation): %s "
-                "(%zu signals)\n\n",
+                "(%zu signals)\n",
                 wc ? "PASS" : wc.first_difference.c_str(),
                 wc.signals_compared);
+    if (!wc) status = 1;
+
+    // Property edition of the same gate: no failures on either side of
+    // the refinement, the behavioural and netlist engines bit-agree
+    // within each run, and the non-vacuous pass profile matches across
+    // the two runs.
+    const bool props_ok = r1.prop_fails == 0 && r2.prop_fails == 0 &&
+                          r1.engines_agree && r2.engines_agree &&
+                          !r1.prop_passes.empty() &&
+                          r1.prop_passes == r2.prop_passes;
+    std::printf("property consistency (behavioural vs RTL monitors): %s\n",
+                props_ok ? "PASS" : "FAIL");
+    for (const auto& [name, passes] : r1.prop_passes) {
+      std::printf("  %-22s passes=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(passes));
+    }
+    std::printf("\n");
+    if (!props_ok) status = 1;
   }
 
   // ABL2: wait states x DEVSEL speed sweep.
@@ -177,5 +228,5 @@ int main() {
   std::printf("\nShape check: every wait state adds ~1 cycle per affected "
               "phase;\nbursts amortise the address phase; disconnects "
               "re-arbitrate per fragment.\n");
-  return 0;
+  return status;
 }

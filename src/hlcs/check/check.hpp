@@ -1,0 +1,9 @@
+// Umbrella header for the temporal assertion subsystem.
+#pragma once
+
+#include "hlcs/check/automaton.hpp"
+#include "hlcs/check/monitor.hpp"
+#include "hlcs/check/object_rules.hpp"
+#include "hlcs/check/pci_rules.hpp"
+#include "hlcs/check/property.hpp"
+#include "hlcs/check/stats.hpp"

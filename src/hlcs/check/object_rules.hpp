@@ -1,0 +1,53 @@
+// Shared-object rule pack (clocked SharedObjects): the scheduler must
+// only dispatch a call whose guard holds over the object state at the
+// grant moment, and an eligible (guard-true) pending call must be
+// granted within a bound -- the paper's "suspended until the condition
+// becomes true" contract plus a fairness bound on the arbitration
+// policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hlcs/check/monitor.hpp"
+#include "hlcs/check/property.hpp"
+#include "hlcs/osss/shared_object.hpp"
+
+namespace hlcs::check {
+
+/// `starvation_bound` > 0 adds no_starvation: while any queued call is
+/// eligible, some grant must happen within that many edges.  Size it to
+/// the worst-case contention (one grant per edge, so pending-high-water
+/// + slack); 0 ships only the dispatch-guard rule.
+inline Spec shared_object_rules(unsigned starvation_bound = 0) {
+  Spec s("shared_object_rules");
+  E grants = s.signal("grants", 32);
+  E guard_held = s.signal("guard_held");
+  E eligible = s.signal("eligible");
+  E granted = grants != s.past(grants);
+  s.prop("guard_at_dispatch", granted, guard_held);
+  if (starvation_bound > 0) {
+    s.prop("no_starvation", eligible,
+           s.eventually_within(starvation_bound, grants != s.past(grants)));
+  }
+  return s;
+}
+
+template <class T>
+ProbeSet shared_object_probes(const osss::SharedObject<T>& so) {
+  ProbeSet ps;
+  ps.add(sim::probe_fn(
+            "grants", 32,
+            [&so] { return so.grant_count() & 0xFFFFFFFFull; }))
+      .add(sim::probe_fn("guard_held", 1,
+                         [&so] {
+                           return so.last_grant_guard_held() ? std::uint64_t{1}
+                                                            : std::uint64_t{0};
+                         }))
+      .add(sim::probe_fn("eligible", 1, [&so] {
+        return so.has_eligible() ? std::uint64_t{1} : std::uint64_t{0};
+      }));
+  return ps;
+}
+
+}  // namespace hlcs::check

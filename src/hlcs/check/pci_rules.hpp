@@ -1,0 +1,105 @@
+// The shipped PCI rule pack: PciMonitor's hard-coded M1-M6 re-expressed
+// as temporal properties, plus the arbitration rules the monitor never
+// had (GNT# must precede FRAME# assertion; a master that lost GNT# must
+// release the bus within a latency-timer bound).  One Spec, evaluated
+// behaviourally (check::Monitor) and as a synthesised netlist
+// (check::NetlistMonitor) against the same probes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hlcs/check/monitor.hpp"
+#include "hlcs/check/property.hpp"
+#include "hlcs/pci/pci_arbiter.hpp"
+#include "hlcs/pci/pci_bus.hpp"
+
+namespace hlcs::check {
+
+struct PciRuleOptions {
+  /// Add arb_gnt_before_frame (requires a "gnt" probe: OR of all GNT#).
+  bool arbitration = false;
+  /// >0: add lt_release -- FRAME# held without GNT# must deassert within
+  /// this many edges.  Size it as latency_timer + burst slack (decode,
+  /// wait states, final data phase); 0 disables the rule.
+  unsigned latency_bound = 0;
+};
+
+inline Spec pci_rules(PciRuleOptions opt = {}) {
+  Spec s("pci_rules");
+  E frame = s.signal("frame");
+  E irdy = s.signal("irdy");
+  E trdy = s.signal("trdy");
+  E devsel = s.signal("devsel");
+  E stop = s.signal("stop");
+  E ad_x = s.signal("ad_x");
+  E cbe_x = s.signal("cbe_x");
+  E ad_def = s.signal("ad_def");
+  E cbe_def = s.signal("cbe_def");
+  E ad = s.signal("ad", 32);
+  E cbe = s.signal("cbe", 4);
+  E par_val = s.signal("par_val");
+  E par_driven = s.signal("par_driven");
+
+  s.prop("m1_no_x_active", frame || irdy, !(ad_x || cbe_x));
+  s.prop("m2_trdy_devsel", trdy, devsel);
+  s.prop("m3_frame_release", s.fell(frame), irdy);
+  s.prop("m4_addr_driven", s.rose(frame), ad_def && cbe_def);
+  // M5: PAR, whenever actively driven, covers the previous edge's AD and
+  // C/BE# (even parity == XOR-reduction of all 36 bits).  The past()
+  // registers start at 0, so the first edge is vacuous exactly like the
+  // monitor's "no previous sample yet" guard.
+  s.prop("m5_parity",
+         par_driven && s.past(ad_def) && s.past(cbe_def),
+         par_val == s.red_xor(s.concat(s.past(cbe), s.past(ad))));
+  s.prop("m6_stop_devsel", stop, devsel);
+
+  if (opt.arbitration || opt.latency_bound > 0) {
+    E gnt = s.signal("gnt");
+    if (opt.arbitration) {
+      // A master reacting to GNT# at edge E drives FRAME# visibly at
+      // E+1, so a legal address phase always shows GNT# one edge back.
+      s.prop("arb_gnt_before_frame", s.rose(frame), s.past(gnt));
+    }
+    if (opt.latency_bound > 0) {
+      s.prop("lt_release", frame && !gnt,
+             s.eventually_within(opt.latency_bound, !frame));
+    }
+  }
+  return s;
+}
+
+/// Probes over the shared bus wires, matching pci_rules() signal names.
+inline ProbeSet pci_probes(const pci::PciBus& bus) {
+  ProbeSet ps;
+  ps.add(sim::probe_low("frame", bus.frame_n))
+      .add(sim::probe_low("irdy", bus.irdy_n))
+      .add(sim::probe_low("trdy", bus.trdy_n))
+      .add(sim::probe_low("devsel", bus.devsel_n))
+      .add(sim::probe_low("stop", bus.stop_n))
+      .add(sim::probe_has_x("ad_x", bus.ad))
+      .add(sim::probe_has_x("cbe_x", bus.cbe))
+      .add(sim::probe_defined("ad_def", bus.ad))
+      .add(sim::probe_defined("cbe_def", bus.cbe))
+      .add(sim::probe_value("ad", bus.ad))
+      .add(sim::probe_value("cbe", bus.cbe))
+      .add(sim::probe_high("par_val", bus.par))
+      .add(sim::probe_driven("par_driven", bus.par));
+  return ps;
+}
+
+/// Same, plus a "gnt" probe ORing every master's grant line (for the
+/// arbitration / latency rules).
+inline ProbeSet pci_probes(const pci::PciBus& bus,
+                           std::vector<const sim::Signal<bool>*> gnts) {
+  ProbeSet ps = pci_probes(bus);
+  ps.add(sim::probe_fn("gnt", 1, [gnts = std::move(gnts)] {
+    for (const sim::Signal<bool>* g : gnts) {
+      if (g->read()) return std::uint64_t{1};
+    }
+    return std::uint64_t{0};
+  }));
+  return ps;
+}
+
+}  // namespace hlcs::check

@@ -1,0 +1,253 @@
+// Temporal property DSL.
+//
+// A Spec declares a set of sampled signals and a list of properties over
+// them.  Properties are clocked: everything is evaluated once per rising
+// edge of whichever clock the monitor binds, over the values the probes
+// sampled at that edge.  A property has the SVA-like shape
+//
+//     antecedent |-> consequent
+//
+// where the antecedent is a 1-bit value expression (an "attempt" starts
+// on every edge it holds; edges where it does not hold are *vacuous*)
+// and the consequent is a sequence:
+//
+//     seq(expr)                  satisfied/violated on the attempt edge
+//     delay(n, seq)              ##n: the inner sequence starts n edges later
+//     until(p, q)                weak until: p must hold every edge until
+//                                q holds (q resolves all pending attempts
+//                                as passes; !p && !q fails them)
+//     eventually_within(n, p)    p must hold on the attempt edge or one of
+//                                the following n edges; expiry is a fail
+//
+// Value expressions are the synthesisable ExprArena subset plus three
+// pieces of temporal sugar that allocate hidden state registers:
+// past(e, n), rose(e), fell(e), stable(e).  Because every property
+// compiles to registers + combinational logic over them (check/automaton
+// .hpp), the same Spec runs behaviourally and as a synthesised netlist.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hlcs/sim/assert.hpp"
+#include "hlcs/synth/expr.hpp"
+
+namespace hlcs::check {
+
+using synth::ExprArena;
+using synth::ExprId;
+using synth::ExprOp;
+using synth::kNoExpr;
+
+class Spec;
+
+/// Value-expression handle: a node in the Spec's arena with operator
+/// sugar so rule packs read like boolean formulas.
+struct E {
+  Spec* spec = nullptr;
+  ExprId id = kNoExpr;
+};
+
+using SeqId = std::uint32_t;
+inline constexpr SeqId kNoSeq = ~SeqId{0};
+
+enum class SeqKind : std::uint8_t { Expr, Delay, Until, EventuallyWithin };
+
+struct SeqNode {
+  SeqKind kind;
+  unsigned n = 0;          ///< Delay / EventuallyWithin bound
+  ExprId p = kNoExpr;      ///< Expr body / Until hold / EventuallyWithin goal
+  ExprId q = kNoExpr;      ///< Until release
+  SeqId inner = kNoSeq;    ///< Delay continuation
+};
+
+struct PropertyDef {
+  std::string name;
+  ExprId antecedent = kNoExpr;  ///< kNoExpr: unconditional (never vacuous)
+  SeqId consequent = kNoSeq;
+};
+
+struct SignalDecl {
+  std::string name;
+  unsigned width;
+};
+
+/// Hidden state allocated by past()/rose()/fell()/stable().
+struct SpecState {
+  std::string name;
+  unsigned width;
+  std::uint64_t init;
+  ExprId next;  ///< value latched on each enabled edge
+};
+
+/// Var index base for SpecState references inside the Spec arena; the
+/// compiler renumbers them after the (by then final) signal count.
+inline constexpr std::uint32_t kSpecStateBase = 1u << 20;
+
+class Spec {
+public:
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const ExprArena& arena() const { return arena_; }
+  const std::vector<SignalDecl>& signals() const { return signals_; }
+  const std::vector<SpecState>& states() const { return states_; }
+  const std::vector<PropertyDef>& properties() const { return props_; }
+  const SeqNode& seq_node(SeqId s) const {
+    HLCS_ASSERT(s < seqs_.size(), "Spec: bad SeqId");
+    return seqs_[s];
+  }
+
+  /// Declare a sampled input signal.  The monitor binds a probe of the
+  /// same name and width.
+  E signal(std::string sig_name, unsigned width = 1) {
+    HLCS_ASSERT(signals_.size() < kSpecStateBase, "too many signals");
+    const auto idx = static_cast<std::uint32_t>(signals_.size());
+    signals_.push_back(SignalDecl{std::move(sig_name), width});
+    return wrap(arena_.var(idx, width));
+  }
+
+  E lit(std::uint64_t value, unsigned width = 1) {
+    return wrap(arena_.cst(value, width));
+  }
+
+  // ---- temporal sugar -------------------------------------------------
+  /// Value of `e` as sampled `n` edges ago (0 before n edges elapsed).
+  E past(E e, unsigned n = 1) {
+    own(e);
+    if (n == 0) return e;
+    E prev = past(e, n - 1);
+    auto it = past_of_.find(prev.id);
+    if (it != past_of_.end()) return wrap(it->second);
+    const unsigned w = arena_.at(prev.id).width;
+    const auto sidx = static_cast<std::uint32_t>(states_.size());
+    states_.push_back(
+        SpecState{"past" + std::to_string(sidx), w, 0, prev.id});
+    const ExprId ref = arena_.var(kSpecStateBase + sidx, w);
+    past_of_.emplace(prev.id, ref);
+    return wrap(ref);
+  }
+  E rose(E e) { return band(e, bnot(past(e))); }
+  E fell(E e) { return band(bnot(e), past(e)); }
+  E stable(E e) { return wrap(arena_.bin(ExprOp::Eq, e.id, past(e).id)); }
+
+  // ---- raw builders (for widths / slices the operators don't cover) ---
+  E zext(E e, unsigned width) { own(e); return wrap(arena_.zext(e.id, width)); }
+  E slice(E e, unsigned lsb, unsigned width) {
+    own(e);
+    return wrap(arena_.slice(e.id, lsb, width));
+  }
+  E mux(E sel, E then_e, E else_e) {
+    own(sel);
+    return wrap(arena_.mux(sel.id, then_e.id, else_e.id));
+  }
+  E concat(E hi, E lo) {
+    own(hi);
+    return wrap(arena_.bin(ExprOp::Concat, hi.id, lo.id));
+  }
+  /// XOR-reduction to one bit (there is no RedXor op: shift-fold).
+  E red_xor(E e) {
+    own(e);
+    ExprId z = arena_.zext(e.id, 64);
+    for (unsigned sh = 32; sh >= 1; sh >>= 1) {
+      z = arena_.bin(ExprOp::Xor, z, arena_.bin(ExprOp::Shr, z, arena_.cst(sh, 64)));
+    }
+    return wrap(arena_.slice(z, 0, 1));
+  }
+
+  // ---- sequences ------------------------------------------------------
+  SeqId seq(E b) { return push_seq({SeqKind::Expr, 0, bool1(b), kNoExpr, kNoSeq}); }
+  SeqId delay(unsigned n, SeqId inner) {
+    HLCS_ASSERT(inner < seqs_.size(), "delay: bad inner sequence");
+    return push_seq({SeqKind::Delay, n, kNoExpr, kNoExpr, inner});
+  }
+  SeqId delay(unsigned n, E b) { return delay(n, seq(b)); }
+  SeqId until(E p, E q) {
+    return push_seq({SeqKind::Until, 0, bool1(p), bool1(q), kNoSeq});
+  }
+  SeqId eventually_within(unsigned n, E p) {
+    return push_seq({SeqKind::EventuallyWithin, n, bool1(p), kNoExpr, kNoSeq});
+  }
+
+  // ---- properties -----------------------------------------------------
+  /// antecedent |-> consequent.
+  void prop(std::string prop_name, E antecedent, SeqId consequent) {
+    check_name(prop_name);
+    props_.push_back(
+        PropertyDef{std::move(prop_name), bool1(antecedent), consequent});
+  }
+  void prop(std::string prop_name, E antecedent, E consequent) {
+    prop(std::move(prop_name), antecedent, seq(consequent));
+  }
+  /// Unconditional: attempted on every enabled edge, never vacuous.
+  void always(std::string prop_name, SeqId consequent) {
+    check_name(prop_name);
+    props_.push_back(PropertyDef{std::move(prop_name), kNoExpr, consequent});
+  }
+  void always(std::string prop_name, E invariant) {
+    always(std::move(prop_name), seq(invariant));
+  }
+
+  // internal: used by the E operators
+  E wrap(ExprId id) { return E{this, id}; }
+  E band(E a, E b) { return wrap(arena_.bin(ExprOp::And, bool1(a), bool1(b))); }
+  E bor(E a, E b) { return wrap(arena_.bin(ExprOp::Or, bool1(a), bool1(b))); }
+  E bnot(E a) { return wrap(arena_.un(ExprOp::Not, bool1(a))); }
+  E cmpl(E a) { own(a); return wrap(arena_.un(ExprOp::Not, a.id)); }
+  E cmp(ExprOp op, E a, E b) { return wrap(arena_.bin(op, a.id, b.id)); }
+  E arith(ExprOp op, E a, E b) { return wrap(arena_.bin(op, a.id, b.id)); }
+  void own(E e) const {
+    HLCS_ASSERT(e.spec == this && e.id != kNoExpr,
+                "expression belongs to a different Spec");
+  }
+
+private:
+  /// Booleans must be 1 bit; widen via != 0 would hide bugs, so assert.
+  ExprId bool1(E e) {
+    own(e);
+    HLCS_ASSERT(arena_.at(e.id).width == 1,
+                name_ + ": boolean position needs a 1-bit expression");
+    return e.id;
+  }
+  void check_name(const std::string& n) const {
+    HLCS_ASSERT(!n.empty(), "property needs a name");
+    for (const PropertyDef& p : props_) {
+      HLCS_ASSERT(p.name != n, name_ + ": duplicate property '" + n + "'");
+    }
+  }
+  SeqId push_seq(SeqNode n) {
+    seqs_.push_back(n);
+    return static_cast<SeqId>(seqs_.size() - 1);
+  }
+
+  std::string name_;
+  ExprArena arena_;
+  std::vector<SignalDecl> signals_;
+  std::vector<SpecState> states_;
+  std::vector<SeqNode> seqs_;
+  std::vector<PropertyDef> props_;
+  std::map<ExprId, ExprId> past_of_;  ///< memo: expr -> its past-register ref
+};
+
+// Operator sugar.  Logical ops require 1-bit operands (checked);
+// comparisons/arithmetic follow ExprArena width rules.
+inline E operator!(E a) { return a.spec->bnot(a); }
+inline E operator&&(E a, E b) { return a.spec->band(a, b); }
+inline E operator||(E a, E b) { return a.spec->bor(a, b); }
+inline E operator~(E a) { return a.spec->cmpl(a); }
+inline E operator==(E a, E b) { return a.spec->cmp(ExprOp::Eq, a, b); }
+inline E operator!=(E a, E b) { return a.spec->cmp(ExprOp::Ne, a, b); }
+inline E operator<(E a, E b) { return a.spec->cmp(ExprOp::Lt, a, b); }
+inline E operator<=(E a, E b) { return a.spec->cmp(ExprOp::Le, a, b); }
+inline E operator>(E a, E b) { return a.spec->cmp(ExprOp::Gt, a, b); }
+inline E operator>=(E a, E b) { return a.spec->cmp(ExprOp::Ge, a, b); }
+inline E operator+(E a, E b) { return a.spec->arith(ExprOp::Add, a, b); }
+inline E operator-(E a, E b) { return a.spec->arith(ExprOp::Sub, a, b); }
+inline E operator&(E a, E b) { return a.spec->arith(ExprOp::And, a, b); }
+inline E operator|(E a, E b) { return a.spec->arith(ExprOp::Or, a, b); }
+inline E operator^(E a, E b) { return a.spec->arith(ExprOp::Xor, a, b); }
+
+}  // namespace hlcs::check

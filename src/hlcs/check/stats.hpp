@@ -1,0 +1,49 @@
+// Attempt/pass/fail/vacuous accounting for property monitors, in the
+// same plain-counter style as KernelStats / NetlistStats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlcs::check {
+
+struct PropertyStats {
+  std::string name;
+  std::uint64_t attempts = 0;  ///< edges where the antecedent held
+  std::uint64_t passes = 0;    ///< resolved attempts that satisfied the seq
+  std::uint64_t fails = 0;     ///< resolved attempts that violated it
+  std::uint64_t vacuous = 0;   ///< enabled edges where the antecedent did not hold
+
+  /// Attempts still in flight (delayed / until / eventually windows).
+  std::uint64_t pending() const { return attempts - passes - fails; }
+};
+
+/// One recorded failing edge (bounded; see MonitorOptions).
+struct CheckFailure {
+  std::uint64_t cycle = 0;
+  std::uint32_t property = 0;  ///< index into CheckStats::props
+  std::uint64_t count = 0;     ///< attempts that failed on this edge
+};
+
+struct CheckStats {
+  std::uint64_t edges = 0;           ///< sampled rising edges
+  std::uint64_t disabled_edges = 0;  ///< edges spent in disable/reset
+  std::vector<PropertyStats> props;
+  std::vector<CheckFailure> failures;  ///< bounded record of failing edges
+  std::uint64_t dropped_failures = 0;  ///< failures beyond the cap
+
+  std::uint64_t attempts() const { return sum(&PropertyStats::attempts); }
+  std::uint64_t passes() const { return sum(&PropertyStats::passes); }
+  std::uint64_t fails() const { return sum(&PropertyStats::fails); }
+  std::uint64_t vacuous() const { return sum(&PropertyStats::vacuous); }
+
+private:
+  std::uint64_t sum(std::uint64_t PropertyStats::* f) const {
+    std::uint64_t t = 0;
+    for (const PropertyStats& p : props) t += p.*f;
+    return t;
+  }
+};
+
+}  // namespace hlcs::check

@@ -1,6 +1,7 @@
 // Umbrella header for the whole library.
 #pragma once
 
+#include "hlcs/check/check.hpp"
 #include "hlcs/osss/osss.hpp"
 #include "hlcs/pattern/pattern.hpp"
 #include "hlcs/pci/pci.hpp"

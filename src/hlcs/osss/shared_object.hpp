@@ -167,6 +167,20 @@ public:
   std::size_t pending() const { return queue_.size(); }
   const SharedObjectStats& stats() const { return stats_; }
 
+  // Combinational observation ports for property monitors
+  // (hlcs/check/object_rules.hpp).
+  std::uint64_t grant_count() const { return stats_.grants; }
+  /// Whether the most recent grant's guard held over the object state at
+  /// the dispatch moment (re-checked just before execution).
+  bool last_grant_guard_held() const { return last_grant_guard_held_; }
+  /// Any queued call whose guard holds over the current state.
+  bool has_eligible() const {
+    for (const PendingBase* p : queue_) {
+      if (p->guard_ok(state_)) return true;
+    }
+    return false;
+  }
+
 private:
   template <class Guard, class Fn, class R>
   struct CallAwaiter final : PendingBase {
@@ -253,6 +267,7 @@ private:
     PendingBase* p = queue_[qi];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
 
+    last_grant_guard_held_ = p->guard_ok(state_);
     p->execute(state_);
     stats_.grants++;
     ClientStats& cs = stats_.clients[p->client];
@@ -280,6 +295,7 @@ private:
     }
     stats_.try_call_hits++;
     stats_.grants++;
+    last_grant_guard_held_ = true;  // guard checked above
     if (client_id < stats_.clients.size()) {
       stats_.clients[client_id].calls++;
       stats_.clients[client_id].granted++;
@@ -298,6 +314,7 @@ private:
   std::vector<RequestInfo> eligible_;
   std::vector<std::size_t> eligible_pos_;
   std::uint64_t next_seq_ = 0;
+  bool last_grant_guard_held_ = true;
   SharedObjectStats stats_;
 };
 

@@ -44,6 +44,10 @@ public:
 
   const pci::MasterStats& master_stats() const { return master_.stats(); }
 
+  /// The REQ#/GNT# pair this interface arbitrates with (GNT# feeds the
+  /// arbitration properties in hlcs/check/pci_rules.hpp).
+  const pci::PciArbiter::Port& arb_port() const { return port_; }
+
 protected:
   sim::Task execute(const CommandType& cmd, ResponseType& resp) override {
     pci::PciTransaction t;

@@ -153,8 +153,9 @@ Task PciMaster::attempt(PciTransaction& t, PciResult& out) {
     const bool trdy = asserted(bus_.trdy_n);
     const bool stop = asserted(bus_.stop_n);
 
-    if (trdy) {
-      // Data transfer on this edge.
+    if (devsel_seen && trdy) {
+      // Data transfer on this edge (TRDY# means nothing until the
+      // target has claimed the address with DEVSEL#).
       if (rd) {
         t.data.push_back(static_cast<std::uint32_t>(bus_.ad.read().to_uint()));
       }

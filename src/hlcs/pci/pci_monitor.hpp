@@ -44,6 +44,10 @@ struct BusRecord {
 
 struct MonitorConfig {
   bool throw_on_violation = false;
+  /// Stored violation strings are capped so multi-million-cycle sweeps
+  /// on broken models cannot balloon memory; excess edges only bump
+  /// dropped_violations().
+  std::size_t max_recorded_violations = 1024;
 };
 
 class PciMonitor : public sim::Module {
@@ -58,6 +62,10 @@ public:
 
   const std::vector<BusRecord>& records() const { return records_; }
   const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t dropped_violations() const { return dropped_violations_; }
+  std::uint64_t total_violations() const {
+    return violations_.size() + dropped_violations_;
+  }
   std::uint64_t transfers() const { return transfers_; }
   std::uint64_t busy_cycles() const { return busy_cycles_; }
   std::uint64_t idle_cycles() const { return idle_cycles_; }
@@ -66,6 +74,7 @@ public:
   void clear() {
     records_.clear();
     violations_.clear();
+    dropped_violations_ = 0;
     transfers_ = 0;
     busy_cycles_ = 0;
     idle_cycles_ = 0;
@@ -73,10 +82,14 @@ public:
 
 private:
   void violation(const std::string& what) {
-    violations_.push_back("cycle " + std::to_string(bus_.cycle()) + ": " +
-                          what);
+    std::string msg = "cycle " + std::to_string(bus_.cycle()) + ": " + what;
+    if (violations_.size() < cfg_.max_recorded_violations) {
+      violations_.push_back(msg);
+    } else {
+      ++dropped_violations_;
+    }
     if (cfg_.throw_on_violation) {
-      throw ProtocolError(name() + ": " + violations_.back());
+      throw ProtocolError(name() + ": " + msg);
     }
   }
 
@@ -86,6 +99,7 @@ private:
   MonitorConfig cfg_;
   std::vector<BusRecord> records_;
   std::vector<std::string> violations_;
+  std::uint64_t dropped_violations_ = 0;
   std::uint64_t transfers_ = 0;
   std::uint64_t busy_cycles_ = 0;
   std::uint64_t idle_cycles_ = 0;

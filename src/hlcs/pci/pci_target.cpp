@@ -76,7 +76,7 @@ Task PciTarget::serve_tenure(Space sp, PciCommand cmd, std::uint32_t addr) {
   for (unsigned i = 1; i < static_cast<unsigned>(cfg_.devsel); ++i) {
     co_await bus_.clk.posedge();
   }
-  drv_.devsel_n.write(Logic::L0);
+  if (!cfg_.faults.no_devsel) drv_.devsel_n.write(Logic::L0);
   drv_.trdy_n.write(Logic::L1);
 
   unsigned wait = cfg_.initial_wait;
@@ -126,7 +126,13 @@ Task PciTarget::serve_tenure(Space sp, PciCommand cmd, std::uint32_t addr) {
       co_await bus_.clk.posedge();
       // Parity for read data we drove in the cycle that just ended.
       if (rd && drove_ad) {
-        drv_.par.write(even_parity(driven_ad, 0x0) ? Logic::L1 : Logic::L0);
+        bool p = even_parity(driven_ad, 0x0);
+        ++par_phases_;
+        if (cfg_.faults.corrupt_par_every > 0 &&
+            par_phases_ % cfg_.faults.corrupt_par_every == 0) {
+          p = !p;
+        }
+        drv_.par.write(p ? Logic::L1 : Logic::L0);
       }
       if (asserted(bus_.irdy_n) && trdy_driven_low) break;
       if (bus_.idle()) {  // master went away

@@ -14,6 +14,20 @@
 
 namespace hlcs::pci {
 
+/// Directed protocol faults for checker validation (never enabled by a
+/// well-formed system): the A/B suite in tests/pci/test_pci_assertions
+/// drives these and asserts that PciMonitor and the property pack flag
+/// the same edges.
+struct TargetFaults {
+  /// Serve tenures without ever asserting DEVSEL# (TRDY#/STOP# are still
+  /// driven): violates M2/M6 and looks like a dropped DEVSEL# to the
+  /// master, which master-aborts.
+  bool no_devsel = false;
+  /// >0: invert the driven PAR on every Nth read-data parity cycle
+  /// (violates M5 on exactly those edges).
+  unsigned corrupt_par_every = 0;
+};
+
 struct TargetConfig {
   std::uint32_t base = 0;          ///< memory window base (word aligned)
   std::uint32_t size = 0x1000;     ///< memory window size in bytes
@@ -26,6 +40,7 @@ struct TargetConfig {
   std::uint8_t device_number = 0;  ///< config-space decode (AD[15:11])
   std::uint16_t vendor_id = 0x1A2B;
   std::uint16_t device_id = 0x3C4D;
+  TargetFaults faults = {};
 };
 
 struct TargetStats {
@@ -123,6 +138,7 @@ private:
   TargetStats stats_;
   bool frame_prev_ = false;
   bool release_pending_ = false;
+  std::uint64_t par_phases_ = 0;  ///< read parity cycles driven (fault counter)
 };
 
 }  // namespace hlcs::pci

@@ -1,0 +1,78 @@
+// Sampling hooks: a Probe is a named, width-annotated read of some piece
+// of model state as an unsigned bit-vector.  Checkers (hlcs/check) sample
+// a set of probes on every rising clock edge; the same probe set feeds
+// both the behavioural property automaton and its synthesised netlist
+// twin, so the two engines observe byte-identical inputs.
+//
+// Probes read committed channel values only (Signal/Wire reads outside
+// the update phase), so sampling at a posedge sees the previous cycle's
+// writes -- the same convention every clocked module in this library
+// uses.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "hlcs/sim/logic.hpp"
+#include "hlcs/sim/signal.hpp"
+#include "hlcs/sim/wire.hpp"
+
+namespace hlcs::sim {
+
+struct Probe {
+  std::string name;
+  unsigned width = 1;
+  std::function<std::uint64_t()> read;
+};
+
+/// Arbitrary sampled expression (e.g. a derived condition).
+inline Probe probe_fn(std::string name, unsigned width,
+                      std::function<std::uint64_t()> read) {
+  return Probe{std::move(name), width, std::move(read)};
+}
+
+inline Probe probe(std::string name, const Signal<bool>& s) {
+  return Probe{std::move(name), 1, [&s] { return s.read() ? 1u : 0u; }};
+}
+
+template <std::integral T>
+  requires(!std::same_as<T, bool>)
+Probe probe(std::string name, const Signal<T>& s, unsigned width = sizeof(T) * 8) {
+  return Probe{std::move(name), width,
+               [&s] { return static_cast<std::uint64_t>(s.read()); }};
+}
+
+/// Active-low wire sampled as "asserted" (driven low = 1).
+inline Probe probe_low(std::string name, const Wire& w) {
+  return Probe{std::move(name), 1, [&w] { return w.is_low() ? 1u : 0u; }};
+}
+
+/// Wire sampled as "driven high" (Z and X read as 0).
+inline Probe probe_high(std::string name, const Wire& w) {
+  return Probe{std::move(name), 1, [&w] { return w.is_high() ? 1u : 0u; }};
+}
+
+/// Wire sampled as "actively driven to 0 or 1" (not Z, not X).
+inline Probe probe_driven(std::string name, const Wire& w) {
+  return Probe{std::move(name), 1, [&w] { return is_01(w.read()) ? 1u : 0u; }};
+}
+
+/// Vector wire value; Z/X bits sample as 0 (lenient, like the monitors).
+inline Probe probe_value(std::string name, const WireVec& w) {
+  return Probe{std::move(name), w.width(),
+               [&w] { return w.read().to_uint_lenient(); }};
+}
+
+inline Probe probe_defined(std::string name, const WireVec& w) {
+  return Probe{std::move(name), 1,
+               [&w] { return w.read().is_fully_defined() ? 1u : 0u; }};
+}
+
+inline Probe probe_has_x(std::string name, const WireVec& w) {
+  return Probe{std::move(name), 1, [&w] { return w.read().has_x() ? 1u : 0u; }};
+}
+
+}  // namespace hlcs::sim

@@ -6,6 +6,7 @@
 #include "hlcs/sim/kernel.hpp"
 #include "hlcs/sim/logic.hpp"
 #include "hlcs/sim/module.hpp"
+#include "hlcs/sim/probe.hpp"
 #include "hlcs/sim/random.hpp"
 #include "hlcs/sim/signal.hpp"
 #include "hlcs/sim/sweep.hpp"

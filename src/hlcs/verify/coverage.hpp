@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "hlcs/check/stats.hpp"
 #include "hlcs/pci/pci_monitor.hpp"
 #include "hlcs/verify/transcript.hpp"
 
@@ -34,7 +35,35 @@ public:
     }
   }
 
+  /// Property outcomes from a check monitor: per-property
+  /// attempt/pass/fail/vacuous bins.  "Validated with respect to the
+  /// test set" now includes which assertions the set exercised
+  /// non-vacuously.
+  void observe(const check::CheckStats& cs) {
+    for (const check::PropertyStats& p : cs.props) {
+      PropertyBin& b = properties_[p.name];
+      b.attempts += p.attempts;
+      b.passes += p.passes;
+      b.fails += p.fails;
+      b.vacuous += p.vacuous;
+    }
+  }
+
   std::size_t distinct_ops() const { return ops_.size(); }
+  std::size_t distinct_properties() const { return properties_.size(); }
+  /// Properties whose antecedent actually fired at least once.
+  std::size_t non_vacuous_properties() const {
+    std::size_t n = 0;
+    for (const auto& [k, b] : properties_) {
+      (void)k;
+      if (b.attempts > 0) ++n;
+    }
+    return n;
+  }
+  std::uint64_t property_attempts(const std::string& prop) const {
+    auto it = properties_.find(prop);
+    return it == properties_.end() ? 0 : it->second.attempts;
+  }
   std::size_t distinct_pci_cmds() const { return pci_cmds_.size(); }
   std::size_t distinct_statuses() const { return statuses_.size(); }
   std::size_t distinct_burst_bins() const { return bursts_.size(); }
@@ -55,6 +84,11 @@ public:
     for (const auto& [k, v] : bursts_) os << " " << k << "=" << v;
     os << "\nwait_bins:";
     for (const auto& [k, v] : waits_) os << " " << k << "=" << v;
+    os << "\nproperties:";
+    for (const auto& [k, b] : properties_) {
+      os << " " << k << "=" << b.attempts << "/" << b.passes << "/" << b.fails
+         << "/" << b.vacuous;
+    }
     return os.str();
   }
 
@@ -73,7 +107,15 @@ private:
     else waits_["17+"]++;
   }
 
+  struct PropertyBin {
+    std::uint64_t attempts = 0;
+    std::uint64_t passes = 0;
+    std::uint64_t fails = 0;
+    std::uint64_t vacuous = 0;
+  };
+
   std::map<std::string, std::uint64_t> ops_;
+  std::map<std::string, PropertyBin> properties_;
   std::map<std::string, std::uint64_t> pci_cmds_;
   std::map<std::string, std::uint64_t> statuses_;
   std::map<std::string, std::uint64_t> bursts_;

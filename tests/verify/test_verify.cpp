@@ -173,5 +173,28 @@ TEST(Coverage, BinsBusRecords) {
   EXPECT_NE(rep.find("master_abort"), std::string::npos);
 }
 
+TEST(Coverage, BinsPropertyOutcomes) {
+  Coverage cov;
+  check::CheckStats cs;
+  cs.props.resize(2);
+  cs.props[0] = {.name = "m2_trdy_devsel",
+                 .attempts = 10,
+                 .passes = 9,
+                 .fails = 1,
+                 .vacuous = 40};
+  cs.props[1] = {.name = "lt_release", .vacuous = 50};  // never attempted
+  cov.observe(cs);
+  cov.observe(cs);  // bins accumulate across monitors/runs
+
+  EXPECT_EQ(cov.distinct_properties(), 2u);
+  EXPECT_EQ(cov.non_vacuous_properties(), 1u);
+  EXPECT_EQ(cov.property_attempts("m2_trdy_devsel"), 20u);
+  EXPECT_EQ(cov.property_attempts("lt_release"), 0u);
+  EXPECT_EQ(cov.property_attempts("unknown"), 0u);
+  const std::string rep = cov.report();
+  EXPECT_NE(rep.find("properties:"), std::string::npos);
+  EXPECT_NE(rep.find("m2_trdy_devsel=20/18/2/80"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hlcs::verify

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "hlcs/check/check.hpp"
 #include "hlcs/synth/synth.hpp"
 
 namespace {
@@ -23,6 +24,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.obj> [options]\n"
+               "       %s --monitor <pack> [options]\n"
                "  --clients N        number of connected clients (default 1)\n"
                "  --policy P         fifo | round_robin | static_priority | "
                "random (default static_priority)\n"
@@ -32,8 +34,13 @@ int usage(const char* argv0) {
                "  --seed S           stimulus seed for --check\n"
                "  -o FILE            write Verilog (default: stdout)\n"
                "  --testbench FILE   write a self-checking Verilog testbench\n"
-               "  --report           print the resource report to stderr\n",
-               argv0);
+               "  --report           print the resource report to stderr\n"
+               "  --monitor PACK     instead of synthesising an object, lower "
+               "a shipped\n"
+               "                     property pack (pci | shared_object) to "
+               "its monitor\n"
+               "                     netlist and emit that as Verilog\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
 
   std::string input;
+  std::string monitor_pack;
   std::string out_path;
   std::string tb_path;
   SynthOptions opt;
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
       tb_path = next("file");
     } else if (a == "--report") {
       do_report = true;
+    } else if (a == "--monitor") {
+      monitor_pack = next("pack");
     } else if (a == "--help" || a == "-h") {
       return usage(argv[0]);
     } else if (!a.empty() && a[0] == '-') {
@@ -103,6 +113,58 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Monitor mode: lower a shipped property pack to its synthesisable
+  // monitor automaton -- no .obj input involved.
+  if (!monitor_pack.empty()) {
+    if (!input.empty() || !tb_path.empty()) {
+      std::fprintf(stderr,
+                   "--monitor takes no .obj input and no --testbench\n");
+      return 2;
+    }
+    try {
+      const hlcs::check::Spec spec = [&]() -> hlcs::check::Spec {
+        if (monitor_pack == "pci") {
+          return hlcs::check::pci_rules(hlcs::check::PciRuleOptions{
+              .arbitration = true, .latency_bound = 16});
+        }
+        if (monitor_pack == "shared_object") {
+          return hlcs::check::shared_object_rules(/*starvation_bound=*/8);
+        }
+        hlcs::fail("unknown monitor pack '" + monitor_pack +
+                   "' (pci | shared_object)");
+      }();
+      const hlcs::check::Automaton a = hlcs::check::compile(spec);
+      Netlist nl = hlcs::check::lower(a);
+      std::fprintf(stderr,
+                   "monitor pack '%s': %zu signals, %zu properties, %zu "
+                   "state registers\n",
+                   monitor_pack.c_str(), a.signals.size(), a.props.size(),
+                   a.states.size());
+      if (do_optimize) {
+        OptimizeStats ost;
+        nl = optimize(nl, &ost);
+        std::fprintf(stderr,
+                     "optimized: %zu -> %zu comb nodes (%zu rewrites)\n",
+                     ost.nodes_before, ost.nodes_after, ost.folds);
+      }
+      if (do_report) {
+        std::fprintf(stderr, "%s\n", report(nl).to_string().c_str());
+      }
+      const std::string verilog = emit_verilog(nl);
+      if (out_path.empty()) {
+        std::cout << verilog;
+      } else {
+        std::ofstream(out_path) << verilog;
+        std::fprintf(stderr, "wrote %s (%zu bytes)\n", out_path.c_str(),
+                     verilog.size());
+      }
+    } catch (const hlcs::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   if (input.empty()) return usage(argv[0]);
 
   std::ifstream in(input);
