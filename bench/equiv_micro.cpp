@@ -1,0 +1,251 @@
+// EQUIV: batch-verification microbenchmarks -- the A/B evidence for the
+// 64-lane bit-parallel engine.  Both sides of each comparison run
+// interleaved in the same binary on the same synthesised netlist; the
+// only variable is the execution strategy, so the medians from
+// --benchmark_repetitions are an honest scalar-vs-batch ratio.
+//
+//   BM_BatchEdge   engine-level: 64 random stimulus lanes stepped
+//                  through full clock edges, as 64 independent scalar
+//                  NetlistSims (mode 0 = FullTape, mode 1 =
+//                  Incremental) or one BatchNetlistSim (mode 2).
+//                  policy 0 (static_priority) is the comb-dominated
+//                  case -- arbitration, guards and muxes are all
+//                  bitwise, so the whole design runs on bit-planes;
+//                  policy 1 (round_robin) carries Add combs from the
+//                  rotating-pointer arbiter, so its rows price the
+//                  per-lane scalar fallback honestly.  lane_edges/s is
+//                  the headline number; the batch rows also report
+//                  scalar_frac (fraction of comb evaluations that fell
+//                  back to the per-lane scalar tape).
+//   BM_EquivCheck  end-to-end: check_equivalence with 64 independently
+//                  seeded lock-step lanes, scalar backend vs batch
+//                  backend.  Includes synthesis + golden-model cost on
+//                  both sides, so the ratio is what a fig.4 gate or a
+//                  fuzz CI budget actually sees.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hlcs/check/check.hpp"
+#include "hlcs/sim/random.hpp"
+#include "hlcs/synth/synth.hpp"
+
+namespace {
+
+using namespace hlcs::synth;
+
+/// The paper's mailbox channel, same shape as netlist_micro: guarded
+/// put/get over a 16-bit datapath.  Comb-dominated -- the arbitration
+/// one-hot logic, guards and muxes all run on the bit-parallel path.
+ObjectDesc make_mailbox() {
+  ObjectDesc d("mailbox");
+  const std::uint32_t full = d.add_var("full", 1, 0);
+  const std::uint32_t data = d.add_var("data", 16, 0);
+  d.add_method("put")
+      .arg("d", 16)
+      .guard(d.arena().bin(ExprOp::Eq, d.v(full), d.lit(0, 1)))
+      .assign(full, d.lit(1, 1))
+      .assign(data, d.a(0, 16));
+  d.add_method("get")
+      .guard(d.arena().bin(ExprOp::Eq, d.v(full), d.lit(1, 1)))
+      .assign(full, d.lit(0, 1))
+      .returns(d.v(data), 16);
+  return d;
+}
+
+Netlist make_channel(std::size_t clients, hlcs::osss::PolicyKind policy) {
+  SynthOptions opt;
+  opt.clients = clients;
+  opt.policy = policy;
+  return synthesize(make_mailbox(), opt);
+}
+
+/// 64 lanes of dense random stimulus through full clock edges.
+/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2 = batch.
+/// range(1) = clients.  range(2): 0 = static_priority, 1 = round_robin.
+/// One iteration = 64 lane-edges on every side.
+void BM_BatchEdge(benchmark::State& state) {
+  constexpr std::size_t kLanes = BatchNetlistSim::kLanes;
+  const bool batch = state.range(0) == 2;
+  const SettleMode scalar_mode = state.range(0) == 0
+                                     ? SettleMode::FullTape
+                                     : SettleMode::Incremental;
+  const std::size_t clients = static_cast<std::size_t>(state.range(1));
+  const auto policy = state.range(2) == 0
+                          ? hlcs::osss::PolicyKind::StaticPriority
+                          : hlcs::osss::PolicyKind::RoundRobin;
+  Netlist nl = make_channel(clients, policy);
+  std::vector<NetId> req, sel, args;
+  for (std::size_t i = 0; i < clients; ++i) {
+    req.push_back(nl.find(req_port(i)));
+    sel.push_back(nl.find(sel_port(i)));
+    args.push_back(nl.find(args_port(i)));
+  }
+  std::vector<hlcs::sim::Xorshift> rngs;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    rngs.emplace_back(hlcs::sim::lane_seed(0xED6E, lane));
+  }
+
+  if (batch) {
+    BatchNetlistSim sim(nl);
+    for (auto _ : state) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t r = rngs[lane].next();
+        for (std::size_t i = 0; i < clients; ++i) {
+          sim.set_input(req[i], lane, (r >> i) & 1);
+          sim.set_input(sel[i], lane, (r >> (8 + i)) & 1);
+          sim.set_input(args[i], lane, r >> 16);
+        }
+      }
+      sim.clock_edge();
+    }
+    state.counters["scalar_frac"] = sim.stats().scalar_fraction();
+    state.counters["plane_insns"] =
+        static_cast<double>(sim.stats().plane_instructions);
+  } else {
+    std::vector<std::unique_ptr<NetlistSim>> sims;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      sims.push_back(std::make_unique<NetlistSim>(nl, scalar_mode));
+    }
+    for (auto _ : state) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t r = rngs[lane].next();
+        for (std::size_t i = 0; i < clients; ++i) {
+          sims[lane]->set_input(req[i], (r >> i) & 1);
+          sims[lane]->set_input(sel[i], (r >> (8 + i)) & 1);
+          sims[lane]->set_input(args[i], r >> 16);
+        }
+        sims[lane]->clock_edge();
+      }
+    }
+  }
+  const double lane_edges =
+      static_cast<double>(state.iterations()) * static_cast<double>(kLanes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
+  state.counters["lane_edges/s"] =
+      benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchEdge)
+    ->ArgNames({"mode", "clients", "policy"})
+    ->Args({0, 4, 0})
+    ->Args({1, 4, 0})
+    ->Args({2, 4, 0})
+    ->Args({0, 4, 1})
+    ->Args({1, 4, 1})
+    ->Args({2, 4, 1});
+
+/// A lowered property-monitor automaton: the temporal operators expand
+/// to 1-bit state machines, so nearly every net is one plane wide and
+/// the 64-lane transposition is at its densest.  This is the netlist
+/// shape the batched check lock-step tests drive.
+hlcs::check::Spec monitor_spec() {
+  using namespace hlcs::check;
+  Spec s("bench");
+  E a = s.signal("a");
+  E b = s.signal("b");
+  E v = s.signal("v", 8);
+  E w = s.signal("w", 8);
+  s.prop("imp", a, b);
+  s.prop("del3", s.rose(a), s.delay(3, b || s.fell(a)));
+  s.prop("until_q", a, s.until(b, v == w));
+  s.prop("event4", s.stable(v), s.eventually_within(4, b));
+  s.prop("past3", a, s.past(b, 3));
+  s.always("mux_pick", s.mux(a, v, w) == s.mux(!a, w, v));
+  return s;
+}
+
+/// 64 lanes of random stimulus through a lowered monitor netlist.
+/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2 = batch.
+void BM_BatchMonitorEdge(benchmark::State& state) {
+  constexpr std::size_t kLanes = BatchNetlistSim::kLanes;
+  const bool batch = state.range(0) == 2;
+  const SettleMode scalar_mode = state.range(0) == 0
+                                     ? SettleMode::FullTape
+                                     : SettleMode::Incremental;
+  const hlcs::check::Automaton a = hlcs::check::compile(monitor_spec());
+  Netlist nl = hlcs::check::lower(a);
+  std::vector<NetId> sigs;
+  std::vector<std::uint64_t> masks;
+  for (const hlcs::check::SignalDecl& sd : a.signals) {
+    sigs.push_back(nl.find(sd.name));
+    masks.push_back(hlcs::synth::ExprArena::mask(sd.width));
+  }
+  const NetId rst = nl.find("rst");
+  std::vector<hlcs::sim::Xorshift> rngs;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    rngs.emplace_back(hlcs::sim::lane_seed(0xC4EC, lane));
+  }
+
+  if (batch) {
+    BatchNetlistSim sim(nl);
+    sim.set_input_broadcast(rst, 0);
+    for (auto _ : state) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t r = rngs[lane].next();
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+          sim.set_input(sigs[i], lane, (r >> (8 * i)) & masks[i]);
+        }
+      }
+      sim.clock_edge();
+    }
+    state.counters["scalar_frac"] = sim.stats().scalar_fraction();
+  } else {
+    std::vector<std::unique_ptr<NetlistSim>> sims;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      sims.push_back(std::make_unique<NetlistSim>(nl, scalar_mode));
+      sims.back()->set_input(rst, 0);
+    }
+    for (auto _ : state) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t r = rngs[lane].next();
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+          sims[lane]->set_input(sigs[i], (r >> (8 * i)) & masks[i]);
+        }
+        sims[lane]->clock_edge();
+      }
+    }
+  }
+  const double lane_edges =
+      static_cast<double>(state.iterations()) * static_cast<double>(kLanes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
+  state.counters["lane_edges/s"] =
+      benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchMonitorEdge)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
+
+/// End-to-end lock-step equivalence: 64 independently seeded stimulus
+/// lanes against the golden interpreter.  range(0): 0 = scalar backend
+/// (one lane at a time), 1 = batch backend (all 64 per settle).
+void BM_EquivCheck(benchmark::State& state) {
+  const bool batch = state.range(0) == 1;
+  const ObjectDesc d = make_mailbox();
+  SynthOptions opt;
+  opt.clients = 4;
+  opt.policy = hlcs::osss::PolicyKind::StaticPriority;
+  constexpr std::size_t kCycles = 256;
+  constexpr std::size_t kLanes = 64;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const EquivResult r = check_equivalence(
+        d, opt,
+        EquivOptions{.cycles = kCycles, .seed = seed++, .reset_percent = 4,
+                     .lanes = kLanes, .batch = batch});
+    if (!r.equal) {
+      state.SkipWithError("equivalence mismatch");
+      return;
+    }
+    benchmark::DoNotOptimize(r.grants);
+  }
+  const double lane_cycles = static_cast<double>(state.iterations()) *
+                             static_cast<double>(kCycles * kLanes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(lane_cycles));
+  state.counters["lane_cycles/s"] =
+      benchmark::Counter(lane_cycles, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EquivCheck)->ArgName("mode")->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

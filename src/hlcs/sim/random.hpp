@@ -44,4 +44,22 @@ private:
   std::uint64_t state_;
 };
 
+/// SplitMix64 output function: a single avalanche step of the SplitMix
+/// generator.  Used to derive independent sub-seeds from one root seed.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Per-lane seed derivation shared by every randomized consumer (equiv,
+/// fuzz suites, lock-step check tests): lane i of root seed S gets the
+/// i-th output of the SplitMix64 stream seeded at S.  A failure report
+/// that prints the lane seed is therefore reproducible standalone --
+/// feed it back as the root seed of a single-lane run.
+constexpr std::uint64_t lane_seed(std::uint64_t root, std::uint64_t lane) {
+  return splitmix64(root + lane * 0x9E3779B97F4A7C15ull);
+}
+
 }  // namespace hlcs::sim

@@ -9,27 +9,13 @@
 
 namespace hlcs::sim {
 
-ParallelSweep::ParallelSweep(Scenario fn) : scenario_(std::move(fn)) {
-  HLCS_ASSERT(scenario_ != nullptr, "ParallelSweep requires a scenario");
-}
-
-std::vector<SweepResult> ParallelSweep::run(std::size_t points,
-                                            unsigned threads) {
-  std::vector<SweepResult> results(points);
-  std::vector<std::exception_ptr> errors(points);
-  if (points == 0) return results;
-
-  // One sweep point, entirely thread-local: private kernel, private
-  // result slot, private error slot.  Workers never touch shared state
-  // beyond the claim counter.
-  const auto run_point = [&](std::size_t i) {
-    SweepResult& r = results[i];
-    r.index = i;
+void parallel_for_indexed(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  const auto run_one = [&](std::size_t i) {
     try {
-      Kernel k;
-      scenario_(i, k, r.transcript);
-      r.end_time = k.now();
-      r.stats = k.stats();
+      fn(i);
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -39,14 +25,14 @@ std::vector<SweepResult> ParallelSweep::run(std::size_t points,
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (threads > points) threads = static_cast<unsigned>(points);
+  if (threads > n) threads = static_cast<unsigned>(n);
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < points; ++i) run_point(i);
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
   } else {
-    // Dynamic claiming: sweep points can have wildly different runtimes
+    // Dynamic claiming: indices can have wildly different runtimes
     // (e.g. client-count sweeps), so a shared atomic cursor load-balances
-    // better than static striping and costs one fetch_add per point.
+    // better than static striping and costs one fetch_add per index.
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(threads);
@@ -54,17 +40,37 @@ std::vector<SweepResult> ParallelSweep::run(std::size_t points,
       pool.emplace_back([&] {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= points) return;
-          run_point(i);
+          if (i >= n) return;
+          run_one(i);
         }
       });
     }
     for (std::thread& t : pool) t.join();
   }
 
-  for (std::size_t i = 0; i < points; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
   }
+}
+
+ParallelSweep::ParallelSweep(Scenario fn) : scenario_(std::move(fn)) {
+  HLCS_ASSERT(scenario_ != nullptr, "ParallelSweep requires a scenario");
+}
+
+std::vector<SweepResult> ParallelSweep::run(std::size_t points,
+                                            unsigned threads) {
+  std::vector<SweepResult> results(points);
+  // One sweep point, entirely thread-local: private kernel, private
+  // result slot.  Workers never touch shared state beyond the pool's
+  // claim counter.
+  parallel_for_indexed(points, threads, [&](std::size_t i) {
+    SweepResult& r = results[i];
+    r.index = i;
+    Kernel k;
+    scenario_(i, k, r.transcript);
+    r.end_time = k.now();
+    r.stats = k.stats();
+  });
   return results;
 }
 

@@ -24,6 +24,17 @@
 
 namespace hlcs::sim {
 
+/// The worker-pool core shared by ParallelSweep and the synth batch
+/// runner: run `fn(0) .. fn(n-1)` across `threads` workers, each index
+/// claimed dynamically off a shared atomic cursor.  `threads == 0`
+/// picks the hardware concurrency; `threads == 1` runs serially on the
+/// calling thread (no workers spawned).  If any call throws, the
+/// exception of the lowest failing index is rethrown after all workers
+/// finish.  Determinism is the caller's contract: fn must write only
+/// per-index state, so results are identical at any thread count.
+void parallel_for_indexed(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn);
+
 /// Outcome of one sweep point, indexed deterministically.
 struct SweepResult {
   std::size_t index = 0;

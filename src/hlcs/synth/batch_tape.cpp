@@ -1,0 +1,431 @@
+#include "hlcs/synth/batch_tape.hpp"
+
+#include <bit>
+
+#include "hlcs/sim/assert.hpp"
+#include "hlcs/sim/sweep.hpp"
+
+namespace hlcs::synth {
+
+namespace {
+
+/// Ops that run directly on bit-planes: bitwise/mux/slice/reduction ops
+/// are independent per result bit, and Add/Sub/Neg and the ordered
+/// comparisons carry across bits in a *fixed* pattern, so a ripple
+/// carry/borrow over the planes evaluates all 64 lanes exactly.  Only
+/// Mul and the data-dependent shifts -- where the cross-bit structure
+/// itself depends on lane values -- take the per-lane scalar fallback.
+bool plane_friendly(TapeOp op) {
+  switch (op) {
+    case TapeOp::Mul:
+    case TapeOp::Shl:
+    case TapeOp::Shr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Masks in the tape are contiguous low-bit runs, so popcount is the
+/// width the mask encodes.
+unsigned mask_width(std::uint64_t mask) {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+}  // namespace
+
+BatchTape::BatchTape(const Netlist& nl) : tape_(TapeProgram::compile(nl)) {
+  const auto& nets = nl.nets();
+  plane_off_.reserve(nets.size() + 1);
+  width_.reserve(nets.size());
+  std::uint32_t off = 0;
+  for (const Net& n : nets) {
+    if (n.width == 0 || n.width > kLanes) {
+      fail("batch engine: net '" + n.name + "' is " +
+           std::to_string(n.width) +
+           " bits; bit-plane lanes support widths 1..64");
+    }
+    plane_off_.push_back(off);
+    width_.push_back(n.width);
+    off += n.width;
+  }
+  plane_off_.push_back(off);
+
+  const auto& code = tape_.code();
+  parallel_.reserve(tape_.combs().size());
+  for (const TapeComb& c : tape_.combs()) {
+    bool ok = true;
+    for (std::uint32_t i = c.begin; i < c.end && ok; ++i) {
+      ok = plane_friendly(code[i].op);
+    }
+    parallel_.push_back(ok ? 1 : 0);
+    if (!ok) ++scalar_combs_;
+  }
+
+  entries_.resize(tape_.max_stack());
+  stack_planes_.resize(std::size_t{tape_.max_stack()} * kLanes);
+  slot_planes_.resize(std::size_t{tape_.max_slots()} * kLanes);
+  slot_w_.resize(tape_.max_slots());
+  scalar_nets_.resize(nets.size());
+  scalar_stack_.resize(tape_.max_stack());
+  scalar_slots_.resize(tape_.max_slots());
+}
+
+void BatchTape::run_all(std::uint64_t* planes, BatchStats& stats) {
+  const auto& combs = tape_.combs();
+  std::uint64_t parallel = 0, insns = 0;
+  for (std::size_t ci = 0; ci < combs.size(); ++ci) {
+    if (parallel_[ci]) {
+      ++parallel;
+      insns += combs[ci].end - combs[ci].begin;
+      run_planes(combs[ci], planes);
+    } else {
+      run_lanes(ci, planes);
+    }
+  }
+  stats.combs_evaluated += combs.size();
+  stats.combs_bit_parallel += parallel;
+  stats.plane_instructions += insns;
+  const std::uint64_t scalar = combs.size() - parallel;
+  stats.combs_scalar += scalar;
+  stats.scalar_lane_evals += scalar * kLanes;
+}
+
+void BatchTape::run(std::size_t ci, std::uint64_t* planes, BatchStats& stats) {
+  ++stats.combs_evaluated;
+  if (parallel_[ci]) {
+    const TapeComb& c = tape_.combs()[ci];
+    ++stats.combs_bit_parallel;
+    stats.plane_instructions += c.end - c.begin;
+    run_planes(c, planes);
+  } else {
+    ++stats.combs_scalar;
+    stats.scalar_lane_evals += kLanes;
+    run_lanes(ci, planes);
+  }
+}
+
+void BatchTape::run_planes(const TapeComb& c, std::uint64_t* planes) {
+  const TapeInsn* ip = tape_.code().data() + c.begin;
+  const TapeInsn* end = tape_.code().data() + c.end;
+  Entry* st = entries_.data();
+  std::size_t n = 0;
+  // Each stack depth owns a fixed 64-plane region, so a result written
+  // at depth d never aliases an operand at another depth; only strict
+  // in-place updates (entry d already owning region d) need iteration-
+  // order care, noted per op below.
+  const auto region = [this](std::size_t d) {
+    return stack_planes_.data() + d * kLanes;
+  };
+  const auto pl = [](const Entry& e, unsigned b) {
+    return b < e.w ? e.p[b] : 0;
+  };
+  for (; ip != end; ++ip) {
+    switch (ip->op) {
+      case TapeOp::PushConst: {
+        std::uint64_t* r = region(n);
+        const unsigned w =
+            static_cast<unsigned>(std::bit_width(ip->imm));
+        for (unsigned b = 0; b < w; ++b) {
+          r[b] = (ip->imm >> b) & 1 ? ~std::uint64_t{0} : 0;
+        }
+        st[n++] = Entry{r, w};
+        break;
+      }
+      case TapeOp::PushNet:
+        st[n++] = Entry{planes + plane_off_[ip->aux], width_[ip->aux]};
+        break;
+      case TapeOp::PushSlot:
+        st[n++] = Entry{slot_planes_.data() + std::size_t{ip->aux} * kLanes,
+                        slot_w_[ip->aux]};
+        break;
+      case TapeOp::StoreSlot: {
+        const Entry e = st[--n];
+        std::uint64_t* s = slot_planes_.data() + std::size_t{ip->aux} * kLanes;
+        for (unsigned b = 0; b < e.w; ++b) s[b] = e.p[b];
+        slot_w_[ip->aux] = e.w;
+        break;
+      }
+      case TapeOp::Not: {
+        Entry& e = st[n - 1];
+        std::uint64_t* r = region(n - 1);
+        const unsigned w = mask_width(ip->imm);
+        for (unsigned b = 0; b < w; ++b) r[b] = ~pl(e, b);  // same-index: safe
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::RedOr: {
+        Entry& e = st[n - 1];
+        std::uint64_t acc = 0;
+        for (unsigned b = 0; b < e.w; ++b) acc |= e.p[b];
+        std::uint64_t* r = region(n - 1);
+        r[0] = acc;
+        e = Entry{r, 1};
+        break;
+      }
+      case TapeOp::RedAnd: {
+        Entry& e = st[n - 1];
+        const unsigned w = mask_width(ip->imm);  // operand width
+        std::uint64_t acc = ~std::uint64_t{0};
+        for (unsigned b = 0; b < w; ++b) acc &= pl(e, b);
+        std::uint64_t* r = region(n - 1);
+        r[0] = acc;
+        e = Entry{r, 1};
+        break;
+      }
+      case TapeOp::Slice: {
+        Entry& e = st[n - 1];
+        std::uint64_t* r = region(n - 1);
+        const unsigned w = mask_width(ip->imm);
+        // Reads run ahead of writes (b + lsb >= b), so ascending order
+        // is in-place safe.
+        for (unsigned b = 0; b < w; ++b) r[b] = pl(e, b + ip->aux);
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::And: {
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned w = e.w < rhs.w ? e.w : rhs.w;
+        std::uint64_t* r = region(n - 1);
+        for (unsigned b = 0; b < w; ++b) r[b] = e.p[b] & rhs.p[b];
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::Or:
+      case TapeOp::Xor: {
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned w = e.w > rhs.w ? e.w : rhs.w;
+        std::uint64_t* r = region(n - 1);
+        if (ip->op == TapeOp::Or) {
+          for (unsigned b = 0; b < w; ++b) r[b] = pl(e, b) | pl(rhs, b);
+        } else {
+          for (unsigned b = 0; b < w; ++b) r[b] = pl(e, b) ^ pl(rhs, b);
+        }
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::Eq:
+      case TapeOp::Ne: {
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned w = e.w > rhs.w ? e.w : rhs.w;
+        std::uint64_t acc = ~std::uint64_t{0};
+        for (unsigned b = 0; b < w; ++b) acc &= ~(pl(e, b) ^ pl(rhs, b));
+        std::uint64_t* r = region(n - 1);
+        r[0] = ip->op == TapeOp::Eq ? acc : ~acc;
+        e = Entry{r, 1};
+        break;
+      }
+      case TapeOp::Concat: {
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned lo = ip->aux;
+        unsigned w = e.w + lo;
+        if (w > kLanes) w = kLanes;
+        std::uint64_t* r = region(n - 1);
+        // High (lhs) part first, descending: write index b reads index
+        // b - lo < b, which a descending sweep has not clobbered yet,
+        // so the lhs may live in-place at this region.
+        for (unsigned b = w; b-- > lo;) r[b] = pl(e, b - lo);
+        const unsigned rw = lo < w ? lo : w;
+        for (unsigned b = 0; b < rw; ++b) r[b] = pl(rhs, b);
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::Add:
+      case TapeOp::Sub: {
+        // Ripple carry over the planes: one 64-lane full adder per bit.
+        // Sub is lhs + ~rhs + 1; planes of rhs beyond its width read as
+        // zero and invert to one, which is exactly the two's-complement
+        // extension (lhs - rhs) mod 2^w needs.
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned w = mask_width(ip->imm);
+        std::uint64_t* r = region(n - 1);
+        const bool sub = ip->op == TapeOp::Sub;
+        std::uint64_t carry = sub ? ~std::uint64_t{0} : 0;
+        for (unsigned b = 0; b < w; ++b) {
+          const std::uint64_t a = pl(e, b);  // same-index: safe in place
+          const std::uint64_t q = sub ? ~pl(rhs, b) : pl(rhs, b);
+          const std::uint64_t x = a ^ q;
+          r[b] = x ^ carry;
+          carry = (a & q) | (carry & x);
+        }
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::Neg: {
+        // 0 + ~x + 1: the full-adder chain collapses to carry &= ~x.
+        Entry& e = st[n - 1];
+        const unsigned w = mask_width(ip->imm);
+        std::uint64_t* r = region(n - 1);
+        std::uint64_t carry = ~std::uint64_t{0};
+        for (unsigned b = 0; b < w; ++b) {
+          const std::uint64_t q = ~pl(e, b);
+          r[b] = q ^ carry;
+          carry &= q;
+        }
+        e = Entry{r, w};
+        break;
+      }
+      case TapeOp::Lt:
+      case TapeOp::Le:
+      case TapeOp::Gt:
+      case TapeOp::Ge: {
+        // Borrow chain only: the carry out of a + ~b + 1 over the full
+        // operand width is 1 exactly when a >= b (per lane).  Gt/Le
+        // swap the operands, Lt/Gt invert the carry.
+        const Entry rhs = st[--n];
+        Entry& e = st[n - 1];
+        const unsigned w = e.w > rhs.w ? e.w : rhs.w;
+        const bool swap = ip->op == TapeOp::Gt || ip->op == TapeOp::Le;
+        std::uint64_t carry = ~std::uint64_t{0};
+        for (unsigned b = 0; b < w; ++b) {
+          const std::uint64_t a = swap ? pl(rhs, b) : pl(e, b);
+          const std::uint64_t q = ~(swap ? pl(e, b) : pl(rhs, b));
+          carry = (a & q) | (carry & (a ^ q));
+        }
+        std::uint64_t* r = region(n - 1);
+        r[0] = ip->op == TapeOp::Ge || ip->op == TapeOp::Le ? carry : ~carry;
+        e = Entry{r, 1};
+        break;
+      }
+      case TapeOp::Mux: {
+        const Entry els = st[--n];
+        const Entry thn = st[--n];
+        Entry& sel = st[n - 1];
+        std::uint64_t s = 0;  // per-lane truthiness of the selector
+        for (unsigned b = 0; b < sel.w; ++b) s |= sel.p[b];
+        const unsigned w = thn.w > els.w ? thn.w : els.w;
+        std::uint64_t* r = region(n - 1);
+        for (unsigned b = 0; b < w; ++b) {
+          r[b] = (s & pl(thn, b)) | (~s & pl(els, b));
+        }
+        sel = Entry{r, w};
+        break;
+      }
+      default:
+        fail("batch engine: arithmetic op in a bit-parallel comb");
+    }
+  }
+  const Entry res = st[n - 1];
+  std::uint64_t* t = planes + plane_off_[c.target];
+  const unsigned wt = width_[c.target];
+  for (unsigned b = 0; b < wt; ++b) t[b] = pl(res, b);
+}
+
+void BatchTape::run_lanes(std::size_t ci, std::uint64_t* planes) {
+  const TapeComb& c = tape_.combs()[ci];
+  const TapeInsn* ipb = tape_.code().data() + c.begin;
+  const TapeInsn* ipe = tape_.code().data() + c.end;
+  const NetId* sb = tape_.sources_begin(static_cast<std::uint32_t>(ci));
+  const NetId* se = tape_.sources_end(static_cast<std::uint32_t>(ci));
+  const unsigned wt = width_[c.target];
+  std::uint64_t res[kLanes] = {};
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    // Gather this lane's source values out of the planes, run the
+    // ordinary scalar tape, scatter the result bits back.
+    for (const NetId* s = sb; s != se; ++s) {
+      const std::uint64_t* sp = planes + plane_off_[*s];
+      std::uint64_t v = 0;
+      for (unsigned b = 0; b < width_[*s]; ++b) {
+        v |= ((sp[b] >> lane) & 1) << b;
+      }
+      scalar_nets_[*s] = v;
+    }
+    const std::uint64_t v = tape_exec(ipb, ipe, scalar_nets_.data(),
+                                      scalar_stack_.data(),
+                                      scalar_slots_.data());
+    for (unsigned b = 0; b < wt; ++b) {
+      res[b] |= ((v >> b) & 1) << lane;
+    }
+  }
+  std::uint64_t* t = planes + plane_off_[c.target];
+  for (unsigned b = 0; b < wt; ++b) t[b] = res[b];
+}
+
+BatchNetlistSim::BatchNetlistSim(const Netlist& nl)
+    : nl_(nl), bt_(nl), planes_(bt_.total_planes(), 0) {
+  latch_off_.reserve(nl.regs().size() + 1);
+  std::uint32_t off = 0;
+  for (const RegDesc& r : nl.regs()) {
+    latch_off_.push_back(off);
+    off += nl.nets()[r.q].width;
+  }
+  latch_off_.push_back(off);
+  latch_.resize(off);
+  reset_state();
+}
+
+void BatchNetlistSim::reset_state() {
+  for (const RegDesc& r : nl_.regs()) {
+    set_input_broadcast(r.q, r.init);
+  }
+  settle();
+}
+
+void BatchNetlistSim::set_input(NetId n, std::size_t lane, std::uint64_t v) {
+  std::uint64_t* p = planes_.data() + bt_.plane_off(n);
+  const unsigned w = nl_.nets()[n].width;
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  for (unsigned b = 0; b < w; ++b) {
+    // Branchless merge: copy value-bit b into plane bit `lane`.
+    p[b] ^= (p[b] ^ (std::uint64_t{0} - ((v >> b) & 1))) & bit;
+  }
+}
+
+void BatchNetlistSim::set_input_broadcast(NetId n, std::uint64_t v) {
+  std::uint64_t* p = planes_.data() + bt_.plane_off(n);
+  const unsigned w = nl_.nets()[n].width;
+  for (unsigned b = 0; b < w; ++b) {
+    p[b] = (v >> b) & 1 ? ~std::uint64_t{0} : 0;
+  }
+}
+
+std::uint64_t BatchNetlistSim::get(NetId n, std::size_t lane) const {
+  const std::uint64_t* p = planes_.data() + bt_.plane_off(n);
+  const unsigned w = nl_.nets()[n].width;
+  std::uint64_t v = 0;
+  for (unsigned b = 0; b < w; ++b) v |= ((p[b] >> lane) & 1) << b;
+  return v;
+}
+
+void BatchNetlistSim::settle() {
+  ++stats_.settles;
+  bt_.run_all(planes_.data(), stats_);
+}
+
+void BatchNetlistSim::clock_edge() {
+  settle();
+  ++stats_.edges;
+  const auto& regs = nl_.regs();
+  // Two passes so every D is sampled before any Q updates, exactly like
+  // the scalar engine's simultaneous latch.
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    const std::uint64_t* d = planes_.data() + bt_.plane_off(regs[i].d);
+    std::uint64_t* l = latch_.data() + latch_off_[i];
+    const unsigned w = nl_.nets()[regs[i].q].width;
+    for (unsigned b = 0; b < w; ++b) l[b] = d[b];
+  }
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    const std::uint64_t* l = latch_.data() + latch_off_[i];
+    std::uint64_t* q = planes_.data() + bt_.plane_off(regs[i].q);
+    const unsigned w = nl_.nets()[regs[i].q].width;
+    for (unsigned b = 0; b < w; ++b) q[b] = l[b];
+  }
+  settle();
+}
+
+void BatchRunner::run(std::size_t lanes, unsigned threads, const BlockFn& fn) {
+  const std::size_t blocks = block_count(lanes);
+  sim::parallel_for_indexed(blocks, threads, [&](std::size_t block) {
+    const std::size_t lane0 = block * BatchTape::kLanes;
+    const std::size_t in_block =
+        lanes - lane0 < BatchTape::kLanes ? lanes - lane0 : BatchTape::kLanes;
+    fn(block, lane0, in_block);
+  });
+}
+
+}  // namespace hlcs::synth

@@ -1,0 +1,189 @@
+// 64-lane bit-parallel evaluation of TapeProgram bytecode.
+//
+// The scalar engine (rtl_sim.hpp) holds every net in one packed uint64
+// and evaluates one stimulus vector at a time, leaving 63/64ths of each
+// machine word idle for 1-bit nets.  BatchTape transposes that layout:
+// every net becomes `width` bit-planes, each plane a uint64 whose bit L
+// is that net-bit's value in lane L.  One tape instruction over planes
+// then advances 64 independent simulations at once -- classic
+// bit-parallel gate simulation, applied to the existing bytecode.
+//
+// Ops with per-bit semantics (And/Or/Xor/Not/Mux/Eq/Ne/RedOr/RedAnd/
+// Slice/Concat and the push/slot plumbing) run on planes directly, and
+// Add/Sub/Neg plus the ordered comparisons run as 64-lane ripple
+// carry/borrow chains over the planes.  Combs containing Mul or the
+// data-dependent shifts (Shl/Shr) -- where the cross-bit structure
+// depends on lane values -- fall back to per-lane scalar evaluation of
+// the SAME tape segment, so every verdict stays bit-identical to the
+// scalar engine no matter how a comb is classified.  Classification is
+// per-comb and static; BatchStats reports the fallback fraction.
+//
+// BatchNetlistSim stacks the sequential layer on top: 64 independent
+// register files latched together through clock_edge()/settle(), with
+// the same reset semantics as NetlistSim.  BatchRunner shards lane
+// populations into 64-lane blocks across the ParallelSweep worker pool
+// (results indexed by block, bit-identical at any thread count).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hlcs/synth/netlist.hpp"
+#include "hlcs/synth/tape.hpp"
+
+namespace hlcs::synth {
+
+/// Observability counters for the batch engine, mirroring NetlistStats.
+/// One "comb evaluation" here advances all 64 lanes of that comb.
+struct BatchStats {
+  std::uint64_t settles = 0;             ///< settle() calls
+  std::uint64_t edges = 0;               ///< clock_edge() calls
+  std::uint64_t combs_evaluated = 0;     ///< comb evaluations (64 lanes each)
+  std::uint64_t combs_bit_parallel = 0;  ///< evaluated on bit-planes
+  std::uint64_t combs_scalar = 0;        ///< evaluated via per-lane fallback
+  std::uint64_t scalar_lane_evals = 0;   ///< 64 x combs_scalar
+  std::uint64_t plane_instructions = 0;  ///< bit-parallel tape insns executed
+
+  /// Fraction of comb evaluations that took the scalar fallback.
+  double scalar_fraction() const {
+    return combs_evaluated == 0
+               ? 0.0
+               : static_cast<double>(combs_scalar) /
+                     static_cast<double>(combs_evaluated);
+  }
+
+  friend bool operator==(const BatchStats&, const BatchStats&) = default;
+};
+
+/// Lane-transposed evaluator for a compiled TapeProgram.  Owns the
+/// per-comb bit-parallel/scalar classification and the evaluation
+/// scratch; the caller owns the plane array (see BatchNetlistSim).
+class BatchTape {
+public:
+  static constexpr std::size_t kLanes = 64;
+
+  explicit BatchTape(const Netlist& nl);
+
+  const TapeProgram& program() const { return tape_; }
+  /// First plane of net n inside the caller's plane array.
+  std::uint32_t plane_off(NetId n) const { return plane_off_[n]; }
+  /// Total planes across all nets (the plane-array size).
+  std::uint32_t total_planes() const { return plane_off_.back(); }
+  bool comb_bit_parallel(std::size_t ci) const { return parallel_[ci] != 0; }
+  /// Static classification: combs that will take the scalar fallback.
+  std::size_t scalar_combs() const { return scalar_combs_; }
+
+  /// Evaluate comb `ci` (all 64 lanes) over `planes` and write the
+  /// target net's planes.  Not thread-safe per instance (uses internal
+  /// scratch); give each thread its own BatchTape/BatchNetlistSim.
+  void run(std::size_t ci, std::uint64_t* planes, BatchStats& stats);
+
+  /// Evaluate every comb in topological order (one full settle's worth
+  /// of work); equivalent to run() over all combs but batches the stats
+  /// updates out of the hot loop.
+  void run_all(std::uint64_t* planes, BatchStats& stats);
+
+private:
+  void run_planes(const TapeComb& c, std::uint64_t* planes);
+  void run_lanes(std::size_t ci, std::uint64_t* planes);
+
+  /// A plane-stack entry: `p` points either at a net's planes (borrowed)
+  /// or at this entry's own fixed 64-plane region in stack_planes_.
+  /// Planes at index >= w read as zero (values are stored masked, so a
+  /// missing high plane is always all-zero).
+  struct Entry {
+    const std::uint64_t* p;
+    unsigned w;
+  };
+
+  TapeProgram tape_;
+  std::vector<std::uint32_t> plane_off_;  ///< size nets()+1
+  std::vector<unsigned> width_;           ///< net widths
+  std::vector<std::uint8_t> parallel_;    ///< per comb (topo index)
+  std::size_t scalar_combs_ = 0;
+
+  // Bit-parallel scratch: one fixed 64-plane region per stack slot /
+  // CSE slot, so entries never alias each other.
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> stack_planes_;  ///< max_stack x 64
+  std::vector<std::uint64_t> slot_planes_;   ///< max_slots x 64
+  std::vector<unsigned> slot_w_;
+
+  // Scalar-fallback scratch: per-lane gather/exec buffers.
+  std::vector<std::uint64_t> scalar_nets_;  ///< size nets(), sources filled
+  std::vector<std::uint64_t> scalar_stack_;
+  std::vector<std::uint64_t> scalar_slots_;
+};
+
+/// 64 independent netlist simulations stepped in lock step: one shared
+/// combinational tape over bit-planes, 64 register files latched
+/// together.  The API mirrors NetlistSim with an extra lane index;
+/// settle() evaluates the full tape (the batch engine's win is lane
+/// parallelism, not sparsity).
+class BatchNetlistSim {
+public:
+  static constexpr std::size_t kLanes = BatchTape::kLanes;
+
+  explicit BatchNetlistSim(const Netlist& nl);
+
+  /// Latch every register's initial value (all lanes) and settle.
+  void reset_state();
+
+  void set_input(NetId n, std::size_t lane, std::uint64_t v);
+  void set_input(const std::string& name, std::size_t lane, std::uint64_t v) {
+    set_input(nl_.find(name), lane, v);
+  }
+  /// Same value into every lane.
+  void set_input_broadcast(NetId n, std::uint64_t v);
+
+  std::uint64_t get(NetId n, std::size_t lane) const;
+  std::uint64_t get(const std::string& name, std::size_t lane) const {
+    return get(nl_.find(name), lane);
+  }
+  /// One bit of net n across all 64 lanes (bit L = lane L's value).
+  std::uint64_t plane(NetId n, unsigned bit) const {
+    return planes_[bt_.plane_off(n) + bit];
+  }
+
+  /// Evaluate every comb in topological order, all lanes at once.
+  void settle();
+  /// One rising clock edge: settle, latch all registers (all lanes)
+  /// simultaneously, settle again.
+  void clock_edge();
+
+  const Netlist& netlist() const { return nl_; }
+  const BatchTape& tape() const { return bt_; }
+  const BatchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BatchStats{}; }
+
+private:
+  const Netlist& nl_;
+  BatchTape bt_;
+  std::vector<std::uint64_t> planes_;
+  std::vector<std::uint64_t> latch_;      ///< register-D plane scratch
+  std::vector<std::uint32_t> latch_off_;  ///< per reg, into latch_
+  BatchStats stats_;
+};
+
+/// Shards a lane population into kLanes-wide blocks over the same
+/// dynamic-claiming worker pool ParallelSweep uses.  Block boundaries
+/// depend only on `lanes`, and callers store results by block index, so
+/// outcomes are bit-identical at any thread count.
+class BatchRunner {
+public:
+  /// fn(block, first_lane, lanes_in_block); blocks may run concurrently,
+  /// each on its own worker.  threads == 0 picks hardware concurrency,
+  /// threads == 1 runs serially on the calling thread.
+  using BlockFn =
+      std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  static std::size_t block_count(std::size_t lanes) {
+    return (lanes + BatchTape::kLanes - 1) / BatchTape::kLanes;
+  }
+
+  static void run(std::size_t lanes, unsigned threads, const BlockFn& fn);
+};
+
+}  // namespace hlcs::synth

@@ -1,115 +1,366 @@
 #include "hlcs/synth/equiv.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "hlcs/sim/random.hpp"
+#include "hlcs/synth/batch_tape.hpp"
 
 namespace hlcs::synth {
 
-EquivResult check_equivalence(const ObjectDesc& desc, const SynthOptions& opt,
-                              const EquivOptions& eopt) {
-  Netlist nl = synthesize(desc, opt);
-  NetlistSim rtl(nl);
-  GoldenCycleModel golden(desc, opt);
-  sim::Xorshift rng(eopt.seed);
+namespace {
 
-  EquivResult result;
-  result.vectors.reserve(eopt.cycles);
-  std::vector<GoldenCycleModel::ClientIn> in(opt.clients);
-  std::vector<unsigned> blocked(opt.clients, 0);
+/// Port NetIds resolved once per netlist; the per-cycle hot loops index
+/// these instead of re-resolving names through Netlist::find.
+struct Ports {
+  NetId rst;
+  std::vector<NetId> req, sel, args, grant, ret;
+  std::vector<NetId> vars;
+};
 
-  auto mismatch = [&](std::size_t cycle, const std::string& what) {
-    if (result.equal) {
-      result.equal = false;
-      result.first_mismatch = "cycle " + std::to_string(cycle) + ": " + what;
-    }
-  };
+Ports resolve_ports(const Netlist& nl, const ObjectDesc& desc,
+                    const SynthOptions& opt) {
+  Ports p;
+  p.rst = nl.find("rst");
+  p.req.reserve(opt.clients);
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    p.req.push_back(nl.find(req_port(c)));
+    p.sel.push_back(nl.find(sel_port(c)));
+    p.args.push_back(nl.find(args_port(c)));
+    p.grant.push_back(nl.find(grant_port(c)));
+    p.ret.push_back(nl.find(ret_port(c)));
+  }
+  p.vars.reserve(desc.vars().size());
+  for (std::size_t v = 0; v < desc.vars().size(); ++v) {
+    p.vars.push_back(nl.find(var_port(desc, v)));
+  }
+  return p;
+}
 
-  for (std::size_t cycle = 0; cycle < eopt.cycles; ++cycle) {
-    // --- stimulus ---------------------------------------------------
+/// One lane's stimulus state: an independently seeded RNG plus the
+/// client request bookkeeping.  Stimulus depends only on this state and
+/// the golden model's grant decisions, never on RTL outputs, so every
+/// backend generates the identical stream for a given lane seed.
+struct LaneStim {
+  sim::Xorshift rng{0};
+  std::vector<GoldenCycleModel::ClientIn> in;
+  std::vector<unsigned> blocked;
+
+  void init(std::uint64_t seed, std::size_t clients) {
+    rng = sim::Xorshift(seed);
+    in.assign(clients, {});
+    blocked.assign(clients, 0);
+  }
+
+  /// Advance one cycle of stimulus; returns whether rst pulses.
+  bool advance(const EquivOptions& eopt, std::size_t n_methods) {
     const bool rst =
         eopt.reset_percent > 0 && rng.chance(eopt.reset_percent, 100);
-    for (std::size_t c = 0; c < opt.clients; ++c) {
+    for (std::size_t c = 0; c < in.size(); ++c) {
       if (!in[c].req) {
         if (rng.chance(eopt.request_percent, 100)) {
           in[c].req = true;
-          in[c].sel = rng.below(desc.methods().size());
+          in[c].sel = rng.below(n_methods);
           in[c].args = rng.next();
           blocked[c] = 0;
         }
       } else if (++blocked[c] > eopt.reroll_after) {
-        in[c].sel = rng.below(desc.methods().size());
+        in[c].sel = rng.below(n_methods);
         in[c].args = rng.next();
         blocked[c] = 0;
       }
-      rtl.set_input(req_port(c), in[c].req ? 1 : 0);
-      rtl.set_input(sel_port(c), in[c].sel);
-      rtl.set_input(args_port(c), in[c].args);
     }
-    rtl.set_input("rst", rst ? 1 : 0);
+    return rst;
+  }
+
+  /// Client reaction to the (golden) grant, after the edge.
+  void react(const std::optional<std::size_t>& granted, bool rst) {
+    if (granted) {
+      in[*granted].req = false;
+      blocked[*granted] = 0;
+    }
+    if (rst) {
+      for (auto& ci : in) ci.req = false;
+    }
+  }
+};
+
+/// Per-lane verdict, merged across lanes in index order afterwards.
+struct LaneOutcome {
+  bool equal = true;
+  std::size_t grants = 0;
+  std::string mismatch;  ///< first divergence, without the lane prefix
+};
+
+void note_mismatch(LaneOutcome& out, std::size_t cycle,
+                   const std::string& what) {
+  if (out.equal) {
+    out.equal = false;
+    out.mismatch = "cycle " + std::to_string(cycle) + ": " + what;
+  }
+}
+
+/// Record one golden-model cycle into `vec` (reusing its buffers) and
+/// append a copy to `record`.
+void record_vector(std::vector<EquivVector>& record, EquivVector& vec,
+                   bool rst, const LaneStim& stim,
+                   const GoldenCycleModel::StepResult& g,
+                   const GoldenCycleModel& golden, const ObjectDesc& desc) {
+  vec.rst = rst;
+  vec.in.assign(stim.in.begin(), stim.in.end());
+  vec.grant.assign(stim.in.size(), false);
+  vec.ret.assign(stim.in.size(), 0);
+  if (g.granted) {
+    vec.grant[*g.granted] = true;
+    const MethodDesc& m = desc.methods()[stim.in[*g.granted].sel];
+    if (m.ret_width > 0) {
+      vec.ret[*g.granted] = g.ret & ExprArena::mask(m.ret_width);
+    }
+  }
+  vec.vars.clear();
+  for (std::size_t v = 0; v < desc.vars().size(); ++v) {
+    vec.vars.push_back(golden.var(v));
+  }
+  record.push_back(vec);
+}
+
+/// One complete scalar lock-step lane on a (possibly reused) NetlistSim.
+/// The caller resets `rtl` between lanes.
+LaneOutcome run_scalar_lane(const ObjectDesc& desc, const SynthOptions& opt,
+                            const EquivOptions& eopt, const Ports& ports,
+                            NetlistSim& rtl, std::size_t lane,
+                            std::vector<EquivVector>* record) {
+  LaneOutcome out;
+  GoldenCycleModel golden(desc, opt);
+  LaneStim stim;
+  stim.init(sim::lane_seed(eopt.seed, lane), opt.clients);
+  // Stimulus/record buffers live outside the cycle loop; each iteration
+  // reuses their capacity instead of reallocating.
+  EquivVector vec;
+
+  for (std::size_t cycle = 0; cycle < eopt.cycles; ++cycle) {
+    // --- stimulus ---------------------------------------------------
+    const bool rst = stim.advance(eopt, desc.methods().size());
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      rtl.set_input(ports.req[c], stim.in[c].req ? 1 : 0);
+      rtl.set_input(ports.sel[c], stim.in[c].sel);
+      rtl.set_input(ports.args[c], stim.in[c].args);
+    }
+    rtl.set_input(ports.rst, rst ? 1 : 0);
     rtl.settle();
 
     // --- compare combinational grants/returns -----------------------
-    EquivVector vec;
-    vec.rst = rst;
-    vec.in = in;
-    vec.grant.assign(opt.clients, false);
-    vec.ret.assign(opt.clients, 0);
-
     std::optional<std::size_t> rtl_grant;
     for (std::size_t c = 0; c < opt.clients; ++c) {
-      if (rtl.get(grant_port(c)) != 0) {
-        if (rtl_grant) mismatch(cycle, "grant not one-hot");
+      if (rtl.get(ports.grant[c]) != 0) {
+        if (rtl_grant) note_mismatch(out, cycle, "grant not one-hot");
         rtl_grant = c;
       }
     }
-    GoldenCycleModel::StepResult g = golden.step(in, rst);
+    const GoldenCycleModel::StepResult g = golden.step(stim.in, rst);
     if (rtl_grant != g.granted) {
-      mismatch(cycle, "grant differs (rtl=" +
+      note_mismatch(out, cycle,
+                    "grant differs (rtl=" +
+                        (rtl_grant ? std::to_string(*rtl_grant)
+                                   : std::string("none")) +
+                        " golden=" +
+                        (g.granted ? std::to_string(*g.granted)
+                                   : std::string("none")) +
+                        ")");
+    }
+    if (g.granted) {
+      const MethodDesc& m = desc.methods()[stim.in[*g.granted].sel];
+      if (m.ret_width > 0) {
+        const std::uint64_t rtl_ret =
+            rtl.get(ports.ret[*g.granted]) & ExprArena::mask(m.ret_width);
+        if (rtl_ret != (g.ret & ExprArena::mask(m.ret_width))) {
+          note_mismatch(out, cycle, "return value differs on method " + m.name);
+        }
+      }
+      out.grants++;
+    }
+
+    // --- latch and compare state ------------------------------------
+    rtl.clock_edge();
+    for (std::size_t v = 0; v < desc.vars().size(); ++v) {
+      if (rtl.get(ports.vars[v]) != golden.var(v)) {
+        note_mismatch(out, cycle, "state variable '" + desc.vars()[v].name +
+                                      "' differs");
+      }
+    }
+    if (record) record_vector(*record, vec, rst, stim, g, golden, desc);
+
+    // --- client reaction ---------------------------------------------
+    stim.react(g.granted, rst);
+  }
+  return out;
+}
+
+/// One 64-lane block of the batch backend: a single BatchNetlistSim
+/// carries all lanes' RTL state; per-lane golden models and stimulus
+/// run exactly the scalar loop's cycle structure.
+void run_batch_block(const ObjectDesc& desc, const SynthOptions& opt,
+                     const EquivOptions& eopt, const Netlist& nl,
+                     const Ports& ports, std::size_t lane0, std::size_t n,
+                     LaneOutcome* outs, std::vector<EquivVector>* record,
+                     double* scalar_fraction) {
+  BatchNetlistSim rtl(nl);
+  std::vector<GoldenCycleModel> goldens;
+  goldens.reserve(n);
+  std::vector<LaneStim> stims(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    goldens.emplace_back(desc, opt);
+    stims[i].init(sim::lane_seed(eopt.seed, lane0 + i), opt.clients);
+  }
+  std::vector<std::uint8_t> rsts(n);
+  std::vector<GoldenCycleModel::StepResult> steps(n);
+  EquivVector vec;
+
+  for (std::size_t cycle = 0; cycle < eopt.cycles; ++cycle) {
+    // --- stimulus, all lanes ----------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+      rsts[i] = stims[i].advance(eopt, desc.methods().size()) ? 1 : 0;
+      for (std::size_t c = 0; c < opt.clients; ++c) {
+        rtl.set_input(ports.req[c], i, stims[i].in[c].req ? 1 : 0);
+        rtl.set_input(ports.sel[c], i, stims[i].in[c].sel);
+        rtl.set_input(ports.args[c], i, stims[i].in[c].args);
+      }
+      rtl.set_input(ports.rst, i, rsts[i]);
+    }
+    rtl.settle();
+
+    // --- compare combinational grants/returns, per lane -------------
+    for (std::size_t i = 0; i < n; ++i) {
+      LaneOutcome& out = outs[i];
+      std::optional<std::size_t> rtl_grant;
+      for (std::size_t c = 0; c < opt.clients; ++c) {
+        if (rtl.get(ports.grant[c], i) != 0) {
+          if (rtl_grant) note_mismatch(out, cycle, "grant not one-hot");
+          rtl_grant = c;
+        }
+      }
+      steps[i] = goldens[i].step(stims[i].in, rsts[i] != 0);
+      const GoldenCycleModel::StepResult& g = steps[i];
+      if (rtl_grant != g.granted) {
+        note_mismatch(out, cycle,
+                      "grant differs (rtl=" +
                           (rtl_grant ? std::to_string(*rtl_grant)
                                      : std::string("none")) +
                           " golden=" +
                           (g.granted ? std::to_string(*g.granted)
                                      : std::string("none")) +
                           ")");
-    }
-    if (g.granted) {
-      vec.grant[*g.granted] = true;
-      const MethodDesc& m = desc.methods()[in[*g.granted].sel];
-      if (m.ret_width > 0) {
-        const std::uint64_t rtl_ret = rtl.get(ret_port(*g.granted)) &
-                                      ExprArena::mask(m.ret_width);
-        if (rtl_ret != (g.ret & ExprArena::mask(m.ret_width))) {
-          mismatch(cycle, "return value differs on method " + m.name);
+      }
+      if (g.granted) {
+        const MethodDesc& m = desc.methods()[stims[i].in[*g.granted].sel];
+        if (m.ret_width > 0) {
+          const std::uint64_t rtl_ret = rtl.get(ports.ret[*g.granted], i) &
+                                        ExprArena::mask(m.ret_width);
+          if (rtl_ret != (g.ret & ExprArena::mask(m.ret_width))) {
+            note_mismatch(out, cycle,
+                          "return value differs on method " + m.name);
+          }
         }
-        vec.ret[*g.granted] = g.ret & ExprArena::mask(m.ret_width);
+        out.grants++;
       }
-      result.grants++;
     }
 
-    // --- latch and compare state ------------------------------------
+    // --- latch and compare state, per lane --------------------------
     rtl.clock_edge();
-    vec.vars.reserve(desc.vars().size());
-    for (std::size_t v = 0; v < desc.vars().size(); ++v) {
-      const std::uint64_t rv = rtl.get(var_port(desc, v));
-      if (rv != golden.var(v)) {
-        mismatch(cycle, "state variable '" + desc.vars()[v].name +
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < desc.vars().size(); ++v) {
+        if (rtl.get(ports.vars[v], i) != goldens[i].var(v)) {
+          note_mismatch(outs[i], cycle,
+                        "state variable '" + desc.vars()[v].name +
                             "' differs");
+        }
       }
-      vec.vars.push_back(golden.var(v));
+      if (record && i == 0) {
+        record_vector(*record, vec, rsts[0] != 0, stims[0], steps[0],
+                      goldens[0], desc);
+      }
+      stims[i].react(steps[i].granted, rsts[i] != 0);
     }
-    result.vectors.push_back(std::move(vec));
-
-    // --- client reaction ---------------------------------------------
-    if (g.granted) {
-      in[*g.granted].req = false;
-      blocked[*g.granted] = 0;
-    }
-    if (rst) {
-      for (auto& ci : in) ci.req = false;
-    }
-    result.cycles++;
   }
+  if (scalar_fraction) *scalar_fraction = rtl.stats().scalar_fraction();
+}
+
+std::string lane_prefix(std::size_t lane, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "lane " << lane << " (seed 0x" << std::hex << seed << "): ";
+  return os.str();
+}
+
+/// Fold per-lane outcomes (in lane order) into the result and, on a
+/// mismatch, regenerate the failing lane's diagnostics on the scalar
+/// engine.  `batch` marks that the outcomes came from the batch
+/// backend, whose verdict the scalar re-run then cross-checks.
+void merge_outcomes(EquivResult& result, const std::vector<LaneOutcome>& outs,
+                    const ObjectDesc& desc, const SynthOptions& opt,
+                    const EquivOptions& eopt, const Netlist& nl,
+                    const Ports& ports, bool batch) {
+  result.lanes = outs.size();
+  result.cycles = eopt.cycles * outs.size();
+  for (const LaneOutcome& o : outs) result.grants += o.grants;
+
+  for (std::size_t lane = 0; lane < outs.size(); ++lane) {
+    if (outs[lane].equal) continue;
+    result.equal = false;
+    result.first_bad_lane = lane;
+    result.first_bad_seed = sim::lane_seed(eopt.seed, lane);
+    result.first_mismatch =
+        lane_prefix(lane, result.first_bad_seed) + outs[lane].mismatch;
+    // Replay the failing lane alone on the scalar engine so the
+    // recorded vectors (and, in batch mode, an independent verdict)
+    // describe the counterexample rather than lane 0.
+    NetlistSim rtl(nl);
+    result.vectors.clear();
+    const LaneOutcome replay = run_scalar_lane(desc, opt, eopt, ports, rtl,
+                                               lane, &result.vectors);
+    if (batch && replay.equal) {
+      // The scalar engine disagrees with the batch verdict: a batch
+      // engine defect, worth saying so instead of blaming the design.
+      result.first_mismatch +=
+          " [batch-only: scalar replay of this lane passed]";
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+EquivResult check_equivalence(const ObjectDesc& desc, const SynthOptions& opt,
+                              const EquivOptions& eopt) {
+  const Netlist nl = synthesize(desc, opt);
+  const Ports ports = resolve_ports(nl, desc, opt);
+  const std::size_t lanes = eopt.lanes == 0 ? 1 : eopt.lanes;
+
+  EquivResult result;
+  result.vectors.reserve(eopt.cycles);
+  std::vector<LaneOutcome> outs(lanes);
+
+  if (eopt.batch) {
+    double scalar_fraction = 0.0;
+    BatchRunner::run(lanes, eopt.threads,
+                     [&](std::size_t block, std::size_t lane0,
+                         std::size_t in_block) {
+                       run_batch_block(desc, opt, eopt, nl, ports, lane0,
+                                       in_block, outs.data() + lane0,
+                                       block == 0 ? &result.vectors : nullptr,
+                                       block == 0 ? &scalar_fraction
+                                                  : nullptr);
+                     });
+    result.batch_scalar_fraction = scalar_fraction;
+  } else {
+    NetlistSim rtl(nl);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (lane > 0) rtl.reset_state();  // inputs are re-driven every cycle
+      outs[lane] = run_scalar_lane(desc, opt, eopt, ports, rtl, lane,
+                                   lane == 0 ? &result.vectors : nullptr);
+    }
+  }
+
+  merge_outcomes(result, outs, desc, opt, eopt, nl, ports, eopt.batch);
   return result;
 }
 

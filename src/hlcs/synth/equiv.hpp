@@ -8,6 +8,19 @@
 // It also records the stimulus/response vectors, which
 // emit_verilog_testbench() can turn into a self-checking Verilog bench
 // for downstream tools.
+//
+// The check scales out in two independent directions:
+//   - lanes: N independently seeded stimulus streams (lane i's RNG is
+//     seeded with sim::lane_seed(seed, i)), each a complete lock-step
+//     run.  More lanes = more coverage from one invocation, and any
+//     failure names the lane and its standalone-reproducible seed.
+//   - batch: evaluate lanes 64-at-a-time on the bit-parallel engine
+//     (synth::BatchNetlistSim), sharding 64-lane blocks across worker
+//     threads.  Stimulus depends only on each lane's RNG and the golden
+//     model, never on RTL outputs, so batch and scalar backends produce
+//     bit-identical verdicts at any thread count; the first mismatching
+//     lane is re-run on the scalar engine to regenerate the single-lane
+//     EquivVector diagnostics.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +42,14 @@ struct EquivOptions {
   unsigned reroll_after = 5;
   /// Probability (percent, per cycle) of pulsing the synchronous reset.
   unsigned reset_percent = 0;
+  /// Independently seeded stimulus streams, each `cycles` long.
+  std::size_t lanes = 1;
+  /// Evaluate lanes on the 64-wide bit-parallel engine instead of one
+  /// scalar simulation per lane.  Verdicts are bit-identical either way.
+  bool batch = false;
+  /// Worker threads for batch mode (one 64-lane block per claim);
+  /// 0 = hardware concurrency.  Ignored when batch is false.
+  unsigned threads = 1;
 };
 
 /// One recorded cycle of the lock-step run (also usable as a test
@@ -45,10 +66,21 @@ struct EquivVector {
 
 struct EquivResult {
   bool equal = true;
-  std::size_t cycles = 0;
-  std::size_t grants = 0;
-  std::string first_mismatch;  ///< empty when equal
+  std::size_t cycles = 0;  ///< total simulated cycles across all lanes
+  std::size_t grants = 0;  ///< total grants across all lanes
+  std::string first_mismatch;  ///< empty when equal; names lane + seed
+  /// Recorded golden vectors: the lowest mismatching lane's stream when
+  /// unequal, lane 0's stream otherwise.
   std::vector<EquivVector> vectors;
+  std::size_t lanes = 1;
+  /// Lowest mismatching lane and its derived seed (valid when !equal).
+  /// Re-running with that value as the root seed and lanes=1 replays
+  /// the failing stream standalone.
+  std::size_t first_bad_lane = 0;
+  std::uint64_t first_bad_seed = 0;
+  /// Batch mode only: fraction of comb evaluations that took the
+  /// per-lane scalar fallback (0 when fully bit-parallel).
+  double batch_scalar_fraction = 0.0;
 
   explicit operator bool() const { return equal; }
 };

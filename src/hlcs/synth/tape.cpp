@@ -218,6 +218,8 @@ TapeProgram TapeProgram::compile(const Netlist& nl) {
   std::vector<std::vector<std::uint32_t>> fanout(n_nets);
 
   p.combs_.reserve(combs.size());
+  p.sources_off_.reserve(order.size() + 1);
+  p.sources_off_.push_back(0);
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     const CombAssign& c = combs[order[pos]];
     TapeComb tc;
@@ -226,6 +228,8 @@ TapeProgram TapeProgram::compile(const Netlist& nl) {
     cc.compile(c.value);
     tc.end = static_cast<std::uint32_t>(p.code_.size());
     tc.level = 0;
+    p.sources_.insert(p.sources_.end(), cc.sources.begin(), cc.sources.end());
+    p.sources_off_.push_back(static_cast<std::uint32_t>(p.sources_.size()));
     for (NetId src : cc.sources) {
       fanout[src].push_back(static_cast<std::uint32_t>(pos));
       if (driver[src] != ~std::uint32_t{0}) {

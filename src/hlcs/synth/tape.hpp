@@ -143,6 +143,15 @@ public:
     return fanout_.data() + fanout_off_[n + 1];
   }
 
+  /// Nets read by comb `ci` (sorted, deduplicated) -- the inverse of the
+  /// fanout lists, used by the batch engine's scalar-fallback gather.
+  const NetId* sources_begin(std::uint32_t ci) const {
+    return sources_.data() + sources_off_[ci];
+  }
+  const NetId* sources_end(std::uint32_t ci) const {
+    return sources_.data() + sources_off_[ci + 1];
+  }
+
   std::uint64_t run(const TapeComb& c, const std::uint64_t* nets,
                     std::uint64_t* stack, std::uint64_t* slots) const {
     return tape_exec(code_.data() + c.begin, code_.data() + c.end, nets, stack,
@@ -154,6 +163,8 @@ private:
   std::vector<TapeComb> combs_;
   std::vector<std::uint32_t> fanout_off_;  ///< size nets()+1
   std::vector<std::uint32_t> fanout_;
+  std::vector<std::uint32_t> sources_off_;  ///< size combs()+1
+  std::vector<NetId> sources_;
   std::uint32_t levels_ = 0;
   std::uint32_t max_stack_ = 0;
   std::uint32_t max_slots_ = 0;

@@ -6,6 +6,11 @@
 // deterministic Kernel, so --threads changes wall-clock time only, never
 // the numbers.  --verify demonstrates that by re-running serially and
 // comparing every transcript byte for byte.
+//
+// --equiv [lanes] switches to the fig.4 viability loop instead: every
+// policy x client point is synthesised to RT level and verified against
+// the interpreted specification with the batched lane-parallel
+// equivalence engine, points sharded over the same worker pool.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +19,8 @@
 
 #include "hlcs/osss/osss.hpp"
 #include "hlcs/sim/sim.hpp"
+#include "hlcs/sim/sweep.hpp"
+#include "hlcs/synth/synth.hpp"
 
 namespace {
 
@@ -28,6 +35,7 @@ constexpr int kClientCounts[] = {1, 2, 4, 8, 16, 32};
 
 struct SweepConfig {
   std::uint64_t cycles = 2000;
+  bool cycles_set = false;
 };
 
 void run_point(std::size_t index, sim::Kernel& k, std::string& transcript,
@@ -68,14 +76,82 @@ void run_point(std::size_t index, sim::Kernel& k, std::string& transcript,
   transcript += line;
 }
 
+/// A small comb-dominated shared object for the --equiv sweep: xor/and/
+/// mux datapaths keep the batch engine on the bit-parallel path, so the
+/// sweep exercises exactly what the fig.4 loop batches.
+synth::ObjectDesc make_equiv_object() {
+  using namespace hlcs::synth;
+  ObjectDesc d("sweep_mix");
+  auto& A = d.arena();
+  const std::uint32_t acc = d.add_var("acc", 16, 0x1234);
+  const std::uint32_t flags = d.add_var("flags", 8, 0xA5);
+  {
+    auto b = d.add_method("mix");
+    b.arg("x", 16);
+    ExprId x = A.arg(0, 16);
+    ExprId a = A.var(acc, 16);
+    ExprId sel = A.bin(ExprOp::Eq, A.slice(x, 0, 2), A.cst(3, 2));
+    b.assign(acc, A.mux(sel, A.bin(ExprOp::Xor, a, x),
+                        A.bin(ExprOp::And, a, A.un(ExprOp::Not, x))));
+    b.assign(flags,
+             A.bin(ExprOp::Xor, A.var(flags, 8), A.slice(x, 8, 8)));
+    b.returns(A.bin(ExprOp::Or, A.var(flags, 8), A.slice(a, 0, 8)), 8);
+  }
+  {
+    auto b = d.add_method("poke");
+    b.arg("m", 8);
+    b.assign(flags, A.bin(ExprOp::Or, A.var(flags, 8), A.arg(0, 8)));
+  }
+  return d;
+}
+
+void run_equiv_point(std::size_t index, std::string& transcript,
+                     const synth::ObjectDesc& desc, const SweepConfig& cfg,
+                     std::size_t lanes) {
+  using namespace hlcs::synth;
+  const std::size_t n_clients = std::size(kClientCounts);
+  const PolicyKind policy = kPolicies[index / n_clients];
+  const int clients = kClientCounts[index % n_clients];
+  // One root seed per point; lanes derive their streams via splitmix64,
+  // so the whole sweep is reproducible from the transcript alone.
+  const EquivResult r = check_equivalence(
+      desc,
+      SynthOptions{.clients = static_cast<std::size_t>(clients),
+                   .policy = policy},
+      EquivOptions{.cycles = cfg.cycles, .seed = 0x5EED0 + index,
+                   .reset_percent = 3, .lanes = lanes, .batch = true});
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-15s clients=%-3d equiv=%s lanes=%zu cycles=%zu "
+                "grants=%zu scalar_frac=%.3f\n",
+                osss::policy_name(policy).c_str(), clients,
+                r.equal ? "PASS" : "FAIL", r.lanes, r.cycles, r.grants,
+                r.batch_scalar_fraction);
+  transcript += line;
+  if (!r.equal) {
+    transcript += "  first mismatch: " + r.first_mismatch + "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   bool verify = false;
+  bool equiv_mode = false;
+  std::size_t equiv_lanes = 64;
   SweepConfig cfg;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+    if (!std::strcmp(argv[i], "--equiv")) {
+      equiv_mode = true;
+      // Optional lane count: consume the next argv only if numeric.
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") ==
+              std::strlen(argv[i + 1])) {
+        equiv_lanes = static_cast<std::size_t>(std::strtoul(argv[++i],
+                                                            nullptr, 10));
+      }
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0') {
@@ -93,17 +169,51 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.cycles = static_cast<std::uint64_t>(v);
+      cfg.cycles_set = true;
     } else if (!std::strcmp(argv[i], "--verify")) {
       verify = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--cycles N] [--verify]\n",
+                   "usage: %s [--threads N] [--cycles N] [--verify] "
+                   "[--equiv [lanes]]\n",
                    argv[0]);
       return 2;
     }
   }
 
   const std::size_t points = std::size(kPolicies) * std::size(kClientCounts);
+
+  if (equiv_mode) {
+    // Fig.4 viability sweep: synthesise + batch-verify each point.  The
+    // per-point verdicts are deterministic (root seed is the point
+    // index), so any thread count produces the same transcript.
+    if (!cfg.cycles_set) cfg.cycles = 200;  // per lane
+    const synth::ObjectDesc desc = make_equiv_object();
+    std::vector<std::string> lines(points);
+    sim::parallel_for_indexed(points, threads, [&](std::size_t i) {
+      run_equiv_point(i, lines[i], desc, cfg, equiv_lanes);
+    });
+    bool all_pass = true;
+    for (const std::string& l : lines) {
+      std::fputs(l.c_str(), stdout);
+      if (l.find("equiv=PASS") == std::string::npos) all_pass = false;
+    }
+    if (verify) {
+      std::vector<std::string> serial(points);
+      sim::parallel_for_indexed(points, 1, [&](std::size_t i) {
+        run_equiv_point(i, serial[i], desc, cfg, equiv_lanes);
+      });
+      for (std::size_t i = 0; i < points; ++i) {
+        if (serial[i] != lines[i]) {
+          std::fprintf(stderr, "VERIFY FAILED at point %zu\n", i);
+          return 1;
+        }
+      }
+      std::puts("verify: serial and threaded equiv sweeps identical");
+    }
+    return all_pass ? 0 : 1;
+  }
+
   sim::ParallelSweep sweep(
       [&cfg](std::size_t i, sim::Kernel& k, std::string& t) {
         run_point(i, k, t, cfg);

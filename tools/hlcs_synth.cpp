@@ -32,6 +32,13 @@ int usage(const char* argv0) {
                "  --check N          lock-step equivalence check for N cycles "
                "(default 1000; 0 = skip)\n"
                "  --seed S           stimulus seed for --check\n"
+               "  --equiv-batch [L]  run the check as L independently seeded "
+               "lanes (default 64)\n"
+               "                     on the 64-wide bit-parallel engine; "
+               "rejects netlists\n"
+               "                     with nets wider than 64 bits\n"
+               "  --equiv-threads N  worker threads for --equiv-batch "
+               "(default 1, 0 = all cores)\n"
                "  -o FILE            write Verilog (default: stdout)\n"
                "  --testbench FILE   write a self-checking Verilog testbench\n"
                "  --report           print the resource report to stderr\n"
@@ -67,6 +74,9 @@ int main(int argc, char** argv) {
   SynthOptions opt;
   std::size_t check_cycles = 1000;
   std::uint64_t seed = 0xCAFE;
+  std::size_t equiv_lanes = 1;
+  bool equiv_batch = false;
+  unsigned equiv_threads = 1;
   bool do_optimize = false;
   bool do_report = false;
 
@@ -93,6 +103,18 @@ int main(int argc, char** argv) {
       check_cycles = static_cast<std::size_t>(std::stoul(next("cycles")));
     } else if (a == "--seed") {
       seed = std::stoull(next("seed"));
+    } else if (a == "--equiv-batch") {
+      equiv_batch = true;
+      equiv_lanes = 64;
+      // Optional lane count: consume the next argv only if it is a
+      // bare number, so `--equiv-batch -o out.v` still parses.
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") ==
+              std::strlen(argv[i + 1])) {
+        equiv_lanes = static_cast<std::size_t>(std::stoul(argv[++i]));
+      }
+    } else if (a == "--equiv-threads") {
+      equiv_threads = static_cast<unsigned>(std::stoul(next("count")));
     } else if (a == "-o") {
       out_path = next("file");
     } else if (a == "--testbench") {
@@ -207,15 +229,26 @@ int main(int argc, char** argv) {
     EquivResult equiv;
     if (check_cycles > 0) {
       equiv = check_equivalence(
-          desc, opt, EquivOptions{.cycles = check_cycles, .seed = seed});
+          desc, opt,
+          EquivOptions{.cycles = check_cycles, .seed = seed,
+                       .lanes = equiv_lanes, .batch = equiv_batch,
+                       .threads = equiv_threads});
       if (!equiv) {
         std::fprintf(stderr, "EQUIVALENCE FAILED: %s\n",
                      equiv.first_mismatch.c_str());
         return 1;
       }
-      std::fprintf(stderr,
-                   "equivalence PASS: %zu cycles, %zu method grants\n",
-                   equiv.cycles, equiv.grants);
+      if (equiv_batch) {
+        std::fprintf(stderr,
+                     "equivalence PASS: %zu lanes, %zu cycles total, %zu "
+                     "method grants (batch, %.1f%% scalar fallback)\n",
+                     equiv.lanes, equiv.cycles, equiv.grants,
+                     100.0 * equiv.batch_scalar_fraction);
+      } else {
+        std::fprintf(stderr,
+                     "equivalence PASS: %zu cycles, %zu method grants\n",
+                     equiv.cycles, equiv.grants);
+      }
     }
 
     const std::string verilog = emit_verilog(nl);
