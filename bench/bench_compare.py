@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+    bench_compare.py --list FILE.json [FILE.json ...]
 
 For every benchmark present in both files, the real_time of CURRENT is
 compared against BASELINE.  A benchmark whose time grew by more than the
@@ -13,6 +14,15 @@ Benchmarks present in only one file are reported but never fatal: the
 suite is allowed to grow.  When a file was produced with
 --benchmark_repetitions, the median aggregate is used (robust against
 scheduler noise); otherwise the raw single-run time is used.
+
+--list prints the benchmarks a file contains (name and the time that
+would be compared) without comparing anything -- handy for checking what
+a rebase captured.
+
+Every input problem (unreadable file, malformed JSON, an entry without
+the compared metric) is reported as a single actionable line naming the
+file and what is missing; the script never surfaces a raw traceback for
+bad input.
 """
 
 import argparse
@@ -20,26 +30,74 @@ import json
 import sys
 
 
+def die(msg):
+    """One-line diagnosis on stderr, exit 2 (distinct from regressions)."""
+    print(f"bench_compare: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        die(f"{path}: cannot read file ({e.strerror or e})")
+    except json.JSONDecodeError as e:
+        die(
+            f"{path}: malformed JSON at line {e.lineno}, column {e.colno}: "
+            f"{e.msg}"
+        )
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        die(
+            f"{path}: no 'benchmarks' array -- is this a Google-Benchmark "
+            f"--benchmark_format=json output?"
+        )
     raw = {}
     medians = {}
-    for b in data.get("benchmarks", []):
+    for i, b in enumerate(data["benchmarks"]):
+        if not isinstance(b, dict):
+            die(f"{path}: benchmarks[{i}] is not an object")
+        name = b.get("run_name", b.get("name"))
+        if name is None:
+            die(f"{path}: benchmarks[{i}] has neither 'run_name' nor 'name'")
+        if "real_time" not in b:
+            die(f"{path}: benchmark '{name}' is missing metric 'real_time'")
+        try:
+            time = float(b["real_time"])
+        except (TypeError, ValueError):
+            die(
+                f"{path}: benchmark '{name}' has non-numeric 'real_time' "
+                f"({b['real_time']!r})"
+            )
         if b.get("run_type") == "aggregate":
             if b.get("aggregate_name") == "median":
-                medians[b["run_name"]] = float(b["real_time"])
+                medians[name] = time
         else:
-            raw[b.get("run_name", b["name"])] = float(b["real_time"])
+            raw[name] = time
     # Prefer the median aggregate wherever repetitions were recorded.
     raw.update(medians)
     return raw
 
 
+def list_files(paths):
+    for path in paths:
+        bench = load(path)
+        print(f"{path}: {len(bench)} benchmark(s)")
+        width = max((len(n) for n in bench), default=10)
+        for name in sorted(bench):
+            print(f"  {name:<{width}}  {bench[name]:>12.1f} ns")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("files", nargs="+", metavar="FILE",
+                    help="BASELINE CURRENT, or one or more files with --list")
+    ap.add_argument(
+        "--list",
+        action="store_true",
+        help="print the benchmarks each FILE contains and exit",
+    )
     ap.add_argument(
         "--tolerance",
         type=float,
@@ -48,8 +106,14 @@ def main():
     )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    curr = load(args.current)
+    if args.list:
+        return list_files(args.files)
+    if len(args.files) != 2:
+        die("expected exactly BASELINE.json and CURRENT.json "
+            f"(got {len(args.files)} file(s); use --list to inspect files)")
+
+    base = load(args.files[0])
+    curr = load(args.files[1])
 
     regressions = []
     improvements = []

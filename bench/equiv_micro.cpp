@@ -4,24 +4,28 @@
 // only variable is the execution strategy, so the medians from
 // --benchmark_repetitions are an honest scalar-vs-batch ratio.
 //
-//   BM_BatchEdge   engine-level: 64 random stimulus lanes stepped
-//                  through full clock edges, as 64 independent scalar
+//   BM_BatchEdge   engine-level: random stimulus lanes stepped through
+//                  full clock edges, as 64 independent scalar
 //                  NetlistSims (mode 0 = FullTape, mode 1 =
-//                  Incremental) or one BatchNetlistSim (mode 2).
-//                  policy 0 (static_priority) is the comb-dominated
-//                  case -- arbitration, guards and muxes are all
-//                  bitwise, so the whole design runs on bit-planes;
-//                  policy 1 (round_robin) carries Add combs from the
-//                  rotating-pointer arbiter, so its rows price the
-//                  per-lane scalar fallback honestly.  lane_edges/s is
-//                  the headline number; the batch rows also report
+//                  Incremental) or one BatchNetlistSim (mode 2 = K=1 /
+//                  64 lanes, mode 3 = K=4 / 256 lanes, mode 4 = K=8 /
+//                  512 lanes; the superlane rows carry K x 64 lanes per
+//                  tape instruction).  policy 0 (static_priority) is
+//                  the comb-dominated case -- arbitration, guards and
+//                  muxes are all bitwise, so the whole design runs on
+//                  bit-planes; policy 1 (round_robin) carries Add combs
+//                  from the rotating-pointer arbiter, so its rows price
+//                  the per-lane scalar fallback honestly.  lane_edges/s
+//                  is the headline number; the batch rows also report
 //                  scalar_frac (fraction of comb evaluations that fell
-//                  back to the per-lane scalar tape).
-//   BM_EquivCheck  end-to-end: check_equivalence with 64 independently
-//                  seeded lock-step lanes, scalar backend vs batch
-//                  backend.  Includes synthesis + golden-model cost on
-//                  both sides, so the ratio is what a fig.4 gate or a
-//                  fuzz CI budget actually sees.
+//                  back to the per-lane scalar tape) and the fused /
+//                  scalar-fallback instruction counters.
+//   BM_EquivCheck  end-to-end: check_equivalence with independently
+//                  seeded lock-step lanes, scalar backend (mode 0, 64
+//                  lanes) vs batch backend (mode 1, 64 lanes at K=1;
+//                  mode 2, 512 lanes at K=8).  Includes synthesis +
+//                  golden-model cost on both sides, so the ratio is
+//                  what a fig.4 gate or a fuzz CI budget actually sees.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -62,13 +66,31 @@ Netlist make_channel(std::size_t clients, hlcs::osss::PolicyKind policy) {
   return synthesize(make_mailbox(), opt);
 }
 
-/// 64 lanes of dense random stimulus through full clock edges.
-/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2 = batch.
-/// range(1) = clients.  range(2): 0 = static_priority, 1 = round_robin.
-/// One iteration = 64 lane-edges on every side.
+/// Superlane factor for a benchmark mode argument: modes 2/3/4 are the
+/// batch engine at K = 1/4/8 (64/256/512 lanes); modes 0/1 are scalar.
+unsigned mode_super(long mode) {
+  return mode == 2 ? 1u : mode == 3 ? 4u : mode == 4 ? 8u : 0u;
+}
+
+void report_batch_counters(benchmark::State& state,
+                           const BatchNetlistSim& sim) {
+  state.counters["scalar_frac"] = sim.stats().scalar_fraction();
+  state.counters["plane_insns"] =
+      static_cast<double>(sim.stats().plane_instructions);
+  state.counters["fused_ops"] = static_cast<double>(sim.stats().fused_ops);
+  state.counters["scalar_ops"] = static_cast<double>(sim.stats().scalar_ops);
+}
+
+/// Dense random stimulus lanes through full clock edges.
+/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2/3/4 = batch
+/// at K=1/4/8 (64/256/512 lanes).  range(1) = clients.  range(2):
+/// 0 = static_priority, 1 = round_robin.  One iteration = lanes
+/// lane-edges on every side.
 void BM_BatchEdge(benchmark::State& state) {
-  constexpr std::size_t kLanes = BatchNetlistSim::kLanes;
-  const bool batch = state.range(0) == 2;
+  const unsigned super = mode_super(state.range(0));
+  const bool batch = super != 0;
+  const std::size_t lanes =
+      BatchNetlistSim::kLanes * (batch ? super : 1);
   const SettleMode scalar_mode = state.range(0) == 0
                                      ? SettleMode::FullTape
                                      : SettleMode::Incremental;
@@ -84,14 +106,14 @@ void BM_BatchEdge(benchmark::State& state) {
     args.push_back(nl.find(args_port(i)));
   }
   std::vector<hlcs::sim::Xorshift> rngs;
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
     rngs.emplace_back(hlcs::sim::lane_seed(0xED6E, lane));
   }
 
   if (batch) {
-    BatchNetlistSim sim(nl);
+    BatchNetlistSim sim(nl, super);
     for (auto _ : state) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         const std::uint64_t r = rngs[lane].next();
         for (std::size_t i = 0; i < clients; ++i) {
           sim.set_input(req[i], lane, (r >> i) & 1);
@@ -101,16 +123,14 @@ void BM_BatchEdge(benchmark::State& state) {
       }
       sim.clock_edge();
     }
-    state.counters["scalar_frac"] = sim.stats().scalar_fraction();
-    state.counters["plane_insns"] =
-        static_cast<double>(sim.stats().plane_instructions);
+    report_batch_counters(state, sim);
   } else {
     std::vector<std::unique_ptr<NetlistSim>> sims;
-    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
       sims.push_back(std::make_unique<NetlistSim>(nl, scalar_mode));
     }
     for (auto _ : state) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         const std::uint64_t r = rngs[lane].next();
         for (std::size_t i = 0; i < clients; ++i) {
           sims[lane]->set_input(req[i], (r >> i) & 1);
@@ -122,7 +142,7 @@ void BM_BatchEdge(benchmark::State& state) {
     }
   }
   const double lane_edges =
-      static_cast<double>(state.iterations()) * static_cast<double>(kLanes);
+      static_cast<double>(state.iterations()) * static_cast<double>(lanes);
   state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
   state.counters["lane_edges/s"] =
       benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
@@ -132,9 +152,13 @@ BENCHMARK(BM_BatchEdge)
     ->Args({0, 4, 0})
     ->Args({1, 4, 0})
     ->Args({2, 4, 0})
+    ->Args({3, 4, 0})
+    ->Args({4, 4, 0})
     ->Args({0, 4, 1})
     ->Args({1, 4, 1})
-    ->Args({2, 4, 1});
+    ->Args({2, 4, 1})
+    ->Args({3, 4, 1})
+    ->Args({4, 4, 1});
 
 /// A lowered property-monitor automaton: the temporal operators expand
 /// to 1-bit state machines, so nearly every net is one plane wide and
@@ -156,11 +180,14 @@ hlcs::check::Spec monitor_spec() {
   return s;
 }
 
-/// 64 lanes of random stimulus through a lowered monitor netlist.
-/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2 = batch.
+/// Random stimulus lanes through a lowered monitor netlist.
+/// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2/3/4 = batch
+/// at K=1/4/8 (64/256/512 lanes).
 void BM_BatchMonitorEdge(benchmark::State& state) {
-  constexpr std::size_t kLanes = BatchNetlistSim::kLanes;
-  const bool batch = state.range(0) == 2;
+  const unsigned super = mode_super(state.range(0));
+  const bool batch = super != 0;
+  const std::size_t lanes =
+      BatchNetlistSim::kLanes * (batch ? super : 1);
   const SettleMode scalar_mode = state.range(0) == 0
                                      ? SettleMode::FullTape
                                      : SettleMode::Incremental;
@@ -174,15 +201,15 @@ void BM_BatchMonitorEdge(benchmark::State& state) {
   }
   const NetId rst = nl.find("rst");
   std::vector<hlcs::sim::Xorshift> rngs;
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
     rngs.emplace_back(hlcs::sim::lane_seed(0xC4EC, lane));
   }
 
   if (batch) {
-    BatchNetlistSim sim(nl);
+    BatchNetlistSim sim(nl, super);
     sim.set_input_broadcast(rst, 0);
     for (auto _ : state) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         const std::uint64_t r = rngs[lane].next();
         for (std::size_t i = 0; i < sigs.size(); ++i) {
           sim.set_input(sigs[i], lane, (r >> (8 * i)) & masks[i]);
@@ -190,15 +217,15 @@ void BM_BatchMonitorEdge(benchmark::State& state) {
       }
       sim.clock_edge();
     }
-    state.counters["scalar_frac"] = sim.stats().scalar_fraction();
+    report_batch_counters(state, sim);
   } else {
     std::vector<std::unique_ptr<NetlistSim>> sims;
-    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
       sims.push_back(std::make_unique<NetlistSim>(nl, scalar_mode));
       sims.back()->set_input(rst, 0);
     }
     for (auto _ : state) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         const std::uint64_t r = rngs[lane].next();
         for (std::size_t i = 0; i < sigs.size(); ++i) {
           sims[lane]->set_input(sigs[i], (r >> (8 * i)) & masks[i]);
@@ -208,30 +235,33 @@ void BM_BatchMonitorEdge(benchmark::State& state) {
     }
   }
   const double lane_edges =
-      static_cast<double>(state.iterations()) * static_cast<double>(kLanes);
+      static_cast<double>(state.iterations()) * static_cast<double>(lanes);
   state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
   state.counters["lane_edges/s"] =
       benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BatchMonitorEdge)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BatchMonitorEdge)
+    ->ArgName("mode")->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
-/// End-to-end lock-step equivalence: 64 independently seeded stimulus
+/// End-to-end lock-step equivalence: independently seeded stimulus
 /// lanes against the golden interpreter.  range(0): 0 = scalar backend
-/// (one lane at a time), 1 = batch backend (all 64 per settle).
+/// (64 lanes, one at a time), 1 = batch backend (64 lanes at K=1),
+/// 2 = batch backend (512 lanes at K=8, one superlane block).
 void BM_EquivCheck(benchmark::State& state) {
-  const bool batch = state.range(0) == 1;
+  const bool batch = state.range(0) >= 1;
+  const unsigned super = state.range(0) == 2 ? 8 : 1;
+  const std::size_t lanes = state.range(0) == 2 ? 512 : 64;
   const ObjectDesc d = make_mailbox();
   SynthOptions opt;
   opt.clients = 4;
   opt.policy = hlcs::osss::PolicyKind::StaticPriority;
   constexpr std::size_t kCycles = 256;
-  constexpr std::size_t kLanes = 64;
   std::uint64_t seed = 1;
   for (auto _ : state) {
     const EquivResult r = check_equivalence(
         d, opt,
         EquivOptions{.cycles = kCycles, .seed = seed++, .reset_percent = 4,
-                     .lanes = kLanes, .batch = batch});
+                     .lanes = lanes, .batch = batch, .superlanes = super});
     if (!r.equal) {
       state.SkipWithError("equivalence mismatch");
       return;
@@ -239,12 +269,12 @@ void BM_EquivCheck(benchmark::State& state) {
     benchmark::DoNotOptimize(r.grants);
   }
   const double lane_cycles = static_cast<double>(state.iterations()) *
-                             static_cast<double>(kCycles * kLanes);
+                             static_cast<double>(kCycles * lanes);
   state.SetItemsProcessed(static_cast<std::int64_t>(lane_cycles));
   state.counters["lane_cycles/s"] =
       benchmark::Counter(lane_cycles, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EquivCheck)->ArgName("mode")->Arg(0)->Arg(1);
+BENCHMARK(BM_EquivCheck)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -196,15 +196,17 @@ LaneOutcome run_scalar_lane(const ObjectDesc& desc, const SynthOptions& opt,
   return out;
 }
 
-/// One 64-lane block of the batch backend: a single BatchNetlistSim
-/// carries all lanes' RTL state; per-lane golden models and stimulus
-/// run exactly the scalar loop's cycle structure.
+/// One superlane block of the batch backend: a single BatchNetlistSim
+/// carries all the block's lanes' RTL state; per-lane golden models and
+/// stimulus run exactly the scalar loop's cycle structure.
 void run_batch_block(const ObjectDesc& desc, const SynthOptions& opt,
                      const EquivOptions& eopt, const Netlist& nl,
-                     const Ports& ports, std::size_t lane0, std::size_t n,
+                     const Ports& ports, const BatchRunner::Block& blk,
                      LaneOutcome* outs, std::vector<EquivVector>* record,
-                     double* scalar_fraction) {
-  BatchNetlistSim rtl(nl);
+                     BatchStats* stats_out) {
+  const std::size_t lane0 = blk.lane0;
+  const std::size_t n = blk.lanes;
+  BatchNetlistSim rtl(nl, blk.super);
   std::vector<GoldenCycleModel> goldens;
   goldens.reserve(n);
   std::vector<LaneStim> stims(n);
@@ -282,7 +284,7 @@ void run_batch_block(const ObjectDesc& desc, const SynthOptions& opt,
       stims[i].react(steps[i].granted, rsts[i] != 0);
     }
   }
-  if (scalar_fraction) *scalar_fraction = rtl.stats().scalar_fraction();
+  if (stats_out) *stats_out = rtl.stats();
 }
 
 std::string lane_prefix(std::size_t lane, std::uint64_t seed) {
@@ -340,17 +342,20 @@ EquivResult check_equivalence(const ObjectDesc& desc, const SynthOptions& opt,
   std::vector<LaneOutcome> outs(lanes);
 
   if (eopt.batch) {
-    double scalar_fraction = 0.0;
-    BatchRunner::run(lanes, eopt.threads,
-                     [&](std::size_t block, std::size_t lane0,
-                         std::size_t in_block) {
-                       run_batch_block(desc, opt, eopt, nl, ports, lane0,
-                                       in_block, outs.data() + lane0,
+    // Per-block stats land in a block-indexed vector and are summed in
+    // block order afterwards, so the totals (like the verdicts) are
+    // identical at any thread count.
+    std::vector<BatchStats> stats(
+        BatchRunner::block_count(lanes, eopt.superlanes));
+    BatchRunner::run(lanes, eopt.threads, eopt.superlanes,
+                     [&](std::size_t block, const BatchRunner::Block& blk) {
+                       run_batch_block(desc, opt, eopt, nl, ports, blk,
+                                       outs.data() + blk.lane0,
                                        block == 0 ? &result.vectors : nullptr,
-                                       block == 0 ? &scalar_fraction
-                                                  : nullptr);
+                                       &stats[block]);
                      });
-    result.batch_scalar_fraction = scalar_fraction;
+    for (const BatchStats& s : stats) result.batch_stats += s;
+    result.batch_scalar_fraction = result.batch_stats.scalar_fraction();
   } else {
     NetlistSim rtl(nl);
     for (std::size_t lane = 0; lane < lanes; ++lane) {

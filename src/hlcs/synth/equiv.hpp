@@ -14,19 +14,21 @@
 //     seeded with sim::lane_seed(seed, i)), each a complete lock-step
 //     run.  More lanes = more coverage from one invocation, and any
 //     failure names the lane and its standalone-reproducible seed.
-//   - batch: evaluate lanes 64-at-a-time on the bit-parallel engine
-//     (synth::BatchNetlistSim), sharding 64-lane blocks across worker
+//   - batch: evaluate lanes K*64 at a time on the bit-parallel engine
+//     (synth::BatchNetlistSim), sharding superlane blocks across worker
 //     threads.  Stimulus depends only on each lane's RNG and the golden
 //     model, never on RTL outputs, so batch and scalar backends produce
-//     bit-identical verdicts at any thread count; the first mismatching
-//     lane is re-run on the scalar engine to regenerate the single-lane
-//     EquivVector diagnostics.
+//     bit-identical verdicts at any thread count, lane count, or
+//     superlane width; the first mismatching lane is re-run on the
+//     scalar engine to regenerate the single-lane EquivVector
+//     diagnostics.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hlcs/synth/batch_tape.hpp"
 #include "hlcs/synth/comm_synth.hpp"
 #include "hlcs/synth/golden.hpp"
 #include "hlcs/synth/rtl_sim.hpp"
@@ -44,12 +46,17 @@ struct EquivOptions {
   unsigned reset_percent = 0;
   /// Independently seeded stimulus streams, each `cycles` long.
   std::size_t lanes = 1;
-  /// Evaluate lanes on the 64-wide bit-parallel engine instead of one
-  /// scalar simulation per lane.  Verdicts are bit-identical either way.
+  /// Evaluate lanes on the bit-parallel engine instead of one scalar
+  /// simulation per lane.  Verdicts are bit-identical either way.
   bool batch = false;
-  /// Worker threads for batch mode (one 64-lane block per claim);
+  /// Worker threads for batch mode (one superlane block per claim);
   /// 0 = hardware concurrency.  Ignored when batch is false.
   unsigned threads = 1;
+  /// Superlane factor for batch mode: 1, 4 or 8 (K*64 lanes advanced
+  /// per tape instruction), or 0 to pick cpu_superlanes().  The
+  /// partition of lanes into blocks depends only on (lanes, superlanes),
+  /// never on thread count.  Ignored when batch is false.
+  unsigned superlanes = 1;
 };
 
 /// One recorded cycle of the lock-step run (also usable as a test
@@ -81,6 +88,10 @@ struct EquivResult {
   /// Batch mode only: fraction of comb evaluations that took the
   /// per-lane scalar fallback (0 when fully bit-parallel).
   double batch_scalar_fraction = 0.0;
+  /// Batch mode only: engine counters summed over every block (fused
+  /// superinstructions executed, scalar-fallback tape instructions,
+  /// plane instructions, ...).
+  BatchStats batch_stats;
 
   explicit operator bool() const { return equal; }
 };

@@ -42,7 +42,13 @@ public:
   const ExprArena& arena() const { return arena_; }
 
   NetId add_net(std::string net_name, unsigned width) {
-    HLCS_ASSERT(width >= 1 && width <= 64, "net width out of range");
+    if (width < 1 || width > 64) {
+      throw SynthesisError(name_ + ": net '" + net_name + "' is " +
+                           std::to_string(width) +
+                           " bits wide; nets are limited to 1..64 bits (the "
+                           "simulation engines keep one bit-plane row per "
+                           "bit of a 64-bit word)");
+    }
     const NetId id = static_cast<NetId>(nets_.size());
     if (!index_.emplace(net_name, id).second) {
       throw SynthesisError(name_ + ": duplicate net name '" + net_name + "'");

@@ -59,7 +59,12 @@ public:
 
   std::uint32_t add_var(std::string var_name, unsigned width,
                         std::uint64_t init = 0) {
-    HLCS_ASSERT(width >= 1 && width <= 64, "variable width out of range");
+    if (width < 1 || width > 64) {
+      throw SynthesisError(name_ + ": variable '" + var_name + "' is " +
+                           std::to_string(width) +
+                           " bits wide; state variables are limited to 1..64 "
+                           "bits (one 64-bit word per variable)");
+    }
     vars_.push_back(VarDesc{std::move(var_name), width,
                             init & ExprArena::mask(width)});
     return static_cast<std::uint32_t>(vars_.size() - 1);

@@ -282,7 +282,7 @@ private:
     const std::string name = take_ident("variable name");
     if (vars_.count(name)) lex_.error("duplicate variable " + name, lex_.peek());
     expect_punct(":");
-    const unsigned width = take_width();
+    const unsigned width = take_width("variable '" + name + "'");
     std::uint64_t init = 0;
     if (at_punct("=")) {
       expect_punct("=");
@@ -305,7 +305,7 @@ private:
       while (!at_punct(")")) {
         const std::string an = take_ident("argument name");
         expect_punct(":");
-        const unsigned aw = take_width();
+        const unsigned aw = take_width("argument '" + an + "'");
         b.arg(an, aw);
         args_[an] = {index++, aw};
         if (at_punct(",")) expect_punct(",");
@@ -320,7 +320,7 @@ private:
     unsigned ret_width = 0;
     if (at_ident("returns")) {
       expect_ident("returns");
-      ret_width = take_width();
+      ret_width = take_width("return value of method '" + name + "'");
     }
     expect_punct("{");
     if (guard) b.guard(lower_bool(d, *guard));
@@ -572,7 +572,7 @@ private:
       auto n = node(Ast::Kind::Zext);
       n->a = parse_expr();
       expect_punct(",");
-      n->p0 = take_width();
+      n->p0 = take_width("zext target width");
       expect_punct(")");
       return n;
     }
@@ -582,7 +582,7 @@ private:
       expect_punct(",");
       n->p0 = take_number("slice lsb");
       expect_punct(",");
-      n->p1 = take_width();
+      n->p1 = take_width("slice width");
       expect_punct(")");
       return n;
     }
@@ -826,10 +826,20 @@ private:
     if (t.kind != Tok::Ident) lex_.error("expected " + what, t);
     return t.text;
   }
-  unsigned take_width() {
+  unsigned take_width(const std::string& what) {
     const Token t = lex_.take();
-    if (t.kind != Tok::Number || t.value < 1 || t.value > 64) {
-      lex_.error("expected a width in [1,64]", t);
+    if (t.kind != Tok::Number) {
+      lex_.error("expected a bit width (1..64) for " + what, t);
+    }
+    if (t.value < 1 || t.value > 64) {
+      // Name the offender and the actual limit: widths are bounded by
+      // the 64-bit words every engine (and the bit-plane rows of the
+      // batch engine) stores values in.
+      lex_.error(what + " is " + std::to_string(t.value) +
+                     " bits wide; widths are limited to 1..64 bits (values "
+                     "are stored in 64-bit words, one bit-plane row per "
+                     "bit)",
+                 t);
     }
     return static_cast<unsigned>(t.value);
   }

@@ -1,11 +1,12 @@
-// Batch engine: 64-lane bit-identity against the scalar engine.
+// Batch engine: K*64-lane bit-identity against the scalar engine.
 //
 // The contract under test is absolute: a BatchNetlistSim lane must be
 // indistinguishable, net for net and cycle for cycle, from a scalar
 // NetlistSim driven with the same stimulus -- across random netlists
 // (including word arithmetic, which takes the per-lane scalar
-// fallback), every scalar settle mode, synthesized objects with reset
-// pulses and register feedback, and any BatchRunner thread count.
+// fallback), every scalar settle mode, every superlane factor
+// K in {1, 4, 8}, synthesized objects with reset pulses and register
+// feedback, and any BatchRunner thread count.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -32,16 +33,20 @@ namespace {
 
 constexpr std::size_t kLanes = BatchNetlistSim::kLanes;
 
-/// Drive the batch sim and kLanes scalar reference sims with identical
-/// per-lane random stimulus and require bit identity on every net of
-/// every lane after every settle and edge.
+/// Drive the batch sim (at superlane factor `super`) and one scalar
+/// reference sim per lane with identical per-lane random stimulus and
+/// require bit identity on every net of every lane after every settle
+/// and edge.  This is the lane-for-lane statement: batch lane L at any
+/// K equals the scalar engine seeded for lane L, hence K=8 lane L
+/// equals K=1 lane L.
 void drive_batch_lockstep(const Netlist& nl, std::uint64_t seed, int edges,
-                          SettleMode ref_mode) {
-  BatchNetlistSim batch(nl);
+                          SettleMode ref_mode, unsigned super = 1) {
+  BatchNetlistSim batch(nl, super);
+  const std::size_t lanes = batch.lanes();
   std::vector<std::unique_ptr<NetlistSim>> refs;
   std::vector<sim::Xorshift> rngs;
-  refs.reserve(kLanes);
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+  refs.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
     refs.push_back(std::make_unique<NetlistSim>(nl, ref_mode));
     rngs.emplace_back(sim::lane_seed(seed, lane));
   }
@@ -49,18 +54,18 @@ void drive_batch_lockstep(const Netlist& nl, std::uint64_t seed, int edges,
 
   auto expect_identical = [&](int edge, const char* phase) {
     for (NetId n = 0; n < nl.nets().size(); ++n) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         ASSERT_EQ(batch.get(n, lane), refs[lane]->get(n))
             << "net '" << nl.nets()[n].name << "' lane " << lane << " ("
-            << phase << ", edge " << edge << ", ref "
-            << to_string(ref_mode) << ")";
+            << phase << ", edge " << edge << ", ref " << to_string(ref_mode)
+            << ", super " << super << ")";
       }
     }
   };
 
   for (int e = 0; e < edges; ++e) {
     for (NetId in : ins) {
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
         // Mirror the scalar suite's stimulus shape: sometimes skip the
         // input, sometimes rewrite the current value.
         if (rngs[lane].chance(1, 4)) continue;
@@ -99,6 +104,51 @@ TEST(BatchSim, AgreesWithEveryScalarSettleMode) {
   }
 }
 
+TEST(BatchSim, SuperlaneSettleModeParityMatrix) {
+  // K x settle-mode matrix over randomized netlists: every lane of a
+  // K=4 / K=8 superlane sim must match its own scalar reference, in
+  // every scalar settle mode.  The generator mixes word arithmetic in,
+  // so the K-wide scalar fallback (gather/exec/scatter over K*64
+  // lanes) is exercised too, not just the row loops.
+  for (unsigned super : {1u, 4u, 8u}) {
+    Netlist nl = make_random_netlist(0x5AFE + super);
+    for (SettleMode mode : {SettleMode::Incremental, SettleMode::FullTape,
+                            SettleMode::TreeWalk}) {
+      SCOPED_TRACE("super " + std::to_string(super) + ", " +
+                   to_string(mode));
+      drive_batch_lockstep(nl, 0x9E3779B9 * super, super == 8 ? 6 : 10,
+                           mode, super);
+    }
+  }
+}
+
+TEST(BatchSim, FusionCountersAreObservableAndConsistent) {
+  // Synthesized arbitration logic is what the fusion pass targets: the
+  // priority chains (and-not), compare-feeds-mux selectors and CSE slot
+  // stores must actually hit, and the dynamic counter must be the
+  // static per-settle count times the number of settles.
+  const ObjectDesc d = testobj::mailbox();
+  SynthOptions opt;
+  opt.clients = 3;
+  const Netlist nl = synthesize(d, opt);
+  BatchNetlistSim sim(nl);
+  const BatchTape& bt = sim.tape();
+  EXPECT_GT(bt.fused_insns(), 0u);
+  std::uint64_t hits_total = 0, and_not_family = 0;
+  for (const auto& [name, hits] : bt.fusion_hits()) {
+    hits_total += hits;
+    if (name == "and_not" || name == "and_not_net") and_not_family += hits;
+  }
+  EXPECT_EQ(hits_total, bt.fused_insns());
+  EXPECT_GT(and_not_family, 0u) << "priority chains should fuse";
+
+  sim.reset_stats();
+  sim.clock_edge();  // settles twice
+  EXPECT_EQ(sim.stats().fused_ops, 2 * bt.fused_insns());
+  EXPECT_EQ(sim.stats().scalar_ops, 0u) << "mailbox is fully bit-parallel";
+  EXPECT_EQ(sim.stats().combs_scalar, 0u);
+}
+
 TEST(BatchSim, RandomSuiteExercisesBothEvaluationPaths) {
   // The generator emits word arithmetic alongside bitwise logic, so
   // across a handful of seeds the classification must see both kinds;
@@ -118,8 +168,10 @@ TEST(BatchSim, RandomSuiteExercisesBothEvaluationPaths) {
 }
 
 TEST(BatchSim, Width64Boundary) {
-  // Full-width planes: every per-op loop runs to exactly 64, where an
-  // off-by-one in plane counts or lane masks would show.
+  // Full-width planes: every per-op loop runs to exactly 64 rows, where
+  // an off-by-one in plane counts or lane masks would show.  At K=4 the
+  // row address is plane_off * K, where a stride bug would alias
+  // adjacent nets' rows.
   Netlist nl("wide");
   const NetId a = nl.add_net("a", 64);
   const NetId b = nl.add_net("b", 64);
@@ -143,6 +195,7 @@ TEST(BatchSim, Width64Boundary) {
   nl.mark_output(cat);
   nl.validate_and_order();
   drive_batch_lockstep(nl, 0x64646464, 20, SettleMode::Incremental);
+  drive_batch_lockstep(nl, 0x64646464, 10, SettleMode::Incremental, 4);
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +320,87 @@ TEST(BatchEquiv, DeterministicAtAnyThreadCount) {
   expect_same_result(runs[0], runs[2]);
 }
 
+TEST(BatchEquiv, SuperlaneParityMatrixOnShippedObjects) {
+  // Randomized K x thread-count matrix over the shipped .obj surface
+  // (counters.obj goes through polymorphic flattening): every batch
+  // configuration must reproduce the scalar backend's verdict, grants,
+  // vectors and counters exactly, with reset pulses in the stimulus.
+  sim::Xorshift rng(0x5C277);
+  for (const char* file : {"mailbox.obj", "semaphore.obj", "counters.obj"}) {
+    SCOPED_TRACE(file);
+    std::ifstream in(std::string(HLCS_OBJS_DIR) + "/" + file);
+    ASSERT_TRUE(in) << "cannot open shipped object " << file;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::vector<ObjectDesc> parsed = parse_objects(ss.str());
+    ASSERT_FALSE(parsed.empty());
+    ObjectDesc d = [&]() -> ObjectDesc {
+      if (parsed.size() == 1) return std::move(parsed[0]);
+      std::vector<const ObjectDesc*> impls;
+      for (const ObjectDesc& o : parsed) impls.push_back(&o);
+      return make_polymorphic(parsed[0].name() + "_poly", impls, 0);
+    }();
+    SynthOptions opt;
+    opt.clients = 2;
+    opt.policy = osss::PolicyKind::RoundRobin;
+    // A lane count that is no multiple of any block width, re-rolled
+    // per object so the matrix drifts across runs of the suite's seeds.
+    const std::size_t lanes = 65 + rng.below(140);
+    EquivOptions scalar{.cycles = 60,
+                        .seed = rng.next(),
+                        .reset_percent = 4,
+                        .lanes = lanes};
+    const EquivResult rs = check_equivalence(d, opt, scalar);
+    EXPECT_TRUE(rs.equal) << rs.first_mismatch;
+    for (unsigned super : {1u, 4u, 8u}) {
+      for (unsigned threads : {1u, 3u}) {
+        SCOPED_TRACE("super " + std::to_string(super) + " threads " +
+                     std::to_string(threads) + " lanes " +
+                     std::to_string(lanes));
+        EquivOptions batch = scalar;
+        batch.batch = true;
+        batch.superlanes = super;
+        batch.threads = threads;
+        const EquivResult rb = check_equivalence(d, opt, batch);
+        EXPECT_TRUE(rb.equal) << rb.first_mismatch;
+        expect_same_result(rs, rb);
+        EXPECT_GT(rb.batch_stats.combs_evaluated, 0u);
+        EXPECT_DOUBLE_EQ(rb.batch_scalar_fraction,
+                         rb.batch_stats.scalar_fraction());
+      }
+    }
+  }
+}
+
+TEST(BatchEquiv, SuperlaneVerdictsIdenticalToK1UnderTheSameSeed) {
+  // The K determinism statement at the service level: with one root
+  // seed, K=8 produces the same verdict, grant totals, recorded
+  // vectors and failure attribution as K=1 -- lane L's stimulus stream
+  // is a function of lane_seed(seed, L) only, never of the block shape
+  // it ran in.  (Per-lane net values are covered lane-for-lane by
+  // BatchSim.SuperlaneSettleModeParityMatrix against the scalar sim.)
+  const ObjectDesc d = testobj::mailbox();
+  SynthOptions opt;
+  opt.clients = 3;
+  opt.policy = osss::PolicyKind::StaticPriority;
+  std::vector<EquivResult> by_super;
+  for (unsigned super : {1u, 8u}) {
+    EquivOptions eopt{.cycles = 100,
+                      .seed = 0xD0D0,
+                      .reset_percent = 3,
+                      .lanes = 512,
+                      .batch = true,
+                      .superlanes = super};
+    by_super.push_back(check_equivalence(d, opt, eopt));
+  }
+  for (const EquivResult& r : by_super) {
+    EXPECT_TRUE(r.equal) << r.first_mismatch;
+    EXPECT_EQ(r.cycles, 100u * 512u);
+    EXPECT_GT(r.batch_stats.fused_ops, 0u);
+  }
+  expect_same_result(by_super[0], by_super[1]);
+}
+
 TEST(BatchEquiv, ScalarMultiLaneMatchesBatchAndSingleLaneReplay) {
   const ObjectDesc d = testobj::counter();
   SynthOptions opt;
@@ -307,10 +441,10 @@ TEST(BatchRunner, BlocksPartitionTheLanePopulation) {
   std::mutex mu;
   std::vector<std::pair<std::size_t, std::size_t>> seen(
       BatchRunner::block_count(200));
-  BatchRunner::run(200, 4,
-                   [&](std::size_t block, std::size_t lane0, std::size_t n) {
+  BatchRunner::run(200, 4, 1,
+                   [&](std::size_t block, const BatchRunner::Block& blk) {
                      std::lock_guard<std::mutex> lock(mu);
-                     seen[block] = {lane0, n};
+                     seen[block] = {blk.lane0, blk.lanes};
                    });
   std::size_t covered = 0;
   for (std::size_t b = 0; b < seen.size(); ++b) {
@@ -321,12 +455,56 @@ TEST(BatchRunner, BlocksPartitionTheLanePopulation) {
   EXPECT_EQ(covered, 200u);
 }
 
+TEST(BatchRunner, SuperlanePartitionCoversEveryLaneExactlyOnce) {
+  // The partition depends only on (lanes, super): full super-wide
+  // blocks, then one tail at the smallest superlane that covers the
+  // rest.  Spot shapes first, then sweep the invariants.
+  auto p = BatchRunner::partition(512, 8);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].super, 8u);
+  EXPECT_EQ(p[0].lanes, 512u);
+
+  p = BatchRunner::partition(576, 8);  // 512 + 64
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].super, 8u);
+  EXPECT_EQ(p[1].super, 1u);  // 64-lane tail never pays for idle words
+  EXPECT_EQ(p[1].lane0, 512u);
+
+  p = BatchRunner::partition(64, 8);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].super, 1u);
+
+  p = BatchRunner::partition(130, 8);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].super, 4u);
+
+  for (unsigned super : {1u, 4u, 8u}) {
+    for (std::size_t lanes : {1u, 63u, 64u, 65u, 130u, 256u, 300u, 512u,
+                              577u, 1000u}) {
+      SCOPED_TRACE("super " + std::to_string(super) + " lanes " +
+                   std::to_string(lanes));
+      std::size_t next = 0;
+      for (const auto& b : BatchRunner::partition(lanes, super)) {
+        EXPECT_EQ(b.lane0, next);
+        EXPECT_GE(b.lanes, 1u);
+        EXPECT_LE(b.lanes, std::size_t{b.super} * 64);
+        EXPECT_LE(b.super, super);
+        next = b.lane0 + b.lanes;
+      }
+      EXPECT_EQ(next, lanes);
+    }
+  }
+}
+
 TEST(BatchRunner, PropagatesTheLowestBlockError) {
   try {
-    BatchRunner::run(200, 3, [&](std::size_t block, std::size_t, std::size_t) {
-      if (block >= 1) throw std::runtime_error("block " +
-                                               std::to_string(block));
-    });
+    BatchRunner::run(200, 3, 1,
+                     [&](std::size_t block, const BatchRunner::Block&) {
+                       if (block >= 1) {
+                         throw std::runtime_error("block " +
+                                                  std::to_string(block));
+                       }
+                     });
     FAIL() << "expected an exception";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "block 1");

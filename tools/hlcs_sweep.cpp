@@ -107,7 +107,7 @@ synth::ObjectDesc make_equiv_object() {
 
 void run_equiv_point(std::size_t index, std::string& transcript,
                      const synth::ObjectDesc& desc, const SweepConfig& cfg,
-                     std::size_t lanes) {
+                     std::size_t lanes, unsigned super) {
   using namespace hlcs::synth;
   const std::size_t n_clients = std::size(kClientCounts);
   const PolicyKind policy = kPolicies[index / n_clients];
@@ -119,7 +119,8 @@ void run_equiv_point(std::size_t index, std::string& transcript,
       SynthOptions{.clients = static_cast<std::size_t>(clients),
                    .policy = policy},
       EquivOptions{.cycles = cfg.cycles, .seed = 0x5EED0 + index,
-                   .reset_percent = 3, .lanes = lanes, .batch = true});
+                   .reset_percent = 3, .lanes = lanes, .batch = true,
+                   .superlanes = super});
   char line[160];
   std::snprintf(line, sizeof(line),
                 "%-15s clients=%-3d equiv=%s lanes=%zu cycles=%zu "
@@ -140,6 +141,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool equiv_mode = false;
   std::size_t equiv_lanes = 64;
+  unsigned equiv_super = 1;
   SweepConfig cfg;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--equiv")) {
@@ -151,6 +153,17 @@ int main(int argc, char** argv) {
         equiv_lanes = static_cast<std::size_t>(std::strtoul(argv[++i],
                                                             nullptr, 10));
       }
+    } else if (!std::strcmp(argv[i], "--super") && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' ||
+          (v != 0 && v != 1 && v != 4 && v != 8)) {
+        std::fprintf(stderr,
+                     "error: --super expects 1, 4, 8 or 0 (auto), got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      equiv_super = static_cast<unsigned>(v);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(argv[++i], &end, 10);
@@ -175,7 +188,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--cycles N] [--verify] "
-                   "[--equiv [lanes]]\n",
+                   "[--equiv [lanes]] [--super K]\n",
                    argv[0]);
       return 2;
     }
@@ -191,7 +204,7 @@ int main(int argc, char** argv) {
     const synth::ObjectDesc desc = make_equiv_object();
     std::vector<std::string> lines(points);
     sim::parallel_for_indexed(points, threads, [&](std::size_t i) {
-      run_equiv_point(i, lines[i], desc, cfg, equiv_lanes);
+      run_equiv_point(i, lines[i], desc, cfg, equiv_lanes, equiv_super);
     });
     bool all_pass = true;
     for (const std::string& l : lines) {
@@ -201,7 +214,7 @@ int main(int argc, char** argv) {
     if (verify) {
       std::vector<std::string> serial(points);
       sim::parallel_for_indexed(points, 1, [&](std::size_t i) {
-        run_equiv_point(i, serial[i], desc, cfg, equiv_lanes);
+        run_equiv_point(i, serial[i], desc, cfg, equiv_lanes, equiv_super);
       });
       for (std::size_t i = 0; i < points; ++i) {
         if (serial[i] != lines[i]) {

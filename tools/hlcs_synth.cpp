@@ -34,11 +34,22 @@ int usage(const char* argv0) {
                "  --seed S           stimulus seed for --check\n"
                "  --equiv-batch [L]  run the check as L independently seeded "
                "lanes (default 64)\n"
-               "                     on the 64-wide bit-parallel engine; "
-               "rejects netlists\n"
-               "                     with nets wider than 64 bits\n"
+               "                     on the bit-parallel engine (K*64 lanes "
+               "per tape\n"
+               "                     instruction); individual nets are limited "
+               "to 64 bits\n"
+               "                     (one bit-plane row per bit)\n"
+               "  --equiv-super K    superlane factor for --equiv-batch: 1, 4 "
+               "or 8 (K*64\n"
+               "                     lanes per instruction), or 0 to match "
+               "the host CPU's\n"
+               "                     SIMD width (default 1)\n"
                "  --equiv-threads N  worker threads for --equiv-batch "
                "(default 1, 0 = all cores)\n"
+               "  --stats            print batch engine counters (fused / "
+               "scalar-fallback\n"
+               "                     ops, per-opcode fusion hits) after "
+               "--equiv-batch\n"
                "  -o FILE            write Verilog (default: stdout)\n"
                "  --testbench FILE   write a self-checking Verilog testbench\n"
                "  --report           print the resource report to stderr\n"
@@ -77,6 +88,8 @@ int main(int argc, char** argv) {
   std::size_t equiv_lanes = 1;
   bool equiv_batch = false;
   unsigned equiv_threads = 1;
+  unsigned equiv_super = 1;
+  bool do_stats = false;
   bool do_optimize = false;
   bool do_report = false;
 
@@ -115,6 +128,17 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--equiv-threads") {
       equiv_threads = static_cast<unsigned>(std::stoul(next("count")));
+    } else if (a == "--equiv-super") {
+      equiv_super = static_cast<unsigned>(std::stoul(next("factor")));
+      if (equiv_super != 0 && equiv_super != 1 && equiv_super != 4 &&
+          equiv_super != 8) {
+        std::fprintf(stderr,
+                     "--equiv-super must be 1, 4, 8 or 0 (auto), got %u\n",
+                     equiv_super);
+        return 2;
+      }
+    } else if (a == "--stats") {
+      do_stats = true;
     } else if (a == "-o") {
       out_path = next("file");
     } else if (a == "--testbench") {
@@ -232,7 +256,7 @@ int main(int argc, char** argv) {
           desc, opt,
           EquivOptions{.cycles = check_cycles, .seed = seed,
                        .lanes = equiv_lanes, .batch = equiv_batch,
-                       .threads = equiv_threads});
+                       .threads = equiv_threads, .superlanes = equiv_super});
       if (!equiv) {
         std::fprintf(stderr, "EQUIVALENCE FAILED: %s\n",
                      equiv.first_mismatch.c_str());
@@ -241,9 +265,30 @@ int main(int argc, char** argv) {
       if (equiv_batch) {
         std::fprintf(stderr,
                      "equivalence PASS: %zu lanes, %zu cycles total, %zu "
-                     "method grants (batch, %.1f%% scalar fallback)\n",
+                     "method grants (batch, K=%u, %.1f%% scalar fallback)\n",
                      equiv.lanes, equiv.cycles, equiv.grants,
+                     equiv_super == 0 ? cpu_superlanes() : equiv_super,
                      100.0 * equiv.batch_scalar_fraction);
+        if (do_stats) {
+          const BatchStats& bs = equiv.batch_stats;
+          std::fprintf(stderr,
+                       "batch stats: %llu settles, %llu plane insns, %llu "
+                       "fused ops, %llu scalar ops (%llu scalar lane "
+                       "evals)\n",
+                       static_cast<unsigned long long>(bs.settles),
+                       static_cast<unsigned long long>(bs.plane_instructions),
+                       static_cast<unsigned long long>(bs.fused_ops),
+                       static_cast<unsigned long long>(bs.scalar_ops),
+                       static_cast<unsigned long long>(bs.scalar_lane_evals));
+          // Per-opcode fusion hits are a property of the compiled tape,
+          // not of how many cycles ran: compile one here to report them.
+          const BatchTape bt(nl);
+          for (const auto& [name, hits] : bt.fusion_hits()) {
+            if (hits == 0) continue;
+            std::fprintf(stderr, "  fused %-10s x%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(hits));
+          }
+        }
       } else {
         std::fprintf(stderr,
                      "equivalence PASS: %zu cycles, %zu method grants\n",
