@@ -1,0 +1,140 @@
+// FABRIC: sharded-kernel scaling microbenchmarks -- event throughput of
+// the generated multi-segment fabric (hlcs/fabric) as a function of
+// shard count, and the serial-vs-sharded speedup gate.
+//
+// Two throughput views are reported, because they answer different
+// questions:
+//
+//   events/s     -- events per wall-second of the whole run_for() call.
+//                   This is what a user of THIS host observes; it only
+//                   scales with shard count when the host has cores to
+//                   spend (threads follow std::thread::hardware_concurrency
+//                   via threads=0).
+//   cp_events/s  -- events per second of the CRITICAL PATH: the busiest
+//                   shard's accumulated busy time (ShardStats::busy_ns,
+//                   which excludes barrier waits).  This is the standard
+//                   conservative-PDES potential-throughput metric: it
+//                   measures what the decomposition itself delivers
+//                   (partition balance + per-shard kernel cost) and is
+//                   host-core-count independent, so the committed
+//                   baseline stays meaningful on a 1-core CI container.
+//
+// BM_FabricSpeedup is the acceptance gate: each iteration runs the
+// serial reference and the sharded configuration back to back
+// (interleaved A/B, so host drift hits both sides equally) and reports
+// the per-iteration speedup ratios; with --benchmark_repetitions the
+// JSON carries their medians.  speedup_cp >= 3 at 4+ shards on the
+// 16-segment fabric is the bar (docs/PERF.md, "Sharded kernel").
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "hlcs/fabric/fabric.hpp"
+
+namespace {
+
+using namespace hlcs;
+
+struct RunSample {
+  double wall_s = 0;      ///< wall time of run_for()
+  double critical_s = 0;  ///< busiest shard's busy time
+  std::uint64_t events = 0;
+};
+
+/// Build a fabric, run a fixed simulated span, and harvest the counters.
+/// Construction/destruction stay outside the timed region: the bench
+/// measures simulation throughput, not generator cost.
+RunSample run_fabric(std::size_t segments, std::size_t shards,
+                     unsigned threads) {
+  fabric::FabricConfig cfg;
+  cfg.segments = segments;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.app_ops = 6;
+  fabric::FabricSystem sys(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_for(sim::Time::us(1000));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunSample r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const sim::ShardStats& st : sys.engine().stats()) {
+    r.events += st.kernel.timed_actions;
+    r.critical_s =
+        std::max(r.critical_s, static_cast<double>(st.busy_ns) / 1e9);
+  }
+  return r;
+}
+
+/// Event throughput vs shard count on 1/4/16-segment ring fabrics.
+/// threads=0: one worker per hardware thread (capped at shard count).
+void BM_FabricEvents(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  std::uint64_t events = 0;
+  double critical_s = 0;
+  for (auto _ : state) {
+    const RunSample r = run_fabric(segments, shards, /*threads=*/0);
+    state.SetIterationTime(r.wall_s);
+    events += r.events;
+    critical_s += r.critical_s;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["cp_events/s"] =
+      critical_s > 0 ? static_cast<double>(events) / critical_s : 0;
+}
+BENCHMARK(BM_FabricEvents)
+    ->UseManualTime()
+    ->ArgNames({"segments", "shards"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Unit(benchmark::kMillisecond);
+
+/// Serial-vs-sharded A/B: both runs inside every iteration, reference
+/// first, so scheduler drift cancels in the ratio.  Medians of the
+/// per-iteration ratios (run with --benchmark_repetitions) are the
+/// numbers quoted in docs/PERF.md.
+void BM_FabricSpeedup(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  double serial_wall = 0, serial_cp = 0;
+  double sharded_wall = 0, sharded_cp = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunSample a = run_fabric(segments, /*shards=*/1, /*threads=*/1);
+    const RunSample b = run_fabric(segments, shards, /*threads=*/0);
+    state.SetIterationTime(a.wall_s + b.wall_s);
+    serial_wall += a.wall_s;
+    serial_cp += a.critical_s;
+    sharded_wall += b.wall_s;
+    sharded_cp += b.critical_s;
+    events += b.events;
+  }
+  // Guard: both sides must have simulated the same workload or the
+  // ratio is meaningless.
+  benchmark::DoNotOptimize(events);
+  state.counters["speedup_wall"] =
+      sharded_wall > 0 ? serial_wall / sharded_wall : 0;
+  state.counters["speedup_cp"] = sharded_cp > 0 ? serial_cp / sharded_cp : 0;
+}
+BENCHMARK(BM_FabricSpeedup)
+    ->UseManualTime()
+    ->ArgNames({"segments", "shards"})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,10 +1,14 @@
 // A domain-specific scenario: a DMA-style bridge application copies
 // blocks between two PCI targets (a fast SRAM-like device and a slow
-// peripheral memory with wait states), polling a register peripheral for
-// readiness -- the kind of system-level workload the paper's design flow
-// is motivated by.  Two applications share ONE bus interface: their
-// putCommand calls contend on the guarded global object, exactly the
-// concurrency the method-call queueing resolves.
+// peripheral memory with wait states) -- the kind of system-level
+// workload the paper's design flow is motivated by.  Two applications
+// share ONE bus interface: their putCommand calls contend on the guarded
+// global object, exactly the concurrency the method-call queueing
+// resolves.
+//
+// The copier itself is the library's pattern::DmaBridge (promoted from
+// this example); hlcs::fabric instantiates the same class per segment to
+// generate large multi-segment systems.
 //
 // Build & run:  ./examples/dma_bridge
 #include <cstdio>
@@ -14,61 +18,6 @@
 
 using namespace hlcs;
 using namespace hlcs::sim::literals;
-
-namespace {
-
-/// A hand-written application module (not the canned Application class):
-/// copies `blocks` blocks of `words` words from src to dst through the
-/// guarded-method port.
-class DmaCopier : public sim::Module {
-public:
-  DmaCopier(sim::Kernel& k, std::string name, pattern::BusInterface& iface,
-            std::uint32_t src, std::uint32_t dst, std::size_t blocks,
-            std::size_t words)
-      : Module(k, std::move(name)),
-        port_(iface.app_port(this->name())),
-        src_(src),
-        dst_(dst),
-        blocks_(blocks),
-        words_(words) {
-    spawn("copy", [this]() { return run(); });
-  }
-
-  bool done() const { return done_; }
-  std::uint64_t words_copied() const { return words_copied_; }
-
-private:
-  sim::Task run() {
-    for (std::size_t b = 0; b < blocks_; ++b) {
-      const auto off = static_cast<std::uint32_t>(b * words_ * 4);
-      // Read a block from the source device...
-      pattern::CommandType rd;
-      rd.op = pattern::BusOp::ReadBurst;
-      rd.addr = src_ + off;
-      rd.count = words_;
-      co_await port_.putCommand(rd);
-      pattern::ResponseType block = co_await port_.appDataGet();
-      if (block.status != pci::PciResult::Ok) continue;
-      // ...and write it to the destination device.
-      pattern::CommandType wr;
-      wr.op = pattern::BusOp::WriteBurst;
-      wr.addr = dst_ + off;
-      wr.data = block.data;
-      co_await port_.putCommand(wr);
-      pattern::ResponseType ack = co_await port_.appDataGet();
-      if (ack.status == pci::PciResult::Ok) words_copied_ += words_;
-    }
-    done_ = true;
-  }
-
-  pattern::BusAccessChannel::AppPort port_;
-  std::uint32_t src_, dst_;
-  std::size_t blocks_, words_;
-  std::uint64_t words_copied_ = 0;
-  bool done_ = false;
-};
-
-}  // namespace
 
 int main() {
   sim::Kernel k;
@@ -97,8 +46,8 @@ int main() {
   }
 
   // Two concurrent DMA channels sharing the interface's global object.
-  DmaCopier chan_a(k, "chan_a", iface, 0x10000000, 0x20000000, 4, 16);
-  DmaCopier chan_b(k, "chan_b", iface, 0x10000400, 0x20000400, 4, 16);
+  pattern::DmaBridge chan_a(k, "chan_a", iface, 0x10000000, 0x20000000, 4, 16);
+  pattern::DmaBridge chan_b(k, "chan_b", iface, 0x10000400, 0x20000400, 4, 16);
 
   k.run_for(10000_us);
 

@@ -1,0 +1,573 @@
+#include "hlcs/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hlcs/check/pci_rules.hpp"
+
+namespace hlcs::fabric {
+
+namespace {
+
+constexpr std::uint32_t kWindowSize = 0x4000;   // per-target decode window
+constexpr std::uint32_t kWindowStride = 0x10000;
+constexpr std::uint32_t kFabricBase = 0x10000000;
+constexpr std::uint32_t kDmaDstOffset = 0x1000;  // bridge copies land here
+constexpr std::uint32_t kAppRegion = 0x2000;     // apps operate above this
+
+/// Deterministic preload value for word `w` of global target `g`.
+std::uint32_t pattern_word(std::uint64_t seed, std::size_t g, std::uint32_t w) {
+  return static_cast<std::uint32_t>(
+      sim::lane_seed(seed ^ 0xFABull, (static_cast<std::uint64_t>(g) << 32) | w));
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::Ring: return "ring";
+    case Topology::Star: return "star";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// EndpointRegistry
+
+void EndpointRegistry::add(std::string name, std::uint32_t base,
+                           std::uint32_t size, std::uint32_t segment) {
+  HLCS_ASSERT(size > 0, "EndpointRegistry: zero-sized window");
+  Endpoint e{std::move(name), base, size, segment};
+  auto it = std::lower_bound(
+      eps_.begin(), eps_.end(), e,
+      [](const Endpoint& a, const Endpoint& b) { return a.base < b.base; });
+  // Overlap against the neighbours in base order.
+  if (it != eps_.end() && e.base + e.size > it->base) {
+    fail("EndpointRegistry: window '" + e.name + "' overlaps '" + it->name +
+         "'");
+  }
+  if (it != eps_.begin()) {
+    const Endpoint& prev = *(it - 1);
+    if (prev.base + prev.size > e.base) {
+      fail("EndpointRegistry: window '" + e.name + "' overlaps '" + prev.name +
+           "'");
+    }
+  }
+  eps_.insert(it, std::move(e));
+}
+
+const Endpoint* EndpointRegistry::route(std::uint32_t addr) const {
+  auto it = std::upper_bound(
+      eps_.begin(), eps_.end(), addr,
+      [](std::uint32_t a, const Endpoint& e) { return a < e.base; });
+  if (it == eps_.begin()) return nullptr;
+  const Endpoint& e = *(it - 1);
+  return (addr >= e.base && addr - e.base < e.size) ? &e : nullptr;
+}
+
+std::string EndpointRegistry::dump() const {
+  std::ostringstream os;
+  for (const Endpoint& e : eps_) {
+    os << "  " << std::hex << "0x" << e.base << "..0x" << e.base + e.size - 1
+       << std::dec << " seg " << e.segment << " " << e.name << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// FabricBusInterface
+
+FabricBusInterface::FabricBusInterface(sim::Kernel& k, std::string name,
+                                       std::uint32_t segment,
+                                       const EndpointRegistry& registry,
+                                       pci::PciBus& bus,
+                                       pci::PciArbiter& arbiter)
+    : BusInterface(k, std::move(name)),
+      segment_(segment),
+      registry_(registry),
+      bus_(bus),
+      port_(arbiter.add_master(this->name())),
+      master_(k, sub("master"), bus, *port_.req, *port_.gnt),
+      resp_ev_(k, sub("resp_ev")) {
+  spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+}
+
+void FabricBusInterface::complete(std::uint64_t txn,
+                                  pattern::ResponseType resp) {
+  done_.emplace(txn, std::move(resp));
+  resp_ev_.notify();
+}
+
+sim::Task FabricBusInterface::execute(const pattern::CommandType& cmd,
+                                      pattern::ResponseType& resp) {
+  const Endpoint* ep = registry_.route(cmd.addr);
+  if (ep == nullptr || ep->segment == segment_) {
+    // Local (or unmapped, which the local bus answers with a master
+    // abort after the decode timeout): the PciBusInterface path.
+    ++local_commands_;
+    pci::PciTransaction t;
+    t.cmd = pattern::to_pci_command(cmd.op);
+    t.addr = cmd.addr;
+    if (pattern::op_is_read(cmd.op)) {
+      t.count = cmd.count;
+    } else {
+      t.data = cmd.data;
+    }
+    resp.issue_cycle = bus_.cycle();
+    co_await master_.execute(t);
+    resp.complete_cycle = bus_.cycle();
+    resp.status = t.result;
+    if (pattern::op_is_read(cmd.op) && resp.status == pci::PciResult::Ok) {
+      resp.data = std::move(t.data);
+    }
+    co_return;
+  }
+
+  // Remote: tunnel the command to the owning segment and wait for the
+  // response to find its way home.
+  HLCS_ASSERT(route_ != nullptr, "FabricBusInterface: not connected");
+  ++remote_commands_;
+  const std::uint64_t txn = next_txn_++;
+  FabricMsg m;
+  m.kind = FabricMsg::Kind::Command;
+  m.src_segment = segment_;
+  m.dst_segment = ep->segment;
+  m.txn = txn;
+  m.cmd = cmd;
+  route_(ep->segment).send(std::move(m));
+  while (done_.find(txn) == done_.end()) co_await resp_ev_;
+  auto it = done_.find(txn);
+  const std::uint64_t id = resp.id;  // channel-assigned sequence number
+  resp = std::move(it->second);
+  resp.id = id;
+  done_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// BridgeUnit
+
+BridgeUnit::BridgeUnit(sim::Kernel& k, std::string name, std::uint32_t segment,
+                       pci::PciBus& bus, pci::PciArbiter& arbiter,
+                       FabricBusInterface& iface)
+    : Module(k, std::move(name)),
+      segment_(segment),
+      bus_(bus),
+      port_(arbiter.add_master(this->name())),
+      master_(k, sub("master"), bus, *port_.req, *port_.gnt),
+      iface_(iface),
+      exec_ev_(k, sub("exec_ev")) {
+  spawn("exec", [this]() { return exec_loop(); });
+}
+
+void BridgeUnit::add_incoming(FabricLink& in) {
+  FabricLink* link = &in;
+  spawn("rx" + std::to_string(inputs_++),
+        [this, link]() { return receive_loop(*link); });
+}
+
+sim::Task BridgeUnit::receive_loop(FabricLink& in) {
+  for (;;) {
+    while (!in.ready()) co_await in.arrival();
+    FabricMsg m = in.pop();
+    if (m.dst_segment != segment_) {
+      // Through-traffic: forward without consuming simulated time.
+      HLCS_ASSERT(route_ != nullptr, "BridgeUnit: not connected");
+      route_(m.dst_segment).send(std::move(m));
+      ++stats_.forwarded;
+      continue;
+    }
+    if (m.kind == FabricMsg::Kind::Command) {
+      exec_q_.push_back(std::move(m));
+      exec_ev_.notify();
+    } else {
+      ++stats_.completed;
+      iface_.complete(m.txn, std::move(m.resp));
+    }
+  }
+}
+
+sim::Task BridgeUnit::exec_loop() {
+  for (;;) {
+    while (exec_q_.empty()) co_await exec_ev_;
+    FabricMsg m = std::move(exec_q_.front());
+    exec_q_.pop_front();
+
+    pci::PciTransaction t;
+    t.cmd = pattern::to_pci_command(m.cmd.op);
+    t.addr = m.cmd.addr;
+    if (pattern::op_is_read(m.cmd.op)) {
+      t.count = m.cmd.count;
+    } else {
+      t.data = m.cmd.data;
+    }
+
+    FabricMsg r;
+    r.kind = FabricMsg::Kind::Response;
+    r.src_segment = segment_;
+    r.dst_segment = m.src_segment;
+    r.txn = m.txn;
+    r.resp.id = m.cmd.id;
+    r.resp.issue_cycle = bus_.cycle();
+    co_await master_.execute(t);
+    r.resp.complete_cycle = bus_.cycle();
+    r.resp.status = t.result;
+    if (pattern::op_is_read(m.cmd.op) && t.result == pci::PciResult::Ok) {
+      r.resp.data = std::move(t.data);
+    }
+    ++stats_.executed;
+    HLCS_ASSERT(route_ != nullptr, "BridgeUnit: not connected");
+    route_(m.src_segment).send(std::move(r));
+  }
+}
+
+// ---------------------------------------------------------------------
+// FabricSystem
+
+FabricSystem::FabricSystem(FabricConfig cfg) : cfg_(cfg) {
+  HLCS_ASSERT(cfg_.segments >= 1, "fabric: need at least one segment");
+  HLCS_ASSERT(cfg_.masters >= 1, "fabric: need at least one master/segment");
+  HLCS_ASSERT(cfg_.targets >= 1, "fabric: need at least one target/segment");
+  HLCS_ASSERT(cfg_.blocks * cfg_.words * 4 <= kDmaDstOffset,
+              "fabric: DMA copy exceeds its reserved window region");
+
+  const std::size_t n = cfg_.segments;
+  std::size_t s = cfg_.shards == 0 ? 1 : cfg_.shards;
+  if (s > n) s = n;
+  cfg_.shards = s;
+
+  partition_.resize(n);
+  for (std::size_t seg = 0; seg < n; ++seg) partition_[seg] = seg * s / n;
+
+  kernels_.reserve(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    kernels_.push_back(std::make_unique<sim::Kernel>());
+  }
+
+  segments_.resize(n);
+  for (std::size_t seg = 0; seg < n; ++seg) build_segment(seg);
+  build_links();
+  for (std::size_t seg = 0; seg < n; ++seg) build_masters(seg);
+  for (std::size_t seg = 0; seg < n; ++seg) preload(seg);
+
+  std::vector<sim::Kernel*> ks;
+  ks.reserve(kernels_.size());
+  for (auto& k : kernels_) ks.push_back(k.get());
+  std::vector<sim::LinkBase*> ls;
+  ls.reserve(links_.size());
+  for (auto& l : links_) ls.push_back(l.get());
+  engine_ = std::make_unique<sim::ShardEngine>(
+      std::move(ks), std::move(ls),
+      sim::ShardEngine::Options{.window = sim::Time::zero(),
+                                .threads = cfg_.threads});
+}
+
+FabricSystem::~FabricSystem() { flush_traces(); }
+
+std::uint32_t FabricSystem::target_base(std::size_t seg, std::size_t t) const {
+  const std::size_t g = seg * cfg_.targets + t;
+  return kFabricBase + static_cast<std::uint32_t>(g) * kWindowStride;
+}
+
+void FabricSystem::build_segment(std::size_t s) {
+  sim::Kernel& k = *kernels_[partition_[s]];
+  auto seg = std::make_unique<Segment>();
+  const std::string p = "s" + std::to_string(s);
+
+  seg->clock = std::make_unique<sim::Clock>(k, p + ".clk", cfg_.clock_period);
+  seg->bus = std::make_unique<pci::PciBus>(k, p + ".pci", *seg->clock);
+  seg->arbiter = std::make_unique<pci::PciArbiter>(k, p + ".arb", *seg->bus);
+  seg->monitor = std::make_unique<pci::PciMonitor>(k, p + ".mon", *seg->bus);
+
+  for (std::size_t t = 0; t < cfg_.targets; ++t) {
+    pci::TargetConfig tc;
+    tc.base = target_base(s, t);
+    tc.size = kWindowSize;
+    tc.devsel = (t % 2 != 0) ? pci::DevselSpeed::Medium
+                             : pci::DevselSpeed::Fast;
+    tc.initial_wait = static_cast<unsigned>(t % 2);
+    seg->targets.push_back(std::make_unique<pci::PciTarget>(
+        k, p + ".t" + std::to_string(t), *seg->bus, tc));
+    registry_.add(p + ".t" + std::to_string(t), tc.base, tc.size,
+                  static_cast<std::uint32_t>(s));
+  }
+
+  seg->iface = std::make_unique<FabricBusInterface>(
+      k, p + ".iface", static_cast<std::uint32_t>(s), registry_, *seg->bus,
+      *seg->arbiter);
+  seg->bridge = std::make_unique<BridgeUnit>(
+      k, p + ".bridge", static_cast<std::uint32_t>(s), *seg->bus,
+      *seg->arbiter, *seg->iface);
+
+  if (cfg_.checkers) {
+    seg->checker = std::make_unique<check::Monitor>(
+        k, p + ".check", check::pci_rules(), *seg->clock,
+        check::pci_probes(*seg->bus));
+  }
+
+  segments_[s] = std::move(seg);
+}
+
+void FabricSystem::build_links() {
+  const std::size_t n = cfg_.segments;
+  if (n < 2) return;
+  auto kernel_of = [this](std::size_t seg) -> sim::Kernel& {
+    return *kernels_[partition_[seg]];
+  };
+
+  if (cfg_.topo == Topology::Ring) {
+    ring_out_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t d = (s + 1) % n;
+      links_.push_back(std::make_unique<FabricLink>(
+          kernel_of(s), kernel_of(d),
+          "link.s" + std::to_string(s) + ".s" + std::to_string(d),
+          cfg_.bridge_latency));
+      ring_out_[s] = links_.back().get();
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      RouteFn route = [this, s](std::uint32_t) -> FabricLink& {
+        return *ring_out_[s];
+      };
+      segments_[s]->iface->connect(route);
+      segments_[s]->bridge->connect(route);
+      segments_[s]->bridge->add_incoming(*ring_out_[(s + n - 1) % n]);
+    }
+    return;
+  }
+
+  // Star: segment 0 is the hub; every leaf has an uplink and a downlink.
+  star_up_.resize(n);
+  star_down_.resize(n);
+  for (std::size_t s = 1; s < n; ++s) {
+    links_.push_back(std::make_unique<FabricLink>(
+        kernel_of(s), kernel_of(0), "up.s" + std::to_string(s),
+        cfg_.bridge_latency));
+    star_up_[s] = links_.back().get();
+    links_.push_back(std::make_unique<FabricLink>(
+        kernel_of(0), kernel_of(s), "down.s" + std::to_string(s),
+        cfg_.bridge_latency));
+    star_down_[s] = links_.back().get();
+  }
+  RouteFn hub_route = [this](std::uint32_t dst) -> FabricLink& {
+    HLCS_ASSERT(dst != 0 && dst < star_down_.size(), "star: bad hub route");
+    return *star_down_[dst];
+  };
+  segments_[0]->iface->connect(hub_route);
+  segments_[0]->bridge->connect(hub_route);
+  for (std::size_t s = 1; s < n; ++s) {
+    segments_[0]->bridge->add_incoming(*star_up_[s]);
+    RouteFn leaf_route = [this, s](std::uint32_t) -> FabricLink& {
+      return *star_up_[s];
+    };
+    segments_[s]->iface->connect(leaf_route);
+    segments_[s]->bridge->connect(leaf_route);
+    segments_[s]->bridge->add_incoming(*star_down_[s]);
+  }
+}
+
+void FabricSystem::build_masters(std::size_t s) {
+  sim::Kernel& k = *kernels_[partition_[s]];
+  Segment& seg = *segments_[s];
+  const std::string p = "s" + std::to_string(s);
+  const std::size_t n = cfg_.segments;
+
+  // Master 0: a DMA channel copying from the local target 0 into the
+  // reserved region of the NEXT segment's target 0 -- every copy (except
+  // in a single-segment fabric) crosses the bridge fabric.
+  const std::uint32_t src = target_base(s, 0);
+  const std::uint32_t dst = target_base((s + 1) % n, 0) + kDmaDstOffset;
+  seg.dma = std::make_unique<pattern::DmaBridge>(
+      k, p + ".dma", *seg.iface, src, dst, cfg_.blocks, cfg_.words);
+
+  // Masters 1..M-1: applications replaying deterministic random
+  // workloads over the whole address map (local and remote windows).
+  for (std::size_t m = 1; m < cfg_.masters; ++m) {
+    sim::Xorshift rng(
+        sim::lane_seed(cfg_.seed, 0x4A00 + s * cfg_.masters + m));
+    std::vector<pattern::CommandType> wl;
+    wl.reserve(cfg_.app_ops);
+    for (std::size_t i = 0; i < cfg_.app_ops; ++i) {
+      const std::size_t gt = rng.below(n * cfg_.targets);
+      const std::uint32_t base =
+          target_base(gt / cfg_.targets, gt % cfg_.targets);
+      const std::uint32_t off =
+          kAppRegion + 4 * static_cast<std::uint32_t>(rng.below(0x780));
+      const std::size_t burst = 1 + rng.below(8);
+      pattern::CommandType c;
+      c.addr = base + off;
+      switch (rng.below(4)) {
+        case 0:
+          c.op = pattern::BusOp::Write;
+          c.data = {static_cast<std::uint32_t>(rng.next())};
+          break;
+        case 1:
+          c.op = pattern::BusOp::Read;
+          c.count = 1;
+          break;
+        case 2:
+          c.op = pattern::BusOp::WriteBurst;
+          for (std::size_t w = 0; w < burst; ++w) {
+            c.data.push_back(static_cast<std::uint32_t>(rng.next()));
+          }
+          break;
+        default:
+          c.op = pattern::BusOp::ReadBurst;
+          c.count = burst;
+          break;
+      }
+      wl.push_back(std::move(c));
+    }
+    seg.apps.push_back(std::make_unique<pattern::Application>(
+        k, p + ".m" + std::to_string(m), *seg.iface, std::move(wl)));
+  }
+}
+
+void FabricSystem::preload(std::size_t s) {
+  for (std::size_t t = 0; t < cfg_.targets; ++t) {
+    const std::size_t g = s * cfg_.targets + t;
+    pci::PciMemory& mem = segments_[s]->targets[t]->memory();
+    for (std::uint32_t w = 0; w < kDmaDstOffset / 4; ++w) {
+      mem.write_word(w * 4, pattern_word(cfg_.seed, g, w));
+    }
+  }
+}
+
+bool FabricSystem::all_done() const {
+  for (const auto& seg : segments_) {
+    if (seg->dma && !seg->dma->done()) return false;
+    for (const auto& app : seg->apps) {
+      if (!app->done()) return false;
+    }
+  }
+  return true;
+}
+
+std::string FabricSystem::transcript() const {
+  std::string out;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& seg = *segments_[s];
+    if (seg.dma) {
+      out += "== s" + std::to_string(s) + ".dma\n";
+      out += seg.dma->transcript().to_string();
+    }
+    for (std::size_t m = 0; m < seg.apps.size(); ++m) {
+      out += "== s" + std::to_string(s) + ".m" + std::to_string(m + 1) + "\n";
+      out += seg.apps[m]->transcript().to_string();
+    }
+  }
+  return out;
+}
+
+std::uint64_t FabricSystem::state_digest() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& seg : segments_) {
+    for (const auto& t : seg->targets) {
+      const pci::PciMemory& mem = t->memory();
+      for (std::uint32_t off = 0; off < mem.size(); off += 4) {
+        fnv_mix(h, mem.read_word(off));
+      }
+    }
+  }
+  for (char c : transcript()) fnv_mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::size_t FabricSystem::copy_errors() const {
+  const std::size_t n = cfg_.segments;
+  std::size_t errors = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!segments_[s]->dma) continue;
+    const std::size_t d = (s + 1) % n;
+    const pci::PciMemory& dst = segments_[d]->targets[0]->memory();
+    const std::size_t g = s * cfg_.targets;  // source = target 0 of s
+    for (std::uint32_t w = 0; w < cfg_.blocks * cfg_.words; ++w) {
+      if (dst.read_word(kDmaDstOffset + w * 4) !=
+          pattern_word(cfg_.seed, g, w)) {
+        ++errors;
+      }
+    }
+  }
+  return errors;
+}
+
+std::size_t FabricSystem::violations() const {
+  std::size_t v = 0;
+  for (const auto& seg : segments_) v += seg->monitor->violations().size();
+  return v;
+}
+
+std::uint64_t FabricSystem::check_fails() const {
+  std::uint64_t f = 0;
+  for (const auto& seg : segments_) {
+    if (!seg->checker) continue;
+    for (const auto& p : seg->checker->stats().props) f += p.fails;
+  }
+  return f;
+}
+
+std::string FabricSystem::dump_topology() const {
+  std::ostringstream os;
+  os << "fabric: topo=" << to_string(cfg_.topo)
+     << " segments=" << cfg_.segments << " masters=" << cfg_.masters
+     << " targets=" << cfg_.targets << " shards=" << cfg_.shards
+     << " threads=" << engine_->threads() << "\n";
+  os << "timing: clock=" << cfg_.clock_period.to_string()
+     << " bridge_latency=" << cfg_.bridge_latency.to_string()
+     << " window=" << engine_->window().to_string() << "\n";
+  os << "partition:";
+  for (std::size_t j = 0; j < cfg_.shards; ++j) {
+    os << " shard" << j << "[";
+    bool first = true;
+    for (std::size_t s = 0; s < cfg_.segments; ++s) {
+      if (partition_[s] != j) continue;
+      if (!first) os << " ";
+      os << "s" << s;
+      first = false;
+    }
+    os << "]";
+  }
+  os << "\n";
+  for (std::size_t s = 0; s < cfg_.segments; ++s) {
+    const Segment& seg = *segments_[s];
+    os << "segment s" << s << " (shard " << partition_[s] << "): "
+       << seg.targets.size() << " targets, "
+       << (seg.dma ? 1 : 0) + seg.apps.size() << " masters";
+    if (seg.dma) {
+      os << ", dma -> s" << (s + 1) % cfg_.segments;
+    }
+    os << "\n";
+  }
+  for (const auto& l : links_) {
+    os << "link " << l->name() << " latency " << l->latency().to_string()
+       << "\n";
+  }
+  os << "endpoints:\n" << registry_.dump();
+  return os.str();
+}
+
+std::vector<std::string> FabricSystem::attach_traces(const std::string& dir) {
+  HLCS_ASSERT(traces_.empty(), "fabric: traces already attached");
+  std::vector<std::string> paths;
+  for (std::size_t j = 0; j < kernels_.size(); ++j) {
+    auto trace = std::make_unique<sim::Trace>(dir + "/shard" +
+                                              std::to_string(j) + ".vcd");
+    for (std::size_t s = 0; s < cfg_.segments; ++s) {
+      if (partition_[s] == j) segments_[s]->bus->trace_all(*trace);
+    }
+    kernels_[j]->attach_trace(*trace);
+    paths.push_back(trace->path());
+    traces_.push_back(std::move(trace));
+  }
+  return paths;
+}
+
+void FabricSystem::flush_traces() {
+  for (auto& t : traces_) t->flush();
+}
+
+}  // namespace hlcs::fabric

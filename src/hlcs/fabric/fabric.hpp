@@ -1,0 +1,293 @@
+// hlcs::fabric -- a generator for large hierarchical systems built from
+// the library elements of the pattern (paper Sec. 4: the methodology is
+// only interesting if it scales past one bus): N PCI bus segments, each
+// with its own clock, arbiter, monitor, targets and masters, joined by
+// bridges into a ring or star fabric.  Applications keep talking to one
+// guarded-method bus interface; the fabric interface routes by address
+// through an EndpointRegistry and transparently tunnels remote commands
+// over fixed-latency bridge links -- the communication refinement story
+// of Figure 3 applied to a whole topology instead of one interface.
+//
+// The same links that carry bridge traffic are the sharding boundaries:
+// FabricSystem partitions segments into contiguous shard blocks, puts
+// each block on its own sim::Kernel, and drives them with a
+// sim::ShardEngine whose conservative lookahead is the minimum bridge
+// latency.  Observable behaviour (transcripts, memory images, check
+// verdicts, waveforms) is bit-identical at every shard and thread
+// count -- see sim/shard.hpp for the argument.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hlcs/check/monitor.hpp"
+#include "hlcs/pattern/application.hpp"
+#include "hlcs/pattern/bridge.hpp"
+#include "hlcs/pattern/pci_bus_interface.hpp"
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/shard.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::fabric {
+
+// ---------------------------------------------------------------------
+// Messages and links
+
+/// What travels between segments: a tunnelled guarded-method command on
+/// its way to the segment that decodes the address, or its response on
+/// the way back.  dst_segment always names the consuming segment, so
+/// every hop applies the same rule: mine ? consume : forward.
+struct FabricMsg {
+  enum class Kind : std::uint8_t { Command, Response };
+  Kind kind = Kind::Command;
+  std::uint32_t src_segment = 0;  ///< segment of the issuing interface
+  std::uint32_t dst_segment = 0;  ///< segment that consumes this message
+  std::uint64_t txn = 0;          ///< issuer-local transaction id
+  pattern::CommandType cmd;       ///< valid when kind == Command
+  pattern::ResponseType resp;     ///< valid when kind == Response
+};
+
+using FabricLink = sim::Link<FabricMsg>;
+
+/// Maps a destination segment to the outgoing link a message must take
+/// from here (ring: the one successor link; star hub: the downlink of
+/// the destination; star leaf: the uplink).
+using RouteFn = std::function<FabricLink&(std::uint32_t dst_segment)>;
+
+// ---------------------------------------------------------------------
+// Endpoint registry
+
+/// One decoded address window somewhere in the fabric.
+struct Endpoint {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+  std::uint32_t segment = 0;
+};
+
+/// Dynamic endpoint registration with address-based routing: targets
+/// register their windows as they are instantiated; interfaces route
+/// every command by address at issue time.  Windows must not overlap.
+class EndpointRegistry {
+public:
+  /// Register a window; rejects overlaps and zero-sized windows.
+  void add(std::string name, std::uint32_t base, std::uint32_t size,
+           std::uint32_t segment);
+
+  /// The endpoint decoding `addr`, or nullptr when unmapped.
+  const Endpoint* route(std::uint32_t addr) const;
+
+  const std::vector<Endpoint>& endpoints() const { return eps_; }
+
+  /// Deterministic one-line-per-endpoint dump (base-sorted).
+  std::string dump() const;
+
+private:
+  std::vector<Endpoint> eps_;  // sorted by base
+};
+
+// ---------------------------------------------------------------------
+// Per-segment elements
+
+/// The fabric's bus-interface library element: behaves exactly like
+/// PciBusInterface for addresses decoded on its own segment, and tunnels
+/// everything else through the bridge fabric.  Applications cannot tell
+/// the difference -- same AppPort, same command/response contract.
+class FabricBusInterface final : public pattern::BusInterface {
+public:
+  FabricBusInterface(sim::Kernel& k, std::string name, std::uint32_t segment,
+                     const EndpointRegistry& registry, pci::PciBus& bus,
+                     pci::PciArbiter& arbiter);
+
+  /// Wire the outbound routing function (links exist only after every
+  /// segment does).  Must be called before the simulation runs if the
+  /// fabric has more than one segment.
+  void connect(RouteFn route) { route_ = std::move(route); }
+
+  /// Called by the local BridgeUnit when a response message for
+  /// transaction `txn` arrives back home.
+  void complete(std::uint64_t txn, pattern::ResponseType resp);
+
+  std::uint64_t local_commands() const { return local_commands_; }
+  std::uint64_t remote_commands() const { return remote_commands_; }
+
+protected:
+  sim::Task execute(const pattern::CommandType& cmd,
+                    pattern::ResponseType& resp) override;
+
+private:
+  std::uint32_t segment_;
+  const EndpointRegistry& registry_;
+  pci::PciBus& bus_;
+  pci::PciArbiter::Port port_;
+  pci::PciMaster master_;
+  RouteFn route_;
+  std::uint64_t next_txn_ = 1;
+  std::map<std::uint64_t, pattern::ResponseType> done_;
+  sim::Event resp_ev_;
+  std::uint64_t local_commands_ = 0;
+  std::uint64_t remote_commands_ = 0;
+};
+
+struct BridgeStats {
+  std::uint64_t forwarded = 0;  ///< messages passed through to another hop
+  std::uint64_t executed = 0;   ///< remote commands run on the local bus
+  std::uint64_t completed = 0;  ///< responses handed to the local interface
+};
+
+/// The segment's port into the fabric: receives messages from incoming
+/// links, forwards the ones addressed elsewhere, executes inbound
+/// commands on the local bus through its own PCI master (the "second
+/// master" of every segment) and ships responses home.  Reception never
+/// blocks behind execution, so through-traffic is not delayed by a long
+/// local tenure.
+class BridgeUnit final : public sim::Module {
+public:
+  BridgeUnit(sim::Kernel& k, std::string name, std::uint32_t segment,
+             pci::PciBus& bus, pci::PciArbiter& arbiter,
+             FabricBusInterface& iface);
+
+  void connect(RouteFn route) { route_ = std::move(route); }
+
+  /// Attach an incoming link; spawns a receive process per link (a star
+  /// hub has one per leaf).
+  void add_incoming(FabricLink& in);
+
+  const BridgeStats& stats() const { return stats_; }
+
+private:
+  sim::Task receive_loop(FabricLink& in);
+  sim::Task exec_loop();
+
+  std::uint32_t segment_;
+  pci::PciBus& bus_;
+  pci::PciArbiter::Port port_;
+  pci::PciMaster master_;
+  FabricBusInterface& iface_;
+  RouteFn route_;
+  std::deque<FabricMsg> exec_q_;
+  sim::Event exec_ev_;
+  BridgeStats stats_;
+  std::size_t inputs_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Topology generator
+
+enum class Topology : std::uint8_t { Ring, Star };
+
+const char* to_string(Topology t);
+
+struct FabricConfig {
+  Topology topo = Topology::Ring;
+  std::size_t segments = 4;
+  std::size_t masters = 2;  ///< per segment; master 0 is a DMA bridge
+                            ///  channel copying to the next segment,
+                            ///  the rest replay random workloads
+  std::size_t targets = 2;  ///< per segment
+  sim::Time clock_period = sim::Time::ps(30'000);    ///< 33 MHz PCI
+  sim::Time bridge_latency = sim::Time::ps(120'000); ///< per fabric hop
+  std::size_t blocks = 2;   ///< DMA channel: blocks per copy
+  std::size_t words = 8;    ///< DMA channel: words per block
+  std::size_t app_ops = 12; ///< commands per application master
+  std::uint64_t seed = 0xB001;
+  bool checkers = false;    ///< attach a check::Monitor per segment
+  std::size_t shards = 1;   ///< kernel partitions; clamped to segments
+  unsigned threads = 1;     ///< ShardEngine worker threads (0 = hw)
+};
+
+/// One generated bus segment and everything on it.
+struct Segment {
+  std::unique_ptr<sim::Clock> clock;
+  std::unique_ptr<pci::PciBus> bus;
+  std::unique_ptr<pci::PciArbiter> arbiter;
+  std::unique_ptr<pci::PciMonitor> monitor;
+  std::vector<std::unique_ptr<pci::PciTarget>> targets;
+  std::unique_ptr<FabricBusInterface> iface;
+  std::unique_ptr<BridgeUnit> bridge;
+  std::unique_ptr<check::Monitor> checker;
+  std::unique_ptr<pattern::DmaBridge> dma;
+  std::vector<std::unique_ptr<pattern::Application>> apps;
+};
+
+/// The generated system: builds the whole topology from a FabricConfig,
+/// partitions it across shard kernels, and runs it on a ShardEngine.
+class FabricSystem {
+public:
+  explicit FabricSystem(FabricConfig cfg);
+  ~FabricSystem();
+  FabricSystem(const FabricSystem&) = delete;
+  FabricSystem& operator=(const FabricSystem&) = delete;
+
+  void run_for(sim::Time t) { engine_->run_for(t); }
+  sim::Time now() const { return engine_->now(); }
+
+  const FabricConfig& config() const { return cfg_; }
+  const EndpointRegistry& registry() const { return registry_; }
+  const Segment& segment(std::size_t s) const { return *segments_[s]; }
+  std::size_t shard_of(std::size_t seg) const { return partition_[seg]; }
+  sim::ShardEngine& engine() { return *engine_; }
+  const sim::ShardEngine& engine() const { return *engine_; }
+
+  /// Every DMA channel and application has finished its workload.
+  bool all_done() const;
+
+  /// Canonical merged transcript: segments in index order, the DMA
+  /// channel then the applications of each.  Identical across shard and
+  /// thread counts (the acceptance gate).
+  std::string transcript() const;
+
+  /// FNV-1a digest over every target memory image and every transcript.
+  std::uint64_t state_digest() const;
+
+  /// DMA copy errors across all segments (0 when every channel landed
+  /// its blocks in the destination window).
+  std::size_t copy_errors() const;
+
+  /// Pin-level protocol violations summed over all segment monitors.
+  std::size_t violations() const;
+
+  /// Temporal-property failures summed over all segment checkers
+  /// (0 when cfg.checkers is false).
+  std::uint64_t check_fails() const;
+
+  /// Deterministic topology dump: config, partition, per-segment
+  /// inventory, links, endpoint registry.
+  std::string dump_topology() const;
+
+  /// Attach one VCD trace per shard under `dir` (shard<N>.vcd); every
+  /// bus of the shard's segments is registered.  Call before running.
+  /// Returns the file paths in shard order.
+  std::vector<std::string> attach_traces(const std::string& dir);
+
+  /// Flush attached traces (also happens on destruction).
+  void flush_traces();
+
+private:
+  void build_segment(std::size_t s);
+  void build_links();
+  void build_masters(std::size_t s);
+  void preload(std::size_t s);
+
+  std::uint32_t target_base(std::size_t seg, std::size_t t) const;
+
+  FabricConfig cfg_;
+  EndpointRegistry registry_;
+  std::vector<std::size_t> partition_;             // segment -> shard
+  std::vector<std::unique_ptr<sim::Kernel>> kernels_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<FabricLink>> links_;
+  // Ring: out link per segment.  Star: up_[s] (s>0) and down_[s] (s>0).
+  std::vector<FabricLink*> ring_out_;
+  std::vector<FabricLink*> star_up_;
+  std::vector<FabricLink*> star_down_;
+  std::unique_ptr<sim::ShardEngine> engine_;
+  std::vector<std::unique_ptr<sim::Trace>> traces_;
+};
+
+}  // namespace hlcs::fabric

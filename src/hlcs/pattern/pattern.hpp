@@ -3,6 +3,7 @@
 #pragma once
 
 #include "hlcs/pattern/application.hpp"
+#include "hlcs/pattern/bridge.hpp"
 #include "hlcs/pattern/bus_access_object.hpp"
 #include "hlcs/pattern/bus_interface.hpp"
 #include "hlcs/pattern/command.hpp"

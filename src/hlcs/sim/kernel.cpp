@@ -100,6 +100,12 @@ void Kernel::check_error() {
   }
 }
 
+Time Kernel::next_activity() const {
+  if (pending_delta()) return now_;
+  if (!timed_.empty()) return Time::ps(timed_.next_at());
+  return Time::max();
+}
+
 void Kernel::run_until(Time limit) {
   stop_requested_ = false;
   const std::uint64_t limit_ps = limit.picos();

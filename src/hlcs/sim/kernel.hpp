@@ -581,6 +581,22 @@ public:
   void stop() { stop_requested_ = true; }
 
   Time now() const { return now_; }
+
+  // ----- shard-engine probes -------------------------------------------
+  // A sharded run (sim/shard.hpp) drives several kernels window by
+  // window; between windows the engine asks each kernel how far it could
+  // usefully advance.  These are accurate probes, not the delta_work_
+  // hint: they never report stale pending work.
+  /// True when any delta-phase queue holds work (runnables, methods,
+  /// updates, delta notifications or delta waiters).
+  bool pending_delta() const { return !delta_queues_empty(); }
+  /// True when the timed queue holds at least one entry.
+  bool pending_timed() const { return !timed_.empty(); }
+  /// Timestamp of the earliest pending activity: now() when delta work
+  /// is pending, the earliest timed entry otherwise, Time::max() when
+  /// the kernel is fully idle.
+  Time next_activity() const;
+
   const KernelStats& stats() const {
     // Fold the queue-tracked high-water mark in on read, so the hot push
     // path carries no extra loads (see TimedQueue::peak).

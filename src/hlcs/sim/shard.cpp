@@ -1,0 +1,216 @@
+#include "hlcs/sim/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hlcs::sim {
+
+namespace {
+
+std::size_t shard_index_of(const std::vector<Kernel*>& shards,
+                           const Kernel& k, const char* what) {
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i] == &k) return i;
+  }
+  fail(std::string("ShardEngine: link ") + what +
+       " kernel is not one of the engine's shards");
+}
+
+}  // namespace
+
+ShardEngine::ShardEngine(std::vector<Kernel*> shards,
+                         std::vector<LinkBase*> links)
+    : ShardEngine(std::move(shards), std::move(links), Options{}) {}
+
+ShardEngine::ShardEngine(std::vector<Kernel*> shards,
+                         std::vector<LinkBase*> links, Options opt)
+    : shards_(std::move(shards)), links_(std::move(links)) {
+  HLCS_ASSERT(!shards_.empty(), "ShardEngine needs at least one shard");
+  for (Kernel* k : shards_) {
+    HLCS_ASSERT(k != nullptr, "ShardEngine: null shard kernel");
+  }
+  std::uint64_t min_latency = std::numeric_limits<std::uint64_t>::max();
+  link_shards_.reserve(links_.size());
+  for (LinkBase* l : links_) {
+    HLCS_ASSERT(l != nullptr, "ShardEngine: null link");
+    link_shards_.emplace_back(
+        shard_index_of(shards_, l->source(), "source"),
+        shard_index_of(shards_, l->target(), "target"));
+    min_latency = std::min(min_latency, l->latency().picos());
+  }
+  window_ps_ = opt.window.picos();
+  if (window_ps_ == 0) {
+    // No explicit window: the largest safe width is the minimum link
+    // latency; with no links at all, windows are unbounded (0 below
+    // means "run straight to the limit").
+    window_ps_ = links_.empty() ? 0 : min_latency;
+  }
+  if (!links_.empty() && window_ps_ > min_latency) {
+    fail("ShardEngine: window " + Time::ps(window_ps_).to_string() +
+         " exceeds the minimum link latency " +
+         Time::ps(min_latency).to_string() +
+         " -- conservative lookahead would be violated");
+  }
+  threads_ = opt.threads;
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_ = std::min<unsigned>(
+      threads_, static_cast<unsigned>(shards_.size()));
+  stats_.resize(shards_.size());
+  activity_before_.resize(shards_.size());
+  busy_ns_.resize(shards_.size());
+  shard_errors_.resize(shards_.size());
+}
+
+ShardEngine::~ShardEngine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_go_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+std::uint64_t ShardEngine::activity_of(const Kernel& k) const {
+  const KernelStats& s = k.stats();
+  return s.timed_actions + s.deltas + s.resumes + s.method_runs;
+}
+
+const std::vector<ShardStats>& ShardEngine::stats() const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    stats_[i].kernel = shards_[i]->stats();
+    stats_[i].msgs_sent = 0;
+    stats_[i].msgs_received = 0;
+    stats_[i].busy_ns = busy_ns_[i];
+  }
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    stats_[link_shards_[li].first].msgs_sent += links_[li]->sent();
+    stats_[link_shards_[li].second].msgs_received += links_[li]->delivered();
+  }
+  return stats_;
+}
+
+void ShardEngine::start_workers() {
+  if (!workers_.empty() || threads_ <= 1) return;
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void ShardEngine::worker_main(unsigned index) {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    std::uint64_t target;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_go_.wait(lock,
+                  [&] { return shutdown_ || round_ != seen_round; });
+      if (shutdown_) return;
+      seen_round = round_;
+      target = round_target_ps_;
+    }
+    run_shard_range(index, target);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardEngine::run_shard_range(std::size_t begin_stride,
+                                  std::uint64_t target_ps) {
+  for (std::size_t i = begin_stride; i < shards_.size(); i += threads_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      shards_[i]->run_until(Time::ps(target_ps));
+    } catch (...) {
+      shard_errors_[i] = std::current_exception();
+    }
+    busy_ns_[i] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+}
+
+void ShardEngine::run_window(std::uint64_t target_ps) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    activity_before_[i] = activity_of(*shards_[i]);
+  }
+  if (threads_ <= 1) {
+    run_shard_range(0, target_ps);
+  } else {
+    start_workers();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      round_target_ps_ = target_ps;
+      running_ = threads_ - 1;
+      ++round_;
+    }
+    cv_go_.notify_all();
+    run_shard_range(0, target_ps);  // the coordinator works stride 0
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return running_ == 0; });
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_errors_[i]) {
+      std::exception_ptr e = std::exchange(shard_errors_[i], nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+  ++windows_run_;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    stats_[i].windows++;
+    if (activity_of(*shards_[i]) == activity_before_[i]) {
+      stats_[i].stalled_windows++;
+    }
+  }
+}
+
+void ShardEngine::run_until(Time limit) {
+  const std::uint64_t end = limit.picos();
+  // Stragglers from a previous run_until call are already collected;
+  // collecting again is a no-op but keeps the invariant obvious.
+  for (LinkBase* l : links_) l->collect();
+  while (now_ps_ <= end) {
+    // Global next-event time: the earliest pending activity across all
+    // shard kernels and all undelivered messages.  Partition-invariant:
+    // the same model holds the same events no matter how it is split.
+    std::uint64_t ne = std::numeric_limits<std::uint64_t>::max();
+    for (Kernel* k : shards_) {
+      ne = std::min(ne, k->next_activity().picos());
+    }
+    for (LinkBase* l : links_) {
+      if (l->has_inflight()) {
+        ne = std::min(ne, l->earliest_arrival_ps());
+      }
+    }
+    if (ne > end) break;  // nothing left to do at or before the limit
+    // The window boundary: the next lookahead grid point at or after
+    // the next event (fast-forwarding over empty windows is safe --
+    // and deterministic -- because boundaries stay on the fixed grid).
+    std::uint64_t target = ne;
+    if (window_ps_ != 0 && ne % window_ps_ != 0) {
+      const std::uint64_t up = ne + (window_ps_ - ne % window_ps_);
+      target = up < ne ? end : up;  // overflow clamps to the limit
+    } else if (window_ps_ == 0) {
+      target = end;  // no links: a single unbounded window
+    }
+    target = std::min(target, end);
+    // Deliveries due in this window, in canonical link order.
+    for (LinkBase* l : links_) l->stage_due(target);
+    run_window(target);
+    for (LinkBase* l : links_) l->collect();
+    now_ps_ = target;
+    if (target == end) break;
+  }
+  now_ps_ = end;
+}
+
+}  // namespace hlcs::sim

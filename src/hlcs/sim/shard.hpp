@@ -1,0 +1,301 @@
+// Sharded parallel simulation with conservative lookahead.
+//
+// A ShardEngine drives several ordinary Kernels -- one per shard, each
+// with its own calendar queue and delta loop -- in lockstep windows.
+// Shards interact only through Links: typed, fixed-latency, one-way
+// message channels.  Because every link carries at least `lookahead`
+// (the minimum link latency) of simulated delay, a shard can execute a
+// whole window of width <= lookahead without observing any other shard:
+// a message sent inside the window cannot arrive before the window
+// ends.  Shards therefore advance independently up to the window
+// boundary and synchronize only there (a classic conservative /
+// Chandy-Misra-Bryant scheme with a global barrier instead of null
+// messages).
+//
+// Determinism (the acceptance gate of this subsystem): the observable
+// behaviour of every module is bit-identical at any shard count and any
+// thread count, including the serial reference (every module on one
+// kernel, run by one thread).  The argument has three legs:
+//
+//   1. Each Kernel is the unchanged strictly-deterministic serial
+//      kernel; a shard's schedule depends only on the sequence of
+//      (spawn, delivery) stimuli it receives.
+//   2. Deliveries are staged, never direct: send() only appends to a
+//      per-link outbox.  At each window boundary the engine moves due
+//      messages into the target kernel as timed pump activations, always
+//      in canonical (arrival time, link registration order, send order)
+//      order, and always at the same boundary -- the one immediately
+//      before the window containing the arrival -- regardless of shard
+//      or thread count.  Window boundaries themselves are derived from
+//      the global next-event time, which is partition-invariant.
+//   3. Modules in different segments share no state except links, so
+//      the relative interleaving of two segments' processes inside one
+//      kernel (the only thing that differs between partitions) is not
+//      observable to either of them.
+//
+// Consequently transcripts, check verdicts and per-signal waveforms are
+// identical across partitions, and whole per-shard VCD files are
+// byte-identical across thread counts for a fixed partition.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::sim {
+
+class ShardEngine;
+
+/// Per-shard statistics in the KernelStats tradition: the shard's own
+/// kernel counters plus the engine-level window/synchronization view.
+struct ShardStats {
+  KernelStats kernel;                 ///< the shard kernel's counters
+  std::uint64_t windows = 0;          ///< windows this shard executed
+  std::uint64_t stalled_windows = 0;  ///< windows with no local activity
+                                      ///  (pure horizon synchronization)
+  std::uint64_t msgs_sent = 0;        ///< messages sent on outgoing links
+  std::uint64_t msgs_received = 0;    ///< messages delivered on incoming
+                                      ///  links
+  std::uint64_t busy_ns = 0;          ///< wall nanoseconds spent running
+                                      ///  this shard's kernel (excludes
+                                      ///  barrier waits -- the busiest
+                                      ///  shard's busy time is the
+                                      ///  critical path of the run)
+};
+
+/// Type-independent part of a cross-shard channel; the engine talks to
+/// links through this interface.  See Link<T> below for the user API.
+///
+/// Lifetime: a link references both kernels (event + pump method live on
+/// the target kernel), so destroy links before their kernels.
+class LinkBase {
+public:
+  LinkBase(Kernel& src, Kernel& dst, std::string name, Time latency)
+      : src_(src),
+        dst_(dst),
+        name_(std::move(name)),
+        latency_ps_(latency.picos()),
+        arrived_(dst, name_ + ".arrived"),
+        pump_(dst.method(
+            name_ + ".pump", [this] { deliver_arrived(); },
+            /*initial_trigger=*/false)) {
+    HLCS_ASSERT(latency_ps_ > 0, "Link latency must be positive");
+  }
+  virtual ~LinkBase() = default;
+  LinkBase(const LinkBase&) = delete;
+  LinkBase& operator=(const LinkBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  Time latency() const { return Time::ps(latency_ps_); }
+  Kernel& source() const { return src_; }
+  Kernel& target() const { return dst_; }
+
+  /// Messages accepted by send() / handed to the receiver so far.
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Notified (immediate) in the delta in which new messages become
+  /// receivable.  Receivers use the lost-notification-safe loop:
+  ///   while (!link.ready()) co_await link.arrival();
+  Event& arrival() { return arrived_; }
+
+protected:
+  friend class ShardEngine;
+
+  // Engine hooks; all run between windows on the coordinating thread,
+  // so they never race with in-window send()/pop() on the shard threads
+  // (the window barrier orders them).
+  /// Move the outbox (messages sent during the last window) into the
+  /// engine-side inflight queue.
+  virtual void collect() = 0;
+  virtual bool has_inflight() const = 0;
+  /// Earliest undelivered arrival time.  Precondition: has_inflight().
+  virtual std::uint64_t earliest_arrival_ps() const = 0;
+  /// Stage every inflight message with arrival <= target_ps for
+  /// delivery and schedule the pump at each distinct arrival time.
+  virtual void stage_due(std::uint64_t target_ps) = 0;
+  /// Pump body: runs inside the target kernel at an arrival time; moves
+  /// staged messages with arrival <= now into the ready queue.
+  virtual void deliver_arrived() = 0;
+
+  void schedule_pump(std::uint64_t at_ps) {
+    if (at_ps != last_scheduled_ps_) {
+      dst_.schedule_method(Time::ps(at_ps), pump_);
+      last_scheduled_ps_ = at_ps;
+    }
+  }
+
+  Kernel& src_;
+  Kernel& dst_;
+  std::string name_;
+  std::uint64_t latency_ps_;
+  Event arrived_;
+  MethodProcess& pump_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t last_scheduled_ps_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// A one-way typed message channel between two shards (or within one --
+/// links between modules that share a kernel behave identically, which
+/// is what makes partitions interchangeable).  send() may only be called
+/// from processes of the source kernel; ready()/pop() only from
+/// processes of the target kernel.  Messages sent at time t become
+/// receivable at exactly t + latency.
+template <class T>
+class Link final : public LinkBase {
+public:
+  using LinkBase::LinkBase;
+
+  /// Fire-and-forget send at the source kernel's current time.
+  void send(T msg) {
+    outbox_.push_back(Staged{src_.now().picos() + latency_ps_,
+                             std::move(msg)});
+    ++sent_;
+  }
+
+  /// True when a message is receivable right now.
+  bool ready() const { return !ready_.empty(); }
+  std::size_t ready_count() const { return ready_.size(); }
+
+  /// Take the oldest receivable message.  Precondition: ready().
+  T pop() {
+    HLCS_ASSERT(!ready_.empty(), "Link::pop on empty link");
+    T m = std::move(ready_.front());
+    ready_.pop_front();
+    return m;
+  }
+
+private:
+  struct Staged {
+    std::uint64_t arrival_ps;
+    T payload;
+  };
+
+  void collect() override {
+    // Per-link arrivals are monotone (fixed latency, monotone sends), so
+    // appending keeps inflight_ sorted.
+    for (Staged& s : outbox_) inflight_.push_back(std::move(s));
+    outbox_.clear();
+  }
+  bool has_inflight() const override { return !inflight_.empty(); }
+  std::uint64_t earliest_arrival_ps() const override {
+    return inflight_.front().arrival_ps;
+  }
+  void stage_due(std::uint64_t target_ps) override {
+    while (!inflight_.empty() &&
+           inflight_.front().arrival_ps <= target_ps) {
+      schedule_pump(inflight_.front().arrival_ps);
+      due_.push_back(std::move(inflight_.front()));
+      inflight_.pop_front();
+    }
+  }
+  void deliver_arrived() override {
+    const std::uint64_t now = dst_.now().picos();
+    bool any = false;
+    while (!due_.empty() && due_.front().arrival_ps <= now) {
+      ready_.push_back(std::move(due_.front().payload));
+      due_.pop_front();
+      ++delivered_;
+      any = true;
+    }
+    if (any) arrived_.notify();
+  }
+
+  std::deque<Staged> outbox_;    // written by the source shard in-window
+  std::deque<Staged> inflight_;  // engine-side, between windows
+  std::deque<Staged> due_;       // staged for delivery; drained by pump_
+  std::deque<T> ready_;          // receivable; drained by the consumer
+};
+
+/// Drives N shard kernels through barrier-synchronized lookahead
+/// windows, on a persistent worker pool.  See the file comment for the
+/// execution and determinism model.
+class ShardEngine {
+public:
+  struct Options {
+    /// Window width; zero picks the largest safe value (the minimum
+    /// link latency).  Must not exceed any link latency.
+    Time window = Time::zero();
+    /// Worker threads; 0 picks hardware concurrency, 1 runs every shard
+    /// on the calling thread (the determinism reference).  Capped at
+    /// the shard count.
+    unsigned threads = 0;
+  };
+
+  ShardEngine(std::vector<Kernel*> shards, std::vector<LinkBase*> links);
+  ShardEngine(std::vector<Kernel*> shards, std::vector<LinkBase*> links,
+              Options opt);
+  ~ShardEngine();
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Run every shard until simulated time reaches `limit` (events at
+  /// `limit` are still executed, matching Kernel::run_until).
+  void run_until(Time limit);
+  void run_for(Time t) { run_until(Time::ps(now_ps_) + t); }
+
+  Time now() const { return Time::ps(now_ps_); }
+  Time window() const { return Time::ps(window_ps_); }
+  unsigned threads() const { return threads_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Total windows the engine has synchronized.
+  std::uint64_t windows_run() const { return windows_run_; }
+
+  /// Per-shard statistics (kernel counters folded in on read).
+  const std::vector<ShardStats>& stats() const;
+
+private:
+  struct KernelActivity {
+    std::uint64_t events = 0;  // timed_actions + deltas snapshot
+  };
+
+  void run_window(std::uint64_t target_ps);
+  void run_shard_range(std::size_t begin_stride, std::uint64_t target_ps);
+  void worker_main(unsigned index);
+  void start_workers();
+  std::uint64_t activity_of(const Kernel& k) const;
+
+  std::vector<Kernel*> shards_;
+  std::vector<LinkBase*> links_;
+  std::uint64_t window_ps_ = 0;
+  unsigned threads_ = 1;
+  std::uint64_t now_ps_ = 0;
+  std::uint64_t windows_run_ = 0;
+
+  mutable std::vector<ShardStats> stats_;
+  std::vector<std::uint64_t> activity_before_;
+  // Per-shard busy wall time.  Written only by the single worker that
+  // owns the shard's stride during a window; read between windows (the
+  // barrier orders both), so no atomics are needed.
+  std::vector<std::uint64_t> busy_ns_;
+  // Link index -> shard indices of its endpoints (stats attribution).
+  std::vector<std::pair<std::size_t, std::size_t>> link_shards_;
+
+  // Worker pool: workers are started lazily on the first parallel
+  // window and live until destruction.  A round is published under
+  // mu_ (round_/round_target_) and completion is counted back in
+  // running_; both condition variables establish the happens-before
+  // edges the in-window / between-window access split relies on.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_go_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_ = 0;
+  std::uint64_t round_target_ps_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> shard_errors_;
+};
+
+}  // namespace hlcs::sim

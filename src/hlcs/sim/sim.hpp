@@ -8,6 +8,7 @@
 #include "hlcs/sim/module.hpp"
 #include "hlcs/sim/probe.hpp"
 #include "hlcs/sim/random.hpp"
+#include "hlcs/sim/shard.hpp"
 #include "hlcs/sim/signal.hpp"
 #include "hlcs/sim/sweep.hpp"
 #include "hlcs/sim/task.hpp"

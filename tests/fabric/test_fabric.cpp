@@ -1,0 +1,242 @@
+// hlcs::fabric -- topology generation, endpoint routing, and the
+// acceptance gate of the sharded kernel: serial and sharded runs of the
+// same fabric must be bit-identical (transcripts, memory digests, check
+// verdicts, waveforms) at every shard and thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/fabric/fabric.hpp"
+#include "hlcs/verify/vcd_reader.hpp"
+
+namespace hlcs::fabric {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+TEST(EndpointRegistry, RoutesByAddress) {
+  EndpointRegistry reg;
+  reg.add("a", 0x1000, 0x100, 0);
+  reg.add("c", 0x3000, 0x100, 2);
+  reg.add("b", 0x2000, 0x100, 1);
+  ASSERT_NE(reg.route(0x1000), nullptr);
+  EXPECT_EQ(reg.route(0x1000)->segment, 0u);
+  EXPECT_EQ(reg.route(0x10FF)->segment, 0u);
+  EXPECT_EQ(reg.route(0x2080)->segment, 1u);
+  EXPECT_EQ(reg.route(0x3000)->segment, 2u);
+  EXPECT_EQ(reg.route(0x1100), nullptr);
+  EXPECT_EQ(reg.route(0x0), nullptr);
+  EXPECT_EQ(reg.route(0xFFFFFFFF), nullptr);
+  // Registration order does not matter: endpoints() is base-sorted.
+  EXPECT_EQ(reg.endpoints()[0].name, "a");
+  EXPECT_EQ(reg.endpoints()[1].name, "b");
+  EXPECT_EQ(reg.endpoints()[2].name, "c");
+}
+
+TEST(EndpointRegistry, RejectsOverlaps) {
+  EndpointRegistry reg;
+  reg.add("a", 0x1000, 0x100, 0);
+  EXPECT_THROW(reg.add("mid", 0x1080, 0x100, 1), Error);
+  EXPECT_THROW(reg.add("head", 0x0FFF, 0x2, 1), Error);
+  EXPECT_THROW(reg.add("dup", 0x1000, 0x100, 1), Error);
+  EXPECT_THROW(reg.add("empty", 0x5000, 0, 1), Error);
+  reg.add("ok", 0x1100, 0x100, 1);  // flush against the end is fine
+}
+
+TEST(FabricSystem, TopologyDumpIsDeterministic) {
+  FabricConfig cfg;
+  cfg.segments = 3;
+  cfg.shards = 2;
+  FabricSystem sys1(cfg);
+  FabricSystem sys2(cfg);
+  EXPECT_EQ(sys1.dump_topology(), sys2.dump_topology());
+  EXPECT_NE(sys1.dump_topology().find("segments=3"), std::string::npos);
+  EXPECT_NE(sys1.dump_topology().find("shard0[s0 s1]"), std::string::npos);
+}
+
+TEST(FabricSystem, ShardCountIsClampedToSegments) {
+  FabricConfig cfg;
+  cfg.segments = 2;
+  cfg.shards = 8;
+  FabricSystem sys(cfg);
+  EXPECT_EQ(sys.config().shards, 2u);
+  EXPECT_EQ(sys.engine().shard_count(), 2u);
+}
+
+struct Observed {
+  bool done = false;
+  std::string transcript;
+  std::uint64_t digest = 0;
+  std::size_t copy_errors = 0;
+  std::size_t violations = 0;
+  std::uint64_t check_fails = 0;
+};
+
+Observed run(FabricConfig cfg, std::size_t shards, unsigned threads,
+             sim::Time span) {
+  cfg.shards = shards;
+  cfg.threads = threads;
+  FabricSystem sys(cfg);
+  sys.run_for(span);
+  Observed o;
+  o.done = sys.all_done();
+  o.transcript = sys.transcript();
+  o.digest = sys.state_digest();
+  o.copy_errors = sys.copy_errors();
+  o.violations = sys.violations();
+  o.check_fails = sys.check_fails();
+  return o;
+}
+
+void expect_identical(const Observed& ref, const Observed& got,
+                      const std::string& what) {
+  EXPECT_EQ(got.done, ref.done) << what;
+  EXPECT_EQ(got.transcript, ref.transcript) << what;
+  EXPECT_EQ(got.digest, ref.digest) << what;
+  EXPECT_EQ(got.copy_errors, ref.copy_errors) << what;
+  EXPECT_EQ(got.violations, ref.violations) << what;
+  EXPECT_EQ(got.check_fails, ref.check_fails) << what;
+}
+
+TEST(FabricIdentity, Ring4SegmentsAllShardAndThreadCounts) {
+  FabricConfig cfg;
+  cfg.segments = 4;
+  cfg.app_ops = 6;
+  const sim::Time span = 1500_us;
+  const Observed ref = run(cfg, 1, 1, span);
+  EXPECT_TRUE(ref.done);
+  EXPECT_EQ(ref.copy_errors, 0u);
+  EXPECT_EQ(ref.violations, 0u);
+  EXPECT_FALSE(ref.transcript.empty());
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    for (unsigned threads : {1u, 2u, hw}) {
+      expect_identical(ref, run(cfg, shards, threads, span),
+                       "shards=" + std::to_string(shards) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FabricIdentity, Star5SegmentsWithCheckers) {
+  FabricConfig cfg;
+  cfg.topo = Topology::Star;
+  cfg.segments = 5;
+  cfg.app_ops = 5;
+  cfg.checkers = true;
+  const sim::Time span = 1500_us;
+  const Observed ref = run(cfg, 1, 1, span);
+  EXPECT_TRUE(ref.done);
+  EXPECT_EQ(ref.violations, 0u);
+  EXPECT_EQ(ref.check_fails, 0u);
+  expect_identical(ref, run(cfg, 2, 2, span), "shards=2");
+  expect_identical(ref, run(cfg, 5, 2, span), "shards=5");
+}
+
+TEST(FabricIdentity, Ring16Segments) {
+  FabricConfig cfg;
+  cfg.segments = 16;
+  cfg.app_ops = 3;
+  const sim::Time span = 2000_us;
+  const Observed ref = run(cfg, 1, 1, span);
+  EXPECT_TRUE(ref.done);
+  EXPECT_EQ(ref.copy_errors, 0u);
+  expect_identical(ref, run(cfg, 4, 4, span), "shards=4");
+  expect_identical(ref, run(cfg, 16, 0, span), "shards=16 threads=hw");
+}
+
+TEST(FabricIdentity, Ring64Segments) {
+  FabricConfig cfg;
+  cfg.segments = 64;
+  cfg.app_ops = 2;
+  const sim::Time span = 3000_us;
+  const Observed ref = run(cfg, 1, 1, span);
+  EXPECT_TRUE(ref.done);
+  EXPECT_EQ(ref.copy_errors, 0u);
+  EXPECT_EQ(ref.violations, 0u);
+  expect_identical(ref, run(cfg, 8, 4, span), "shards=8");
+}
+
+// --------------------------------------------------------------------
+// Waveform identity: per-signal VCD comparison across partitions, and
+// byte identity across thread counts for a fixed partition.
+
+std::vector<std::string> run_traced(FabricConfig cfg, std::size_t shards,
+                                    unsigned threads, const std::string& dir,
+                                    sim::Time span) {
+  cfg.shards = shards;
+  cfg.threads = threads;
+  FabricSystem sys(cfg);
+  std::vector<std::string> paths = sys.attach_traces(dir);
+  sys.run_for(span);
+  sys.flush_traces();
+  EXPECT_TRUE(sys.all_done());
+  return paths;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FabricWaves, ShardVcdsMatchSerialReferencePerSignal) {
+  FabricConfig cfg;
+  cfg.segments = 4;
+  cfg.app_ops = 4;
+  const sim::Time span = 1000_us;
+  const std::string dir = ::testing::TempDir();
+  const auto serial =
+      run_traced(cfg, 1, 1, dir + "fabric_serial", span);
+  const auto sharded =
+      run_traced(cfg, 2, 2, dir + "fabric_sharded", span);
+  ASSERT_EQ(serial.size(), 1u);
+  ASSERT_EQ(sharded.size(), 2u);
+  verify::VcdFile all = verify::VcdFile::load(serial[0]);
+  for (const std::string& path : sharded) {
+    verify::VcdFile part = verify::VcdFile::load(path);
+    EXPECT_FALSE(part.signal_names().empty());
+    const verify::WaveCompareResult r = verify::compare_waves(all, part);
+    EXPECT_TRUE(r.equal) << path << ": " << r.first_difference;
+  }
+}
+
+TEST(FabricWaves, FixedPartitionVcdsAreByteIdenticalAcrossThreads) {
+  FabricConfig cfg;
+  cfg.segments = 4;
+  cfg.app_ops = 4;
+  const sim::Time span = 1000_us;
+  const std::string dir = ::testing::TempDir();
+  const auto t1 = run_traced(cfg, 4, 1, dir + "fabric_t1", span);
+  const auto t4 = run_traced(cfg, 4, 4, dir + "fabric_t4", span);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(slurp(t1[i]), slurp(t4[i])) << t1[i];
+  }
+}
+
+// Temp-dir creation for the trace tests: gtest's TempDir always exists,
+// but the per-test subdirectories do not.  FabricSystem::attach_traces
+// opens files directly, so create the directories up front.
+class FabricWavesEnv : public ::testing::Environment {
+public:
+  void SetUp() override {
+    const std::string base = ::testing::TempDir();
+    for (const char* d : {"fabric_serial", "fabric_sharded", "fabric_t1",
+                          "fabric_t4"}) {
+      std::filesystem::create_directories(base + d);
+    }
+  }
+};
+
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new FabricWavesEnv);
+
+}  // namespace
+}  // namespace hlcs::fabric

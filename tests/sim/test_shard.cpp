@@ -1,0 +1,270 @@
+// ShardEngine and Link: conservative-lookahead windows, staged message
+// delivery, and the determinism contract -- observable behaviour must be
+// bit-identical at every shard and thread count, including the serial
+// reference (everything on one kernel).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::sim {
+namespace {
+
+using namespace hlcs::sim::literals;
+
+struct IntMsg {
+  int value;
+};
+
+/// Sends `count` messages on a fixed schedule; logs each send.
+class Producer : public Module {
+public:
+  Producer(Kernel& k, std::string name, Link<IntMsg>& out, int count,
+           Time period)
+      : Module(k, std::move(name)), out_(out), count_(count), period_(period) {
+    spawn("main", [this]() { return run(); });
+  }
+
+private:
+  Task run() {
+    for (int i = 0; i < count_; ++i) {
+      co_await kernel().wait(period_);
+      out_.send(IntMsg{i});
+    }
+  }
+
+  Link<IntMsg>& out_;
+  int count_;
+  Time period_;
+};
+
+/// Receives everything and logs (time, value) pairs.
+class Consumer : public Module {
+public:
+  Consumer(Kernel& k, std::string name, Link<IntMsg>& in)
+      : Module(k, std::move(name)), in_(in) {
+    spawn("main", [this]() { return run(); });
+  }
+
+  const std::string& log() const { return log_; }
+
+private:
+  Task run() {
+    for (;;) {
+      while (!in_.ready()) co_await in_.arrival();
+      const IntMsg m = in_.pop();
+      std::ostringstream os;
+      os << kernel().now().picos() << ":" << m.value << ";";
+      log_ += os.str();
+    }
+  }
+
+  Link<IntMsg>& in_;
+  std::string log_;
+};
+
+TEST(Link, DeliversAtExactLatency) {
+  Kernel a, b;
+  Link<IntMsg> link(a, b, "ab", 100_ns);
+  Producer prod(a, "prod", link, 3, 50_ns);
+  Consumer cons(b, "cons", link);
+  ShardEngine eng({&a, &b}, {&link});
+  eng.run_for(1_us);
+  // Sends at 50/100/150 ns arrive at 150/200/250 ns.
+  EXPECT_EQ(cons.log(), "150000:0;200000:1;250000:2;");
+  EXPECT_EQ(link.sent(), 3u);
+  EXPECT_EQ(link.delivered(), 3u);
+}
+
+TEST(Link, IntraKernelBehavesLikeCrossKernel) {
+  // The same model split two ways must produce the same consumer log --
+  // this is what makes partitions interchangeable.
+  std::string logs[2];
+  for (int split = 0; split < 2; ++split) {
+    Kernel a;
+    Kernel b;
+    Kernel& dst = split ? b : a;
+    Link<IntMsg> link(a, dst, "l", 70_ns);
+    Producer prod(a, "prod", link, 5, 30_ns);
+    Consumer cons(dst, "cons", link);
+    std::vector<Kernel*> shards = {&a};
+    if (split) shards.push_back(&b);
+    ShardEngine eng(std::move(shards), {&link});
+    eng.run_for(1_us);
+    logs[split] = cons.log();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_FALSE(logs[0].empty());
+}
+
+TEST(Link, RejectsZeroLatency) {
+  Kernel a, b;
+  EXPECT_THROW(Link<IntMsg>(a, b, "bad", Time::zero()), Error);
+}
+
+TEST(ShardEngine, WindowDefaultsToMinLinkLatency) {
+  Kernel a, b;
+  Link<IntMsg> l1(a, b, "l1", 100_ns);
+  Link<IntMsg> l2(b, a, "l2", 40_ns);
+  ShardEngine eng({&a, &b}, {&l1, &l2});
+  EXPECT_EQ(eng.window(), 40_ns);
+}
+
+TEST(ShardEngine, RejectsWindowWiderThanLookahead) {
+  Kernel a, b;
+  Link<IntMsg> l(a, b, "l", 40_ns);
+  ShardEngine::Options opt;
+  opt.window = 50_ns;
+  EXPECT_THROW(ShardEngine({&a, &b}, {&l}, opt), Error);
+}
+
+TEST(ShardEngine, RejectsForeignLinkEndpoints) {
+  Kernel a, b, c;
+  Link<IntMsg> l(a, c, "l", 40_ns);
+  EXPECT_THROW(ShardEngine({&a, &b}, {&l}), Error);
+}
+
+TEST(ShardEngine, ThreadCountIsCappedAtShardCount) {
+  Kernel a, b;
+  Link<IntMsg> l(a, b, "l", 40_ns);
+  ShardEngine::Options opt;
+  opt.threads = 16;
+  ShardEngine eng({&a, &b}, {&l}, opt);
+  EXPECT_EQ(eng.threads(), 2u);
+}
+
+TEST(ShardEngine, IncrementalRunMatchesOneShot) {
+  std::string logs[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    Kernel a, b;
+    Link<IntMsg> link(a, b, "ab", 100_ns);
+    Producer prod(a, "prod", link, 6, 90_ns);
+    Consumer cons(b, "cons", link);
+    ShardEngine eng({&a, &b}, {&link});
+    if (mode == 0) {
+      eng.run_for(2_us);
+    } else {
+      for (int i = 0; i < 8; ++i) eng.run_for(250_ns);
+    }
+    EXPECT_EQ(eng.now(), 2_us);
+    logs[mode] = cons.log();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_FALSE(logs[0].empty());
+}
+
+TEST(ShardEngine, CountsWindowsAndMessages) {
+  Kernel a, b;
+  Link<IntMsg> link(a, b, "ab", 100_ns);
+  Producer prod(a, "prod", link, 4, 80_ns);
+  Consumer cons(b, "cons", link);
+  ShardEngine eng({&a, &b}, {&link});
+  eng.run_for(1_us);
+  EXPECT_GT(eng.windows_run(), 0u);
+  const std::vector<ShardStats>& st = eng.stats();
+  ASSERT_EQ(st.size(), 2u);
+  EXPECT_EQ(st[0].msgs_sent, 4u);
+  EXPECT_EQ(st[0].msgs_received, 0u);
+  EXPECT_EQ(st[1].msgs_sent, 0u);
+  EXPECT_EQ(st[1].msgs_received, 4u);
+  EXPECT_GT(st[0].kernel.timed_actions, 0u);
+  // The consumer-only shard does nothing after the last delivery: its
+  // stall counter must move while the producer keeps scheduling.
+  EXPECT_GE(st[1].stalled_windows, 0u);
+}
+
+TEST(ShardEngine, PropagatesShardExceptions) {
+  Kernel a, b;
+  Link<IntMsg> link(a, b, "ab", 50_ns);
+  a.spawn("boom", [&a]() -> Task {
+    co_await a.wait(120_ns);
+    fail("deliberate shard failure");
+  });
+  ShardEngine eng({&a, &b}, {&link});
+  EXPECT_THROW(eng.run_for(1_us), Error);
+}
+
+// --------------------------------------------------------------------
+// Determinism gates on a real system: the PCI test system of
+// examples/pci_system run under the engine must match a plain kernel.
+
+std::string run_pci_system(bool under_engine) {
+  Kernel k;
+  Clock clk(k, "clk", 30_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arbiter(k, "arb", bus);
+  pci::PciMonitor monitor(k, "mon", bus);
+  pci::PciTarget target(k, "target", bus,
+                        pci::TargetConfig{.base = 0x40000000,
+                                          .size = 0x1000,
+                                          .devsel = pci::DevselSpeed::Medium,
+                                          .initial_wait = 1,
+                                          .per_word_wait = 1});
+  pattern::PciBusInterface iface(k, "iface", bus, arbiter);
+  std::vector<pattern::CommandType> workload = {
+      {.op = pattern::BusOp::Write, .addr = 0x40000010, .data = {0xCAFEBABE}},
+      {.op = pattern::BusOp::Read, .addr = 0x40000010, .count = 1},
+      {.op = pattern::BusOp::WriteBurst,
+       .addr = 0x40000100,
+       .data = {0x11, 0x22, 0x33, 0x44}},
+      {.op = pattern::BusOp::ReadBurst, .addr = 0x40000100, .count = 4},
+  };
+  pattern::Application app(k, "app", iface, workload);
+  if (under_engine) {
+    ShardEngine eng({&k}, {});
+    eng.run_for(100_us);
+  } else {
+    k.run_for(100_us);
+  }
+  EXPECT_TRUE(app.done());
+  EXPECT_TRUE(monitor.violations().empty());
+  return app.transcript().to_string();
+}
+
+TEST(ShardEngine, PciSystemMatchesPlainKernel) {
+  const std::string plain = run_pci_system(false);
+  const std::string sharded = run_pci_system(true);
+  EXPECT_EQ(plain, sharded);
+  EXPECT_FALSE(plain.empty());
+}
+
+// Two PCI systems coupled by a message ping-pong, split across shards
+// and driven by 1 and 2 threads: consumer logs must be identical.
+std::string run_coupled(std::size_t shards, unsigned threads) {
+  Kernel k1;
+  Kernel k2_storage;
+  Kernel& k2 = shards == 2 ? k2_storage : k1;
+  Link<IntMsg> fwd(k1, k2, "fwd", 90_ns);
+  Link<IntMsg> bwd(k2, k1, "bwd", 90_ns);
+  Producer prod(k1, "prod", fwd, 8, 60_ns);
+  // An echo stage: every received value goes back incremented.
+  k2.spawn("echo", [&]() -> Task {
+    for (;;) {
+      while (!fwd.ready()) co_await fwd.arrival();
+      IntMsg m = fwd.pop();
+      bwd.send(IntMsg{m.value + 100});
+    }
+  });
+  Consumer cons(k1, "cons", bwd);
+  std::vector<Kernel*> ks = {&k1};
+  if (shards == 2) ks.push_back(&k2_storage);
+  ShardEngine::Options opt;
+  opt.threads = threads;
+  ShardEngine eng(std::move(ks), {&fwd, &bwd}, opt);
+  eng.run_for(3_us);
+  return cons.log();
+}
+
+TEST(ShardEngine, CoupledSystemIdenticalAcrossShardsAndThreads) {
+  const std::string ref = run_coupled(1, 1);
+  EXPECT_FALSE(ref.empty());
+  EXPECT_EQ(run_coupled(2, 1), ref);
+  EXPECT_EQ(run_coupled(2, 2), ref);
+}
+
+}  // namespace
+}  // namespace hlcs::sim
