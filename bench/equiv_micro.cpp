@@ -26,6 +26,13 @@
 //                  mode 2, 512 lanes at K=8).  Includes synthesis +
 //                  golden-model cost on both sides, so the ratio is
 //                  what a fig.4 gate or a fuzz CI budget actually sees.
+//
+// Modes 5/6/7 of the edge benchmarks (and 3/4 of BM_EquivCheck) run
+// the same superlane widths through the native tape JIT
+// (hlcs/synth/jit.hpp).  The JIT-backed sim is constructed OUTSIDE the
+// timed loop, so compilation never pollutes the steady-state medians;
+// compile time is priced separately by BM_JitCompile and echoed on
+// every JIT row as the jit_compile_ns / jit_code_bytes counters.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -67,10 +74,18 @@ Netlist make_channel(std::size_t clients, hlcs::osss::PolicyKind policy) {
 }
 
 /// Superlane factor for a benchmark mode argument: modes 2/3/4 are the
-/// batch engine at K = 1/4/8 (64/256/512 lanes); modes 0/1 are scalar.
+/// batch interpreter at K = 1/4/8 (64/256/512 lanes), modes 5/6/7 the
+/// batch JIT at the same widths; modes 0/1 are scalar.
 unsigned mode_super(long mode) {
-  return mode == 2 ? 1u : mode == 3 ? 4u : mode == 4 ? 8u : 0u;
+  switch (mode) {
+    case 2: case 5: return 1u;
+    case 3: case 6: return 4u;
+    case 4: case 7: return 8u;
+    default: return 0u;
+  }
 }
+
+bool mode_jit(long mode) { return mode >= 5; }
 
 void report_batch_counters(benchmark::State& state,
                            const BatchNetlistSim& sim) {
@@ -79,13 +94,21 @@ void report_batch_counters(benchmark::State& state,
       static_cast<double>(sim.stats().plane_instructions);
   state.counters["fused_ops"] = static_cast<double>(sim.stats().fused_ops);
   state.counters["scalar_ops"] = static_cast<double>(sim.stats().scalar_ops);
+  if (const JitStats* js = sim.jit_stats()) {
+    // One-time compile cost, reported but never inside the timed loop.
+    state.counters["jit_compile_ns"] = static_cast<double>(js->compile_ns);
+    state.counters["jit_code_bytes"] = static_cast<double>(js->code_bytes);
+    state.counters["jit_native_combs"] =
+        static_cast<double>(js->combs_native);
+    state.counters["jit_deopt_combs"] = static_cast<double>(js->combs_deopt);
+  }
 }
 
 /// Dense random stimulus lanes through full clock edges.
 /// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2/3/4 = batch
-/// at K=1/4/8 (64/256/512 lanes).  range(1) = clients.  range(2):
-/// 0 = static_priority, 1 = round_robin.  One iteration = lanes
-/// lane-edges on every side.
+/// interpreter at K=1/4/8 (64/256/512 lanes), 5/6/7 = batch JIT at the
+/// same widths.  range(1) = clients.  range(2): 0 = static_priority,
+/// 1 = round_robin.  One iteration = lanes lane-edges on every side.
 void BM_BatchEdge(benchmark::State& state) {
   const unsigned super = mode_super(state.range(0));
   const bool batch = super != 0;
@@ -111,7 +134,9 @@ void BM_BatchEdge(benchmark::State& state) {
   }
 
   if (batch) {
-    BatchNetlistSim sim(nl, super);
+    // Construction (and hence JIT compilation) happens here, outside
+    // the timed loop: the medians below are pure steady-state.
+    BatchNetlistSim sim(nl, super, mode_jit(state.range(0)));
     for (auto _ : state) {
       for (std::size_t lane = 0; lane < lanes; ++lane) {
         const std::uint64_t r = rngs[lane].next();
@@ -154,11 +179,16 @@ BENCHMARK(BM_BatchEdge)
     ->Args({2, 4, 0})
     ->Args({3, 4, 0})
     ->Args({4, 4, 0})
+    ->Args({5, 4, 0})
+    ->Args({6, 4, 0})
+    ->Args({7, 4, 0})
     ->Args({0, 4, 1})
     ->Args({1, 4, 1})
     ->Args({2, 4, 1})
     ->Args({3, 4, 1})
-    ->Args({4, 4, 1});
+    ->Args({4, 4, 1})
+    ->Args({5, 4, 1})
+    ->Args({7, 4, 1});
 
 /// A lowered property-monitor automaton: the temporal operators expand
 /// to 1-bit state machines, so nearly every net is one plane wide and
@@ -182,7 +212,7 @@ hlcs::check::Spec monitor_spec() {
 
 /// Random stimulus lanes through a lowered monitor netlist.
 /// range(0): 0 = scalar FullTape, 1 = scalar Incremental, 2/3/4 = batch
-/// at K=1/4/8 (64/256/512 lanes).
+/// interpreter at K=1/4/8 (64/256/512 lanes), 5/6/7 = batch JIT.
 void BM_BatchMonitorEdge(benchmark::State& state) {
   const unsigned super = mode_super(state.range(0));
   const bool batch = super != 0;
@@ -206,7 +236,7 @@ void BM_BatchMonitorEdge(benchmark::State& state) {
   }
 
   if (batch) {
-    BatchNetlistSim sim(nl, super);
+    BatchNetlistSim sim(nl, super, mode_jit(state.range(0)));
     sim.set_input_broadcast(rst, 0);
     for (auto _ : state) {
       for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -241,16 +271,117 @@ void BM_BatchMonitorEdge(benchmark::State& state) {
       benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BatchMonitorEdge)
-    ->ArgName("mode")->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+    ->ArgName("mode")
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+/// The evaluation engine alone, interleaved A/B: stimulus is driven
+/// once, then every iteration is one full clock edge (full-tape batch
+/// evaluation -- every comb, every settle; register feedback keeps the
+/// state vector live).  BM_BatchEdge above prices a replay workload
+/// where per-lane stimulus scatter dominates; this row prices what the
+/// JIT actually replaces, so it is the honest interpreter-vs-native
+/// ratio.  range(0): 2/3/4 = batch interpreter at K=1/4/8, 5/6/7 =
+/// batch JIT at the same widths.
+void BM_JitEdge(benchmark::State& state) {
+  const unsigned super = mode_super(state.range(0));
+  Netlist nl = make_channel(4, hlcs::osss::PolicyKind::StaticPriority);
+  BatchNetlistSim sim(nl, super, mode_jit(state.range(0)));
+  hlcs::sim::Xorshift rng(0x1D6E);
+  for (NetId in : nl.inputs()) {
+    for (std::size_t lane = 0; lane < sim.lanes(); ++lane) {
+      sim.set_input(in, lane, rng.next());
+    }
+  }
+  for (auto _ : state) {
+    sim.clock_edge();
+  }
+  report_batch_counters(state, sim);
+  const double lane_edges = static_cast<double>(state.iterations()) *
+                            static_cast<double>(sim.lanes());
+  state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
+  state.counters["lane_edges/s"] =
+      benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JitEdge)
+    ->ArgName("mode")->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+/// Same engine-only A/B over the lowered property-monitor automaton:
+/// nearly every net is one bit wide, so this is the densest plane
+/// layout and the shape the batched lock-step checks drive.
+void BM_JitMonitorEdge(benchmark::State& state) {
+  const unsigned super = mode_super(state.range(0));
+  const hlcs::check::Automaton a = hlcs::check::compile(monitor_spec());
+  Netlist nl = hlcs::check::lower(a);
+  BatchNetlistSim sim(nl, super, mode_jit(state.range(0)));
+  sim.set_input_broadcast(nl.find("rst"), 0);
+  hlcs::sim::Xorshift rng(0x6D17);
+  for (const hlcs::check::SignalDecl& sd : a.signals) {
+    const NetId n = nl.find(sd.name);
+    const std::uint64_t mask = hlcs::synth::ExprArena::mask(sd.width);
+    for (std::size_t lane = 0; lane < sim.lanes(); ++lane) {
+      sim.set_input(n, lane, rng.next() & mask);
+    }
+  }
+  for (auto _ : state) {
+    sim.clock_edge();
+  }
+  report_batch_counters(state, sim);
+  const double lane_edges = static_cast<double>(state.iterations()) *
+                            static_cast<double>(sim.lanes());
+  state.SetItemsProcessed(static_cast<std::int64_t>(lane_edges));
+  state.counters["lane_edges/s"] =
+      benchmark::Counter(lane_edges, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JitMonitorEdge)
+    ->ArgName("mode")->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+/// JIT compilation priced as its own metric: one iteration = compile
+/// the mailbox channel's tape to native code (scalar TapeJit at
+/// range(0) == 0, superlane BatchJit at K = range(0) otherwise) and
+/// throw it away.  This is the cost the edge benchmarks above pay once
+/// outside their timed loops.
+void BM_JitCompile(benchmark::State& state) {
+  const unsigned super = static_cast<unsigned>(state.range(0));
+  Netlist nl = make_channel(4, hlcs::osss::PolicyKind::StaticPriority);
+  if (!TapeJit::host_supported()) {
+    state.SkipWithError("JIT unavailable on this host");
+    return;
+  }
+  double code_bytes = 0, native = 0;
+  if (super == 0) {
+    const TapeProgram tape = TapeProgram::compile(nl);
+    for (auto _ : state) {
+      TapeJit jit(tape);
+      benchmark::DoNotOptimize(jit.available());
+      code_bytes = static_cast<double>(jit.stats().code_bytes);
+      native = static_cast<double>(jit.stats().combs_native);
+    }
+  } else {
+    BatchTape bt(nl, super);
+    for (auto _ : state) {
+      BatchJit jit(bt);
+      benchmark::DoNotOptimize(jit.available());
+      code_bytes = static_cast<double>(jit.stats().code_bytes);
+      native = static_cast<double>(jit.stats().combs_native);
+    }
+  }
+  state.counters["jit_code_bytes"] = code_bytes;
+  state.counters["jit_native_combs"] = native;
+}
+BENCHMARK(BM_JitCompile)->ArgName("K")->Arg(0)->Arg(1)->Arg(4)->Arg(8);
 
 /// End-to-end lock-step equivalence: independently seeded stimulus
 /// lanes against the golden interpreter.  range(0): 0 = scalar backend
 /// (64 lanes, one at a time), 1 = batch backend (64 lanes at K=1),
-/// 2 = batch backend (512 lanes at K=8, one superlane block).
+/// 2 = batch backend (512 lanes at K=8, one superlane block); 3 and 4
+/// repeat modes 1 and 2 through the native JIT (which recompiles every
+/// invocation, like a fresh CI run would).
 void BM_EquivCheck(benchmark::State& state) {
   const bool batch = state.range(0) >= 1;
-  const unsigned super = state.range(0) == 2 ? 8 : 1;
-  const std::size_t lanes = state.range(0) == 2 ? 512 : 64;
+  const bool jit = state.range(0) >= 3;
+  const unsigned super =
+      (state.range(0) == 2 || state.range(0) == 4) ? 8 : 1;
+  const std::size_t lanes = super == 8 ? 512 : 64;
   const ObjectDesc d = make_mailbox();
   SynthOptions opt;
   opt.clients = 4;
@@ -261,7 +392,8 @@ void BM_EquivCheck(benchmark::State& state) {
     const EquivResult r = check_equivalence(
         d, opt,
         EquivOptions{.cycles = kCycles, .seed = seed++, .reset_percent = 4,
-                     .lanes = lanes, .batch = batch, .superlanes = super});
+                     .lanes = lanes, .batch = batch, .superlanes = super,
+                     .jit = jit});
     if (!r.equal) {
       state.SkipWithError("equivalence mismatch");
       return;
@@ -274,7 +406,8 @@ void BM_EquivCheck(benchmark::State& state) {
   state.counters["lane_cycles/s"] =
       benchmark::Counter(lane_cycles, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EquivCheck)->ArgName("mode")->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_EquivCheck)
+    ->ArgName("mode")->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 }  // namespace
 

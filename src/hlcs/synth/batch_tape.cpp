@@ -232,6 +232,19 @@ void BatchTape::run_all(std::uint64_t* planes, BatchStats& stats) {
   stats.scalar_ops += scalar_insns_per_lane_ * lanes();
 }
 
+void BatchTape::run_comb(std::size_t ci, std::uint64_t* planes) {
+  if (!bcombs_[ci].parallel) {
+    run_lanes(ci, planes);
+    return;
+  }
+  const NetId target = tape_.combs()[ci].target;
+  switch (super_) {
+    case 4: run_planes<4>(bcombs_[ci], target, planes); break;
+    case 8: run_planes<8>(bcombs_[ci], target, planes); break;
+    default: run_planes<1>(bcombs_[ci], target, planes); break;
+  }
+}
+
 template <unsigned K>
 void BatchTape::run_combs(std::uint64_t* planes) {
   const auto& combs = tape_.combs();
@@ -872,10 +885,15 @@ void BatchTape::run_lanes(std::size_t ci, std::uint64_t* planes) {
   for (std::size_t i = 0; i < std::size_t{wt} * K; ++i) t[i] = res[i];
 }
 
-BatchNetlistSim::BatchNetlistSim(const Netlist& nl, unsigned super)
+BatchNetlistSim::BatchNetlistSim(const Netlist& nl, unsigned super, bool jit)
     : nl_(nl),
       bt_(nl, super),
       planes_(std::size_t{bt_.total_planes()} * bt_.super(), 0) {
+  if (jit && BatchJit::host_supported()) {
+    jit_ = std::make_unique<BatchJit>(bt_);
+    // Nothing compilable (or no executable pages): fall back wholesale.
+    if (!jit_->available()) jit_.reset();
+  }
   latch_off_.reserve(nl.regs().size() + 1);
   std::uint32_t off = 0;
   for (const RegDesc& r : nl.regs()) {
@@ -932,7 +950,11 @@ std::uint64_t BatchNetlistSim::get(NetId n, std::size_t lane) const {
 
 void BatchNetlistSim::settle() {
   ++stats_.settles;
-  bt_.run_all(planes_.data(), stats_);
+  if (jit_) {
+    jit_->run_all(planes_.data(), stats_);
+  } else {
+    bt_.run_all(planes_.data(), stats_);
+  }
 }
 
 void BatchNetlistSim::clock_edge() {

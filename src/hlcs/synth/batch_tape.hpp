@@ -49,10 +49,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "hlcs/synth/jit.hpp"
 #include "hlcs/synth/netlist.hpp"
 #include "hlcs/synth/tape.hpp"
 
@@ -192,6 +194,11 @@ public:
   void run_all(std::uint64_t* planes, BatchStats& stats);
 
 private:
+  /// The batch JIT (hlcs/synth/jit.hpp) compiles against this tape's
+  /// plane layout and routes its per-comb deopts back through
+  /// run_comb(), so it needs the classification internals.
+  friend class BatchJit;
+
   /// A parallel comb's fused instruction range, or the marker for the
   /// scalar fallback.
   struct BComb {
@@ -203,6 +210,9 @@ private:
 
   template <unsigned K>
   void run_combs(std::uint64_t* planes);
+  /// Evaluate a single comb through the interpreter (plane or scalar
+  /// path per its classification) -- the JIT's per-comb deopt entry.
+  void run_comb(std::size_t ci, std::uint64_t* planes);
   template <unsigned K>
   void run_planes(const BComb& bc, NetId target, std::uint64_t* planes);
   void run_lanes(std::size_t ci, std::uint64_t* planes);
@@ -255,10 +265,16 @@ class BatchNetlistSim {
 public:
   static constexpr std::size_t kLanes = BatchTape::kLanes;
 
-  /// `super` must be 1, 4 or 8 (0 picks cpu_superlanes()).
-  explicit BatchNetlistSim(const Netlist& nl, unsigned super = 1);
+  /// `super` must be 1, 4 or 8 (0 picks cpu_superlanes()).  With
+  /// `jit = true` the comb tape runs as native code (hlcs/synth/jit.hpp)
+  /// where the host supports it; the flag is a silent no-op otherwise,
+  /// so callers can request the JIT unconditionally.
+  explicit BatchNetlistSim(const Netlist& nl, unsigned super = 1,
+                           bool jit = false);
 
   unsigned super() const { return bt_.super(); }
+  /// Non-null when settles run through the native batch JIT.
+  const JitStats* jit_stats() const { return jit_ ? &jit_->stats() : nullptr; }
   /// Independent simulations carried by this instance: super() * 64.
   std::size_t lanes() const { return bt_.lanes(); }
 
@@ -295,6 +311,7 @@ public:
 private:
   const Netlist& nl_;
   BatchTape bt_;
+  std::unique_ptr<BatchJit> jit_;  ///< null = interpreter settles
   std::vector<std::uint64_t> planes_;
   std::vector<std::uint64_t> latch_;      ///< register-D row scratch
   std::vector<std::uint32_t> latch_off_;  ///< per reg, into latch_ (rows)

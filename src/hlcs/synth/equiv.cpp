@@ -203,10 +203,10 @@ void run_batch_block(const ObjectDesc& desc, const SynthOptions& opt,
                      const EquivOptions& eopt, const Netlist& nl,
                      const Ports& ports, const BatchRunner::Block& blk,
                      LaneOutcome* outs, std::vector<EquivVector>* record,
-                     BatchStats* stats_out) {
+                     BatchStats* stats_out, JitStats* jit_out) {
   const std::size_t lane0 = blk.lane0;
   const std::size_t n = blk.lanes;
-  BatchNetlistSim rtl(nl, blk.super);
+  BatchNetlistSim rtl(nl, blk.super, eopt.jit);
   std::vector<GoldenCycleModel> goldens;
   goldens.reserve(n);
   std::vector<LaneStim> stims(n);
@@ -285,6 +285,7 @@ void run_batch_block(const ObjectDesc& desc, const SynthOptions& opt,
     }
   }
   if (stats_out) *stats_out = rtl.stats();
+  if (jit_out && rtl.jit_stats()) *jit_out = *rtl.jit_stats();
 }
 
 std::string lane_prefix(std::size_t lane, std::uint64_t seed) {
@@ -345,16 +346,18 @@ EquivResult check_equivalence(const ObjectDesc& desc, const SynthOptions& opt,
     // Per-block stats land in a block-indexed vector and are summed in
     // block order afterwards, so the totals (like the verdicts) are
     // identical at any thread count.
-    std::vector<BatchStats> stats(
-        BatchRunner::block_count(lanes, eopt.superlanes));
+    const std::size_t nblocks = BatchRunner::block_count(lanes, eopt.superlanes);
+    std::vector<BatchStats> stats(nblocks);
+    std::vector<JitStats> jstats(nblocks);
     BatchRunner::run(lanes, eopt.threads, eopt.superlanes,
                      [&](std::size_t block, const BatchRunner::Block& blk) {
                        run_batch_block(desc, opt, eopt, nl, ports, blk,
                                        outs.data() + blk.lane0,
                                        block == 0 ? &result.vectors : nullptr,
-                                       &stats[block]);
+                                       &stats[block], &jstats[block]);
                      });
     for (const BatchStats& s : stats) result.batch_stats += s;
+    for (const JitStats& s : jstats) result.jit_stats += s;
     result.batch_scalar_fraction = result.batch_stats.scalar_fraction();
   } else {
     NetlistSim rtl(nl);

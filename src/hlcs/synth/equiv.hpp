@@ -57,6 +57,10 @@ struct EquivOptions {
   /// partition of lanes into blocks depends only on (lanes, superlanes),
   /// never on thread count.  Ignored when batch is false.
   unsigned superlanes = 1;
+  /// Run each block's comb tape as native code (hlcs/synth/jit.hpp).
+  /// Verdicts are bit-identical to the interpreter; a silent no-op on
+  /// hosts without JIT support.  Ignored when batch is false.
+  bool jit = false;
 };
 
 /// One recorded cycle of the lock-step run (also usable as a test
@@ -92,6 +96,10 @@ struct EquivResult {
   /// superinstructions executed, scalar-fallback tape instructions,
   /// plane instructions, ...).
   BatchStats batch_stats;
+  /// Batch+jit mode only: JIT compile/runtime counters summed over
+  /// every block in block order.  enabled is false when the JIT was
+  /// requested but unavailable (or never requested).
+  JitStats jit_stats;
 
   explicit operator bool() const { return equal; }
 };

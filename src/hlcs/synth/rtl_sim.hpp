@@ -26,6 +26,7 @@
 #include "hlcs/sim/clock.hpp"
 #include "hlcs/sim/module.hpp"
 #include "hlcs/sim/signal.hpp"
+#include "hlcs/synth/jit.hpp"
 #include "hlcs/synth/netlist.hpp"
 #include "hlcs/synth/tape.hpp"
 
@@ -36,6 +37,8 @@ enum class SettleMode : std::uint8_t {
   Incremental,  ///< event-driven: dirty cone only, in level order (default)
   FullTape,     ///< every comb, every settle, on the bytecode tape
   TreeWalk,     ///< every comb via the recursive interpreter (A/B reference)
+  Jit,          ///< every comb, as native code (falls back to FullTape
+                ///< evaluation on hosts without JIT support)
 };
 
 inline const char* to_string(SettleMode m) {
@@ -43,6 +46,7 @@ inline const char* to_string(SettleMode m) {
     case SettleMode::Incremental: return "incremental";
     case SettleMode::FullTape: return "full_tape";
     case SettleMode::TreeWalk: return "tree_walk";
+    case SettleMode::Jit: return "jit";
   }
   return "?";
 }
@@ -61,6 +65,10 @@ public:
         dirty_(tape_.combs().size(), 0),
         buckets_(tape_.levels()) {
     if (mode_ == SettleMode::TreeWalk) order_ = nl.validate_and_order();
+    if (mode_ == SettleMode::Jit && TapeJit::host_supported()) {
+      jit_ = std::make_unique<TapeJit>(tape_);
+      if (!jit_->available()) jit_.reset();  // fall back to the tape loop
+    }
     reset_state();
   }
 
@@ -144,13 +152,18 @@ public:
   SettleMode mode() const { return mode_; }
   const NetlistStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetlistStats{}; }
+  /// Non-null when settles run through the native JIT (SettleMode::Jit
+  /// on a supported host).
+  const JitStats* jit_stats() const { return jit_ ? &jit_->stats() : nullptr; }
 
 private:
   /// Evaluate every comb in topological order, then discard any pending
   /// dirty state (everything is consistent afterwards).
   void full_settle() {
     stats_.combs_possible += tape_.combs().size();
-    if (mode_ == SettleMode::TreeWalk) {
+    if (jit_) {
+      jit_->run_full(values_.data(), stack_.data(), slots_.data(), &stats_);
+    } else if (mode_ == SettleMode::TreeWalk) {
       const auto& combs = nl_.combs();
       for (std::size_t ci : order_) {
         values_[combs[ci].target] =
@@ -189,6 +202,7 @@ private:
   const Netlist& nl_;
   SettleMode mode_;
   TapeProgram tape_;
+  std::unique_ptr<TapeJit> jit_;    ///< Jit mode on a supported host
   std::vector<std::size_t> order_;  ///< TreeWalk mode only
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> stack_;  ///< tape evaluation stack
@@ -209,8 +223,8 @@ private:
 class RtlModule : public sim::Module {
 public:
   RtlModule(sim::Kernel& k, std::string name, const Netlist& nl,
-            sim::Clock& clk)
-      : Module(k, std::move(name)), sim_(nl) {
+            sim::Clock& clk, SettleMode mode = SettleMode::Incremental)
+      : Module(k, std::move(name)), sim_(nl, mode) {
     auto build = [&](const std::vector<NetId>& nets, std::vector<Pin>& pins,
                      std::unordered_map<std::string, std::size_t>& index) {
       std::vector<NetId> sorted = nets;

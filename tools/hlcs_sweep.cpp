@@ -107,7 +107,7 @@ synth::ObjectDesc make_equiv_object() {
 
 void run_equiv_point(std::size_t index, std::string& transcript,
                      const synth::ObjectDesc& desc, const SweepConfig& cfg,
-                     std::size_t lanes, unsigned super) {
+                     std::size_t lanes, unsigned super, bool jit) {
   using namespace hlcs::synth;
   const std::size_t n_clients = std::size(kClientCounts);
   const PolicyKind policy = kPolicies[index / n_clients];
@@ -120,14 +120,15 @@ void run_equiv_point(std::size_t index, std::string& transcript,
                    .policy = policy},
       EquivOptions{.cycles = cfg.cycles, .seed = 0x5EED0 + index,
                    .reset_percent = 3, .lanes = lanes, .batch = true,
-                   .superlanes = super});
+                   .superlanes = super, .jit = jit});
   char line[160];
   std::snprintf(line, sizeof(line),
                 "%-15s clients=%-3d equiv=%s lanes=%zu cycles=%zu "
-                "grants=%zu scalar_frac=%.3f\n",
+                "grants=%zu scalar_frac=%.3f%s\n",
                 osss::policy_name(policy).c_str(), clients,
                 r.equal ? "PASS" : "FAIL", r.lanes, r.cycles, r.grants,
-                r.batch_scalar_fraction);
+                r.batch_scalar_fraction,
+                jit ? (r.jit_stats.enabled ? " jit=on" : " jit=off") : "");
   transcript += line;
   if (!r.equal) {
     transcript += "  first mismatch: " + r.first_mismatch + "\n";
@@ -142,6 +143,7 @@ int main(int argc, char** argv) {
   bool equiv_mode = false;
   std::size_t equiv_lanes = 64;
   unsigned equiv_super = 1;
+  bool equiv_jit = false;
   SweepConfig cfg;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--equiv")) {
@@ -164,6 +166,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       equiv_super = static_cast<unsigned>(v);
+    } else if (!std::strcmp(argv[i], "--jit")) {
+      equiv_jit = true;  // --equiv blocks run the native tape JIT
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(argv[++i], &end, 10);
@@ -188,7 +192,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--cycles N] [--verify] "
-                   "[--equiv [lanes]] [--super K]\n",
+                   "[--equiv [lanes]] [--super K] [--jit]\n",
                    argv[0]);
       return 2;
     }
@@ -204,7 +208,8 @@ int main(int argc, char** argv) {
     const synth::ObjectDesc desc = make_equiv_object();
     std::vector<std::string> lines(points);
     sim::parallel_for_indexed(points, threads, [&](std::size_t i) {
-      run_equiv_point(i, lines[i], desc, cfg, equiv_lanes, equiv_super);
+      run_equiv_point(i, lines[i], desc, cfg, equiv_lanes, equiv_super,
+                      equiv_jit);
     });
     bool all_pass = true;
     for (const std::string& l : lines) {
@@ -214,7 +219,8 @@ int main(int argc, char** argv) {
     if (verify) {
       std::vector<std::string> serial(points);
       sim::parallel_for_indexed(points, 1, [&](std::size_t i) {
-        run_equiv_point(i, serial[i], desc, cfg, equiv_lanes, equiv_super);
+        run_equiv_point(i, serial[i], desc, cfg, equiv_lanes, equiv_super,
+                        equiv_jit);
       });
       for (std::size_t i = 0; i < points; ++i) {
         if (serial[i] != lines[i]) {

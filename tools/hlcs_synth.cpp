@@ -46,10 +46,18 @@ int usage(const char* argv0) {
                "                     SIMD width (default 1)\n"
                "  --equiv-threads N  worker threads for --equiv-batch "
                "(default 1, 0 = all cores)\n"
+               "  --equiv-jit [K]    run the check on the native tape JIT "
+               "(implies\n"
+               "                     --equiv-batch; optional K sets "
+               "--equiv-super).\n"
+               "                     Falls back to the interpreter on "
+               "unsupported hosts;\n"
+               "                     verdicts are bit-identical either way\n"
                "  --stats            print batch engine counters (fused / "
                "scalar-fallback\n"
-               "                     ops, per-opcode fusion hits) after "
-               "--equiv-batch\n"
+               "                     ops, per-opcode fusion hits) and, with "
+               "--equiv-jit,\n"
+               "                     JIT compile/deopt counters\n"
                "  -o FILE            write Verilog (default: stdout)\n"
                "  --testbench FILE   write a self-checking Verilog testbench\n"
                "  --report           print the resource report to stderr\n"
@@ -89,6 +97,7 @@ int main(int argc, char** argv) {
   bool equiv_batch = false;
   unsigned equiv_threads = 1;
   unsigned equiv_super = 1;
+  bool equiv_jit = false;
   bool do_stats = false;
   bool do_optimize = false;
   bool do_report = false;
@@ -125,6 +134,26 @@ int main(int argc, char** argv) {
           std::strspn(argv[i + 1], "0123456789") ==
               std::strlen(argv[i + 1])) {
         equiv_lanes = static_cast<std::size_t>(std::stoul(argv[++i]));
+      }
+    } else if (a == "--equiv-jit") {
+      equiv_jit = true;
+      if (!equiv_batch) {
+        equiv_batch = true;
+        equiv_lanes = 64;
+      }
+      // Optional superlane factor, same bare-number idiom as
+      // --equiv-batch's lane count.
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") ==
+              std::strlen(argv[i + 1])) {
+        equiv_super = static_cast<unsigned>(std::stoul(argv[++i]));
+        if (equiv_super != 0 && equiv_super != 1 && equiv_super != 4 &&
+            equiv_super != 8) {
+          std::fprintf(stderr,
+                       "--equiv-jit K must be 1, 4, 8 or 0 (auto), got %u\n",
+                       equiv_super);
+          return 2;
+        }
       }
     } else if (a == "--equiv-threads") {
       equiv_threads = static_cast<unsigned>(std::stoul(next("count")));
@@ -256,7 +285,8 @@ int main(int argc, char** argv) {
           desc, opt,
           EquivOptions{.cycles = check_cycles, .seed = seed,
                        .lanes = equiv_lanes, .batch = equiv_batch,
-                       .threads = equiv_threads, .superlanes = equiv_super});
+                       .threads = equiv_threads, .superlanes = equiv_super,
+                       .jit = equiv_jit});
       if (!equiv) {
         std::fprintf(stderr, "EQUIVALENCE FAILED: %s\n",
                      equiv.first_mismatch.c_str());
@@ -265,10 +295,14 @@ int main(int argc, char** argv) {
       if (equiv_batch) {
         std::fprintf(stderr,
                      "equivalence PASS: %zu lanes, %zu cycles total, %zu "
-                     "method grants (batch, K=%u, %.1f%% scalar fallback)\n",
+                     "method grants (batch, K=%u, %.1f%% scalar fallback%s)\n",
                      equiv.lanes, equiv.cycles, equiv.grants,
                      equiv_super == 0 ? cpu_superlanes() : equiv_super,
-                     100.0 * equiv.batch_scalar_fraction);
+                     100.0 * equiv.batch_scalar_fraction,
+                     equiv_jit ? (equiv.jit_stats.enabled
+                                      ? ", jit"
+                                      : ", jit unavailable")
+                               : "");
         if (do_stats) {
           const BatchStats& bs = equiv.batch_stats;
           std::fprintf(stderr,
@@ -287,6 +321,27 @@ int main(int argc, char** argv) {
             if (hits == 0) continue;
             std::fprintf(stderr, "  fused %-10s x%llu\n", name.c_str(),
                          static_cast<unsigned long long>(hits));
+          }
+          if (equiv.jit_stats.enabled) {
+            const JitStats& js = equiv.jit_stats;
+            std::fprintf(
+                stderr,
+                "jit stats: %llu ns compile, %llu code bytes, %llu "
+                "stencils, %llu segments, %llu/%llu combs native, %llu "
+                "native calls, %llu deopt evals\n",
+                static_cast<unsigned long long>(js.compile_ns),
+                static_cast<unsigned long long>(js.code_bytes),
+                static_cast<unsigned long long>(js.stencils),
+                static_cast<unsigned long long>(js.segments),
+                static_cast<unsigned long long>(js.combs_native),
+                static_cast<unsigned long long>(js.combs_native +
+                                                js.combs_deopt),
+                static_cast<unsigned long long>(js.native_calls),
+                static_cast<unsigned long long>(js.deopt_comb_evals));
+            for (const auto& [name, hits] : js.deopt_hits()) {
+              std::fprintf(stderr, "  deopt %-10s x%llu\n", name.c_str(),
+                           static_cast<unsigned long long>(hits));
+            }
           }
         }
       } else {
