@@ -1,0 +1,107 @@
+// CONTEND: contention cost-model microbenchmarks.  Three questions:
+// (1) what does the instrumentation layer cost per serve edge (it rides
+// inside BM_SharedObjectCall's 10% regress gate, this row isolates it),
+// (2) what does an AdaptiveArbitration::pick cost next to the static
+// policies at realistic queue depths, and (3) the payoff ledger -- the
+// adaptive vs best-static p99 grant latencies on every traffic shape,
+// recorded as counters so BENCH_contend.json documents the win the
+// tier-1 suite asserts.
+#include <benchmark/benchmark.h>
+
+#include "hlcs/contend/contend.hpp"
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace {
+
+using namespace hlcs;
+using osss::PolicyKind;
+
+/// Clocked serve-edge throughput with the full instrumentation layer
+/// hot: per-client latency histograms, depth histogram, wait
+/// attribution and streak tracking all update on every queue scan.
+void BM_InstrumentedServeEdge(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  std::uint64_t grants = 0, hist_samples = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Clock clk(k, "clk", sim::Time::ns(10));
+    osss::SharedObject<std::uint64_t> obj(
+        k, "obj", clk, osss::make_policy(PolicyKind::Fifo), 0);
+    for (int c = 0; c < clients; ++c) {
+      auto client = obj.make_client("c" + std::to_string(c));
+      k.spawn("p" + std::to_string(c), [client]() -> sim::Task {
+        for (;;) co_await client.call([](std::uint64_t& v) { ++v; });
+      });
+    }
+    k.run_for(sim::Time::ns(10 * 1000));
+    grants += obj.stats().grants;
+    for (const auto& cs : obj.stats().clients)
+      hist_samples += cs.latency.count();
+  }
+  state.counters["grants/s"] = benchmark::Counter(
+      static_cast<double>(grants), benchmark::Counter::kIsRate);
+  state.counters["hist_samples"] = static_cast<double>(hist_samples);
+}
+BENCHMARK(BM_InstrumentedServeEdge)->Arg(4)->Arg(16)->Arg(64);
+
+/// Raw pick() cost at a fixed queue depth, adaptive vs the static
+/// policies it blends.  The eligible set alternates between contended
+/// and solo so the adaptive window logic actually flips modes.
+void BM_PolicyPick(benchmark::State& state) {
+  const auto kind = static_cast<PolicyKind>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  auto policy = osss::make_policy(kind, 0xC0FFEE);
+  std::vector<osss::RequestInfo> eligible;
+  for (std::size_t i = 0; i < depth; ++i) {
+    eligible.push_back(osss::RequestInfo{i, 1000 - i, static_cast<int>(i % 4),
+                                         10 + i, 5 + i});
+  }
+  std::uint64_t picks = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->pick(eligible));
+    ++picks;
+  }
+  state.counters["picks/s"] = benchmark::Counter(
+      static_cast<double>(picks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PolicyPick)
+    ->ArgsProduct({{static_cast<long>(PolicyKind::Fifo),
+                    static_cast<long>(PolicyKind::Adaptive)},
+                   {4, 64}});
+
+/// The payoff ledger: one full cost-model cell per policy class on each
+/// traffic shape at 16 clients (the contention knee of the committed
+/// dataset).  The counters record the adaptive and best-static p99
+/// grant latencies; the tier-1 suite asserts adaptive <= best-static
+/// everywhere and strictly < on the adversarial shapes.
+void BM_ContendCellP99(benchmark::State& state) {
+  const auto shape = static_cast<contend::TrafficShape>(state.range(0));
+  std::uint64_t adaptive_p99 = 0, best_static_p99 = 0, cells = 0;
+  for (auto _ : state) {
+    best_static_p99 = ~std::uint64_t{0};
+    for (PolicyKind p : {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                         PolicyKind::StaticPriority, PolicyKind::Random}) {
+      const contend::CellResult r =
+          contend::run_cell(contend::CellConfig{p, 16, shape});
+      if (r.lat_p99 < best_static_p99) best_static_p99 = r.lat_p99;
+    }
+    adaptive_p99 =
+        contend::run_cell(contend::CellConfig{PolicyKind::Adaptive, 16, shape})
+            .lat_p99;
+    ++cells;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells * 5), benchmark::Counter::kIsRate);
+  state.counters["adaptive_p99"] = static_cast<double>(adaptive_p99);
+  state.counters["best_static_p99"] = static_cast<double>(best_static_p99);
+}
+BENCHMARK(BM_ContendCellP99)
+    ->Arg(static_cast<long>(contend::TrafficShape::Uniform))
+    ->Arg(static_cast<long>(contend::TrafficShape::Bursty))
+    ->Arg(static_cast<long>(contend::TrafficShape::Convoy))
+    ->Arg(static_cast<long>(contend::TrafficShape::Stampede));
+
+}  // namespace
+
+BENCHMARK_MAIN();

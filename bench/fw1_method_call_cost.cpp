@@ -39,8 +39,14 @@ LatencyResult measure(PolicyKind policy, int clients, bool asymmetric,
                       std::uint64_t cycles) {
   sim::Kernel k;
   sim::Clock clk(k, "clk", 10_ns);
-  osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
-                                        osss::make_policy(policy), 0);
+  // Seed the policy from the measurement point so RandomArbitration
+  // streams are decorrelated across the client/shape axes.
+  osss::SharedObject<std::uint64_t> obj(
+      k, "obj", clk,
+      osss::make_policy(policy,
+                        sim::lane_seed(0xBE7C4, static_cast<std::uint64_t>(
+                                                    clients * 2 + asymmetric))),
+      0);
   for (int c = 0; c < clients; ++c) {
     // Asymmetric: client index is its priority (matters only for the
     // static-priority policy).
@@ -243,8 +249,9 @@ void BM_ParallelPolicySweep(benchmark::State& state) {
     const PolicyKind policy = kPolicies[i / std::size(kClients)];
     const int clients = kClients[i % std::size(kClients)];
     sim::Clock clk(k, "clk", 10_ns);
-    osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
-                                          osss::make_policy(policy), 0);
+    osss::SharedObject<std::uint64_t> obj(
+        k, "obj", clk, osss::make_policy(policy, sim::lane_seed(0xF1F0, i)),
+        0);
     for (int c = 0; c < clients; ++c) {
       auto client = obj.make_client("c" + std::to_string(c));
       k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {

@@ -33,6 +33,31 @@ inline Spec shared_object_rules(unsigned starvation_bound = 0) {
   return s;
 }
 
+/// Policy-fairness pack (hlcs::contend): the live eligible-wait streak
+/// -- the longest run of edges any one queued call has stayed
+/// guard-true without being granted -- must never exceed `wait_bound`.
+/// This is strictly stronger than no_starvation above: no_starvation
+/// accepts ANY grant while a call is eligible, whereas this bound is
+/// per-call, so a policy that starves one client while granting others
+/// fails here.  Pair with policy_fairness_probes.
+inline Spec policy_fairness_rules(unsigned wait_bound) {
+  HLCS_ASSERT(wait_bound > 0, "policy_fairness_rules needs a bound > 0");
+  Spec s("policy_fairness_rules");
+  E wait = s.signal("elig_wait", 16);
+  s.always("bounded_eligible_wait", wait <= s.lit(wait_bound, 16));
+  return s;
+}
+
+template <class T>
+ProbeSet policy_fairness_probes(const osss::SharedObject<T>& so) {
+  ProbeSet ps;
+  ps.add(sim::probe_fn("elig_wait", 16, [&so] {
+    const std::uint64_t w = so.max_eligible_wait();
+    return w > 0xFFFFull ? 0xFFFFull : w;  // saturate at the probe width
+  }));
+  return ps;
+}
+
 template <class T>
 ProbeSet shared_object_probes(const osss::SharedObject<T>& so) {
   ProbeSet ps;

@@ -1,0 +1,8 @@
+// Umbrella header for hlcs::contend -- the guarded-call contention cost
+// model and the adaptive-arbitration feedback loop built on it
+// (docs/CONTENTION.md).
+#pragma once
+
+#include "hlcs/contend/cost_model.hpp"
+#include "hlcs/contend/sweep.hpp"
+#include "hlcs/contend/traffic.hpp"

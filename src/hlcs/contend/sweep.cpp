@@ -1,0 +1,245 @@
+#include "hlcs/contend/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hlcs/check/object_rules.hpp"
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/sim/sweep.hpp"
+
+namespace hlcs::contend {
+
+namespace {
+
+/// Spawn the client population of one cell onto `k`.  Latencies of every
+/// completed sleeper/fast/bursty call are appended to `lat` (the pacer,
+/// being the load generator, is not recorded; its calls still show up in
+/// the object's own histograms).  Everything `lat` points to must
+/// outlive the kernel run.
+void spawn_traffic(sim::Kernel& k, sim::Clock& clk,
+                   osss::SharedObject<GateState>& obj, const CellConfig& cfg,
+                   std::uint64_t seed, std::vector<std::uint64_t>* lat) {
+  const ShapeGeometry geom = shape_geometry(cfg.traffic, cfg.clients);
+  const bool gated = geom.period != 0;
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    auto client = obj.make_client("c" + std::to_string(c));
+    const std::string pname = "p" + std::to_string(c);
+    if (gated && c == 0) {
+      k.spawn(pname, [&k, client, geom]() -> sim::Task {
+        for (;;) {
+          co_await k.wait(sim::Time::ns(10 * (geom.period - geom.high)));
+          co_await client.call([](GateState& s) { s.phase = 1; });
+          co_await k.wait(sim::Time::ns(10 * geom.high));
+          co_await client.call([](GateState& s) { s.phase = 0; });
+        }
+      });
+    } else if (gated && c <= geom.sleepers) {
+      k.spawn(pname, [&clk, client, lat]() -> sim::Task {
+        for (;;) {
+          const std::uint64_t t0 = clk.cycles();
+          co_await client.call([](const GateState& s) { return s.phase == 1; },
+                               [](GateState& s) { ++s.value; });
+          if (lat) lat->push_back(clk.cycles() - t0);
+        }
+      });
+    } else if (cfg.traffic == TrafficShape::Bursty) {
+      const std::uint64_t rng_seed = sim::lane_seed(seed, c + 1);
+      k.spawn(pname, [&k, &clk, client, lat, rng_seed]() -> sim::Task {
+        sim::Xorshift rng(rng_seed);
+        for (;;) {
+          const std::uint64_t burst = 2 + rng.below(14);
+          for (std::uint64_t b = 0; b < burst; ++b) {
+            const std::uint64_t t0 = clk.cycles();
+            co_await client.call([](GateState& s) { ++s.value; });
+            if (lat) lat->push_back(clk.cycles() - t0);
+          }
+          co_await k.wait(sim::Time::ns(10 * (1 + rng.below(96))));
+        }
+      });
+    } else {
+      k.spawn(pname, [&clk, client, lat]() -> sim::Task {
+        for (;;) {
+          const std::uint64_t t0 = clk.cycles();
+          co_await client.call([](GateState& s) { ++s.value; });
+          if (lat) lat->push_back(clk.cycles() - t0);
+        }
+      });
+    }
+  }
+}
+
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           unsigned pct) {
+  std::size_t rank = (sorted.size() * pct + 99) / 100;
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+CellResult run_cell_on(sim::Kernel& k, const CellConfig& cfg) {
+  HLCS_ASSERT(cfg.clients >= 2 && cfg.clients <= 64,
+              "contend cell: clients must be in [2,64]");
+  HLCS_ASSERT(cfg.cycles > 0, "contend cell: cycles must be > 0");
+  const std::uint64_t seed =
+      cell_seed(cfg.root_seed, cfg.policy, cfg.clients, cfg.traffic);
+  sim::Clock clk(k, "clk", sim::Time::ns(10));
+  osss::SharedObject<GateState> obj(
+      k, "obj", clk, osss::make_policy(cfg.policy, sim::lane_seed(seed, 0)),
+      GateState{});
+  std::vector<std::uint64_t> lat;
+  lat.reserve(static_cast<std::size_t>(cfg.cycles) + cfg.clients);
+  spawn_traffic(k, clk, obj, cfg, seed, &lat);
+  k.run_for(sim::Time::ns(cfg.cycles * 10));
+
+  CellResult r;
+  r.policy = cfg.policy;
+  r.clients = cfg.clients;
+  r.traffic = cfg.traffic;
+  r.seed = seed;
+  const osss::SharedObjectStats& st = obj.stats();
+  r.grants = st.grants;
+  r.throughput_milli = st.grants * 1000 / cfg.cycles;
+  std::sort(lat.begin(), lat.end());
+  r.lat_count = lat.size();
+  if (!lat.empty()) {
+    const std::uint64_t sum =
+        std::accumulate(lat.begin(), lat.end(), std::uint64_t{0});
+    r.lat_mean_milli = sum * 1000 / lat.size();
+    r.lat_p50 = nearest_rank(lat, 50);
+    r.lat_p90 = nearest_rank(lat, 90);
+    r.lat_p99 = nearest_rank(lat, 99);
+    r.lat_max = lat.back();
+  }
+  for (const osss::ClientStats& cs : st.clients) {
+    if (cs.starve_max > r.starve_max) r.starve_max = cs.starve_max;
+    r.guard_blocked += cs.guard_blocked;
+    r.arb_blocked += cs.arb_blocked;
+  }
+  r.depth_mean_milli = st.depth.mean_milli();
+  r.depth_max = st.depth.max();
+  return r;
+}
+
+CellResult run_cell(const CellConfig& cfg) {
+  sim::Kernel k;
+  return run_cell_on(k, cfg);
+}
+
+std::vector<CellConfig> make_grid(GridKind kind, std::uint64_t cycles,
+                                  std::uint64_t root_seed) {
+  const std::size_t full[] = {2, 4, 8, 16, 32, 64};
+  const std::size_t reduced[] = {2, 16};
+  const std::size_t* counts = kind == GridKind::Full ? full : reduced;
+  const std::size_t n_counts = kind == GridKind::Full ? 6 : 2;
+  std::vector<CellConfig> grid;
+  grid.reserve(kPolicyCount * n_counts * kShapeCount);
+  for (osss::PolicyKind policy : kAllPolicies) {
+    for (std::size_t ci = 0; ci < n_counts; ++ci) {
+      for (TrafficShape shape : kAllShapes) {
+        grid.push_back(CellConfig{policy, counts[ci], shape, cycles,
+                                  root_seed});
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<CellResult> run_grid(const std::vector<CellConfig>& grid,
+                                 unsigned threads) {
+  std::vector<CellResult> out(grid.size());
+  sim::ParallelSweep sweep(
+      [&](std::size_t i, sim::Kernel& k, std::string& transcript) {
+        out[i] = run_cell_on(k, grid[i]);
+        transcript = cell_json(out[i]);
+      });
+  sweep.run(grid.size(), threads);
+  return out;
+}
+
+std::string diff_against_dataset(const std::vector<CellResult>& cells,
+                                 const std::string& dataset_text) {
+  for (const CellResult& r : cells) {
+    const std::string line = cell_json(r);
+    if (dataset_text.find(line) != std::string::npos) continue;
+    // Mismatch: find the committed line for the same cell key to report
+    // expected vs actual.
+    const std::string prefix = "{\"policy\":\"" + osss::policy_name(r.policy) +
+                               "\",\"clients\":" + std::to_string(r.clients) +
+                               ",\"traffic\":\"" + traffic_name(r.traffic) +
+                               "\"";
+    const std::size_t at = dataset_text.find(prefix);
+    if (at == std::string::npos) {
+      return "cell " + prefix + " is missing from the dataset";
+    }
+    const std::size_t end = dataset_text.find('\n', at);
+    std::string committed = dataset_text.substr(at, end - at);
+    if (!committed.empty() && committed.back() == ',') committed.pop_back();
+    return "cell mismatch\n  committed: " + committed +
+           "\n  recomputed: " + line;
+  }
+  return "";
+}
+
+FairnessReport verify_fairness(std::uint64_t cycles) {
+  FairnessReport rep;
+  const osss::AdaptiveTuning tuning{};
+  const TrafficShape shapes[] = {TrafficShape::Convoy,
+                                 TrafficShape::Stampede};
+  const std::size_t counts[] = {8, 16};
+  for (TrafficShape shape : shapes) {
+    for (std::size_t n : counts) {
+      sim::Kernel k;
+      sim::Clock clk(k, "clk", sim::Time::ns(10));
+      osss::SharedObject<GateState> obj(
+          k, "obj", clk,
+          std::make_unique<osss::AdaptiveArbitration>(tuning), GateState{});
+      // One grant per edge, so a starvation window of clients + slack
+      // covers the worst legal backlog; the per-call eligible-wait
+      // bound additionally allows the aged-lane threshold.
+      const check::Spec pack =
+          check::shared_object_rules(static_cast<unsigned>(n) + 16);
+      const check::Spec fair = check::policy_fairness_rules(
+          static_cast<unsigned>(tuning.starve_bound + n + 16));
+      const check::ProbeSet pack_probes = check::shared_object_probes(obj);
+      const check::ProbeSet fair_probes = check::policy_fairness_probes(obj);
+      check::Monitor pack_bm(k, "pack_bm", pack, clk, pack_probes);
+      check::NetlistMonitor pack_nm(k, "pack_nm", pack, clk, pack_probes);
+      check::Monitor fair_bm(k, "fair_bm", fair, clk, fair_probes);
+      check::NetlistMonitor fair_nm(k, "fair_nm", fair, clk, fair_probes);
+      CellConfig cfg{osss::PolicyKind::Adaptive, n, shape, cycles, kRootSeed};
+      const std::uint64_t seed =
+          cell_seed(cfg.root_seed, cfg.policy, cfg.clients, cfg.traffic);
+      spawn_traffic(k, clk, obj, cfg, seed, nullptr);
+      k.run_for(sim::Time::ns(cycles * 10));
+      ++rep.checks;
+      const check::CheckStats* all[] = {&pack_bm.stats(), &pack_nm.stats(),
+                                          &fair_bm.stats(), &fair_nm.stats()};
+      for (const check::CheckStats* ms : all) {
+        for (const auto& p : ms->props) rep.attempts += p.attempts;
+        if (ms->fails() != 0) {
+          rep.detail = traffic_name(shape) + "/" + std::to_string(n) +
+                       " clients: " + std::to_string(ms->fails()) +
+                       " property failure(s)";
+          return rep;
+        }
+      }
+      // Behavioural and lowered monitors must agree verdict-for-verdict.
+      for (std::size_t p = 0; p < pack_bm.stats().props.size(); ++p) {
+        if (pack_bm.stats().props[p].passes != pack_nm.stats().props[p].passes) {
+          rep.detail = traffic_name(shape) + "/" + std::to_string(n) +
+                       " clients: behavioural/netlist monitor divergence";
+          return rep;
+        }
+      }
+    }
+  }
+  rep.ok = true;
+  rep.detail = "fairness OK: " + std::to_string(rep.checks) +
+               " adversarial scenarios, " + std::to_string(rep.attempts) +
+               " property attempts, 0 failures";
+  return rep;
+}
+
+}  // namespace hlcs::contend

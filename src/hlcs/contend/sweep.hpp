@@ -1,0 +1,70 @@
+// The contention design-space exploration driver: one cell = one
+// deterministic clocked-SharedObject simulation (policy x client count
+// x traffic shape), a grid = many cells over the ParallelSweep worker
+// pool with bit-identical results at any thread count, plus the
+// monitor-backed fairness verification of the adaptive policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlcs/contend/cost_model.hpp"
+#include "hlcs/contend/traffic.hpp"
+
+namespace hlcs::sim {
+class Kernel;
+}
+
+namespace hlcs::contend {
+
+struct CellConfig {
+  osss::PolicyKind policy = osss::PolicyKind::Fifo;
+  std::size_t clients = 2;             ///< 2..64
+  TrafficShape traffic = TrafficShape::Uniform;
+  std::uint64_t cycles = kDefaultCycles;
+  std::uint64_t root_seed = kRootSeed;
+};
+
+/// Run one cell on a caller-provided (fresh) kernel.
+CellResult run_cell_on(sim::Kernel& k, const CellConfig& cfg);
+/// Run one cell on a private kernel.
+CellResult run_cell(const CellConfig& cfg);
+
+enum class GridKind {
+  Full,     ///< every policy x clients {2,4,8,16,32,64} x every shape
+  Reduced,  ///< every policy x clients {2,16} x every shape (tier-1 gate)
+};
+
+std::vector<CellConfig> make_grid(GridKind kind,
+                                  std::uint64_t cycles = kDefaultCycles,
+                                  std::uint64_t root_seed = kRootSeed);
+
+/// Run a grid over the ParallelSweep pool.  `threads == 0` picks the
+/// hardware concurrency, 1 runs serially; results are in grid order and
+/// bit-identical at any thread count.
+std::vector<CellResult> run_grid(const std::vector<CellConfig>& grid,
+                                 unsigned threads = 0);
+
+/// Diff freshly computed cells against a committed dataset file's text:
+/// every cell's canonical JSON line must appear byte-identically.
+/// Returns a human-readable failure description, empty when clean.
+std::string diff_against_dataset(const std::vector<CellResult>& cells,
+                                 const std::string& dataset_text);
+
+/// Monitor-backed fairness verification of AdaptiveArbitration: for
+/// every adversarial traffic shape and several client counts, attach
+/// the shared_object_rules no-starvation pack AND the
+/// policy_fairness_rules bounded-eligible-wait pack (behavioural and
+/// lowered-netlist monitors both) to an adaptive-policy object and run
+/// the shape.  `ok` iff zero property failures everywhere.
+struct FairnessReport {
+  bool ok = false;
+  std::uint64_t checks = 0;   ///< monitored (shape, clients) scenarios
+  std::uint64_t attempts = 0; ///< property attempts across all monitors
+  std::string detail;         ///< first failure, or summary when ok
+};
+
+FairnessReport verify_fairness(std::uint64_t cycles = kDefaultCycles);
+
+}  // namespace hlcs::contend

@@ -1,0 +1,93 @@
+// Traffic shapes for the contention cost model (hlcs::contend).
+//
+// Each shape is a deterministic population of client coroutines driving
+// one clocked SharedObject.  The adversarial shapes are built around a
+// guard-gated "convoy": a pacer client toggles a phase gate in the
+// shared state, sleeper clients guard on the gate and therefore wake in
+// synchronized waves carrying ancient arrival sequence numbers, and the
+// remaining fast clients saturate the object with unguarded calls.
+// Arrival-order policies (FIFO and friends) serve the whole woken
+// convoy ahead of every fast client, spiking the fast clients' tail
+// latency by the convoy size each wave -- the pattern the adaptive
+// policy's eligible-streak mode is built to flatten (docs/CONTENTION.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hlcs/sim/assert.hpp"
+
+namespace hlcs::contend {
+
+/// The shared state every traffic shape contends on: a plain counter
+/// plus the phase gate the convoy shapes guard on.
+struct GateState {
+  std::uint64_t value = 0;
+  std::uint64_t phase = 0;
+};
+
+enum class TrafficShape {
+  Uniform,   ///< every client saturates with back-to-back unguarded calls
+  Bursty,    ///< per-client random bursts separated by random idle gaps
+  Convoy,    ///< small guard-gated convoy, wakes once per pacer period
+  Stampede,  ///< large guard-gated herd, longer gate-open window
+};
+
+inline constexpr TrafficShape kAllShapes[] = {
+    TrafficShape::Uniform, TrafficShape::Bursty, TrafficShape::Convoy,
+    TrafficShape::Stampede};
+inline constexpr std::size_t kShapeCount = 4;
+
+inline std::string traffic_name(TrafficShape shape) {
+  switch (shape) {
+    case TrafficShape::Uniform: return "uniform";
+    case TrafficShape::Bursty: return "bursty";
+    case TrafficShape::Convoy: return "convoy";
+    case TrafficShape::Stampede: return "stampede";
+  }
+  return "?";
+}
+
+/// Inverse of traffic_name; throws hlcs::Error on an unknown name.
+inline TrafficShape parse_traffic(std::string_view name) {
+  if (name == "uniform") return TrafficShape::Uniform;
+  if (name == "bursty") return TrafficShape::Bursty;
+  if (name == "convoy") return TrafficShape::Convoy;
+  if (name == "stampede") return TrafficShape::Stampede;
+  fail("unknown traffic shape '" + std::string(name) +
+       "' (expected uniform, bursty, convoy or stampede)");
+}
+
+/// Geometry of the guard-gated shapes.  The gate-open window is sized so
+/// a woken sleeper is always served within one window even by the
+/// adaptive policy (which makes it wait ~#clients ticks rather than
+/// jumping the queue), so no shape can starve a sleeper outright; and
+/// sleeper wakes are rare enough (<1% of grants) that the pooled p99
+/// measures the fast clients' tail, not the sleepers' sleep time.
+struct ShapeGeometry {
+  std::uint64_t period = 0;   ///< pacer cycle length, cycles
+  std::uint64_t high = 0;     ///< gate-open window, cycles
+  std::size_t sleepers = 0;   ///< guard-gated clients (ids 1..sleepers)
+};
+
+inline ShapeGeometry shape_geometry(TrafficShape shape, std::size_t clients) {
+  ShapeGeometry g;
+  if (shape != TrafficShape::Convoy && shape != TrafficShape::Stampede) {
+    return g;
+  }
+  g.period = 1024;
+  g.high = shape == TrafficShape::Convoy ? 128 : 192;
+  const std::size_t want = shape == TrafficShape::Convoy
+                               ? (clients / 8 > 1 ? clients / 8 : 1)
+                               : (clients / 2 > 1 ? clients / 2 : 1);
+  const std::size_t cap = shape == TrafficShape::Convoy ? 3 : 6;
+  g.sleepers = want > cap ? cap : want;
+  // Need at least one fast client besides the pacer.
+  const std::size_t room = clients >= 3 ? clients - 2 : 0;
+  if (g.sleepers > room) g.sleepers = room;
+  return g;
+}
+
+}  // namespace hlcs::contend

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "hlcs/check/check.hpp"
+#include "hlcs/contend/contend.hpp"
 #include "hlcs/osss/osss.hpp"
 #include "hlcs/pattern/pattern.hpp"
 #include "hlcs/pci/pci.hpp"

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hlcs/sim/assert.hpp"
@@ -25,6 +26,11 @@ struct RequestInfo {
   std::uint64_t seq;       ///< global arrival sequence number
   int priority;            ///< client priority (higher wins for priority policy)
   std::uint64_t waited;    ///< cycles (clocked) or grants (untimed) spent waiting
+  /// Contiguous ticks this call has been eligible (guard true) without a
+  /// grant -- `waited` minus any guard-blocked stretches.  This is the
+  /// wait share the policy itself is responsible for; AdaptiveArbitration
+  /// keys on it.  Callers that do not track it may leave it 0.
+  std::uint64_t streak = 0;
 };
 
 class ArbitrationPolicy {
@@ -125,15 +131,136 @@ private:
   PickFn fn_;
 };
 
-enum class PolicyKind { Fifo, RoundRobin, StaticPriority, Random };
+/// Tuning knobs of AdaptiveArbitration.  The defaults are derived from
+/// the committed contention cost model (bench/COSTMODEL_contend.json)
+/// by hlcs::contend::derive_tuning -- a tier-1 test pins the two to
+/// each other so the dataset and the defaults cannot drift apart
+/// (docs/CONTENTION.md describes the derivation).
+struct AdaptiveTuning {
+  /// A request whose contiguous ELIGIBLE wait (RequestInfo::streak --
+  /// guard-blocked stretches do not count) reaches this many ticks takes
+  /// an absolute-priority "aged" lane: longest streak first.  This
+  /// bounds the policy-caused wait under every traffic shape: once
+  /// aged, a request is granted within (number of simultaneously aged
+  /// requests) grants.  128 is the smallest power of two strictly above
+  /// the worst best-static p99 (64, full saturation at 64 clients) in
+  /// the committed cost model, so the lane never fires under any load a
+  /// well-chosen static policy handles.
+  std::uint64_t starve_bound = 128;
+  /// Mode re-evaluation window, in pick() calls.
+  unsigned window = 16;
+  /// Contended picks (>= 2 eligible) per window at or above which the
+  /// policy switches to the hot (eligible-streak) mode.
+  unsigned hot_threshold = 8;
+};
 
-inline std::unique_ptr<ArbitrationPolicy> make_policy(PolicyKind kind) {
+/// Contention-adaptive policy -- the cost-model feedback loop of
+/// hlcs::contend (the paper's Sec. 1.5 future work, closed).  It blends
+/// the static algorithms by observed contention:
+///
+///   * cold mode (mostly uncontended windows): longest-total-wait first
+///     with priority tie-break -- FIFO/static-priority behaviour, the
+///     cost model's winner at low contention;
+///   * hot mode (contended windows): longest *eligible-streak* first --
+///     fairness over the wait the policy itself caused, which flattens
+///     the latency spikes FIFO suffers when a convoy of long
+///     guard-blocked calls (with ancient arrival order, so ahead of
+///     everything in FIFO order) becomes eligible at once;
+///   * aged lane: any request whose eligible streak reached
+///     `starve_bound` outranks both modes (longest streak first), so the
+///     worst-case eligible wait stays bounded in cold mode too.
+///
+/// All state derives deterministically from the pick() stream, and the
+/// same algorithm synthesises to RTL (synth::SynthOptions with
+/// PolicyKind::Adaptive: age/streak counters + window registers).
+class AdaptiveArbitration final : public ArbitrationPolicy {
+public:
+  explicit AdaptiveArbitration(AdaptiveTuning tuning = {})
+      : t_(tuning) {
+    HLCS_ASSERT(t_.starve_bound > 0, "adaptive: starve_bound must be > 0");
+    HLCS_ASSERT(t_.window > 0, "adaptive: window must be > 0");
+    HLCS_ASSERT(t_.hot_threshold <= t_.window,
+                "adaptive: hot_threshold must be <= window");
+  }
+
+  std::size_t pick(const std::vector<RequestInfo>& eligible) override {
+    // Lane selection: aged requests (streak >= starve_bound) exclude
+    // everything else; otherwise the whole set competes.  The sort key
+    // is the eligible streak in the aged lane and in hot mode, the
+    // total wait in cold mode; bigger key wins, then higher priority,
+    // then older arrival.
+    bool any_aged = false;
+    for (const RequestInfo& r : eligible) {
+      if (r.streak >= t_.starve_bound) {
+        any_aged = true;
+        break;
+      }
+    }
+    const bool use_streak = hot_ || any_aged;
+    std::size_t best = eligible.size();
+    std::uint64_t best_key = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      const RequestInfo& r = eligible[i];
+      if (any_aged && r.streak < t_.starve_bound) continue;
+      const std::uint64_t key = use_streak ? r.streak : r.waited;
+      if (best == eligible.size()) {
+        best = i;
+        best_key = key;
+        continue;
+      }
+      const RequestInfo& b = eligible[best];
+      bool wins = false;
+      if (key != best_key) {
+        wins = key > best_key;
+      } else if (r.priority != b.priority) {
+        wins = r.priority > b.priority;
+      } else {
+        wins = r.seq < b.seq;
+      }
+      if (wins) {
+        best = i;
+        best_key = key;
+      }
+    }
+
+    // Mode window: re-evaluated every `window` picks from the count of
+    // contended picks; the new mode applies from the next pick.
+    ++win_picks_;
+    if (eligible.size() >= 2) ++win_contended_;
+    if (win_picks_ == t_.window) {
+      hot_ = win_contended_ >= t_.hot_threshold;
+      win_picks_ = 0;
+      win_contended_ = 0;
+    }
+    return best;
+  }
+
+  std::string name() const override { return "adaptive"; }
+  bool hot() const { return hot_; }
+  const AdaptiveTuning& tuning() const { return t_; }
+
+private:
+  AdaptiveTuning t_;
+  unsigned win_picks_ = 0;
+  unsigned win_contended_ = 0;
+  bool hot_ = false;
+};
+
+enum class PolicyKind { Fifo, RoundRobin, StaticPriority, Random, Adaptive };
+
+/// `seed` feeds the Random policy's generator (other kinds ignore it).
+/// Sweeps running many objects must pass per-object seeds -- derive
+/// them with sim::lane_seed(root, object_index) -- or every object
+/// replays the same "random" grant sequence.
+inline std::unique_ptr<ArbitrationPolicy> make_policy(
+    PolicyKind kind, std::uint64_t seed = 0xC0FFEE) {
   switch (kind) {
     case PolicyKind::Fifo: return std::make_unique<FifoArbitration>();
     case PolicyKind::RoundRobin: return std::make_unique<RoundRobinArbitration>();
     case PolicyKind::StaticPriority:
       return std::make_unique<StaticPriorityArbitration>();
-    case PolicyKind::Random: return std::make_unique<RandomArbitration>();
+    case PolicyKind::Random: return std::make_unique<RandomArbitration>(seed);
+    case PolicyKind::Adaptive: return std::make_unique<AdaptiveArbitration>();
   }
   fail("unknown policy kind");
 }
@@ -144,8 +271,21 @@ inline std::string policy_name(PolicyKind kind) {
     case PolicyKind::RoundRobin: return "round_robin";
     case PolicyKind::StaticPriority: return "static_priority";
     case PolicyKind::Random: return "random";
+    case PolicyKind::Adaptive: return "adaptive";
   }
   return "?";
+}
+
+/// Inverse of policy_name, for CLIs: throws hlcs::Error naming the
+/// unknown input and the accepted spellings.
+inline PolicyKind parse_policy(std::string_view name) {
+  if (name == "fifo") return PolicyKind::Fifo;
+  if (name == "round_robin") return PolicyKind::RoundRobin;
+  if (name == "static_priority") return PolicyKind::StaticPriority;
+  if (name == "random") return PolicyKind::Random;
+  if (name == "adaptive") return PolicyKind::Adaptive;
+  fail("unknown arbitration policy '" + std::string(name) +
+       "' (expected fifo, round_robin, static_priority, random or adaptive)");
 }
 
 }  // namespace hlcs::osss

@@ -4,4 +4,5 @@
 #include "hlcs/osss/arbitration.hpp"
 #include "hlcs/osss/bistable.hpp"
 #include "hlcs/osss/guarded_fifo.hpp"
+#include "hlcs/osss/histogram.hpp"
 #include "hlcs/osss/shared_object.hpp"

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "hlcs/osss/arbitration.hpp"
+#include "hlcs/osss/histogram.hpp"
 #include "hlcs/sim/clock.hpp"
 #include "hlcs/sim/kernel.hpp"
 #include "hlcs/sim/module.hpp"
@@ -43,6 +44,19 @@ struct ClientStats {
   std::uint64_t granted = 0;
   std::uint64_t wait_total = 0;  ///< cycles (clocked) / deltas-grants (untimed)
   std::uint64_t wait_max = 0;
+  // --- contention instrumentation (hlcs/contend) ---------------------
+  /// Grant latency (enqueue -> grant) distribution, log2 buckets.
+  Log2Histogram latency;
+  /// Wait attribution: ticks spent queued while the guard was FALSE
+  /// (the application's semantics held the call back) ...
+  std::uint64_t guard_blocked = 0;
+  /// ... vs ticks spent eligible (guard TRUE) but not chosen -- the
+  /// share of the wait the arbitration policy is responsible for.
+  std::uint64_t arb_blocked = 0;
+  /// Worst-case starvation gap: the longest streak of consecutive ticks
+  /// one call stayed eligible without being granted.  This is the
+  /// quantity the hlcs::check no_starvation bound constrains.
+  std::uint64_t starve_max = 0;
 };
 
 struct SharedObjectStats {
@@ -56,6 +70,9 @@ struct SharedObjectStats {
   // further call() is allocation-free (docs/PERF.md).
   std::uint64_t pending_pool_hits = 0;
   std::uint64_t pending_pool_misses = 0;
+  /// Queue depth sampled at every busy service step (clocked: each
+  /// rising edge with pending calls; untimed: each service delta).
+  Log2Histogram depth;
   std::vector<ClientStats> clients;
 };
 
@@ -71,6 +88,8 @@ class SharedObject : public sim::Module {
     std::uint64_t seq = 0;
     int priority = 0;
     std::uint64_t enq_tick = 0;
+    std::uint64_t obs_tick = 0;       ///< last tick attribution observed
+    std::uint64_t elig_streak = 0;    ///< contiguous ticks eligible-but-waiting
     std::coroutine_handle<> waiter;
     bool (*guard_fn)(const PendingBase*, const T&) = nullptr;
     void (*exec_fn)(PendingBase*, T&) = nullptr;
@@ -155,7 +174,9 @@ public:
   };
 
   Client make_client(std::string client_name, int priority = 0) {
-    stats_.clients.push_back(ClientStats{std::move(client_name), 0, 0, 0, 0});
+    ClientStats cs;
+    cs.name = std::move(client_name);
+    stats_.clients.push_back(std::move(cs));
     return Client(this, stats_.clients.size() - 1, priority);
   }
 
@@ -179,6 +200,20 @@ public:
       if (p->guard_ok(state_)) return true;
     }
     return false;
+  }
+  /// Longest contiguous eligible-but-waiting streak among the calls
+  /// still queued right now, in ticks -- the live starvation gap the
+  /// policy-fairness pack (hlcs/check/object_rules.hpp) bounds.  Streaks
+  /// update at service steps, so this reads the state as of the last
+  /// step on the current tick.
+  std::uint64_t max_eligible_wait() const {
+    std::uint64_t worst = 0;
+    for (const PendingBase* p : queue_) {
+      if (p->guard_ok(state_) && p->elig_streak > worst) {
+        worst = p->elig_streak;
+      }
+    }
+    return worst;
   }
 
 private:
@@ -226,6 +261,8 @@ private:
   void enqueue(PendingBase& p) {
     p.seq = next_seq_++;
     p.enq_tick = tick();
+    p.obs_tick = p.enq_tick;
+    p.elig_streak = 0;
     stats_.clients[p.client].calls++;
     if (queue_.size() < queue_.capacity()) {
       stats_.pending_pool_hits++;
@@ -249,16 +286,31 @@ private:
   /// heap work once the buffers reached the contention high-water mark.
   void serve_one() {
     if (queue_.empty()) return;
-    // Collect eligible requests.
+    stats_.depth.record(queue_.size());
+    // Collect eligible requests.  The same pass attributes the ticks
+    // elapsed since each call was last observed: while the guard is
+    // false the application is blocking the call (guard_blocked); while
+    // it is true the arbitration policy is (arb_blocked), and the
+    // contiguous eligible streak tracks the starvation gap.
     eligible_.clear();
     eligible_pos_.clear();
     const std::uint64_t now_tick = tick();
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       PendingBase* p = queue_[i];
+      const std::uint64_t delta = now_tick - p->obs_tick;
+      p->obs_tick = now_tick;
+      ClientStats& cs = stats_.clients[p->client];
       if (p->guard_ok(state_)) {
+        cs.arb_blocked += delta;
+        p->elig_streak += delta;
+        if (p->elig_streak > cs.starve_max) cs.starve_max = p->elig_streak;
         eligible_.push_back(RequestInfo{p->client, p->seq, p->priority,
-                                        now_tick - p->enq_tick});
+                                        now_tick - p->enq_tick,
+                                        p->elig_streak});
         eligible_pos_.push_back(i);
+      } else {
+        cs.guard_blocked += delta;
+        p->elig_streak = 0;
       }
     }
     if (eligible_.empty()) return;
@@ -275,6 +327,7 @@ private:
     const std::uint64_t waited = now_tick - p->enq_tick;
     cs.wait_total += waited;
     if (waited > cs.wait_max) cs.wait_max = waited;
+    cs.latency.record(waited);
 
     kernel().make_runnable(p->waiter);
     // Untimed mode: further grants happen in subsequent deltas so every

@@ -322,6 +322,140 @@ struct Builder {
     finish_grants(ge);
   }
 
+  /// Adaptive arbitration (osss::AdaptiveArbitration in RTL form):
+  /// per-client age + eligible-streak counters, a contention window and
+  /// a hot/cold mode register.  Aged clients (age >= starve_bound) form
+  /// an absolute-priority lane (oldest wins); otherwise the hot mode
+  /// keys on the eligible streak and the cold mode on the age.  Ties
+  /// break toward the lower client index (the RTL stand-in for the
+  /// behavioural priority/seq tie-break -- docs/CONTENTION.md).
+  void make_arbiter_adaptive() {
+    const unsigned aw = opt.fifo_age_width;
+    HLCS_ASSERT(aw >= 2 && aw <= 32, "fifo_age_width out of range");
+    const std::uint64_t max_age = ExprArena::mask(aw);
+    HLCS_ASSERT(opt.adaptive_starve_bound >= 1 &&
+                    opt.adaptive_starve_bound <= max_age,
+                "adaptive_starve_bound must fit in fifo_age_width bits");
+    const unsigned wl = opt.adaptive_window_log2;
+    HLCS_ASSERT(wl >= 1 && wl <= 16, "adaptive_window_log2 out of range");
+    const std::uint64_t window = std::uint64_t{1} << wl;
+    HLCS_ASSERT(opt.adaptive_hot_threshold >= 1 &&
+                    opt.adaptive_hot_threshold <= window,
+                "adaptive_hot_threshold must be in [1, 2^window_log2]");
+
+    std::vector<NetId> age_q(opt.clients), age_d(opt.clients);
+    std::vector<NetId> str_q(opt.clients), str_d(opt.clients);
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      const std::string c = "c" + std::to_string(i);
+      age_q[i] = nl.add_net(c + "_aage", aw);
+      age_d[i] = nl.add_net(c + "_aage_next", aw);
+      nl.add_reg(age_q[i], age_d[i], 0);
+      str_q[i] = nl.add_net(c + "_streak", aw);
+      str_d[i] = nl.add_net(c + "_streak_next", aw);
+      nl.add_reg(str_q[i], str_d[i], 0);
+    }
+    NetId wcnt_q = nl.add_net("adp_wcnt", wl);
+    NetId wcnt_d = nl.add_net("adp_wcnt_next", wl);
+    nl.add_reg(wcnt_q, wcnt_d, 0);
+    const unsigned hw = wl + 1;
+    NetId hcnt_q = nl.add_net("adp_hcnt", hw);
+    NetId hcnt_d = nl.add_net("adp_hcnt_next", hw);
+    nl.add_reg(hcnt_q, hcnt_d, 0);
+    NetId mode_q = nl.add_net("adp_mode", 1);
+    NetId mode_d = nl.add_net("adp_mode_next", 1);
+    nl.add_reg(mode_q, mode_d, 0);
+
+    // any_elig / contended (>= 2 eligible) via a linear seen-one chain.
+    ExprId any_elig = zero();
+    ExprId contended = zero();
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      ExprId e = nl.net_ref(elig[i]);
+      contended = A.bin(ExprOp::Or, contended, A.bin(ExprOp::And, any_elig, e));
+      any_elig = A.bin(ExprOp::Or, any_elig, e);
+    }
+
+    // Aged lane: eligible streak (policy-caused wait) reached the bound.
+    std::vector<ExprId> aged(opt.clients);
+    ExprId any_aged = zero();
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      ExprId old_enough =
+          A.bin(ExprOp::Ge, nl.net_ref(str_q[i]),
+                A.cst(opt.adaptive_starve_bound, aw));
+      aged[i] = A.bin(ExprOp::And, nl.net_ref(elig[i]), old_enough);
+      any_aged = A.bin(ExprOp::Or, any_aged, aged[i]);
+    }
+
+    // Candidate set and per-client key: the aged lane and the hot mode
+    // key on the eligible streak, the cold mode on the request age.
+    ExprId use_streak = A.bin(ExprOp::Or, nl.net_ref(mode_q), any_aged);
+    std::vector<ExprId> cand(opt.clients), key(opt.clients);
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      cand[i] = A.mux(any_aged, aged[i], nl.net_ref(elig[i]));
+      key[i] = A.mux(use_streak, nl.net_ref(str_q[i]), nl.net_ref(age_q[i]));
+    }
+
+    // Max-key candidate wins; equal keys break toward the lower index.
+    std::vector<ExprId> ge(opt.clients);
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      ExprId beaten = zero();
+      for (std::size_t j = 0; j < opt.clients; ++j) {
+        if (j == i) continue;
+        ExprId better = A.bin(ExprOp::Gt, key[j], key[i]);
+        ExprId tie_wins =
+            j < i ? A.bin(ExprOp::Eq, key[j], key[i]) : zero();
+        ExprId beats = A.bin(ExprOp::And, cand[j],
+                             A.bin(ExprOp::Or, better, tie_wins));
+        beaten = A.bin(ExprOp::Or, beaten, beats);
+      }
+      ge[i] = A.bin(ExprOp::And, cand[i], A.un(ExprOp::Not, beaten));
+    }
+    finish_grants(ge);
+
+    // Counter updates (all saturating at the register width).
+    for (std::size_t i = 0; i < opt.clients; ++i) {
+      ExprId at_max = A.bin(ExprOp::Eq, nl.net_ref(age_q[i]),
+                            A.cst(max_age, aw));
+      ExprId inc = A.mux(at_max, A.cst(max_age, aw),
+                         A.bin(ExprOp::Add, nl.net_ref(age_q[i]),
+                               A.cst(1, aw)));
+      ExprId clear = A.bin(ExprOp::Or, nl.net_ref(grant[i]),
+                           A.un(ExprOp::Not, nl.net_ref(req[i])));
+      clear = A.bin(ExprOp::Or, clear, nl.net_ref(rst));
+      nl.add_comb(age_d[i], A.mux(clear, A.cst(0, aw), inc));
+
+      ExprId s_at_max = A.bin(ExprOp::Eq, nl.net_ref(str_q[i]),
+                              A.cst(max_age, aw));
+      ExprId s_inc = A.mux(s_at_max, A.cst(max_age, aw),
+                           A.bin(ExprOp::Add, nl.net_ref(str_q[i]),
+                                 A.cst(1, aw)));
+      ExprId s_clear = A.bin(ExprOp::Or, nl.net_ref(grant[i]),
+                             A.un(ExprOp::Not, nl.net_ref(elig[i])));
+      s_clear = A.bin(ExprOp::Or, s_clear, nl.net_ref(rst));
+      nl.add_comb(str_d[i], A.mux(s_clear, A.cst(0, aw), s_inc));
+    }
+
+    // Window bookkeeping: a "step" is a cycle with any eligible client
+    // (mirroring the behavioural policy, whose pick() only runs then).
+    ExprId at_last = A.bin(ExprOp::Eq, nl.net_ref(wcnt_q),
+                           A.cst(window - 1, wl));
+    ExprId window_end = A.bin(ExprOp::And, any_elig, at_last);
+    ExprId w_inc = A.mux(at_last, A.cst(0, wl),
+                         A.bin(ExprOp::Add, nl.net_ref(wcnt_q), A.cst(1, wl)));
+    ExprId w_hold = A.mux(any_elig, w_inc, nl.net_ref(wcnt_q));
+    nl.add_comb(wcnt_d, A.mux(nl.net_ref(rst), A.cst(0, wl), w_hold));
+
+    ExprId cont_w = A.mux(contended, A.cst(1, hw), A.cst(0, hw));
+    ExprId h_sum = A.bin(ExprOp::Add, nl.net_ref(hcnt_q), cont_w);
+    ExprId h_step = A.mux(window_end, A.cst(0, hw), h_sum);
+    ExprId h_hold = A.mux(any_elig, h_step, nl.net_ref(hcnt_q));
+    nl.add_comb(hcnt_d, A.mux(nl.net_ref(rst), A.cst(0, hw), h_hold));
+
+    ExprId hot_next = A.bin(ExprOp::Ge, h_sum,
+                            A.cst(opt.adaptive_hot_threshold, hw));
+    ExprId m_step = A.mux(window_end, hot_next, nl.net_ref(mode_q));
+    nl.add_comb(mode_d, A.mux(nl.net_ref(rst), zero(), m_step));
+  }
+
   /// State next-value logic and per-client return values.
   void make_datapath() {
     for (std::size_t v = 0; v < d.vars().size(); ++v) {
@@ -364,6 +498,7 @@ struct Builder {
       case osss::PolicyKind::RoundRobin: make_arbiter_round_robin(); break;
       case osss::PolicyKind::Fifo: make_arbiter_fifo(); break;
       case osss::PolicyKind::Random: make_arbiter_random(); break;
+      case osss::PolicyKind::Adaptive: make_arbiter_adaptive(); break;
     }
     make_datapath();
     nl.validate_and_order();  // fail fast if construction broke an invariant

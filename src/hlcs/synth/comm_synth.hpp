@@ -25,6 +25,9 @@
 //   Fifo            per-client saturating age counters; oldest wins,
 //                   lowest index breaks ties
 //   Random          16-bit Fibonacci LFSR selects a rotating offset
+//   Adaptive        age + eligible-streak counters, hot/cold mode
+//                   register re-evaluated every 2^window_log2 grants
+//                   (see docs/CONTENTION.md)
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,16 @@ struct SynthOptions {
   unsigned fifo_age_width = 8;
   /// Seed of the Random policy's LFSR (must be non-zero).
   std::uint16_t lfsr_seed = 0xACE1;
+  // --- Adaptive policy (mirrors osss::AdaptiveTuning) ------------------
+  /// Aged-lane threshold: an eligible client whose age counter reaches
+  /// this value is served oldest-first ahead of everything else.  Must
+  /// fit in fifo_age_width bits.
+  std::uint64_t adaptive_starve_bound = 128;
+  /// Mode window is 2^window_log2 arbitration steps (power of two so
+  /// the window counter is a plain wrapping register).
+  unsigned adaptive_window_log2 = 4;
+  /// Contended steps per window at or above which hot mode engages.
+  unsigned adaptive_hot_threshold = 8;
 };
 
 /// Compile a synthesisable object into an RTL netlist.  Throws

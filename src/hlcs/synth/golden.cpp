@@ -1,0 +1,193 @@
+// GoldenCycleModel method bodies.  Out-of-line on purpose: this model
+// is correctness machinery (the equivalence checker's reference side),
+// and keeping its code in the library keeps every including TU --
+// notably the microbenchmark binaries -- insensitive to its growth.
+#include "hlcs/synth/golden.hpp"
+
+namespace hlcs::synth {
+
+GoldenCycleModel::GoldenCycleModel(const ObjectDesc& desc,
+                                   const SynthOptions& opt)
+    : desc_(desc), opt_(opt), interp_(desc) {
+  if (opt_.priorities.empty()) {
+    for (std::size_t i = 0; i < opt_.clients; ++i) {
+      prio_.push_back(static_cast<int>(opt_.clients - i));
+    }
+  } else {
+    HLCS_ASSERT(opt_.priorities.size() == opt_.clients,
+                "priorities size must equal client count");
+    prio_ = opt_.priorities;
+  }
+  reset();
+}
+
+void GoldenCycleModel::reset() {
+  interp_.reset();
+  rr_last_ = opt_.clients - 1;
+  ages_.assign(opt_.clients, 0);
+  streaks_.assign(opt_.clients, 0);
+  wcnt_ = 0;
+  hcnt_ = 0;
+  mode_hot_ = false;
+  lfsr_ = opt_.lfsr_seed;
+}
+
+GoldenCycleModel::StepResult GoldenCycleModel::step(
+    const std::vector<ClientIn>& in, bool rst) {
+  HLCS_ASSERT(in.size() == opt_.clients, "step: client count mismatch");
+  StepResult result;
+  if (rst) {
+    reset();
+    return result;
+  }
+  const std::size_t n_methods = desc_.methods().size();
+  std::vector<bool> elig(opt_.clients, false);
+  for (std::size_t i = 0; i < opt_.clients; ++i) {
+    if (!in[i].req || in[i].sel >= n_methods) continue;
+    const MethodDesc& m = desc_.methods()[in[i].sel];
+    elig[i] = interp_.guard_ok(in[i].sel, unpack_args(m, in[i].args));
+  }
+  std::optional<std::size_t> pick = arbitrate(elig);
+  if (pick) {
+    const std::size_t i = *pick;
+    const MethodDesc& m = desc_.methods()[in[i].sel];
+    result.ret = interp_.invoke(in[i].sel, unpack_args(m, in[i].args));
+    result.granted = i;
+    result.sel = in[i].sel;
+  }
+  update_arb_state(in, elig, pick);
+  return result;
+}
+
+std::optional<std::size_t> GoldenCycleModel::arbitrate(
+    const std::vector<bool>& elig) {
+  switch (opt_.policy) {
+    case osss::PolicyKind::StaticPriority: {
+      std::optional<std::size_t> best;
+      for (std::size_t i = 0; i < opt_.clients; ++i) {
+        if (!elig[i]) continue;
+        if (!best || prio_[i] > prio_[*best]) best = i;
+      }
+      return best;
+    }
+    case osss::PolicyKind::RoundRobin: {
+      // First eligible index > rr_last_, else first eligible overall.
+      for (std::size_t i = rr_last_ + 1; i < opt_.clients; ++i) {
+        if (elig[i]) return i;
+      }
+      for (std::size_t i = 0; i < opt_.clients; ++i) {
+        if (elig[i]) return i;
+      }
+      return std::nullopt;
+    }
+    case osss::PolicyKind::Fifo: {
+      // Oldest age wins; ties to the lower index.
+      std::optional<std::size_t> best;
+      for (std::size_t i = 0; i < opt_.clients; ++i) {
+        if (!elig[i]) continue;
+        if (!best || ages_[i] > ages_[*best]) best = i;
+      }
+      return best;
+    }
+    case osss::PolicyKind::Random: {
+      const std::size_t offset = lfsr_offset();
+      for (std::size_t r = 0; r < opt_.clients; ++r) {
+        const std::size_t i = (offset + r) % opt_.clients;
+        if (elig[i]) return i;
+      }
+      return std::nullopt;
+    }
+    case osss::PolicyKind::Adaptive: {
+      // Mirror of make_arbiter_adaptive: the aged lane and the hot
+      // mode key on the eligible streak, the cold mode on the request
+      // age; max key wins, ties to the lower index.
+      bool any_aged = false;
+      for (std::size_t i = 0; i < opt_.clients; ++i) {
+        if (elig[i] && streaks_[i] >= opt_.adaptive_starve_bound) {
+          any_aged = true;
+        }
+      }
+      const bool use_streak = mode_hot_ || any_aged;
+      std::optional<std::size_t> best;
+      std::uint64_t best_key = 0;
+      for (std::size_t i = 0; i < opt_.clients; ++i) {
+        if (!elig[i]) continue;
+        if (any_aged && streaks_[i] < opt_.adaptive_starve_bound) continue;
+        const std::uint64_t key = use_streak ? streaks_[i] : ages_[i];
+        if (!best || key > best_key) {
+          best = i;
+          best_key = key;
+        }
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t GoldenCycleModel::lfsr_offset() const {
+  unsigned idx_w = 1;
+  while ((1ull << idx_w) < opt_.clients) ++idx_w;
+  std::uint64_t raw = lfsr_ & ((1ull << idx_w) - 1);
+  if (raw >= opt_.clients) raw -= opt_.clients;
+  return static_cast<std::size_t>(raw);
+}
+
+void GoldenCycleModel::update_arb_state(const std::vector<ClientIn>& in,
+                                        const std::vector<bool>& elig,
+                                        std::optional<std::size_t> granted) {
+  if (opt_.policy == osss::PolicyKind::RoundRobin && granted) {
+    rr_last_ = *granted;
+  }
+  if (opt_.policy == osss::PolicyKind::Fifo ||
+      opt_.policy == osss::PolicyKind::Adaptive) {
+    const std::uint64_t max_age = ExprArena::mask(opt_.fifo_age_width);
+    for (std::size_t i = 0; i < opt_.clients; ++i) {
+      if ((granted && *granted == i) || !in[i].req) {
+        ages_[i] = 0;
+      } else if (ages_[i] < max_age) {
+        ages_[i]++;
+      }
+    }
+  }
+  if (opt_.policy == osss::PolicyKind::Adaptive) {
+    const std::uint64_t max_age = ExprArena::mask(opt_.fifo_age_width);
+    bool any_elig = false;
+    unsigned n_elig = 0;
+    for (std::size_t i = 0; i < opt_.clients; ++i) {
+      if (elig[i]) {
+        any_elig = true;
+        ++n_elig;
+      }
+      if ((granted && *granted == i) || !elig[i]) {
+        streaks_[i] = 0;
+      } else if (streaks_[i] < max_age) {
+        streaks_[i]++;
+      }
+    }
+    // Window counters advance only on steps with an eligible client,
+    // exactly as in the netlist.
+    if (any_elig) {
+      const std::uint64_t window =
+          std::uint64_t{1} << opt_.adaptive_window_log2;
+      const std::uint64_t h_sum = hcnt_ + (n_elig >= 2 ? 1 : 0);
+      if (wcnt_ == window - 1) {
+        mode_hot_ = h_sum >= opt_.adaptive_hot_threshold;
+        hcnt_ = 0;
+        wcnt_ = 0;
+      } else {
+        hcnt_ = h_sum;
+        ++wcnt_;
+      }
+    }
+  }
+  if (opt_.policy == osss::PolicyKind::Random) {
+    // Fibonacci LFSR, taps 16,14,13,11 -- identical to the netlist.
+    const std::uint16_t l = lfsr_;
+    const std::uint16_t fb =
+        ((l >> 0) ^ (l >> 2) ^ (l >> 3) ^ (l >> 5)) & 1u;
+    lfsr_ = static_cast<std::uint16_t>((l >> 1) | (fb << 15));
+  }
+}
+
+}  // namespace hlcs::synth

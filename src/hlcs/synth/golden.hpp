@@ -5,6 +5,11 @@
 // NetlistSim on the same stimulus is exactly the paper's Sec. 3 step-3
 // consistency check: "the resulting model was again simulated to check
 // behavior consistency with the original model".
+//
+// Method bodies live in golden.cpp: the model grows with every arbiter
+// policy, and keeping it out-of-line shields the many TUs that include
+// this header (benchmarks included) from recompiling and re-laying-out
+// their code whenever a policy mirror changes.
 #pragma once
 
 #include <cstdint>
@@ -31,131 +36,23 @@ public:
     std::uint64_t ret = 0;  ///< return value seen by the granted client
   };
 
-  GoldenCycleModel(const ObjectDesc& desc, const SynthOptions& opt)
-      : desc_(desc), opt_(opt), interp_(desc) {
-    if (opt_.priorities.empty()) {
-      for (std::size_t i = 0; i < opt_.clients; ++i) {
-        prio_.push_back(static_cast<int>(opt_.clients - i));
-      }
-    } else {
-      HLCS_ASSERT(opt_.priorities.size() == opt_.clients,
-                  "priorities size must equal client count");
-      prio_ = opt_.priorities;
-    }
-    reset();
-  }
+  GoldenCycleModel(const ObjectDesc& desc, const SynthOptions& opt);
 
-  void reset() {
-    interp_.reset();
-    rr_last_ = opt_.clients - 1;
-    ages_.assign(opt_.clients, 0);
-    lfsr_ = opt_.lfsr_seed;
-  }
+  void reset();
 
   /// One clock edge with the given per-client inputs.  `rst` models the
   /// synchronous reset input.
-  StepResult step(const std::vector<ClientIn>& in, bool rst = false) {
-    HLCS_ASSERT(in.size() == opt_.clients, "step: client count mismatch");
-    StepResult result;
-    if (rst) {
-      reset();
-      return result;
-    }
-    const std::size_t n_methods = desc_.methods().size();
-    std::vector<bool> elig(opt_.clients, false);
-    for (std::size_t i = 0; i < opt_.clients; ++i) {
-      if (!in[i].req || in[i].sel >= n_methods) continue;
-      const MethodDesc& m = desc_.methods()[in[i].sel];
-      elig[i] = interp_.guard_ok(in[i].sel, unpack_args(m, in[i].args));
-    }
-    std::optional<std::size_t> pick = arbitrate(elig);
-    if (pick) {
-      const std::size_t i = *pick;
-      const MethodDesc& m = desc_.methods()[in[i].sel];
-      result.ret = interp_.invoke(in[i].sel, unpack_args(m, in[i].args));
-      result.granted = i;
-      result.sel = in[i].sel;
-    }
-    update_arb_state(in, pick);
-    return result;
-  }
+  StepResult step(const std::vector<ClientIn>& in, bool rst = false);
 
   const ObjectInterp& interp() const { return interp_; }
   std::uint64_t var(std::size_t index) const { return interp_.var(index); }
 
 private:
-  std::optional<std::size_t> arbitrate(const std::vector<bool>& elig) {
-    switch (opt_.policy) {
-      case osss::PolicyKind::StaticPriority: {
-        std::optional<std::size_t> best;
-        for (std::size_t i = 0; i < opt_.clients; ++i) {
-          if (!elig[i]) continue;
-          if (!best || prio_[i] > prio_[*best]) best = i;
-        }
-        return best;
-      }
-      case osss::PolicyKind::RoundRobin: {
-        // First eligible index > rr_last_, else first eligible overall.
-        for (std::size_t i = rr_last_ + 1; i < opt_.clients; ++i) {
-          if (elig[i]) return i;
-        }
-        for (std::size_t i = 0; i < opt_.clients; ++i) {
-          if (elig[i]) return i;
-        }
-        return std::nullopt;
-      }
-      case osss::PolicyKind::Fifo: {
-        // Oldest age wins; ties to the lower index.
-        std::optional<std::size_t> best;
-        for (std::size_t i = 0; i < opt_.clients; ++i) {
-          if (!elig[i]) continue;
-          if (!best || ages_[i] > ages_[*best]) best = i;
-        }
-        return best;
-      }
-      case osss::PolicyKind::Random: {
-        const std::size_t offset = lfsr_offset();
-        for (std::size_t r = 0; r < opt_.clients; ++r) {
-          const std::size_t i = (offset + r) % opt_.clients;
-          if (elig[i]) return i;
-        }
-        return std::nullopt;
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::size_t lfsr_offset() const {
-    unsigned idx_w = 1;
-    while ((1ull << idx_w) < opt_.clients) ++idx_w;
-    std::uint64_t raw = lfsr_ & ((1ull << idx_w) - 1);
-    if (raw >= opt_.clients) raw -= opt_.clients;
-    return static_cast<std::size_t>(raw);
-  }
-
+  std::optional<std::size_t> arbitrate(const std::vector<bool>& elig);
+  std::size_t lfsr_offset() const;
   void update_arb_state(const std::vector<ClientIn>& in,
-                        std::optional<std::size_t> granted) {
-    if (opt_.policy == osss::PolicyKind::RoundRobin && granted) {
-      rr_last_ = *granted;
-    }
-    if (opt_.policy == osss::PolicyKind::Fifo) {
-      const std::uint64_t max_age = ExprArena::mask(opt_.fifo_age_width);
-      for (std::size_t i = 0; i < opt_.clients; ++i) {
-        if ((granted && *granted == i) || !in[i].req) {
-          ages_[i] = 0;
-        } else if (ages_[i] < max_age) {
-          ages_[i]++;
-        }
-      }
-    }
-    if (opt_.policy == osss::PolicyKind::Random) {
-      // Fibonacci LFSR, taps 16,14,13,11 -- identical to the netlist.
-      const std::uint16_t l = lfsr_;
-      const std::uint16_t fb =
-          ((l >> 0) ^ (l >> 2) ^ (l >> 3) ^ (l >> 5)) & 1u;
-      lfsr_ = static_cast<std::uint16_t>((l >> 1) | (fb << 15));
-    }
-  }
+                        const std::vector<bool>& elig,
+                        std::optional<std::size_t> granted);
 
   const ObjectDesc& desc_;
   SynthOptions opt_;
@@ -163,6 +60,10 @@ private:
   std::vector<int> prio_;
   std::size_t rr_last_ = 0;
   std::vector<std::uint64_t> ages_;
+  std::vector<std::uint64_t> streaks_;
+  std::uint64_t wcnt_ = 0;
+  std::uint64_t hcnt_ = 0;
+  bool mode_hot_ = false;
   std::uint16_t lfsr_ = 1;
 };
 

@@ -1,0 +1,236 @@
+// The contention cost model: instrumentation layer, deterministic
+// sweep, adaptive-arbitration payoff and the tuning derivation
+// (docs/CONTENTION.md).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hlcs/contend/contend.hpp"
+#include "hlcs/osss/osss.hpp"
+#include "hlcs/sim/sim.hpp"
+
+namespace hlcs::contend {
+namespace {
+
+using osss::Log2Histogram;
+using osss::PolicyKind;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Log2Histogram, BucketsByBitWidth) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Log2Histogram::bucket_of(~std::uint64_t{0}), 64u - 0u);
+}
+
+TEST(Log2Histogram, RecordAndSummaries) {
+  Log2Histogram h;
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 100u}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);  // 2 and 3
+  EXPECT_EQ(h.used_buckets(), 8u);  // 100 lands in bucket 7, so 7+1
+  EXPECT_EQ(h.mean_milli(), 110u * 1000 / 6);
+}
+
+TEST(Log2Histogram, PercentileBoundIsBucketCeilingClampedToMax) {
+  Log2Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(5);
+  h.record(40);
+  EXPECT_EQ(h.percentile_bound(50), 7u) << "bucket 4..7 ceiling";
+  EXPECT_EQ(h.percentile_bound(100), 40u) << "clamped to the true max";
+  EXPECT_EQ(Log2Histogram{}.percentile_bound(99), 0u);
+}
+
+TEST(Log2Histogram, MergeAddsEverything) {
+  Log2Histogram a, b;
+  a.record(3);
+  a.record(9);
+  b.record(70);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 82u);
+  EXPECT_EQ(a.max(), 70u);
+  EXPECT_EQ(a.bucket(Log2Histogram::bucket_of(70)), 1u);
+}
+
+// ------------------------------------------------------- wait attribution
+
+// Saturated unguarded traffic: every queued cycle is the arbiter's
+// fault, so guard_blocked stays 0 and the latency histogram sees every
+// grant.
+TEST(Attribution, UnguardedWaitsAreArbitrationBlocked) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", sim::Time::ns(10));
+  osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                        osss::make_policy(PolicyKind::Fifo),
+                                        0);
+  for (int c = 0; c < 4; ++c) {
+    auto client = obj.make_client("c" + std::to_string(c));
+    k.spawn("p" + std::to_string(c), [client]() -> sim::Task {
+      for (;;) co_await client.call([](std::uint64_t& v) { ++v; });
+    });
+  }
+  k.run_for(sim::Time::ns(2000));
+  std::uint64_t granted = 0, lat_count = 0;
+  for (const auto& cs : obj.stats().clients) {
+    EXPECT_EQ(cs.guard_blocked, 0u) << cs.name;
+    EXPECT_GT(cs.arb_blocked, 0u) << cs.name;
+    EXPECT_EQ(cs.latency.count(), cs.granted) << cs.name;
+    EXPECT_EQ(cs.latency.sum(), cs.wait_total) << cs.name;
+    granted += cs.granted;
+    lat_count += cs.latency.count();
+  }
+  EXPECT_EQ(lat_count, granted);
+  EXPECT_GT(obj.stats().depth.count(), 0u);
+  EXPECT_EQ(obj.stats().depth.max(), 4u) << "all four clients queued";
+}
+
+// A client whose guard is closed for a long stretch must charge that
+// stretch to guard_blocked, not to the arbiter, and its eligible streak
+// (starve_max) must stay small.
+TEST(Attribution, ClosedGuardChargesGuardBlocked) {
+  sim::Kernel k;
+  sim::Clock clk(k, "clk", sim::Time::ns(10));
+  osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
+                                        osss::make_policy(PolicyKind::Fifo),
+                                        0);
+  auto gated = obj.make_client("gated");
+  auto opener = obj.make_client("opener");
+  k.spawn("gated", [gated]() -> sim::Task {
+    co_await gated.call([](const std::uint64_t& v) { return v >= 50; },
+                        [](std::uint64_t& v) { v += 1000; });
+  });
+  k.spawn("opener", [opener]() -> sim::Task {
+    for (;;) co_await opener.call([](std::uint64_t& v) { ++v; });
+  });
+  k.run_for(sim::Time::ns(2000));
+  const auto& cs = obj.stats().clients;
+  EXPECT_GE(obj.stats().grants, 51u);
+  EXPECT_GT(cs[0].guard_blocked, 40u) << "~50 cycles waiting on the guard";
+  EXPECT_LE(cs[0].starve_max, 4u) << "eligible wait itself stayed tiny";
+  EXPECT_EQ(cs[0].granted, 1u);
+  EXPECT_EQ(cs[0].latency.count(), 1u);
+}
+
+// --------------------------------------------------------------- the sweep
+
+TEST(Sweep, CellSeedDependsOnlyOnTheCellKey) {
+  const std::uint64_t s =
+      cell_seed(kRootSeed, PolicyKind::Adaptive, 16, TrafficShape::Convoy);
+  EXPECT_EQ(s, cell_seed(kRootSeed, PolicyKind::Adaptive, 16,
+                         TrafficShape::Convoy));
+  EXPECT_NE(s, cell_seed(kRootSeed, PolicyKind::Fifo, 16,
+                         TrafficShape::Convoy));
+  EXPECT_NE(s, cell_seed(kRootSeed, PolicyKind::Adaptive, 17,
+                         TrafficShape::Convoy));
+  EXPECT_NE(s, cell_seed(kRootSeed, PolicyKind::Adaptive, 16,
+                         TrafficShape::Stampede));
+}
+
+TEST(Sweep, TrafficNamesRoundTripAndRejectUnknown) {
+  for (TrafficShape t : kAllShapes) EXPECT_EQ(parse_traffic(traffic_name(t)), t);
+  EXPECT_THROW(parse_traffic("diurnal"), hlcs::Error);
+}
+
+TEST(Sweep, GridIsDeterministicAcrossThreadCounts) {
+  const auto grid = make_grid(GridKind::Reduced, 512, kRootSeed);
+  const auto serial = run_grid(grid, 1);
+  const auto threaded = run_grid(grid, 3);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(cell_json(serial[i]), cell_json(threaded[i])) << "cell " << i;
+  }
+}
+
+TEST(Sweep, ReducedGridCellsMatchFullGridCells) {
+  // The property the --check-dataset gate rests on: a cell's bytes
+  // depend on its key alone, not on which grid computed it.
+  const auto reduced = run_grid(make_grid(GridKind::Reduced, 512, kRootSeed), 3);
+  const auto full = run_grid(make_grid(GridKind::Full, 512, kRootSeed), 3);
+  std::map<std::uint64_t, std::string> by_key;
+  for (const auto& r : full)
+    by_key[cell_key(r.policy, r.clients, r.traffic)] = cell_json(r);
+  for (const auto& r : reduced) {
+    EXPECT_EQ(by_key.at(cell_key(r.policy, r.clients, r.traffic)),
+              cell_json(r));
+  }
+}
+
+TEST(Sweep, DiffReportsTheFirstMismatchedCell) {
+  const auto cells = run_grid(make_grid(GridKind::Reduced, 256, kRootSeed), 1);
+  const std::string dataset = dataset_json(cells, 256, kRootSeed);
+  EXPECT_EQ(diff_against_dataset(cells, dataset), "");
+  auto tampered = cells;
+  tampered[3].lat_p99 += 1;
+  const std::string diff = diff_against_dataset(tampered, dataset);
+  EXPECT_NE(diff.find("cell mismatch"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("committed:"), std::string::npos) << diff;
+}
+
+// ------------------------------------------------------- the payoff itself
+
+// The acceptance criterion of the subsystem: under the adversarial
+// convoy/stampede shapes the adaptive policy's p99 grant latency beats
+// every static policy's, and it never loses on the benign shapes.
+TEST(Adaptive, BeatsBestStaticP99OnAdversarialShapes) {
+  for (TrafficShape shape : {TrafficShape::Convoy, TrafficShape::Stampede}) {
+    std::uint64_t best_static = ~std::uint64_t{0};
+    for (PolicyKind p : {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                         PolicyKind::StaticPriority, PolicyKind::Random}) {
+      const CellResult r = run_cell(CellConfig{p, 16, shape});
+      if (r.lat_p99 < best_static) best_static = r.lat_p99;
+    }
+    const CellResult a =
+        run_cell(CellConfig{PolicyKind::Adaptive, 16, shape});
+    EXPECT_LT(a.lat_p99, best_static) << traffic_name(shape);
+  }
+}
+
+TEST(Adaptive, NeverLosesOnBenignShapes) {
+  for (TrafficShape shape : {TrafficShape::Uniform, TrafficShape::Bursty}) {
+    for (std::size_t clients : {2u, 16u}) {
+      std::uint64_t best_static = ~std::uint64_t{0};
+      for (PolicyKind p : {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                           PolicyKind::StaticPriority, PolicyKind::Random}) {
+        const CellResult r = run_cell(CellConfig{p, clients, shape});
+        if (r.lat_p99 < best_static) best_static = r.lat_p99;
+      }
+      const CellResult a =
+          run_cell(CellConfig{PolicyKind::Adaptive, clients, shape});
+      EXPECT_LE(a.lat_p99, best_static)
+          << traffic_name(shape) << "/" << clients;
+    }
+  }
+}
+
+// The compiled AdaptiveTuning defaults are *derived* from the committed
+// dataset, not hand-picked: recompute the full grid and re-derive.  If
+// this fails, someone changed the traffic shapes or the policy without
+// re-running `hlcs_contend --derive` and updating the defaults.
+TEST(Adaptive, TuningDefaultsMatchTheDerivation) {
+  const auto cells = run_grid(make_grid(GridKind::Full, kDefaultCycles,
+                                        kRootSeed), 3);
+  const osss::AdaptiveTuning derived = derive_tuning(cells);
+  const osss::AdaptiveTuning compiled{};
+  EXPECT_EQ(derived.starve_bound, compiled.starve_bound);
+  EXPECT_EQ(derived.window, compiled.window);
+  EXPECT_EQ(derived.hot_threshold, compiled.hot_threshold);
+}
+
+TEST(Adaptive, FairnessPackPassesOnAdversarialShapes) {
+  const FairnessReport rep = verify_fairness(1024);
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.checks, 4u);
+  EXPECT_GT(rep.attempts, 1000u);
+}
+
+}  // namespace
+}  // namespace hlcs::contend

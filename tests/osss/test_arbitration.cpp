@@ -8,8 +8,8 @@ namespace hlcs::osss {
 namespace {
 
 RequestInfo req(std::size_t client, std::uint64_t seq, int prio = 0,
-                std::uint64_t waited = 0) {
-  return RequestInfo{client, seq, prio, waited};
+                std::uint64_t waited = 0, std::uint64_t streak = 0) {
+  return RequestInfo{client, seq, prio, waited, streak};
 }
 
 TEST(FifoArbitration, PicksOldest) {
@@ -94,17 +94,115 @@ TEST(UserArbitration, NullFunctionThrows) {
   EXPECT_THROW(UserArbitration("null", nullptr), hlcs::Error);
 }
 
+TEST(AdaptiveArbitration, ColdModeIsLongestTotalWaitFirst) {
+  AdaptiveArbitration p;
+  // Uncontended-ish history: streaks are irrelevant while cold.
+  std::vector<RequestInfo> e = {req(0, 5, 0, 10, 1), req(1, 3, 0, 40, 2),
+                                req(2, 4, 0, 20, 3)};
+  EXPECT_EQ(e[p.pick(e)].client, 1u);
+  EXPECT_FALSE(p.hot());
+}
+
+TEST(AdaptiveArbitration, ColdTiesBreakByPriorityThenSeq) {
+  AdaptiveArbitration p;
+  std::vector<RequestInfo> same_wait = {req(0, 5, 0, 9), req(1, 3, 2, 9),
+                                        req(2, 4, 2, 9)};
+  EXPECT_EQ(same_wait[p.pick(same_wait)].client, 1u)
+      << "priority wins the tie, then the lower seq";
+}
+
+TEST(AdaptiveArbitration, HotModeEngagesAfterContendedWindow) {
+  AdaptiveArbitration p(AdaptiveTuning{.starve_bound = 1000, .window = 4,
+                                       .hot_threshold = 2});
+  std::vector<RequestInfo> contended = {req(0, 1, 0, 8, 1),
+                                        req(1, 2, 0, 2, 7)};
+  // Window of 4 contended picks flips the mode at the boundary.
+  for (int i = 0; i < 4; ++i) p.pick(contended);
+  EXPECT_TRUE(p.hot());
+  // Hot mode keys on the eligible streak, not the total wait: client 1
+  // has waited less overall but has been *eligible* longer.
+  EXPECT_EQ(contended[p.pick(contended)].client, 1u);
+}
+
+TEST(AdaptiveArbitration, HotModeDisengagesWhenUncontended) {
+  AdaptiveArbitration p(AdaptiveTuning{.starve_bound = 1000, .window = 4,
+                                       .hot_threshold = 2});
+  std::vector<RequestInfo> contended = {req(0, 1, 0, 8), req(1, 2, 0, 2)};
+  for (int i = 0; i < 4; ++i) p.pick(contended);
+  ASSERT_TRUE(p.hot());
+  std::vector<RequestInfo> solo = {req(0, 9)};
+  for (int i = 0; i < 4; ++i) p.pick(solo);
+  EXPECT_FALSE(p.hot());
+}
+
+TEST(AdaptiveArbitration, AgedLaneOverridesEverything) {
+  AdaptiveArbitration p(AdaptiveTuning{.starve_bound = 8, .window = 16,
+                                       .hot_threshold = 8});
+  // Client 2 crossed the aged threshold on eligible streak; client 0 has
+  // a larger total wait and a higher priority, but is not aged.
+  std::vector<RequestInfo> e = {req(0, 1, 5, 100, 7), req(1, 2, 0, 50, 9),
+                                req(2, 3, 0, 60, 8)};
+  const std::size_t got = p.pick(e);
+  EXPECT_EQ(e[got].client, 1u) << "longest streak among the aged wins";
+}
+
+TEST(AdaptiveArbitration, MatchesFifoWhenStreakEqualsWait) {
+  // Unguarded saturated traffic: streak == waited for every request, so
+  // adaptive must order exactly like FIFO in both modes.
+  AdaptiveArbitration p(AdaptiveTuning{.starve_bound = 1000, .window = 2,
+                                       .hot_threshold = 1});
+  FifoArbitration f;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<RequestInfo> e = {
+        req(0, 10 + round, 0, 5 + round, 5 + round),
+        req(1, 3 + round, 0, 12 + round, 12 + round),
+        req(2, 7 + round, 0, 9 + round, 9 + round)};
+    EXPECT_EQ(p.pick(e), f.pick(e)) << "round " << round;
+  }
+}
+
 TEST(PolicyFactory, MakesAllKinds) {
   EXPECT_EQ(make_policy(PolicyKind::Fifo)->name(), "fifo");
   EXPECT_EQ(make_policy(PolicyKind::RoundRobin)->name(), "round_robin");
   EXPECT_EQ(make_policy(PolicyKind::StaticPriority)->name(), "static_priority");
   EXPECT_EQ(make_policy(PolicyKind::Random)->name(), "random");
+  EXPECT_EQ(make_policy(PolicyKind::Adaptive)->name(), "adaptive");
 }
 
 TEST(PolicyFactory, NamesMatchHelper) {
   for (PolicyKind kind : {PolicyKind::Fifo, PolicyKind::RoundRobin,
-                          PolicyKind::StaticPriority, PolicyKind::Random}) {
+                          PolicyKind::StaticPriority, PolicyKind::Random,
+                          PolicyKind::Adaptive}) {
     EXPECT_EQ(make_policy(kind)->name(), policy_name(kind));
+  }
+}
+
+TEST(PolicyFactory, SeedDecorrelatesRandomStreams) {
+  auto a = make_policy(PolicyKind::Random, 1);
+  auto b = make_policy(PolicyKind::Random, 2);
+  std::vector<RequestInfo> e = {req(0, 1), req(1, 2), req(2, 3), req(3, 4)};
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) diff += a->pick(e) != b->pick(e);
+  EXPECT_GT(diff, 50) << "different seeds must give different streams";
+}
+
+TEST(ParsePolicy, RoundTripsEveryKind) {
+  for (PolicyKind kind : {PolicyKind::Fifo, PolicyKind::RoundRobin,
+                          PolicyKind::StaticPriority, PolicyKind::Random,
+                          PolicyKind::Adaptive}) {
+    EXPECT_EQ(parse_policy(policy_name(kind)), kind);
+  }
+}
+
+TEST(ParsePolicy, RejectsUnknownNameWithHint) {
+  try {
+    parse_policy("fair_share");
+    FAIL() << "expected hlcs::Error";
+  } catch (const hlcs::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fair_share"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("adaptive"), std::string::npos)
+        << "message should list the valid names: " << msg;
   }
 }
 

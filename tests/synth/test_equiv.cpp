@@ -39,7 +39,7 @@ TEST(Equivalence, AllPoliciesAllClientCounts) {
   ObjectDesc d = testobj::mailbox();
   for (auto policy : {osss::PolicyKind::Fifo, osss::PolicyKind::RoundRobin,
                       osss::PolicyKind::StaticPriority,
-                      osss::PolicyKind::Random}) {
+                      osss::PolicyKind::Random, osss::PolicyKind::Adaptive}) {
     for (std::size_t clients : {1u, 3u, 7u}) {
       EquivResult r = check_equivalence(
           d, SynthOptions{.clients = clients, .policy = policy},
@@ -47,6 +47,23 @@ TEST(Equivalence, AllPoliciesAllClientCounts) {
       EXPECT_TRUE(r) << osss::policy_name(policy) << "/" << clients << ": "
                      << r.first_mismatch;
     }
+  }
+}
+
+// Tight adaptive tuning so 400 random cycles exercise every arbiter
+// regime -- aged-lane overrides, hot/cold mode flips at each 4-step
+// window boundary -- not just the cold path the defaults would give.
+TEST(Equivalence, AdaptiveTightTuningExercisesAgedLane) {
+  ObjectDesc d = testobj::mailbox();
+  for (std::size_t clients : {2u, 5u}) {
+    EquivResult r = check_equivalence(
+        d,
+        SynthOptions{.clients = clients, .policy = osss::PolicyKind::Adaptive,
+                     .adaptive_starve_bound = 4, .adaptive_window_log2 = 2,
+                     .adaptive_hot_threshold = 2},
+        EquivOptions{.cycles = 400, .seed = 0xADA7, .reset_percent = 3});
+    EXPECT_TRUE(r) << "adaptive/" << clients << ": " << r.first_mismatch;
+    EXPECT_GT(r.grants, 100u);
   }
 }
 

@@ -137,7 +137,7 @@ TEST_P(SynthFuzz, RandomObjectSurvivesFullFlow) {
   ObjectDesc d = random_object(seed);
   ASSERT_NO_THROW(d.validate()) << "generator produced invalid object";
   for (auto policy : {osss::PolicyKind::StaticPriority,
-                      osss::PolicyKind::Fifo}) {
+                      osss::PolicyKind::Fifo, osss::PolicyKind::Adaptive}) {
     // Four independently seeded stimulus lanes on the batch engine: 4x
     // the coverage per seed, and fuzz objects are arithmetic-heavy so
     // this also soaks the scalar-fallback path.  A failure names the

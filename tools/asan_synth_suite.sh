@@ -18,6 +18,7 @@ test_synth_parser test_synth_tape test_synth_batch test_synth_jit \
 test_vcd_reader \
 test_trace_roundtrip \
 test_check_property test_check_lowering \
+test_osss_arbitration test_contend \
 test_sim_shard test_fabric"
 
 cd "$SRC"

@@ -45,8 +45,12 @@ void run_point(std::size_t index, sim::Kernel& k, std::string& transcript,
   const int clients = kClientCounts[index % n_clients];
 
   sim::Clock clk(k, "clk", 10_ns);
-  osss::SharedObject<std::uint64_t> obj(k, "obj", clk,
-                                        osss::make_policy(policy), 0);
+  // Each point gets its own policy seed derived from the point index, so
+  // RandomArbitration streams are decorrelated across points yet the
+  // whole sweep stays reproducible at any thread count.
+  osss::SharedObject<std::uint64_t> obj(
+      k, "obj", clk, osss::make_policy(policy, sim::lane_seed(0xF1F0, index)),
+      0);
   for (int c = 0; c < clients; ++c) {
     auto client = obj.make_client("c" + std::to_string(c));
     k.spawn("p" + std::to_string(c), [&k, client]() -> sim::Task {

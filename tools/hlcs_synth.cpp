@@ -17,6 +17,7 @@
 #include <string>
 
 #include "hlcs/check/check.hpp"
+#include "hlcs/osss/osss.hpp"
 #include "hlcs/synth/synth.hpp"
 
 namespace {
@@ -70,16 +71,6 @@ int usage(const char* argv0) {
   return 2;
 }
 
-bool parse_policy(const std::string& s, hlcs::osss::PolicyKind* out) {
-  using hlcs::osss::PolicyKind;
-  if (s == "fifo") *out = PolicyKind::Fifo;
-  else if (s == "round_robin") *out = PolicyKind::RoundRobin;
-  else if (s == "static_priority") *out = PolicyKind::StaticPriority;
-  else if (s == "random") *out = PolicyKind::Random;
-  else return false;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,8 +106,10 @@ int main(int argc, char** argv) {
     if (a == "--clients") {
       opt.clients = static_cast<std::size_t>(std::stoul(next("count")));
     } else if (a == "--policy") {
-      if (!parse_policy(next("name"), &opt.policy)) {
-        std::fprintf(stderr, "unknown policy\n");
+      try {
+        opt.policy = hlcs::osss::parse_policy(next("name"));
+      } catch (const hlcs::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
     } else if (a == "--optimize") {
