@@ -1,0 +1,201 @@
+// TLM: loosely-timed fast-path microbenchmarks -- transaction throughput
+// of the three refinement levels of the SAME random workload, and the
+// LT-vs-pin-level speedup gate.
+//
+//   BM_LtTxnRate          -- quantum-decoupled LtStimuliEngine (DMI +
+//                            warp + batched commits), per quantum size.
+//   BM_FunctionalTxnRate  -- untimed functional element driven through
+//                            the guarded-method channel (the PR-scale
+//                            reference everything else refines).
+//   BM_PinLevelTxnRate    -- synthesised pin-level PCI system clocked
+//                            at 10ns (RtlPciSystem), the slowest and
+//                            most detailed model.
+//
+// BM_TlmSpeedup is the acceptance gate: each iteration runs the
+// pin-level reference and the LT engine back to back on the same
+// workload (interleaved A/B, so host drift hits both sides equally)
+// and reports the per-iteration txn-rate ratio; with
+// --benchmark_repetitions the JSON carries the medians.  speedup >= 50
+// on the random workload is the bar (docs/PERF.md, "Loosely-timed
+// fast path").  Equivalence of what the two sides compute is not
+// re-checked here -- that is tier-1's job (test_tlm_lt, cli_equiv_lt).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+
+namespace {
+
+using namespace hlcs;
+using namespace hlcs::sim::literals;
+using pattern::CommandType;
+using pattern::ResponseType;
+using sim::Kernel;
+using sim::Task;
+
+std::vector<CommandType> bench_workload(std::size_t transactions) {
+  return tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 31337},
+      transactions);
+}
+
+struct RunSample {
+  double wall_s = 0;  ///< wall time of the run loop only
+  std::uint64_t txns = 0;
+};
+
+/// Construction/destruction stay outside the timed region in all three
+/// runners: the bench measures simulation throughput, not setup cost.
+RunSample run_lt(const std::vector<CommandType>& workload,
+                 std::uint64_t quantum_cmds) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  pattern::LtConfig cfg;
+  cfg.quantum = sim::Time::ns(60) * quantum_cmds;
+  pattern::LtBusInterface bus(k, "lt", mem, cfg);
+  pattern::LtStimuliEngine eng(bus, workload);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!eng.done()) k.run_for(1000_us);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  return RunSample{std::chrono::duration<double>(t1 - t0).count(),
+                   bus.tlm_stats().transactions};
+}
+
+RunSample run_functional(const std::vector<CommandType>& workload) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  pattern::FunctionalBusInterface iface(k, "iface", mem);
+  pattern::Application app(k, "app", iface, workload);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!app.done()) k.run_for(1000_us);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  return RunSample{std::chrono::duration<double>(t1 - t0).count(),
+                   app.transcript().size()};
+}
+
+RunSample run_pin_level(const std::vector<CommandType>& workload) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+  pattern::RtlPciSystem system(k, "rtl_sys", bus, arb);
+  std::uint64_t txns = 0;
+  bool done = false;
+  k.spawn("app", [&]() -> Task {
+    for (const CommandType& cmd : workload) {
+      ResponseType resp;
+      co_await system.execute(cmd, resp);
+      ++txns;
+    }
+    done = true;
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!done) k.run_for(100_us);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  return RunSample{std::chrono::duration<double>(t1 - t0).count(), txns};
+}
+
+void BM_LtTxnRate(benchmark::State& state) {
+  const auto workload =
+      bench_workload(static_cast<std::size_t>(state.range(0)));
+  const auto quantum = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    const RunSample r = run_lt(workload, quantum);
+    state.SetIterationTime(r.wall_s);
+    txns += r.txns;
+  }
+  state.counters["txn/s"] = benchmark::Counter(static_cast<double>(txns),
+                                               benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LtTxnRate)
+    ->UseManualTime()
+    ->ArgNames({"txns", "quantum"})
+    ->Args({1024, 1})
+    ->Args({1024, 16})
+    ->Args({1024, 1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FunctionalTxnRate(benchmark::State& state) {
+  const auto workload =
+      bench_workload(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    const RunSample r = run_functional(workload);
+    state.SetIterationTime(r.wall_s);
+    txns += r.txns;
+  }
+  state.counters["txn/s"] = benchmark::Counter(static_cast<double>(txns),
+                                               benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalTxnRate)
+    ->UseManualTime()
+    ->ArgNames({"txns"})
+    ->Args({1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PinLevelTxnRate(benchmark::State& state) {
+  const auto workload =
+      bench_workload(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    const RunSample r = run_pin_level(workload);
+    state.SetIterationTime(r.wall_s);
+    txns += r.txns;
+  }
+  state.counters["txn/s"] = benchmark::Counter(static_cast<double>(txns),
+                                               benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PinLevelTxnRate)
+    ->UseManualTime()
+    ->ArgNames({"txns"})
+    ->Args({256})
+    ->Unit(benchmark::kMillisecond);
+
+/// Pin-level-vs-LT A/B: both runs inside every iteration, reference
+/// first, so scheduler drift cancels in the ratio.  Medians of the
+/// per-iteration ratios (run with --benchmark_repetitions) are the
+/// numbers quoted in docs/PERF.md; speedup >= 50 is the acceptance bar.
+void BM_TlmSpeedup(benchmark::State& state) {
+  const auto workload =
+      bench_workload(static_cast<std::size_t>(state.range(0)));
+  const auto quantum = static_cast<std::uint64_t>(state.range(1));
+  double pin_wall = 0, lt_wall = 0;
+  std::uint64_t txns = 0;
+  for (auto _ : state) {
+    const RunSample a = run_pin_level(workload);
+    const RunSample b = run_lt(workload, quantum);
+    state.SetIterationTime(a.wall_s + b.wall_s);
+    pin_wall += a.wall_s;
+    lt_wall += b.wall_s;
+    txns += a.txns + b.txns;
+  }
+  // Guard: both sides must have executed the same workload or the
+  // ratio is meaningless.
+  benchmark::DoNotOptimize(txns);
+  state.counters["speedup"] = lt_wall > 0 ? pin_wall / lt_wall : 0;
+}
+BENCHMARK(BM_TlmSpeedup)
+    ->UseManualTime()
+    ->ArgNames({"txns", "quantum"})
+    ->Args({256, 16})
+    ->Args({256, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

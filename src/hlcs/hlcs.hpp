@@ -9,6 +9,7 @@
 #include "hlcs/sbus/simple_bus.hpp"
 #include "hlcs/sim/sim.hpp"
 #include "hlcs/synth/synth.hpp"
+#include "hlcs/tlm/lt.hpp"
 #include "hlcs/tlm/stimuli.hpp"
 #include "hlcs/tlm/tlm.hpp"
 #include "hlcs/verify/compare.hpp"

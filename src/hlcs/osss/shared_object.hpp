@@ -70,6 +70,13 @@ struct SharedObjectStats {
   // further call() is allocation-free (docs/PERF.md).
   std::uint64_t pending_pool_hits = 0;
   std::uint64_t pending_pool_misses = 0;
+  /// Guarded calls accounted through batched quantum commits (the
+  /// loosely-timed fast path, hlcs/tlm/lt.hpp) and the number of commit
+  /// episodes that carried them.  Batched calls are also counted in
+  /// `grants` and in the owning client's calls/granted/latency, so the
+  /// contention instrumentation stays meaningful under LT execution.
+  std::uint64_t batched_calls = 0;
+  std::uint64_t batched_commits = 0;
   /// Queue depth sampled at every busy service step (clocked: each
   /// rising edge with pending calls; untimed: each service delta).
   Log2Histogram depth;
@@ -161,6 +168,15 @@ public:
       return obj_->try_call_impl(id_, std::move(guard), std::move(fn));
     }
 
+    /// Batched guarded-method episode (loosely-timed quantum commit):
+    /// account `calls` zero-wait grants for this client and apply `fn`
+    /// once over the state.  See SharedObject::commit_batch.
+    template <class Fn>
+    void commit_batch(std::uint64_t calls, Fn fn) const {
+      HLCS_ASSERT(obj_ != nullptr, "commit_batch through unconnected Client");
+      obj_->commit_batch(id_, calls, std::move(fn));
+    }
+
     std::size_t id() const { return id_; }
     bool connected() const { return obj_ != nullptr; }
 
@@ -178,6 +194,33 @@ public:
     cs.name = std::move(client_name);
     stats_.clients.push_back(std::move(cs));
     return Client(this, stats_.clients.size() - 1, priority);
+  }
+
+  /// Batched guarded-method episode -- the loosely-timed fast path
+  /// (hlcs/tlm/lt.hpp).  A quantum's worth of calls accumulated by
+  /// `client_id` is committed as ONE arbitration episode: `fn` mutates
+  /// the state once on behalf of all of them, and the client's
+  /// call/grant counters and latency histogram absorb `calls` zero-wait
+  /// grants (the calls never waited -- they ran ahead of kernel time).
+  /// Queued calls, if any, observe the state change atomically; queued
+  /// calls whose guards the mutation satisfied are re-serviced exactly
+  /// as after a regular grant.
+  template <class Fn>
+  void commit_batch(std::size_t client_id, std::uint64_t calls, Fn fn) {
+    HLCS_ASSERT(client_id < stats_.clients.size(),
+                "commit_batch: unknown client");
+    fn(state_);
+    stats_.grants += calls;
+    stats_.batched_calls += calls;
+    stats_.batched_commits++;
+    ClientStats& cs = stats_.clients[client_id];
+    cs.calls += calls;
+    cs.granted += calls;
+    cs.latency.record_n(0, calls);
+    // Only nudge the service loop when the mutation actually unblocked
+    // someone: an idle-guard wakeup would spend a delta per quantum and
+    // defeat the kernel time-warp the LT engine relies on.
+    if (!clocked() && has_eligible()) service_ev_.notify_delta();
   }
 
   /// Read-only inspection of the shared state, outside arbitration.

@@ -1,0 +1,222 @@
+// Loosely-timed library element: the quantum-decoupled fast path of the
+// communication refinement flow.  It implements the same BusInterface
+// contract as FunctionalBusInterface and PciBusInterface -- the
+// application is untouched (paper Fig. 3) -- but serves transactions
+// with three accelerations:
+//
+//   1. DMI direct windows: commands that fall inside a target-granted
+//      raw span (tlm::DmiWindow) execute as plain loads/stores.  The
+//      cached window is revalidated against the provider's
+//      dmi_version() once per command, so decode changes (e.g. a
+//      TlmRouter::attach) are honoured without a per-word check.
+//   2. Temporal decoupling: per-command cost accrues in a
+//      tlm::QuantumKeeper local offset instead of a kernel wait; the
+//      kernel is synchronised only at quantum boundaries, usually by a
+//      direct clock warp (Kernel::try_warp).
+//   3. Batched guarded-method commits: the decoupled stimuli engine
+//      bypasses the per-command global-object handshake and commits a
+//      quantum's worth of putCommand/getCommand/putResponse/appDataGet
+//      calls as one arbitration episode per side
+//      (SharedObject::commit_batch), keeping the contention
+//      instrumentation consistent with what a call-by-call run records.
+//
+// The refinement-consistency obligation is unchanged: the LT transcript
+// must match the functional and pin-level transcripts word for word
+// (verify::compare_functional); tests/tlm/test_lt.cpp and the
+// `hlcs_synth --equiv-lt` gate check exactly that.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hlcs/pattern/bus_interface.hpp"
+#include "hlcs/tlm/lt.hpp"
+#include "hlcs/tlm/tlm.hpp"
+#include "hlcs/verify/transcript.hpp"
+
+namespace hlcs::pattern {
+
+struct LtConfig {
+  sim::Time quantum = sim::Time::us(1);       ///< run-ahead bound
+  sim::Time per_command = sim::Time::ns(30);  ///< accrued cost per command
+  sim::Time per_word = sim::Time::ns(30);     ///< accrued cost per word
+};
+
+class LtStimuliEngine;
+
+class LtBusInterface final : public BusInterface {
+public:
+  LtBusInterface(sim::Kernel& k, std::string name, tlm::TlmTarget& target,
+                 LtConfig cfg = {})
+      : BusInterface(k, std::move(name)),
+        target_(target),
+        cfg_(cfg),
+        keeper_(k, cfg.quantum, tlm_stats_),
+        batch_app_(chan_.object().make_client("lt_batch_app")),
+        batch_if_(chan_.object().make_client("lt_batch_if")) {
+    spawn("serve", [this]() { return serve_forever(chan_.if_port("iface")); });
+  }
+
+  const tlm::TlmStats& tlm_stats() const { return tlm_stats_; }
+  const tlm::QuantumKeeper& keeper() const { return keeper_; }
+
+protected:
+  /// Channel-served path (an ordinary Application connected through
+  /// app_port): the command/response handshake still runs through the
+  /// global object, but service is a direct call plus local-time accrual
+  /// -- the kernel advances only at quantum boundaries.
+  sim::Task execute(const CommandType& cmd, ResponseType& resp) override {
+    serve_direct(cmd, resp);
+    keeper_.inc(cost_of(cmd));
+    if (keeper_.need_sync()) {
+      tlm_stats_.quanta++;
+      co_await keeper_.sync();
+    }
+  }
+
+private:
+  friend class LtStimuliEngine;
+
+  /// Local cost of a command under the LT timing model.  Matches the
+  /// FunctionalTiming shape so an LT run and a per-command-timed
+  /// functional run agree on total simulated time.
+  sim::Time cost_of(const CommandType& cmd) const {
+    return cfg_.per_command + cfg_.per_word * cmd.words();
+  }
+
+  /// Serve one command immediately (no kernel interaction).  Reads and
+  /// writes whose whole span lies inside a direct window are plain
+  /// memcpy-style loops; everything else -- peripheral registers,
+  /// window-crossing bursts, undecoded addresses -- falls back to ONE
+  /// target read()/write() call, byte-for-byte the functional element's
+  /// behaviour (including the first-target routing of crossing bursts).
+  void serve_direct(const CommandType& cmd, ResponseType& resp) {
+    resp.id = cmd.id;
+    if (op_is_read(cmd.op)) {
+      resp.data.clear();
+      if (window_for(cmd.addr, cmd.count * 4)) {
+        const std::uint32_t* p = win_.at(cmd.addr);
+        resp.data.insert(resp.data.end(), p, p + cmd.count);
+        resp.status = tlm::Status::Ok;
+        tlm_stats_.dmi_hits++;
+      } else {
+        tlm_stats_.dmi_misses++;
+        resp.status = target_.read(cmd.addr, resp.data, cmd.count);
+        // Match the other elements: a failed read delivers no data.
+        if (resp.status != tlm::Status::Ok) resp.data.clear();
+      }
+    } else {
+      if (window_for(cmd.addr, cmd.data.size() * 4)) {
+        std::uint32_t* p = win_.at(cmd.addr);
+        for (std::size_t i = 0; i < cmd.data.size(); ++i) p[i] = cmd.data[i];
+        resp.status = tlm::Status::Ok;
+        tlm_stats_.dmi_hits++;
+      } else {
+        tlm_stats_.dmi_misses++;
+        resp.status = target_.write(cmd.addr, cmd.data);
+      }
+    }
+    tlm_stats_.transactions++;
+  }
+
+  /// True iff a fresh direct window covers [addr, addr+bytes).  The
+  /// cached window is version-checked once here (per command); a miss
+  /// re-acquires through the target.
+  bool window_for(std::uint32_t addr, std::size_t bytes) {
+    if (win_.valid() && win_.version != target_.dmi_version()) win_ = {};
+    if (win_.covers(addr, bytes)) return true;
+    win_ = target_.get_direct_window(addr);
+    return win_.covers(addr, bytes);
+  }
+
+  /// Commit a quantum's worth of decoupled handshakes on the global
+  /// object: `n` transactions are 2n application-side calls (putCommand
+  /// + appDataGet) and 2n interface-side calls (getCommand +
+  /// putResponse).  The application-side mutation consumes the channel's
+  /// id sequence so call-by-call users attached later stay in sync with
+  /// the ids the engine assigned.
+  void commit_quantum(std::uint64_t n) {
+    if (n == 0) return;
+    batch_app_.commit_batch(2 * n, [n](BusAccessState& s) {
+      for (std::uint64_t i = 0; i < n; ++i) s.take_id();
+    });
+    batch_if_.commit_batch(2 * n, [](BusAccessState&) {});
+    tlm_stats_.batched_guarded_calls += 4 * n;
+  }
+
+  /// Mirror of serve_forever's InterfaceStats accounting, for commands
+  /// served outside the channel loop (the decoupled engine).
+  void account(const CommandType& cmd, const ResponseType& resp) {
+    stats_.commands_served++;
+    stats_.words_transferred +=
+        resp.data.size() + (op_is_read(cmd.op) ? 0 : cmd.data.size());
+    if (resp.status != pci::PciResult::Ok) stats_.failures++;
+  }
+
+  tlm::TlmTarget& target_;
+  LtConfig cfg_;
+  tlm::TlmStats tlm_stats_;
+  tlm::QuantumKeeper keeper_;
+  tlm::DmiWindow win_;  // cached grant; revalidated per command
+  BusAccessChannel::Shared::Client batch_app_;
+  BusAccessChannel::Shared::Client batch_if_;
+};
+
+/// Quantum-decoupled stimuli engine: replays a workload against an
+/// LtBusInterface as a tight loop of direct calls, recording a
+/// transcript stamped with LOCAL time (kernel time + run-ahead offset).
+/// The per-command global-object handshake is batched: at every quantum
+/// boundary the accumulated calls commit as one arbitration episode per
+/// side, then the keeper synchronises the kernel.  Ids are assigned from
+/// the engine's own counter, which matches the channel's take_id()
+/// sequence exactly (and commit_quantum consumes the channel's counter
+/// in step), so transcripts compare 1:1 with call-by-call runs.
+class LtStimuliEngine : public sim::Module {
+public:
+  LtStimuliEngine(LtBusInterface& bus, std::vector<CommandType> workload)
+      : Module(bus.kernel(), bus.sub("engine")),
+        bus_(bus),
+        workload_(std::move(workload)) {
+    spawn("replay", [this]() { return replay(); });
+  }
+
+  bool done() const { return done_; }
+  const verify::Transcript& transcript() const { return transcript_; }
+
+private:
+  sim::Task replay() {
+    std::uint64_t in_quantum = 0;
+    ResponseType resp;
+    for (const CommandType& w : workload_) {
+      CommandType cmd = w;
+      cmd.id = next_id_++;
+      const sim::Time issued = bus_.keeper_.local_now();
+      resp = ResponseType{};
+      bus_.serve_direct(cmd, resp);
+      bus_.keeper_.inc(bus_.cost_of(cmd));
+      bus_.account(cmd, resp);
+      transcript_.record(cmd, resp, issued, bus_.keeper_.local_now());
+      ++in_quantum;
+      if (bus_.keeper_.need_sync()) {
+        bus_.commit_quantum(in_quantum);
+        in_quantum = 0;
+        bus_.tlm_stats_.quanta++;
+        co_await bus_.keeper_.sync();
+      }
+    }
+    // Final partial quantum: commit and bring the kernel up to local
+    // time so `span()` and kernel().now() agree at completion.
+    bus_.commit_quantum(in_quantum);
+    co_await bus_.keeper_.sync();
+    done_ = true;
+  }
+
+  LtBusInterface& bus_;
+  std::vector<CommandType> workload_;
+  verify::Transcript transcript_;
+  std::uint64_t next_id_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace hlcs::pattern

@@ -8,6 +8,7 @@
 #include "hlcs/pattern/bus_interface.hpp"
 #include "hlcs/pattern/command.hpp"
 #include "hlcs/pattern/functional_bus_interface.hpp"
+#include "hlcs/pattern/lt_bus_interface.hpp"
 #include "hlcs/pattern/pci_bus_interface.hpp"
 #include "hlcs/pattern/rtl_channel.hpp"
 #include "hlcs/pattern/simple_bus_interface.hpp"

@@ -109,6 +109,7 @@ Time Kernel::next_activity() const {
 void Kernel::run_until(Time limit) {
   stop_requested_ = false;
   const std::uint64_t limit_ps = limit.picos();
+  run_limit_ps_ = limit_ps;  // try_warp() may not overshoot this horizon
   for (;;) {
     // Delta loop at the current simulated time.
     while (!delta_queues_empty()) {

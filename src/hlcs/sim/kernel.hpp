@@ -180,6 +180,7 @@ struct KernelStats {
   std::uint64_t updates = 0;          // channel update commits
   std::uint64_t timed_actions = 0;    // timed-queue pops
   std::uint64_t events_triggered = 0;
+  std::uint64_t time_warps = 0;       // successful try_warp() advances
   // Allocation-observability counters (docs/PERF.md).
   std::uint64_t timed_peak = 0;       // max simultaneous timed entries
   std::uint64_t waiter_reallocs = 0;  // event waiter overflow regrowths
@@ -582,6 +583,30 @@ public:
 
   Time now() const { return now_; }
 
+  /// Loosely-timed time-warp hook (hlcs/tlm/lt.hpp): advance simulated
+  /// time directly to `to`, skipping the timed-queue round trip a plain
+  /// wait() would take.  Legal only when the calling process is the sole
+  /// pending activity, i.e. nothing else could legally run before `to`:
+  /// no delta-phase work is queued and no timed entry is stamped earlier
+  /// than `to`; the warp must also not overshoot the current run()
+  /// horizon (run_for slices would otherwise see time move backwards).
+  /// Returns false -- changing nothing -- when any of that fails; the
+  /// caller then falls back to an ordinary timed wait.  The observable
+  /// schedule is identical either way: a refused warp means some other
+  /// action was due first, a granted warp merely fast-forwards the clock
+  /// the run loop would have idled across.
+  bool try_warp(Time to) {
+    const std::uint64_t to_ps = to.picos();
+    if (to_ps <= now_.picos()) return true;
+    if (to_ps > run_limit_ps_) return false;
+    if (delta_work_ && !delta_queues_empty()) return false;
+    if (!timed_.empty() && timed_.next_at() < to_ps) return false;
+    now_ = to;
+    timed_.advance_base(to_ps);
+    stats_.time_warps++;
+    return true;
+  }
+
   // ----- shard-engine probes -------------------------------------------
   // A sharded run (sim/shard.hpp) drives several kernels window by
   // window; between windows the engine asks each kernel how far it could
@@ -663,6 +688,9 @@ private:
   void check_error();
 
   Time now_ = Time::zero();
+  // Horizon of the run_until() call in progress; try_warp() may not
+  // advance past it.  Zero outside run(), so warps are refused there.
+  std::uint64_t run_limit_ps_ = 0;
   bool stop_requested_ = false;
   // True whenever a delta-cycle queue MAY be non-empty; cleared only
   // after a full delta_queues_empty() probe confirms they are drained.

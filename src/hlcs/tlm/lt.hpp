@@ -1,0 +1,101 @@
+// Loosely-timed (LT) execution support: temporal decoupling with a
+// quantum keeper, in the style of Klingauf's "Systematic Transaction
+// Level Modeling" / OSCI TLM-2.0 LT coding style (PAPERS.md).
+//
+// An LT initiator runs AHEAD of kernel time: each transaction's cost is
+// folded into a local-time offset instead of a kernel wait, and the
+// kernel is synchronised only when the offset reaches the configured
+// quantum.  The sync itself has a fast path -- Kernel::try_warp() moves
+// the clock directly when the initiator is the only pending activity --
+// and falls back to an ordinary timed wait when other processes are
+// due first.  Combined with DMI windows (hlcs/tlm/tlm.hpp) and batched
+// guarded-method commits (osss::SharedObject::commit_batch), a stimuli
+// workload executes as plain loads and stores between syncs.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+
+#include "hlcs/sim/kernel.hpp"
+#include "hlcs/sim/time.hpp"
+
+namespace hlcs::tlm {
+
+/// Counters of the loosely-timed fast path, reported through the
+/// unified --stats printers next to NetlistStats/JitStats.
+struct TlmStats {
+  std::uint64_t transactions = 0;  ///< commands served on the LT path
+  std::uint64_t quanta = 0;        ///< full quanta completed
+  std::uint64_t syncs = 0;         ///< kernel synchronisations
+  std::uint64_t warps = 0;         ///< syncs satisfied by Kernel::try_warp
+  std::uint64_t dmi_hits = 0;      ///< window-granted access chunks
+  std::uint64_t dmi_misses = 0;    ///< fallbacks through read()/write()
+  std::uint64_t batched_guarded_calls = 0;  ///< calls folded into commits
+
+  friend bool operator==(const TlmStats&, const TlmStats&) = default;
+};
+
+/// Tracks one initiator's local-time offset against kernel time and
+/// decides when to synchronise.  `sync()` is awaitable: it either warps
+/// the kernel clock forward without suspending (counted in
+/// TlmStats::warps) or schedules a plain timed resume at local time.
+class QuantumKeeper {
+public:
+  QuantumKeeper(sim::Kernel& k, sim::Time quantum, TlmStats& stats)
+      : kernel_(k), quantum_(quantum), stats_(stats) {}
+
+  sim::Time quantum() const { return quantum_; }
+  void set_quantum(sim::Time q) { quantum_ = q; }
+
+  /// Local run-ahead beyond kernel time.
+  sim::Time local_offset() const { return offset_; }
+  /// Absolute local time: what the initiator believes "now" is.
+  sim::Time local_now() const { return kernel_.now() + offset_; }
+
+  /// Accrue local cost without touching the kernel.
+  void inc(sim::Time t) { offset_ += t; }
+
+  /// True once the accumulated offset fills the quantum.
+  bool need_sync() const { return offset_.picos() >= quantum_.picos(); }
+
+  struct SyncAwaiter {
+    QuantumKeeper& qk;
+    bool await_ready() {
+      if (qk.offset_.is_zero()) return true;
+      if (qk.kernel_.try_warp(qk.kernel_.now() + qk.offset_)) {
+        qk.finish_sync(/*warped=*/true);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      qk.kernel_.schedule_resume(qk.kernel_.now() + qk.offset_, h);
+    }
+    void await_resume() {
+      // Only reached after a real suspension (await_ready zeroes the
+      // offset on the warp path), so a non-zero offset means the timed
+      // resume just completed this sync.
+      if (!qk.offset_.is_zero()) qk.finish_sync(/*warped=*/false);
+    }
+  };
+
+  /// Bring kernel time up to local time and reset the offset.  No-op
+  /// (no suspension) when the offset is zero.
+  SyncAwaiter sync() { return SyncAwaiter{*this}; }
+
+private:
+  friend struct SyncAwaiter;
+
+  void finish_sync(bool warped) {
+    offset_ = sim::Time::zero();
+    stats_.syncs++;
+    if (warped) stats_.warps++;
+  }
+
+  sim::Kernel& kernel_;
+  sim::Time quantum_;
+  TlmStats& stats_;
+  sim::Time offset_ = sim::Time::zero();
+};
+
+}  // namespace hlcs::tlm

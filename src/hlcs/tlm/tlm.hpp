@@ -2,12 +2,20 @@
 // models" of the paper's Figure 2.  A TlmTarget serves word transactions
 // through plain function calls; the functional bus interface routes
 // application commands to these models without any pin activity.
+//
+// Targets may additionally grant a DMI-style direct window
+// (get_direct_window): a raw span over their backing store that the
+// loosely-timed fast path (hlcs/tlm/lt.hpp) turns into plain loads and
+// stores.  A window is valid only while the provider's dmi_version() is
+// unchanged; any decode change (e.g. TlmRouter::attach) bumps the
+// version and thereby invalidates every outstanding window.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "hlcs/pci/pci_types.hpp"
@@ -18,6 +26,27 @@ namespace hlcs::tlm {
 /// Outcome reuses the PCI result vocabulary so transcripts are directly
 /// comparable across abstraction levels.
 using Status = pci::PciResult;
+
+/// A direct-access grant over a contiguous word span of a target's
+/// backing store (the TLM-2.0 DMI idea).  The holder may load/store
+/// through `words` for addresses in [base, base+size) while the
+/// provider's dmi_version() still equals `version`; a mismatch means
+/// the decode map changed and the window must be re-acquired.
+struct DmiWindow {
+  std::uint32_t* words = nullptr;  ///< first word of the span
+  std::uint32_t base = 0;          ///< first byte address covered
+  std::uint32_t size = 0;          ///< bytes covered
+  std::uint64_t version = 0;       ///< provider dmi_version() at grant
+
+  bool valid() const { return words != nullptr; }
+  bool covers(std::uint32_t addr, std::size_t bytes) const {
+    return words != nullptr && addr >= base &&
+           static_cast<std::uint64_t>(addr) - base + bytes <= size;
+  }
+  std::uint32_t* at(std::uint32_t addr) const {
+    return words + (addr - base) / 4;
+  }
+};
 
 class TlmTarget {
 public:
@@ -32,17 +61,41 @@ public:
   virtual Status write(std::uint32_t addr,
                        const std::vector<std::uint32_t>& data) = 0;
 
+  /// Request a direct window covering `addr`.  Memory-like targets
+  /// return a span (at least the enclosing word, typically a whole
+  /// page); targets with read/write side effects keep the default and
+  /// return an invalid window, forcing every access through
+  /// read()/write().
+  virtual DmiWindow get_direct_window(std::uint32_t addr) {
+    (void)addr;
+    return {};
+  }
+
+  /// Monotonic decode-map generation.  A cached DmiWindow is stale as
+  /// soon as the provider's version differs from the one captured at
+  /// grant time.
+  virtual std::uint64_t dmi_version() const { return 0; }
+
   bool decodes(std::uint32_t addr) const {
     return addr >= base() && addr < base() + size();
   }
 };
 
-/// Flat functional memory.
+/// Flat functional memory, backed by 4 KiB pages allocated (zero-filled)
+/// on first write.  Reads of never-written pages return zero without
+/// allocating; direct windows allocate their page eagerly because they
+/// hand out writable pointers.  Pages never move once allocated, so a
+/// granted window stays valid for the life of the memory (the version
+/// never changes).
 class TlmMemory final : public TlmTarget {
 public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+  static constexpr std::uint32_t kPageWords = kPageBytes / 4;
+
   TlmMemory(std::uint32_t base, std::uint32_t size_bytes)
       : base_(base), size_(size_bytes) {
     HLCS_ASSERT(size_bytes % 4 == 0, "TlmMemory size must be word aligned");
+    pages_.resize((size_bytes + kPageBytes - 1) / kPageBytes);
   }
 
   std::uint32_t base() const override { return base_; }
@@ -53,8 +106,9 @@ public:
     for (std::size_t i = 0; i < count; ++i) {
       const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
       if (!decodes(a)) return Status::MasterAbort;
-      auto it = words_.find((a - base_) / 4);
-      out.push_back(it == words_.end() ? 0 : it->second);
+      const std::uint32_t off = a - base_;
+      const Page* p = pages_[off / kPageBytes].get();
+      out.push_back(p == nullptr ? 0 : p->w[(off % kPageBytes) / 4]);
     }
     return Status::Ok;
   }
@@ -64,26 +118,62 @@ public:
     for (std::size_t i = 0; i < data.size(); ++i) {
       const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
       if (!decodes(a)) return Status::MasterAbort;
-      words_[(a - base_) / 4] = data[i];
+      const std::uint32_t off = a - base_;
+      ensure_page(off / kPageBytes).w[(off % kPageBytes) / 4] = data[i];
     }
     return Status::Ok;
   }
 
+  /// Direct window over the page containing `addr`, clamped to the
+  /// decode window's tail.  Allocates the page (zero-filled) because the
+  /// span is writable.
+  DmiWindow get_direct_window(std::uint32_t addr) override {
+    if (!decodes(addr)) return {};
+    const std::uint32_t page = (addr - base_) / kPageBytes;
+    DmiWindow w;
+    w.words = ensure_page(page).w.data();
+    w.base = base_ + page * kPageBytes;
+    w.size = std::min(kPageBytes, size_ - page * kPageBytes);
+    w.version = dmi_version();
+    return w;
+  }
+
   std::uint32_t peek(std::uint32_t offset) const {
-    auto it = words_.find(offset / 4);
-    return it == words_.end() ? 0 : it->second;
+    if (offset >= size_) return 0;
+    const Page* p = pages_[offset / kPageBytes].get();
+    return p == nullptr ? 0 : p->w[(offset % kPageBytes) / 4];
+  }
+
+  /// Pages materialised so far (observability for tests/benches: a
+  /// sequential sweep should allocate ceil(span/4KiB) pages, reads of
+  /// untouched space none).
+  std::size_t pages_allocated() const {
+    std::size_t n = 0;
+    for (const auto& p : pages_) n += p != nullptr;
+    return n;
   }
 
 private:
+  struct Page {
+    std::array<std::uint32_t, kPageWords> w{};  // zero-filled on first touch
+  };
+
+  Page& ensure_page(std::uint32_t index) {
+    if (!pages_[index]) pages_[index] = std::make_unique<Page>();
+    return *pages_[index];
+  }
+
   std::uint32_t base_;
   std::uint32_t size_;
-  std::unordered_map<std::uint32_t, std::uint32_t> words_;
+  std::vector<std::unique_ptr<Page>> pages_;
 };
 
 /// A small register-file peripheral: CTRL / STATUS / DATA / SCRATCH
 /// registers with device-like behaviour (writing CTRL bit0 sets STATUS
 /// busy for a number of polls -- enough to exercise polling loops in the
 /// examples).  Word offsets: 0x0 CTRL, 0x4 STATUS, 0x8 DATA, 0xC SCRATCH.
+/// Reads have side effects (STATUS decrements the busy countdown), so
+/// this target never grants a direct window.
 class RegisterPeripheral final : public TlmTarget {
 public:
   RegisterPeripheral(std::uint32_t base, unsigned busy_polls = 3)
@@ -144,10 +234,34 @@ private:
   std::uint32_t scratch_ = 0;
 };
 
-/// Address router over several targets (first decode wins).
+/// Address router over several targets.  Targets are kept sorted by base
+/// with overlap rejection at attach() (mirroring fabric::EndpointRegistry
+/// semantics), so route() is a binary search instead of a linear scan.
 class TlmRouter final : public TlmTarget {
 public:
-  void attach(TlmTarget& t) { targets_.push_back(&t); }
+  /// Registers `t`; throws if its window overlaps an attached target.
+  /// Every attach bumps the DMI version: the decode map changed, so all
+  /// outstanding direct windows over this router are invalidated.
+  void attach(TlmTarget& t) {
+    auto it = std::lower_bound(
+        targets_.begin(), targets_.end(), &t,
+        [](const TlmTarget* a, const TlmTarget* b) {
+          return a->base() < b->base();
+        });
+    if (it != targets_.end() && t.base() + t.size() > (*it)->base()) {
+      fail("TlmRouter: window [" + std::to_string(t.base()) + ", +" +
+           std::to_string(t.size()) + ") overlaps an attached target");
+    }
+    if (it != targets_.begin()) {
+      const TlmTarget* prev = *(it - 1);
+      if (prev->base() + prev->size() > t.base()) {
+        fail("TlmRouter: window [" + std::to_string(t.base()) + ", +" +
+             std::to_string(t.size()) + ") overlaps an attached target");
+      }
+    }
+    targets_.insert(it, &t);
+    ++generation_;
+  }
 
   std::uint32_t base() const override { return 0; }
   std::uint32_t size() const override { return 0xFFFFFFFF; }
@@ -163,14 +277,40 @@ public:
     return Status::MasterAbort;
   }
 
+  /// Forwarded direct window, restamped with the ROUTER's version so a
+  /// later attach() invalidates it even though the child's own span is
+  /// unchanged.
+  DmiWindow get_direct_window(std::uint32_t addr) override {
+    if (TlmTarget* t = route(addr)) {
+      DmiWindow w = t->get_direct_window(addr);
+      if (w.valid()) w.version = dmi_version();
+      return w;
+    }
+    return {};
+  }
+
+  /// Folds the attach generation with the children's versions, so a
+  /// change anywhere below propagates to windows granted through the
+  /// router.  O(targets); holders amortise the check over whole
+  /// commands, not words (hlcs/tlm/lt.hpp).
+  std::uint64_t dmi_version() const override {
+    std::uint64_t v = generation_;
+    for (const TlmTarget* t : targets_) v += t->dmi_version();
+    return v;
+  }
+
 private:
   TlmTarget* route(std::uint32_t addr) const {
-    for (TlmTarget* t : targets_) {
-      if (t->decodes(addr)) return t;
-    }
-    return nullptr;
+    auto it = std::upper_bound(
+        targets_.begin(), targets_.end(), addr,
+        [](std::uint32_t a, const TlmTarget* t) { return a < t->base(); });
+    if (it == targets_.begin()) return nullptr;
+    TlmTarget* t = *(it - 1);
+    return (addr >= t->base() && addr - t->base() < t->size()) ? t : nullptr;
   }
-  std::vector<TlmTarget*> targets_;
+
+  std::vector<TlmTarget*> targets_;  // sorted by base(), non-overlapping
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace hlcs::tlm

@@ -242,5 +242,82 @@ TEST(KernelExtra, StatsCountUpdatesAndEvents) {
   EXPECT_GE(k.stats().events_triggered, 10u);
 }
 
+TEST(TryWarp, AdvancesClockWhenSoleActivity) {
+  Kernel k;
+  bool checked = false;
+  k.spawn("lt", [&]() -> Task {
+    EXPECT_TRUE(k.try_warp(Time::ns(500)));
+    EXPECT_EQ(k.now().picos(), 500000u);
+    // A warp to the past or present is a successful no-op.
+    EXPECT_TRUE(k.try_warp(Time::ns(100)));
+    EXPECT_EQ(k.now().picos(), 500000u);
+    // Timed waits keep working after a warp (the queue base advanced).
+    co_await k.wait(10_ns);
+    EXPECT_EQ(k.now().picos(), 510000u);
+    checked = true;
+  });
+  k.run_for(1_ms);
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(k.stats().time_warps, 1u);
+}
+
+TEST(TryWarp, RefusedWhenEarlierTimedEntryPending) {
+  Kernel k;
+  std::vector<int> order;
+  k.spawn("sleeper", [&]() -> Task {
+    co_await k.wait(50_ns);
+    order.push_back(1);
+  });
+  k.spawn("lt", [&]() -> Task {
+    co_await k.wait_delta();  // let the sleeper park its timed entry
+    EXPECT_FALSE(k.try_warp(Time::ns(100)))
+        << "may not jump over the sleeper";
+    EXPECT_TRUE(k.now().is_zero()) << "refused warp changes nothing";
+    co_await k.wait(100_ns);
+    order.push_back(2);
+  });
+  k.run_for(1_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(k.stats().time_warps, 0u);
+}
+
+TEST(TryWarp, RefusedBeyondRunHorizonAndOutsideRun) {
+  Kernel k;
+  EXPECT_FALSE(k.try_warp(Time::ns(1))) << "no run() in progress";
+  k.spawn("lt", [&]() -> Task {
+    EXPECT_FALSE(k.try_warp(Time::us(2))) << "past the run_for slice limit";
+    EXPECT_TRUE(k.now().is_zero());
+    EXPECT_TRUE(k.try_warp(Time::us(1))) << "exactly the horizon is fine";
+    co_return;
+  });
+  k.run_for(1_us);
+  EXPECT_EQ(k.now().picos(), Time::us(1).picos());
+  EXPECT_EQ(k.stats().time_warps, 1u);
+  // A later slice resumes cleanly from the warped time.
+  bool ran = false;
+  k.spawn("later", [&]() -> Task {
+    co_await k.wait(1_us);
+    ran = true;
+  });
+  k.run_for(2_us);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TryWarp, RefusedWhilePendingDeltaWork) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  bool checked = false;
+  k.spawn("lt", [&]() -> Task {
+    s.write(1);  // queues an update: the delta is not finished
+    EXPECT_FALSE(k.try_warp(Time::ns(10)));
+    co_await k.wait_delta();
+    checked = true;
+  });
+  k.run_for(1_us);
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(s.read(), 1);
+  EXPECT_EQ(k.stats().time_warps, 0u);
+}
+
 }  // namespace
 }  // namespace hlcs::sim

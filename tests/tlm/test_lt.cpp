@@ -1,0 +1,385 @@
+// Loosely-timed fast path: refinement consistency (LT vs functional vs
+// synthesised pin-level RTL), quantum determinism, DMI invalidation and
+// batched guarded-method accounting.  This is the paper's step-3
+// consistency check extended to the temporally decoupled model: the
+// exploitable speed of the LT engine is only admissible because these
+// transcripts stay word-for-word equal to the refined models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/pci/pci.hpp"
+#include "hlcs/sim/sim.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/verify/compare.hpp"
+#include "hlcs/verify/coverage.hpp"
+
+namespace hlcs::pattern {
+namespace {
+
+using namespace hlcs::sim::literals;
+using sim::Kernel;
+using sim::Task;
+
+// One single-word command costs per_command + per_word = 60ns under the
+// default LT timing, so "a quantum of N commands" is 60ns * N.
+LtConfig quantum_of(std::uint64_t commands) {
+  LtConfig cfg;
+  cfg.quantum = sim::Time::ns(60) * commands;
+  return cfg;
+}
+
+struct LtRun {
+  verify::Transcript transcript;
+  tlm::TlmStats stats;
+  osss::SharedObjectStats object_stats;
+  std::uint64_t kernel_warps = 0;
+};
+
+LtRun lt_run(const std::vector<CommandType>& workload, LtConfig cfg = {}) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  LtBusInterface bus(k, "lt", mem, cfg);
+  LtStimuliEngine eng(bus, workload);
+  for (int slice = 0; slice < 100 && !eng.done(); ++slice) k.run_for(1000_us);
+  EXPECT_TRUE(eng.done()) << "LT engine stalled";
+  return LtRun{eng.transcript(), bus.tlm_stats(),
+               bus.channel().object().stats(), k.stats().time_warps};
+}
+
+verify::Transcript functional_run(const std::vector<CommandType>& workload,
+                                  FunctionalTiming timing = {}) {
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  FunctionalBusInterface iface(k, "iface", mem, timing);
+  Application app(k, "app", iface, workload);
+  for (int slice = 0; slice < 100 && !app.done(); ++slice) k.run_for(1000_us);
+  EXPECT_TRUE(app.done()) << "functional reference stalled";
+  return app.transcript();
+}
+
+// Post-synthesis pin-level leg (the RtlSystemBench shape from
+// tests/pattern/test_rtl_system.cpp).
+verify::Transcript rtl_run(const std::vector<CommandType>& workload) {
+  Kernel k;
+  sim::Clock clk(k, "clk", 10_ns);
+  pci::PciBus bus(k, "pci", clk);
+  pci::PciArbiter arb(k, "arb", bus);
+  pci::PciMonitor mon(k, "mon", bus);
+  pci::PciTarget target(k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+  RtlPciSystem system(k, "rtl_sys", bus, arb);
+  verify::Transcript out;
+  bool done = false;
+  k.spawn("app", [&]() -> Task {
+    for (const CommandType& cmd : workload) {
+      const sim::Time issued = k.now();
+      ResponseType resp;
+      co_await system.execute(cmd, resp);
+      out.record(cmd, resp, issued, k.now());
+    }
+    done = true;
+  });
+  for (int slice = 0; slice < 5000 && !done; ++slice) k.run_for(10_us);
+  EXPECT_TRUE(done) << "post-synthesis system stalled";
+  EXPECT_TRUE(mon.violations().empty());
+  return out;
+}
+
+TEST(LtRefinement, SequentialMatchesFunctionalAcrossQuanta) {
+  auto workload = tlm::sequential_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400}, 64);
+  verify::Transcript golden = functional_run(workload);
+  for (std::uint64_t q : {1u, 16u, 1024u}) {
+    LtRun lt = lt_run(workload, quantum_of(q));
+    auto cmp = verify::compare_functional(golden, lt.transcript);
+    EXPECT_TRUE(cmp) << "quantum=" << q << ": " << cmp.first_difference;
+    EXPECT_EQ(cmp.compared, 64u);
+  }
+}
+
+TEST(LtRefinement, RandomMatchesFunctionalAcrossQuantaAndSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 0xBADC0DEull}) {
+    auto workload = tlm::random_workload(
+        tlm::WorkloadConfig{.base = 0x1000, .span = 0x1000, .seed = seed},
+        200);
+    verify::Transcript golden = functional_run(workload);
+    for (std::uint64_t q : {1u, 16u, 1024u}) {
+      LtRun lt = lt_run(workload, quantum_of(q));
+      auto cmp = verify::compare_functional(golden, lt.transcript);
+      EXPECT_TRUE(cmp) << "seed=" << seed << " quantum=" << q << ": "
+                       << cmp.first_difference;
+      EXPECT_EQ(cmp.compared, 200u);
+    }
+  }
+}
+
+TEST(LtRefinement, ThreeWayWithSynthesisedRtl) {
+  // The acceptance gate of the LT fast path: on the same seed, the LT
+  // run, the cycle-approximate functional run and the synthesised
+  // pin-level system agree on transcript AND coverage.
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 31337}, 40);
+  verify::Transcript golden = functional_run(workload);
+  LtRun lt = lt_run(workload, quantum_of(16));
+  verify::Transcript rtl = rtl_run(workload);
+
+  auto lt_cmp = verify::compare_functional(golden, lt.transcript);
+  EXPECT_TRUE(lt_cmp) << lt_cmp.first_difference;
+  auto rtl_cmp = verify::compare_functional(lt.transcript, rtl);
+  EXPECT_TRUE(rtl_cmp) << rtl_cmp.first_difference;
+
+  verify::Coverage cov_golden, cov_lt, cov_rtl;
+  cov_golden.observe(golden);
+  cov_lt.observe(lt.transcript);
+  cov_rtl.observe(rtl);
+  EXPECT_EQ(cov_golden.report(), cov_lt.report());
+  EXPECT_EQ(cov_lt.report(), cov_rtl.report());
+}
+
+TEST(LtDeterminism, TranscriptBitIdenticalAcrossShrinkingQuantum) {
+  // Shrinking the quantum changes only WHEN the kernel synchronises,
+  // never what the transactions observe -- ids, data, statuses and even
+  // the local-time stamps must be bit-identical.
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x1000, .seed = 99}, 300);
+  LtRun ref = lt_run(workload, quantum_of(1024));
+  for (std::uint64_t q : {256u, 16u, 4u, 1u}) {
+    LtRun run = lt_run(workload, quantum_of(q));
+    ASSERT_EQ(run.transcript.size(), ref.transcript.size());
+    for (std::size_t i = 0; i < ref.transcript.size(); ++i) {
+      const auto& a = ref.transcript.entries()[i];
+      const auto& b = run.transcript.entries()[i];
+      ASSERT_EQ(a.id, b.id) << "quantum=" << q << " entry " << i;
+      ASSERT_EQ(a.data, b.data) << "quantum=" << q << " entry " << i;
+      ASSERT_EQ(a.status, b.status) << "quantum=" << q << " entry " << i;
+      ASSERT_EQ(a.issued.picos(), b.issued.picos())
+          << "quantum=" << q << " entry " << i;
+      ASSERT_EQ(a.completed.picos(), b.completed.picos())
+          << "quantum=" << q << " entry " << i;
+    }
+    // Smaller quanta mean more syncs, same transactions.
+    EXPECT_GE(run.stats.syncs, ref.stats.syncs);
+    EXPECT_EQ(run.stats.transactions, ref.stats.transactions);
+  }
+}
+
+TEST(LtTiming, SpanMatchesPerCommandTimedFunctionalModel) {
+  // Temporal decoupling must not change total simulated time: an LT run
+  // and a functional run with the same per-command/per-word costs agree
+  // on the transcript span exactly.
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x800, .seed = 12}, 120);
+  LtConfig cfg = quantum_of(16);
+  verify::Transcript timed = functional_run(
+      workload,
+      FunctionalTiming{.per_command = cfg.per_command,
+                       .per_word = cfg.per_word});
+  LtRun lt = lt_run(workload, cfg);
+  EXPECT_EQ(lt.transcript.span().picos(), timed.span().picos());
+}
+
+TEST(LtDmi, MixedTargetsFallBackAndStayEquivalent) {
+  // Router decoding a DMI-capable memory AND a register peripheral with
+  // read side effects: peripheral commands must take the read()/write()
+  // fallback (dmi_misses), memory commands the window path, and the
+  // transcript must still match the functional element run against an
+  // identically configured fresh system.
+  std::vector<CommandType> workload;
+  for (int i = 0; i < 20; ++i) {
+    workload.push_back(CommandType{.op = BusOp::Write,
+                                   .addr = 0x1000u + 4 * i,
+                                   .data = {0xA0u + static_cast<unsigned>(i)}});
+    workload.push_back(
+        CommandType{.op = BusOp::Write, .addr = 0x200C, .data = {0x77u}});
+    workload.push_back(
+        CommandType{.op = BusOp::Read, .addr = 0x1000u + 4 * i, .count = 1});
+    workload.push_back(
+        CommandType{.op = BusOp::Read, .addr = 0x2004, .count = 1});
+  }
+  auto build_and_run = [&](auto&& runner) {
+    Kernel k;
+    tlm::TlmMemory mem(0x1000, 0x1000);
+    tlm::RegisterPeripheral periph(0x2000);
+    tlm::TlmRouter router;
+    router.attach(mem);
+    router.attach(periph);
+    return runner(k, router);
+  };
+  verify::Transcript golden =
+      build_and_run([&](Kernel& k, tlm::TlmRouter& router) {
+        FunctionalBusInterface iface(k, "iface", router);
+        Application app(k, "app", iface, workload);
+        k.run_for(1000_us);
+        EXPECT_TRUE(app.done());
+        return app.transcript();
+      });
+  tlm::TlmStats stats;
+  verify::Transcript lt = build_and_run([&](Kernel& k,
+                                            tlm::TlmRouter& router) {
+    LtBusInterface bus(k, "lt", router, quantum_of(8));
+    LtStimuliEngine eng(bus, workload);
+    k.run_for(1000_us);
+    EXPECT_TRUE(eng.done());
+    stats = bus.tlm_stats();
+    return eng.transcript();
+  });
+  auto cmp = verify::compare_functional(golden, lt);
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+  EXPECT_GT(stats.dmi_hits, 0u) << "memory commands must use the window";
+  EXPECT_GE(stats.dmi_misses, 40u) << "peripheral commands must fall back";
+}
+
+TEST(LtDmi, RouterAttachInvalidatesCachedWindow) {
+  // A decode change between engine runs must invalidate the interface's
+  // cached window: accesses after the attach still land correctly.
+  Kernel k;
+  tlm::TlmMemory mem_a(0x1000, 0x1000);
+  tlm::TlmRouter router;
+  router.attach(mem_a);
+  LtBusInterface bus(k, "lt", router, quantum_of(4));
+
+  std::vector<CommandType> first = {
+      CommandType{.op = BusOp::Write, .addr = 0x1000, .data = {0x11u}},
+      CommandType{.op = BusOp::Read, .addr = 0x1000, .count = 1}};
+  LtStimuliEngine eng1(bus, first);
+  k.run_for(1000_us);
+  ASSERT_TRUE(eng1.done());
+  const std::uint64_t version_before = router.dmi_version();
+
+  tlm::TlmMemory mem_b(0x3000, 0x1000);
+  router.attach(mem_b);
+  EXPECT_NE(router.dmi_version(), version_before);
+
+  std::vector<CommandType> second = {
+      CommandType{.op = BusOp::Write, .addr = 0x3000, .data = {0x22u}},
+      CommandType{.op = BusOp::Read, .addr = 0x3000, .count = 1},
+      CommandType{.op = BusOp::Read, .addr = 0x1000, .count = 1}};
+  LtStimuliEngine eng2(bus, second);
+  k.run_for(2000_us);
+  ASSERT_TRUE(eng2.done());
+  EXPECT_EQ(eng2.transcript().entries()[1].data,
+            (std::vector<std::uint32_t>{0x22u}));
+  EXPECT_EQ(eng2.transcript().entries()[2].data,
+            (std::vector<std::uint32_t>{0x11u}));
+  EXPECT_EQ(mem_b.peek(0), 0x22u);
+}
+
+TEST(LtBatching, ObjectStatsAccountQuantumCommits) {
+  // n transactions = 2n app-side calls (putCommand + appDataGet) + 2n
+  // interface-side calls (getCommand + putResponse), committed as one
+  // episode per side per quantum.
+  const std::size_t n = 64;
+  auto workload = tlm::sequential_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400}, n);
+  LtRun run = lt_run(workload, quantum_of(16));
+  EXPECT_EQ(run.stats.transactions, n);
+  EXPECT_EQ(run.stats.batched_guarded_calls, 4 * n);
+  EXPECT_EQ(run.object_stats.grants, 4 * n);
+  EXPECT_EQ(run.object_stats.batched_calls, 4 * n);
+  EXPECT_GT(run.object_stats.batched_commits, 0u);
+  EXPECT_EQ(run.object_stats.batched_commits % 2, 0u)
+      << "commits come in app/interface pairs";
+  // All batched grants are zero-wait: the latency histograms hold 2n
+  // zero samples per batching client.
+  std::uint64_t batched_zero_lat = 0;
+  for (const auto& cs : run.object_stats.clients) {
+    if (cs.name == "lt_batch_app" || cs.name == "lt_batch_if") {
+      EXPECT_EQ(cs.calls, 2 * n);
+      EXPECT_EQ(cs.granted, 2 * n);
+      batched_zero_lat += cs.latency.bucket(0);
+    }
+  }
+  EXPECT_EQ(batched_zero_lat, 4 * n);
+  // The quanta all warped (nothing else was pending).
+  EXPECT_GT(run.stats.warps, 0u);
+  EXPECT_EQ(run.kernel_warps, run.stats.warps);
+}
+
+TEST(LtChannel, ApplicationRunsUnchangedAgainstLtInterface) {
+  // The Figure-3 substitution test for the new element: the SAME
+  // Application drives LtBusInterface through the guarded-method
+  // channel, with no engine involved, and the transcript matches the
+  // functional element's.
+  auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = 4242}, 60);
+  verify::Transcript golden = functional_run(workload);
+  Kernel k;
+  tlm::TlmMemory mem(0x1000, 0x1000);
+  LtBusInterface bus(k, "lt", mem, quantum_of(16));
+  Application app(k, "app", bus, workload);
+  for (int slice = 0; slice < 100 && !app.done(); ++slice) k.run_for(1000_us);
+  ASSERT_TRUE(app.done());
+  auto cmp = verify::compare_functional(golden, app.transcript());
+  EXPECT_TRUE(cmp) << cmp.first_difference;
+  EXPECT_EQ(bus.tlm_stats().transactions, 60u);
+  EXPECT_GT(bus.stats().commands_served, 0u);
+}
+
+TEST(QuantumKeeper, AccruesAndSyncsViaWarpWhenIdle) {
+  Kernel k;
+  tlm::TlmStats stats;
+  tlm::QuantumKeeper qk(k, 100_ns, stats);
+  bool checked = false;
+  k.spawn("lt", [&]() -> Task {
+    EXPECT_TRUE(qk.local_offset().is_zero());
+    qk.inc(60_ns);
+    EXPECT_FALSE(qk.need_sync());
+    EXPECT_EQ(qk.local_now().picos(), 60000u);
+    qk.inc(60_ns);
+    EXPECT_TRUE(qk.need_sync());
+    co_await qk.sync();
+    EXPECT_EQ(k.now().picos(), 120000u) << "kernel caught up to local time";
+    EXPECT_TRUE(qk.local_offset().is_zero());
+    checked = true;
+  });
+  k.run_for(1_ms);
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.warps, 1u);
+  EXPECT_EQ(k.stats().time_warps, 1u);
+}
+
+TEST(QuantumKeeper, FallsBackToTimedWaitWhenOthersAreDue) {
+  // A second process sleeps INSIDE the keeper's run-ahead span, so the
+  // warp is refused and the sync degrades to an ordinary timed wait that
+  // lets the other process run at its due time.
+  Kernel k;
+  tlm::TlmStats stats;
+  tlm::QuantumKeeper qk(k, 100_ns, stats);
+  std::vector<int> order;
+  k.spawn("other", [&]() -> Task {
+    co_await k.wait(50_ns);
+    order.push_back(1);
+  });
+  k.spawn("lt", [&]() -> Task {
+    qk.inc(200_ns);
+    co_await qk.sync();
+    order.push_back(2);
+    EXPECT_EQ(k.now().picos(), 200000u);
+  });
+  k.run_for(1_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.warps, 0u);
+  EXPECT_EQ(k.stats().time_warps, 0u);
+}
+
+TEST(QuantumKeeper, ZeroOffsetSyncIsNoop) {
+  Kernel k;
+  tlm::TlmStats stats;
+  tlm::QuantumKeeper qk(k, 100_ns, stats);
+  bool ran = false;
+  k.spawn("lt", [&]() -> Task {
+    co_await qk.sync();
+    EXPECT_TRUE(k.now().is_zero());
+    ran = true;
+  });
+  k.run_for(1_us);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(stats.syncs, 0u);
+}
+
+}  // namespace
+}  // namespace hlcs::pattern

@@ -147,5 +147,116 @@ TEST(TlmMemory, RejectsUnalignedConstruction) {
   EXPECT_THROW(TlmMemory(0, 0x101), hlcs::Error);
 }
 
+TEST(TlmMemory, PagesAllocateOnFirstWriteOnly) {
+  TlmMemory m(0x1000, 0x3000);  // three 4 KiB pages
+  EXPECT_EQ(m.pages_allocated(), 0u);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x2000, out, 4), Status::Ok);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 0, 0, 0}));
+  EXPECT_EQ(m.pages_allocated(), 0u) << "reads must not materialise pages";
+  EXPECT_EQ(m.write(0x1004, {1}), Status::Ok);
+  EXPECT_EQ(m.pages_allocated(), 1u);
+  EXPECT_EQ(m.write(0x3FFC, {2}), Status::Ok);  // last word of page 2
+  EXPECT_EQ(m.pages_allocated(), 2u);
+  EXPECT_EQ(m.write(0x1008, {3}), Status::Ok);  // same page as the first
+  EXPECT_EQ(m.pages_allocated(), 2u);
+  EXPECT_EQ(m.peek(0x2FFC), 2u);
+}
+
+TEST(TlmMemory, WriteSpanningPagesLandsInBoth) {
+  TlmMemory m(0, 0x2000);
+  // Two words across the page 0 / page 1 boundary.
+  EXPECT_EQ(m.write(0x0FFC, {0xAA, 0xBB}), Status::Ok);
+  EXPECT_EQ(m.pages_allocated(), 2u);
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x0FFC, out, 2), Status::Ok);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0xAA, 0xBB}));
+}
+
+TEST(TlmMemory, DirectWindowIsPageSizedAndStable) {
+  TlmMemory m(0x1000, 0x1800);  // one full page + a 2 KiB tail
+  DmiWindow w = m.get_direct_window(0x1010);
+  ASSERT_TRUE(w.valid());
+  EXPECT_EQ(w.base, 0x1000u);
+  EXPECT_EQ(w.size, TlmMemory::kPageBytes);
+  EXPECT_EQ(w.version, m.dmi_version());
+  EXPECT_EQ(m.pages_allocated(), 1u) << "a writable window needs its page";
+  EXPECT_TRUE(w.covers(0x1010, 8));
+  EXPECT_FALSE(w.covers(0x0FFC, 4));
+  EXPECT_FALSE(w.covers(0x1FFC, 8)) << "span past the page is not covered";
+  *w.at(0x1010) = 0xD1;
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(m.read(0x1010, out, 1), Status::Ok);
+  EXPECT_EQ(out.at(0), 0xD1u) << "window stores hit the backing pages";
+  // The tail page's window is clamped to the decode window.
+  DmiWindow tail = m.get_direct_window(0x2000);
+  ASSERT_TRUE(tail.valid());
+  EXPECT_EQ(tail.base, 0x2000u);
+  EXPECT_EQ(tail.size, 0x800u);
+  // Windows never go stale: pages are pointer-stable for the memory's
+  // lifetime.
+  EXPECT_EQ(m.get_direct_window(0x1010).words, w.words);
+  EXPECT_EQ(m.dmi_version(), w.version);
+}
+
+TEST(RegisterPeripheral, NeverGrantsDirectWindow) {
+  RegisterPeripheral p(0x2000);
+  EXPECT_FALSE(p.get_direct_window(0x2000).valid())
+      << "read side effects forbid DMI";
+}
+
+TEST(TlmRouter, RejectsOverlappingAttach) {
+  TlmMemory a(0x1000, 0x100);
+  TlmMemory overlap_low(0x0FC0, 0x80);   // tail overlaps a's head
+  TlmMemory overlap_high(0x10C0, 0x100);  // head overlaps a's tail
+  TlmMemory inside(0x1040, 0x20);
+  TlmMemory adjacent(0x1100, 0x100);
+  TlmRouter r;
+  r.attach(a);
+  EXPECT_THROW(r.attach(overlap_low), hlcs::Error);
+  EXPECT_THROW(r.attach(overlap_high), hlcs::Error);
+  EXPECT_THROW(r.attach(inside), hlcs::Error);
+  r.attach(adjacent);  // back-to-back windows are fine
+  EXPECT_EQ(r.write(0x1100, {7}), Status::Ok);
+  EXPECT_EQ(adjacent.peek(0), 7u);
+}
+
+TEST(TlmRouter, BinarySearchRouteOverManyTargets) {
+  // Attach out of order; the sorted decode map must route every edge
+  // address to the right target and abort in the gaps.
+  std::vector<std::unique_ptr<TlmMemory>> mems;
+  TlmRouter r;
+  for (std::uint32_t i : {7u, 2u, 5u, 0u, 3u}) {
+    mems.push_back(std::make_unique<TlmMemory>(0x10000 * (i + 1), 0x100));
+    r.attach(*mems.back());
+  }
+  for (std::uint32_t i : {0u, 2u, 3u, 5u, 7u}) {
+    const std::uint32_t base = 0x10000 * (i + 1);
+    EXPECT_EQ(r.write(base, {i}), Status::Ok);
+    EXPECT_EQ(r.write(base + 0xFC, {i}), Status::Ok);
+    std::vector<std::uint32_t> out;
+    EXPECT_EQ(r.read(base + 0x100, out, 1), Status::MasterAbort)
+        << "gap past target " << i;
+  }
+}
+
+TEST(TlmRouter, AttachBumpsDmiVersionAndRestampsWindows) {
+  TlmMemory a(0x1000, 0x1000);
+  TlmRouter r;
+  r.attach(a);
+  const std::uint64_t v1 = r.dmi_version();
+  DmiWindow w = r.get_direct_window(0x1000);
+  ASSERT_TRUE(w.valid());
+  EXPECT_EQ(w.version, v1) << "router windows carry the router's version";
+  TlmMemory b(0x4000, 0x100);
+  r.attach(b);
+  EXPECT_NE(r.dmi_version(), v1) << "decode change must invalidate windows";
+  EXPECT_NE(r.get_direct_window(0x1000).version, w.version);
+  // A target with no DMI support yields no window through the router.
+  RegisterPeripheral p(0x8000);
+  r.attach(p);
+  EXPECT_FALSE(r.get_direct_window(0x8000).valid());
+}
+
 }  // namespace
 }  // namespace hlcs::tlm

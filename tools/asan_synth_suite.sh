@@ -19,7 +19,8 @@ test_vcd_reader \
 test_trace_roundtrip \
 test_check_property test_check_lowering \
 test_osss_arbitration test_contend \
-test_sim_shard test_fabric"
+test_sim_shard test_fabric \
+test_tlm test_tlm_lt"
 
 cd "$SRC"
 cmake --preset asan >/dev/null

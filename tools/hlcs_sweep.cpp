@@ -11,6 +11,11 @@
 // policy x client point is synthesised to RT level and verified against
 // the interpreted specification with the batched lane-parallel
 // equivalence engine, points sharded over the same worker pool.
+//
+// --lt switches to the loosely-timed refinement sweep: workload kind x
+// quantum length, each point replaying the same seeded stimuli through
+// the quantum-decoupled LT engine and the functional reference and
+// requiring transcript equality.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,9 +23,12 @@
 #include <vector>
 
 #include "hlcs/osss/osss.hpp"
+#include "hlcs/pattern/pattern.hpp"
 #include "hlcs/sim/sim.hpp"
 #include "hlcs/sim/sweep.hpp"
 #include "hlcs/synth/synth.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/verify/compare.hpp"
 
 namespace {
 
@@ -139,12 +147,76 @@ void run_equiv_point(std::size_t index, std::string& transcript,
   }
 }
 
+// ----- loosely-timed refinement sweep (--lt) ---------------------------
+
+constexpr const char* kLtWorkloads[] = {"sequential", "random", "dma"};
+constexpr std::uint64_t kLtQuanta[] = {1, 16, 1024};  // commands per quantum
+
+std::vector<pattern::CommandType> lt_workload(std::size_t kind,
+                                              std::size_t transactions) {
+  const tlm::WorkloadConfig cfg{.base = 0x1000, .span = 0x1000,
+                                .seed = 0xBADC0DE};
+  switch (kind) {
+    case 0: return tlm::sequential_workload(cfg, transactions);
+    case 1: return tlm::random_workload(cfg, transactions);
+    default:
+      return tlm::dma_workload(cfg, transactions / 8,
+                               /*block_words=*/16);
+  }
+}
+
+void run_lt_point(std::size_t index, std::string& transcript,
+                  const SweepConfig& cfg) {
+  const std::size_t n_quanta = std::size(kLtQuanta);
+  const std::size_t kind = index / n_quanta;
+  const std::uint64_t quantum_cmds = kLtQuanta[index % n_quanta];
+  const auto workload = lt_workload(kind, cfg.cycles);
+
+  // Functional reference.
+  sim::Kernel fn_k;
+  tlm::TlmMemory fn_mem(0x1000, 0x1000);
+  pattern::FunctionalBusInterface fn_bus(fn_k, "iface", fn_mem);
+  pattern::Application fn_app(fn_k, "app", fn_bus, workload);
+  fn_k.run_for(sim::Time::ms(100));
+
+  // LT fast path: the quantum is expressed in commands' worth of the
+  // default 60ns single-word cost, matching the tier-1 suite's points.
+  pattern::LtConfig lt_cfg;
+  lt_cfg.quantum = sim::Time::ns(60) * quantum_cmds;
+  sim::Kernel lt_k;
+  tlm::TlmMemory lt_mem(0x1000, 0x1000);
+  pattern::LtBusInterface lt_bus(lt_k, "lt", lt_mem, lt_cfg);
+  pattern::LtStimuliEngine lt_eng(lt_bus, workload);
+  lt_k.run_for(sim::Time::ms(100));
+
+  const bool done = fn_app.done() && lt_eng.done();
+  const auto cmp =
+      verify::compare_functional(fn_app.transcript(), lt_eng.transcript());
+  const auto& ts = lt_bus.tlm_stats();
+  char line[200];
+  std::snprintf(
+      line, sizeof(line),
+      "%-10s quantum=%-5llu txns=%-5llu lt=%s syncs=%llu warps=%llu "
+      "dmi_hits=%llu dmi_misses=%llu batched=%llu\n",
+      kLtWorkloads[kind], static_cast<unsigned long long>(quantum_cmds),
+      static_cast<unsigned long long>(ts.transactions),
+      done && cmp ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(ts.syncs),
+      static_cast<unsigned long long>(ts.warps),
+      static_cast<unsigned long long>(ts.dmi_hits),
+      static_cast<unsigned long long>(ts.dmi_misses),
+      static_cast<unsigned long long>(ts.batched_guarded_calls));
+  transcript += line;
+  if (!cmp) transcript += "  first difference: " + cmp.first_difference + "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   bool verify = false;
   bool equiv_mode = false;
+  bool lt_mode = false;
   std::size_t equiv_lanes = 64;
   unsigned equiv_super = 1;
   bool equiv_jit = false;
@@ -172,6 +244,8 @@ int main(int argc, char** argv) {
       equiv_super = static_cast<unsigned>(v);
     } else if (!std::strcmp(argv[i], "--jit")) {
       equiv_jit = true;  // --equiv blocks run the native tape JIT
+    } else if (!std::strcmp(argv[i], "--lt")) {
+      lt_mode = true;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(argv[++i], &end, 10);
@@ -196,13 +270,47 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--cycles N] [--verify] "
-                   "[--equiv [lanes]] [--super K] [--jit]\n",
+                   "[--equiv [lanes]] [--super K] [--jit] [--lt]\n",
                    argv[0]);
       return 2;
     }
   }
 
   const std::size_t points = std::size(kPolicies) * std::size(kClientCounts);
+
+  if (lt_mode) {
+    // Loosely-timed refinement sweep: workload kind x quantum length,
+    // every point checked against the functional reference.  Points are
+    // private kernels, so any thread count gives the same transcript;
+    // --cycles sets the per-point transaction count.
+    if (!cfg.cycles_set) cfg.cycles = 200;
+    const std::size_t lt_points =
+        std::size(kLtWorkloads) * std::size(kLtQuanta);
+    std::vector<std::string> lines(lt_points);
+    sim::parallel_for_indexed(lt_points, threads, [&](std::size_t i) {
+      run_lt_point(i, lines[i], cfg);
+    });
+    std::size_t passed = 0;
+    for (const std::string& l : lines) {
+      std::fputs(l.c_str(), stdout);
+      if (l.find("lt=PASS") != std::string::npos) ++passed;
+    }
+    if (verify) {
+      std::vector<std::string> serial(lt_points);
+      sim::parallel_for_indexed(lt_points, 1, [&](std::size_t i) {
+        run_lt_point(i, serial[i], cfg);
+      });
+      for (std::size_t i = 0; i < lt_points; ++i) {
+        if (serial[i] != lines[i]) {
+          std::fprintf(stderr, "VERIFY FAILED at point %zu\n", i);
+          return 1;
+        }
+      }
+      std::puts("verify: serial and threaded lt sweeps identical");
+    }
+    std::printf("lt sweep: %zu/%zu points PASS\n", passed, lt_points);
+    return passed == lt_points ? 0 : 1;
+  }
 
   if (equiv_mode) {
     // Fig.4 viability sweep: synthesise + batch-verify each point.  The

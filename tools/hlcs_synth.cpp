@@ -18,7 +18,12 @@
 
 #include "hlcs/check/check.hpp"
 #include "hlcs/osss/osss.hpp"
+#include "hlcs/pattern/pattern.hpp"
+#include "hlcs/pci/pci.hpp"
 #include "hlcs/synth/synth.hpp"
+#include "hlcs/tlm/stimuli.hpp"
+#include "hlcs/verify/compare.hpp"
+#include "hlcs/verify/coverage.hpp"
 
 namespace {
 
@@ -26,6 +31,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.obj> [options]\n"
                "       %s --monitor <pack> [options]\n"
+               "       %s --equiv-lt [N] [--seed S] [--stats]\n"
                "  --clients N        number of connected clients (default 1)\n"
                "  --policy P         fifo | round_robin | static_priority | "
                "random (default static_priority)\n"
@@ -66,9 +72,137 @@ int usage(const char* argv0) {
                "a shipped\n"
                "                     property pack (pci | shared_object) to "
                "its monitor\n"
-               "                     netlist and emit that as Verilog\n",
-               argv0, argv0);
+               "                     netlist and emit that as Verilog\n"
+               "  --equiv-lt [N]     instead of synthesising an object, run "
+               "the loosely-timed\n"
+               "                     refinement gate: replay N seeded random "
+               "transactions\n"
+               "                     (default 40) through the LT fast path, "
+               "the functional\n"
+               "                     model and the synthesised pin-level PCI "
+               "system, and\n"
+               "                     require transcript + coverage "
+               "equivalence.  --stats\n"
+               "                     prints the LT counters (quanta, warps, "
+               "DMI hits, ...)\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+// The loosely-timed refinement gate (`--equiv-lt`): the paper's step-3
+// consistency check applied to the temporally decoupled engine.  Three
+// runs of the same seeded workload -- LT fast path, functional TLM,
+// synthesised pin-level RTL -- must agree on transcript and coverage.
+int run_equiv_lt(std::size_t transactions, std::uint64_t seed,
+                 bool do_stats) {
+  namespace pattern = hlcs::pattern;
+  namespace tlm = hlcs::tlm;
+  namespace verify = hlcs::verify;
+  namespace pci = hlcs::pci;
+  namespace sim = hlcs::sim;
+
+  const auto workload = tlm::random_workload(
+      tlm::WorkloadConfig{.base = 0x1000, .span = 0x400, .seed = seed},
+      transactions);
+
+  // Leg 1: loosely-timed fast path (quantum-decoupled stimuli engine).
+  sim::Kernel lt_k;
+  tlm::TlmMemory lt_mem(0x1000, 0x1000);
+  pattern::LtBusInterface lt_bus(lt_k, "lt", lt_mem);
+  pattern::LtStimuliEngine lt_eng(lt_bus, workload);
+  for (int s = 0; s < 100 && !lt_eng.done(); ++s)
+    lt_k.run_for(sim::Time::ms(1));
+  if (!lt_eng.done()) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: LT engine stalled\n");
+    return 1;
+  }
+
+  // Leg 2: functional (cycle-approximate) model.
+  sim::Kernel fn_k;
+  tlm::TlmMemory fn_mem(0x1000, 0x1000);
+  pattern::FunctionalBusInterface fn_bus(fn_k, "iface", fn_mem);
+  pattern::Application fn_app(fn_k, "app", fn_bus, workload);
+  for (int s = 0; s < 100 && !fn_app.done(); ++s)
+    fn_k.run_for(sim::Time::ms(1));
+  if (!fn_app.done()) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: functional model stalled\n");
+    return 1;
+  }
+
+  // Leg 3: synthesised channel + pin-level PCI system.
+  sim::Kernel rtl_k;
+  sim::Clock clk(rtl_k, "clk", sim::Time::ns(10));
+  pci::PciBus bus(rtl_k, "pci", clk);
+  pci::PciArbiter arb(rtl_k, "arb", bus);
+  pci::PciMonitor mon(rtl_k, "mon", bus);
+  pci::PciTarget target(rtl_k, "t0", bus,
+                        pci::TargetConfig{.base = 0x1000, .size = 0x1000});
+  pattern::RtlPciSystem system(rtl_k, "rtl_sys", bus, arb);
+  verify::Transcript rtl;
+  bool rtl_done = false;
+  rtl_k.spawn("app", [&]() -> sim::Task {
+    for (const pattern::CommandType& cmd : workload) {
+      const sim::Time issued = rtl_k.now();
+      pattern::ResponseType resp;
+      co_await system.execute(cmd, resp);
+      rtl.record(cmd, resp, issued, rtl_k.now());
+    }
+    rtl_done = true;
+  });
+  for (int s = 0; s < 5000 && !rtl_done; ++s)
+    rtl_k.run_for(sim::Time::us(10));
+  if (!rtl_done) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: pin-level system stalled\n");
+    return 1;
+  }
+  if (!mon.violations().empty()) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: protocol violation: %s\n",
+                 mon.violations().front().c_str());
+    return 1;
+  }
+
+  const auto fn_cmp =
+      verify::compare_functional(fn_app.transcript(), lt_eng.transcript());
+  if (!fn_cmp) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: lt vs functional: %s\n",
+                 fn_cmp.first_difference.c_str());
+    return 1;
+  }
+  const auto rtl_cmp = verify::compare_functional(lt_eng.transcript(), rtl);
+  if (!rtl_cmp) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: lt vs rtl: %s\n",
+                 rtl_cmp.first_difference.c_str());
+    return 1;
+  }
+  verify::Coverage cov_lt, cov_fn, cov_rtl;
+  cov_lt.observe(lt_eng.transcript());
+  cov_fn.observe(fn_app.transcript());
+  cov_rtl.observe(rtl);
+  if (cov_lt.report() != cov_fn.report() ||
+      cov_lt.report() != cov_rtl.report()) {
+    std::fprintf(stderr, "LT REFINEMENT FAILED: coverage reports differ\n");
+    return 1;
+  }
+
+  if (do_stats) {
+    const tlm::TlmStats& ts = lt_bus.tlm_stats();
+    std::fprintf(stderr,
+                 "lt stats: %llu transactions, %llu quanta, %llu syncs "
+                 "(%llu warps), %llu dmi hits, %llu dmi misses, %llu "
+                 "batched guarded calls\n",
+                 static_cast<unsigned long long>(ts.transactions),
+                 static_cast<unsigned long long>(ts.quanta),
+                 static_cast<unsigned long long>(ts.syncs),
+                 static_cast<unsigned long long>(ts.warps),
+                 static_cast<unsigned long long>(ts.dmi_hits),
+                 static_cast<unsigned long long>(ts.dmi_misses),
+                 static_cast<unsigned long long>(ts.batched_guarded_calls));
+  }
+  std::fprintf(stderr,
+               "LT refinement PASS: %zu transactions, seed 0x%llx "
+               "(lt == functional == rtl, coverage identical)\n",
+               transactions, static_cast<unsigned long long>(seed));
+  return 0;
 }
 
 }  // namespace
@@ -89,6 +223,8 @@ int main(int argc, char** argv) {
   unsigned equiv_threads = 1;
   unsigned equiv_super = 1;
   bool equiv_jit = false;
+  bool equiv_lt = false;
+  std::size_t equiv_lt_txns = 40;
   bool do_stats = false;
   bool do_optimize = false;
   bool do_report = false;
@@ -148,6 +284,15 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (a == "--equiv-lt") {
+      equiv_lt = true;
+      // Optional transaction count, same bare-number idiom as
+      // --equiv-batch's lane count.
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") ==
+              std::strlen(argv[i + 1])) {
+        equiv_lt_txns = static_cast<std::size_t>(std::stoul(argv[++i]));
+      }
     } else if (a == "--equiv-threads") {
       equiv_threads = static_cast<unsigned>(std::stoul(next("count")));
     } else if (a == "--equiv-super") {
@@ -179,6 +324,26 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "multiple inputs given\n");
       return 2;
+    }
+  }
+  // LT refinement mode: run the three-way loosely-timed consistency
+  // gate -- no .obj input involved.
+  if (equiv_lt) {
+    if (!input.empty() || !tb_path.empty() || !monitor_pack.empty()) {
+      std::fprintf(stderr,
+                   "--equiv-lt takes no .obj input, --testbench or "
+                   "--monitor\n");
+      return 2;
+    }
+    if (equiv_lt_txns == 0) {
+      std::fprintf(stderr, "--equiv-lt requires at least 1 transaction\n");
+      return 2;
+    }
+    try {
+      return run_equiv_lt(equiv_lt_txns, seed, do_stats);
+    } catch (const hlcs::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
   // Monitor mode: lower a shipped property pack to its synthesisable
